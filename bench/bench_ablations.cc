@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablation studies beyond the paper's figures, for the design choices
+ * DESIGN.md calls out:
+ *   (a) cache replacement policy: LRU vs FLF vs Random;
+ *   (b) adaptive vs single global cutoff radius;
+ *   (c) prefetch lookahead depth;
+ *   (d) codec quality vs frame size and fidelity.
+ */
+
+#include <algorithm>
+
+#include "bench_util.hh"
+
+#include "core/client.hh"
+#include "image/codec.hh"
+#include "image/ssim.hh"
+#include "render/renderer.hh"
+#include "support/rng.hh"
+
+using namespace coterie;
+using namespace coterie::bench;
+using namespace coterie::core;
+
+namespace {
+
+void
+ablationReplacementPolicy(const Session &session)
+{
+    std::printf("\n(a) cache replacement policy (Viking, 2P, small "
+                "cache)\n");
+    for (auto policy : {ReplacementPolicy::Lru, ReplacementPolicy::Flf,
+                        ReplacementPolicy::Random}) {
+        SystemConfig config = session.systemConfig();
+        // Shrink the cache so replacement actually matters.
+        config.profile.cacheBudgetBytes = 24ull * 1024 * 1024;
+        SplitVariant variant = SplitVariant::coterie(true);
+        variant.policy = policy;
+        const SystemResult result = runSplitSystem(
+            config, variant, session.distThresholds(), "Coterie");
+        const char *name = policy == ReplacementPolicy::Lru   ? "LRU"
+                           : policy == ReplacementPolicy::Flf ? "FLF"
+                                                              : "Random";
+        std::printf("    %-7s fps=%5.1f  hit=%5.1f%%  evictions=%llu\n",
+                    name, result.avgFps(),
+                    100.0 * result.avgCacheHitRatio(),
+                    static_cast<unsigned long long>(
+                        result.players[0].cacheStats.evictions));
+        std::fflush(stdout);
+    }
+}
+
+void
+ablationGlobalCutoff(const Session &session)
+{
+    std::printf("\n(b) adaptive quadtree vs single global cutoff "
+                "(Viking)\n");
+    // Global cutoff = the world-wide minimum (the only safe choice).
+    double global_cutoff = 1e9;
+    for (const LeafRegion &leaf : session.partition().leaves)
+        global_cutoff = std::min(global_cutoff, leaf.cutoffRadius);
+
+    // Adaptive mean reuse distance vs global.
+    const AnalyticSimilarity model(session.similarityParams());
+    double adaptive_mean = 0.0;
+    int n = 0;
+    for (const LeafRegion &leaf : session.partition().leaves) {
+        if (!leaf.reachable)
+            continue;
+        adaptive_mean += model.maxDisplacement(leaf.cutoffRadius, 0.9);
+        ++n;
+    }
+    adaptive_mean /= std::max(1, n);
+    const double global_reuse =
+        model.maxDisplacement(global_cutoff, 0.9);
+    std::printf("    global min cutoff %.1f m -> reuse distance %.3f m\n",
+                global_cutoff, global_reuse);
+    std::printf("    adaptive cutoffs      -> mean reuse distance "
+                "%.3f m (%.1fx better)\n",
+                adaptive_mean, adaptive_mean / global_reuse);
+}
+
+void
+ablationLookahead(const Session &session)
+{
+    std::printf("\n(c) prefetch lookahead depth (Viking, 2P)\n");
+    for (int steps : {1, 2, 4}) {
+        SplitVariant variant = SplitVariant::coterie(true);
+        variant.prefetch.lookaheadSteps = steps;
+        const SystemResult result =
+            runSplitSystem(session.systemConfig(), variant,
+                           session.distThresholds(), "Coterie");
+        std::printf("    lookahead=%d  fps=%5.1f  be=%5.1f Mbps  "
+                    "hit=%5.1f%%\n",
+                    steps, result.avgFps(), result.players[0].beMbps,
+                    100.0 * result.avgCacheHitRatio());
+        std::fflush(stdout);
+    }
+}
+
+void
+ablationCodecQuality(const Session &session)
+{
+    std::printf("\n(d) codec quality vs size and fidelity (far-BE "
+                "panorama)\n");
+    const render::Renderer renderer(session.world());
+    const auto &pose = session.traces().players[0].points.front();
+    render::RenderOptions opts;
+    opts.layer = render::DepthLayer::farBe(
+        session.regions().cutoffAt(pose.position));
+    const auto pano = renderer.renderPanorama(
+        session.world().eyePosition(pose.position), 384, 192, opts);
+    for (int quality : {20, 40, 60, 80, 95}) {
+        image::CodecParams params;
+        params.quality = quality;
+        const auto encoded = image::encode(pano, params);
+        const double fidelity =
+            image::ssim(pano, image::decode(encoded));
+        std::printf("    q=%2d  %7.1f KB  ssim=%.3f\n", quality,
+                    encoded.sizeBytes() / 1024.0, fidelity);
+        std::fflush(stdout);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablations — replacement policy, cutoff scheme, lookahead, "
+           "codec quality",
+           "DESIGN.md section 4 (beyond the paper)");
+    auto session = makeSession(world::gen::GameId::Viking, 2);
+    ablationReplacementPolicy(*session);
+    ablationGlobalCutoff(*session);
+    ablationLookahead(*session);
+    ablationCodecQuality(*session);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 2: best-case inter-player BE frame similarity for two players,
+ * before and after near/far decoupling. For each of player 1's sampled
+ * frames, the most similar frame among player 2's nearby frames is
+ * found (rendered SSIM) and the CDF of these best-case values reported.
+ *
+ * Paper: before decoupling ~0%% of frames exceed SSIM 0.9; after,
+ * 55-100%% (outdoor) but only 2-33%% (indoor).
+ */
+
+#include <algorithm>
+
+#include "bench_util.hh"
+
+#include "core/similarity.hh"
+#include "trace/trajectory.hh"
+
+using namespace coterie;
+using namespace coterie::bench;
+using namespace coterie::core;
+using world::gen::GameId;
+
+namespace {
+
+constexpr int kFramesPerGame = 24;
+constexpr int kCandidates = 4; // nearest player-2 frames tried per frame
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 2 — best-case inter-player similarity (rendered SSIM)",
+           "Figure 2(a)/(b), Section 4.1/4.5");
+
+    std::printf("\n  %-9s | %%frames best-case SSIM>0.9:  %-9s %-9s\n",
+                "game", "whole BE", "far BE");
+    for (const auto &info : world::gen::allGames()) {
+        const auto world = world::gen::makeWorld(info.id, 42);
+        PartitionParams pp;
+        pp.reachable = world::gen::makeReachability(info, world);
+        const auto partition =
+            partitionWorld(world, device::pixel2(), pp);
+        const RegionIndex regions(world.bounds(), partition.leaves);
+        const RenderedSimilarity rendered(world, 160, 80);
+
+        trace::TrajectoryParams tp;
+        tp.players = 2;
+        tp.durationS = 60.0;
+        tp.seed = 9;
+        const auto session = trace::generateTrace(info, world, tp);
+        const auto &p1 = session.players[0].points;
+        const auto &p2 = session.players[1].points;
+
+        SampleSet whole, far;
+        const std::size_t stride =
+            std::max<std::size_t>(1, p1.size() / kFramesPerGame);
+        for (std::size_t i = 0; i < p1.size() && whole.count() <
+                                kFramesPerGame;
+             i += stride) {
+            const geom::Vec2 a = p1[i].position;
+            // Best-case: try the spatially closest player-2 frames.
+            std::vector<std::pair<double, std::size_t>> by_dist;
+            for (std::size_t j = 0; j < p2.size(); j += 8)
+                by_dist.emplace_back(a.distance(p2[j].position), j);
+            std::partial_sort(by_dist.begin(),
+                              by_dist.begin() +
+                                  std::min<std::size_t>(kCandidates,
+                                                        by_dist.size()),
+                              by_dist.end());
+            double best_whole = 0.0, best_far = 0.0;
+            const double cutoff = regions.cutoffAt(a);
+            for (int c = 0; c < kCandidates &&
+                            c < static_cast<int>(by_dist.size());
+                 ++c) {
+                const geom::Vec2 b = p2[by_dist[c].second].position;
+                best_whole = std::max(best_whole,
+                                      rendered.farBeSsim(a, b, 0.0));
+                best_far = std::max(best_far,
+                                    rendered.farBeSsim(a, b, cutoff));
+            }
+            whole.add(best_whole);
+            far.add(best_far);
+        }
+        std::printf("  %-9s |                          %8.1f%% %8.1f%%\n",
+                    info.name.c_str(),
+                    100.0 * whole.fractionAbove(image::kGoodSsim),
+                    100.0 * far.fractionAbove(image::kGoodSsim));
+        std::fflush(stdout);
+    }
+    std::printf("\nPaper: whole-BE ~0%% everywhere; far-BE 55-100%% "
+                "(outdoor), 2-33%% (indoor).\n");
+    return 0;
+}

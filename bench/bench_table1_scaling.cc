@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table 1: performance of Mobile, Thin-client, and Multi-Furion for the
+ * three evaluation games with 1 and 2 players — the scaling experiment
+ * motivating Coterie. Reports FPS, inter-frame latency, phone CPU/GPU
+ * load, per-frame size, and network delay.
+ */
+
+#include "bench_util.hh"
+
+using namespace coterie;
+using namespace coterie::core;
+using namespace coterie::bench;
+using world::gen::GameId;
+using world::gen::gameInfo;
+
+namespace {
+
+void
+printRow(const char *game, int players, const SystemResult &result)
+{
+    const PlayerMetrics &m = result.players.front();
+    std::printf("  %-8s (%dP)  fps=%5.1f  if=%5.1fms  cpu=%4.1f%%  "
+                "gpu=%4.1f%%  frame=%4.0fKB  net=%5.1fms\n",
+                game, players, result.avgFps(), result.avgInterFrameMs(),
+                m.cpuPct, m.gpuPct, m.frameKb, result.avgNetDelayMs());
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 1 — Mobile / Thin-client / Multi-Furion scaling",
+           "Table 1, Section 3");
+
+    std::printf("\nPaper reference points (Viking): Mobile 26->24 fps; "
+                "Thin-client 24->19 fps,\nnet 9.7->19.8 ms; Multi-Furion "
+                "60->45 fps, net 9.2->18.3 ms.\n\n");
+
+    for (GameId game : world::gen::evaluationGames()) {
+        const auto &info = gameInfo(game);
+        for (int players : {1, 2}) {
+            auto session = makeSession(game, players);
+            std::printf("-- %s, %d player(s) --\n", info.name.c_str(),
+                        players);
+            printRow("Mobile", players, session->runMobileSystem());
+            printRow("Thin-cl", players, session->runThinClientSystem());
+            printRow("M-Furion", players,
+                     session->runMultiFurionSystem());
+        }
+    }
+    return 0;
+}

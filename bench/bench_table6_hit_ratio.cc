@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table 6: average frame-cache hit ratio across players for the three
+ * evaluation games under the full Coterie system, and the resulting
+ * prefetch-frequency reduction (paper: 80.8/82.3/88.4%% -> 5.2/5.6/8.6x).
+ */
+
+#include "bench_util.hh"
+
+using namespace coterie;
+using namespace coterie::bench;
+using namespace coterie::core;
+
+int
+main()
+{
+    banner("Table 6 — Coterie frame-cache hit ratio (4 players)",
+           "Table 6, Section 7");
+
+    const double paper_ratio[] = {0.808, 0.823, 0.884};
+    std::printf("\n  %-9s | hit ratio (paper/ours) | prefetch reduction "
+                "(paper/ours)\n",
+                "game");
+    int i = 0;
+    for (auto game : world::gen::evaluationGames()) {
+        auto session = makeSession(game, 4, 60.0);
+        const SystemResult result = session->runCoterieSystem();
+        const double ratio = result.avgCacheHitRatio();
+        const double reduction = ratio < 1.0 ? 1.0 / (1.0 - ratio) : 0.0;
+        const double paper_red = 1.0 / (1.0 - paper_ratio[i]);
+        std::printf("  %-9s |      %5.1f%% / %5.1f%%    |        "
+                    "%4.1fx / %4.1fx\n",
+                    session->info().name.c_str(), 100.0 * paper_ratio[i],
+                    100.0 * ratio, paper_red, reduction);
+        std::fflush(stdout);
+        ++i;
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table 8: Coterie's detailed per-player performance on Pixel 2 over
+ * 802.11ac for 1 and 2 players: FPS, inter-frame latency, CPU/GPU
+ * loads, far-BE frame size, and network delay.
+ */
+
+#include "bench_util.hh"
+
+using namespace coterie;
+using namespace coterie::bench;
+using namespace coterie::core;
+
+namespace {
+
+struct PaperRow
+{
+    double fps, interFrame, cpu, gpu, frameKb, netDelay;
+};
+
+PaperRow
+paperRow(world::gen::GameId game, int players)
+{
+    using world::gen::GameId;
+    if (players == 1) {
+        switch (game) {
+          case GameId::Viking: return {60, 16.0, 31.76, 55.51, 280, 7.0};
+          case GameId::CTS:    return {60, 16.6, 27.76, 44.81, 150, 6.0};
+          case GameId::Racing: return {60, 16.0, 26.99, 39.18, 194, 6.5};
+          default: break;
+        }
+    } else {
+        switch (game) {
+          case GameId::Viking: return {60, 16.5, 31.89, 57.24, 280, 8.9};
+          case GameId::CTS:    return {60, 16.6, 28.13, 46.89, 150, 6.3};
+          case GameId::Racing: return {60, 16.2, 28.98, 43.25, 194, 7.5};
+          default: break;
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 8 — Coterie performance (1P and 2P)",
+           "Table 8, Section 7.3");
+
+    std::printf("\n  %-12s | %11s | %11s | %11s | %11s | %11s | %11s\n",
+                "app", "fps", "if (ms)", "cpu %%", "gpu %%", "frame KB",
+                "net (ms)");
+    std::printf("  %-12s | %5s %5s | %5s %5s | %5s %5s | %5s %5s | "
+                "%5s %5s | %5s %5s\n",
+                "", "ppr", "ours", "ppr", "ours", "ppr", "ours", "ppr",
+                "ours", "ppr", "ours", "ppr", "ours");
+    for (auto game : world::gen::evaluationGames()) {
+        for (int players : {1, 2}) {
+            auto session = makeSession(game, players);
+            const SystemResult result = session->runCoterieSystem();
+            const PlayerMetrics &m = result.players.front();
+            const PaperRow paper = paperRow(game, players);
+            std::printf("  %-8s(%dP) | %5.0f %5.0f | %5.1f %5.1f | "
+                        "%5.1f %5.1f | %5.1f %5.1f | %5.0f %5.0f | "
+                        "%5.1f %5.1f\n",
+                        session->info().name.c_str(), players, paper.fps,
+                        result.avgFps(), paper.interFrame,
+                        result.avgInterFrameMs(), paper.cpu, m.cpuPct,
+                        paper.gpu, m.gpuPct, paper.frameKb, m.frameKb,
+                        paper.netDelay, result.avgNetDelayMs());
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 9: network bandwidth of BE-frame prefetching (Mbps) and FI
+ * exchange (Kbps) for Multi-Furion (1P) and Coterie (1-4P), plus the
+ * per-player network-load reduction factor (paper: 10.6x-25.7x).
+ */
+
+#include "bench_util.hh"
+
+using namespace coterie;
+using namespace coterie::bench;
+using namespace coterie::core;
+
+namespace {
+
+struct PaperRow
+{
+    double furion1p;
+    double coterie[4]; // 1P..4P, Mbps
+};
+
+PaperRow
+paperRow(world::gen::GameId game)
+{
+    using world::gen::GameId;
+    switch (game) {
+      case GameId::Viking: return {276, {26, 52, 76, 100}};
+      case GameId::CTS:    return {264, {14, 27, 42, 56}};
+      case GameId::Racing: return {283, {11, 22, 34, 42}};
+      default: break;
+    }
+    return {};
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 9 — network bandwidth: BE (Mbps) and FI (Kbps)",
+           "Table 9, Section 7.3");
+
+    for (auto game : world::gen::evaluationGames()) {
+        const PaperRow paper = paperRow(game);
+        std::printf("\n-- %s --\n",
+                    world::gen::gameInfo(game).name.c_str());
+        auto mf_session = makeSession(game, 1);
+        const SystemResult furion = mf_session->runMultiFurionSystem();
+        const double mf_total = furion.players[0].beMbps;
+        std::printf("  Multi-Furion 1P: BE %.1f Mbps (paper %.0f), FI "
+                    "%.1f Kbps\n",
+                    mf_total, paper.furion1p, furion.players[0].fiKbps);
+
+        double coterie_1p = 0.0;
+        for (int players = 1; players <= 4; ++players) {
+            auto session = makeSession(game, players);
+            const SystemResult result = session->runCoterieSystem();
+            double be_total = 0.0, fi_total = 0.0;
+            for (const PlayerMetrics &m : result.players) {
+                be_total += m.beMbps;
+                fi_total += m.fiKbps;
+            }
+            if (players == 1)
+                coterie_1p = be_total;
+            std::printf("  Coterie %dP: BE %.1f Mbps (paper %.0f), FI "
+                        "%.0f Kbps\n",
+                        players, be_total, paper.coterie[players - 1],
+                        fi_total);
+            std::fflush(stdout);
+        }
+        const double reduction =
+            coterie_1p > 0.0 ? mf_total / coterie_1p : 0.0;
+        std::printf("  per-player load reduction: %.1fx (paper "
+                    "10.6x-25.7x across games)\n",
+                    reduction);
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches: session
+ * setup, table formatting, and paper-vs-measured reporting.
+ *
+ * Every bench prints the paper's reported values next to our measured
+ * ones; EXPERIMENTS.md summarises the comparisons.
+ */
+
+#ifndef COTERIE_BENCH_BENCH_UTIL_HH
+#define COTERIE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/session.hh"
+
+namespace coterie::bench {
+
+/** Default bench run length (seconds of simulated play). */
+inline constexpr double kBenchDurationS = 40.0;
+
+/** Build a session with bench defaults. */
+inline std::unique_ptr<core::Session>
+makeSession(world::gen::GameId game, int players,
+            double durationS = kBenchDurationS, std::uint64_t seed = 42)
+{
+    core::SessionParams params;
+    params.players = players;
+    params.durationS = durationS;
+    params.seed = seed;
+    return core::Session::create(game, params);
+}
+
+/** Print a bench header. */
+inline void
+banner(const char *title, const char *paperRef)
+{
+    std::printf("\n==============================================="
+                "=============================\n");
+    std::printf("%s\n  (reproduces %s)\n", title, paperRef);
+    std::printf("================================================"
+                "============================\n");
+}
+
+/** Print one "paper vs measured" line. */
+inline void
+compare(const char *label, double paper, double measured,
+        const char *unit = "")
+{
+    std::printf("  %-38s paper %8.2f   measured %8.2f %s\n", label, paper,
+                measured, unit);
+}
+
+/** Print a CDF as decile rows. */
+inline void
+printCdf(const char *label, const SampleSet &samples)
+{
+    std::printf("  %s: n=%zu\n", label, samples.count());
+    std::printf("    p10=%.3f p25=%.3f p50=%.3f p75=%.3f p90=%.3f "
+                "max=%.3f\n",
+                samples.percentile(10), samples.percentile(25),
+                samples.percentile(50), samples.percentile(75),
+                samples.percentile(90), samples.max());
+}
+
+} // namespace coterie::bench
+
+#endif // COTERIE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tiny CSV writer for the figure benches: each bench that reproduces a
+ * plotted figure also drops a plot-ready CSV into ./results/, so the
+ * curves can be regenerated with any plotting tool.
+ */
+
+#ifndef COTERIE_BENCH_CSV_HH
+#define COTERIE_BENCH_CSV_HH
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+namespace coterie::bench {
+
+/** Column-oriented CSV file writer; creates ./results/ on demand. */
+class CsvWriter
+{
+  public:
+    /** Opens results/<name>.csv and writes the header row. */
+    CsvWriter(const std::string &name,
+              std::initializer_list<const char *> columns)
+    {
+        ::mkdir("results", 0755);
+        path_ = "results/" + name + ".csv";
+        file_ = std::fopen(path_.c_str(), "w");
+        if (!file_)
+            return;
+        bool first = true;
+        for (const char *column : columns) {
+            std::fprintf(file_, "%s%s", first ? "" : ",", column);
+            first = false;
+        }
+        std::fprintf(file_, "\n");
+    }
+
+    ~CsvWriter()
+    {
+        if (file_) {
+            std::fclose(file_);
+            std::printf("  [csv] wrote %s\n", path_.c_str());
+        }
+    }
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Append one row; strings and numbers mix freely. */
+    template <typename... Fields>
+    void
+    row(Fields &&...fields)
+    {
+        if (!file_)
+            return;
+        bool first = true;
+        (writeField(first, std::forward<Fields>(fields)), ...);
+        std::fprintf(file_, "\n");
+    }
+
+    bool ok() const { return file_ != nullptr; }
+
+  private:
+    void
+    writeField(bool &first, double value)
+    {
+        std::fprintf(file_, "%s%.6g", first ? "" : ",", value);
+        first = false;
+    }
+    void
+    writeField(bool &first, int value)
+    {
+        std::fprintf(file_, "%s%d", first ? "" : ",", value);
+        first = false;
+    }
+    void
+    writeField(bool &first, const char *value)
+    {
+        std::fprintf(file_, "%s%s", first ? "" : ",", value);
+        first = false;
+    }
+    void
+    writeField(bool &first, const std::string &value)
+    {
+        writeField(first, value.c_str());
+    }
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+};
+
+} // namespace coterie::bench
+
+#endif // COTERIE_BENCH_CSV_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Scenario example: WLAN capacity planning for a location-based VR
+ * arcade. The paper's headline question — how many players fit on one
+ * access point — answered by sweeping the player count and channel
+ * capacity under Coterie and Multi-Furion for a chosen game.
+ *
+ *   $ ./capacity_planner [game: viking|cts|racing] [maxPlayers]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/session.hh"
+
+using namespace coterie;
+using namespace coterie::core;
+
+namespace {
+
+world::gen::GameId
+parseGame(const char *name)
+{
+    using world::gen::GameId;
+    if (name && std::strcmp(name, "cts") == 0)
+        return GameId::CTS;
+    if (name && std::strcmp(name, "racing") == 0)
+        return GameId::Racing;
+    return GameId::Viking;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const world::gen::GameId game =
+        parseGame(argc > 1 ? argv[1] : nullptr);
+    const int max_players = argc > 2 ? std::atoi(argv[2]) : 4;
+
+    std::printf("Coterie capacity planner: %s, up to %d players\n",
+                world::gen::gameInfo(game).name.c_str(), max_players);
+    std::printf("QoE bar: 60 FPS, sub-16.7 ms responsiveness.\n\n");
+
+    for (double capacity : {200.0, 500.0, 900.0}) {
+        std::printf("-- 802.11 capacity %.0f Mbps --\n", capacity);
+        std::printf("  %7s | %-26s | %-26s\n", "players",
+                    "Multi-Furion (fps / Mbps)", "Coterie (fps / Mbps)");
+        for (int players = 1; players <= max_players; ++players) {
+            SessionParams params;
+            params.players = players;
+            params.durationS = 25.0;
+            params.channel.goodputMbps = capacity;
+            auto session = Session::create(game, params);
+            const SystemResult furion =
+                session->runMultiFurionSystem();
+            const SystemResult coterie = session->runCoterieSystem();
+            double mf_be = 0.0, ct_be = 0.0;
+            for (const PlayerMetrics &m : furion.players)
+                mf_be += m.beMbps;
+            for (const PlayerMetrics &m : coterie.players)
+                ct_be += m.beMbps;
+            const bool mf_ok = furion.avgFps() >= 59.0;
+            const bool ct_ok = coterie.avgFps() >= 59.0;
+            std::printf("  %7d | %6.1f / %6.1f  %-8s | %6.1f / %6.1f  "
+                        "%-8s\n",
+                        players, furion.avgFps(), mf_be,
+                        mf_ok ? "[OK]" : "[FAIL]", coterie.avgFps(),
+                        ct_be, ct_ok ? "[OK]" : "[FAIL]");
+            std::fflush(stdout);
+        }
+    }
+    std::printf("\nReading: the prior art needs ~270 Mbps per player; "
+                "Coterie's frame cache cuts\nthat by an order of "
+                "magnitude, so one AP carries a full 4-player arcade "
+                "pod.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The split-rendering client pipeline simulation shared by Multi-Furion
+ * and Coterie (paper §5.1, Equation 2).
+ *
+ * Each display interval the client runs four tasks in parallel — FI
+ * (+ near BE) rendering, decoding the prefetched BE, prefetching
+ * upcoming BE frames, and FI synchronisation — then merges:
+ *
+ *   T = max(T_render, T_decode, T_prefetch, T_sync) + T_merge
+ *
+ * The prefetch term only gates the frame when the needed BE frame has
+ * not arrived by consumption time; then the frame stalls until arrival.
+ * Multi-Furion prefetches whole-BE panoramas every grid transition;
+ * Coterie prefetches far-BE panoramas only on frame-cache misses.
+ */
+
+#ifndef COTERIE_CORE_CLIENT_HH
+#define COTERIE_CORE_CLIENT_HH
+
+#include <memory>
+
+#include "core/prefetcher.hh"
+#include "core/systems/common.hh"
+#include "sim/event_queue.hh"
+
+namespace coterie::core {
+
+/** Variant switches distinguishing the split-rendering systems. */
+struct SplitVariant
+{
+    /** true: Coterie (near/far decoupling, far-BE frames); false:
+     *  Multi-Furion (whole-BE frames, FI-only local rendering). */
+    bool farBeMode = true;
+    /** Frame cache enabled? */
+    bool useCache = true;
+    /** Exact-only matching reproduces "Multi-Furion + frame cache". */
+    MatchMode matchMode = MatchMode::Similar;
+    /**
+     * Wireless overhearing (cache Version 5, §4.6): every delivered
+     * frame is inserted into every player's cache, emulating
+     * promiscuous-mode reception. The paper found it adds little on
+     * top of intra-player reuse and dropped it; we keep it as an
+     * option for the Table 4/5 style studies.
+     */
+    bool overhear = false;
+    ReplacementPolicy policy = ReplacementPolicy::Lru;
+    PrefetcherParams prefetch{};
+
+    static SplitVariant
+    multiFurion(bool withExactCache = false)
+    {
+        SplitVariant v;
+        v.farBeMode = false;
+        v.useCache = withExactCache;
+        v.matchMode = MatchMode::ExactOnly;
+        v.prefetch.lookaheadSteps = 1;
+        v.prefetch.lateralSpread = 0;
+        return v;
+    }
+
+    static SplitVariant
+    coterie(bool withCache = true)
+    {
+        SplitVariant v;
+        v.farBeMode = true;
+        v.useCache = withCache;
+        v.matchMode = MatchMode::Similar;
+        if (!withCache) {
+            // Without a cache there is nothing to absorb neighbour
+            // coverage: fetch only the predicted next grid point, as
+            // Multi-Furion does (the Figure 11 "w/o cache" variant).
+            v.prefetch.lookaheadSteps = 1;
+            v.prefetch.lateralSpread = 0;
+        }
+        return v;
+    }
+};
+
+/**
+ * Runs the event-driven multi-client split-rendering session over the
+ * shared channel and returns per-player metrics.
+ *
+ * @p distThresholds one reuse distance per leaf region (ignored when
+ * the variant does exact matching).
+ */
+SystemResult runSplitSystem(const SystemConfig &config,
+                            const SplitVariant &variant,
+                            const std::vector<double> &distThresholds,
+                            const char *systemName);
+
+} // namespace coterie::core
+
+#endif // COTERIE_CORE_CLIENT_HH

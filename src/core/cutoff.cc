@@ -1,0 +1,49 @@
+#include "core/cutoff.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "render/cost_model.hh"
+#include "support/logging.hh"
+
+namespace coterie::core {
+
+double
+nearBeRenderTimeMs(const world::VirtualWorld &world, geom::Vec2 location,
+                   double cutoff, const device::PhoneProfile &profile)
+{
+    return render::renderTimeMs(world, location, 0.0, cutoff, profile.cost);
+}
+
+double
+maxCutoffRadius(const world::VirtualWorld &world, geom::Vec2 location,
+                const device::PhoneProfile &profile,
+                const CutoffConstraint &constraint, double tolerance)
+{
+    const double budget = constraint.nearBudgetMs();
+    COTERIE_ASSERT(budget > 0.0, "FI render time exceeds frame budget");
+
+    const double diag = std::hypot(world.bounds().width(),
+                                   world.bounds().height());
+    const double hi_limit = std::min(constraint.maxRadius, diag);
+
+    if (nearBeRenderTimeMs(world, location, constraint.minRadius, profile) >=
+        budget) {
+        return constraint.minRadius;
+    }
+    if (nearBeRenderTimeMs(world, location, hi_limit, profile) < budget)
+        return hi_limit;
+
+    double lo = constraint.minRadius; // satisfies the constraint
+    double hi = hi_limit;             // violates the constraint
+    while (hi - lo > tolerance) {
+        const double mid = 0.5 * (lo + hi);
+        if (nearBeRenderTimeMs(world, location, mid, profile) < budget)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace coterie::core

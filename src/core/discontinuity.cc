@@ -1,0 +1,83 @@
+#include "core/discontinuity.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace coterie::core {
+
+double
+ScoreDistribution::mean() const
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < fraction.size(); ++i)
+        acc += fraction[i] * static_cast<double>(i + 1);
+    return acc;
+}
+
+int
+scoreForSsim(double ssim)
+{
+    // Thresholds anchored at the paper's own semantics: SSIM above 0.9
+    // is "good" visual quality, so a switch at or above the reuse
+    // threshold is at worst "perceptible but not annoying".
+    if (ssim >= 0.95)
+        return 5;
+    if (ssim >= 0.88)
+        return 4;
+    if (ssim >= 0.80)
+        return 3;
+    if (ssim >= 0.70)
+        return 2;
+    return 1;
+}
+
+ScoreDistribution
+scoreTraceReplay(const trace::PlayerTrace &trace, const world::GridMap &grid,
+                 const RegionIndex &regions, const SimilarityModel &model,
+                 const std::vector<double> &distThresholds)
+{
+    ScoreDistribution dist;
+    std::array<std::uint64_t, 5> counts{};
+    std::uint64_t switches = 0;
+
+    // Displayed-frame state: the location whose far-BE frame is shown.
+    bool have_frame = false;
+    geom::Vec2 frame_pos;
+    std::uint32_t frame_region = 0;
+
+    const auto path = trace.gridPath(grid);
+    for (const world::GridPoint g : path) {
+        const geom::Vec2 p = grid.position(g);
+        const LeafRegion &leaf = regions.leafAt(p);
+        const double thresh = leaf.id < distThresholds.size()
+                                  ? distThresholds[leaf.id]
+                                  : 0.0;
+        const bool reusable = have_frame && frame_region == leaf.id &&
+                              frame_pos.distance(p) <= thresh;
+        if (reusable)
+            continue; // same frame keeps being displayed: no switch
+        if (have_frame) {
+            // Frame switch: old frame (rendered for frame_pos) is
+            // replaced by the new frame for p while the player is at p.
+            const double ssim =
+                model.farBeSsim(frame_pos, p, leaf.cutoffRadius);
+            ++counts[static_cast<std::size_t>(scoreForSsim(ssim) - 1)];
+            ++switches;
+        }
+        have_frame = true;
+        frame_pos = p;
+        frame_region = leaf.id;
+    }
+
+    if (switches == 0) {
+        dist.fraction[4] = 1.0; // nothing ever switched: imperceptible
+        return dist;
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        dist.fraction[i] = static_cast<double>(counts[i]) /
+                           static_cast<double>(switches);
+    return dist;
+}
+
+} // namespace coterie::core

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * User-perceived discontinuity scoring (paper §7.4, Table 10).
+ *
+ * Coterie may reuse a cached far-BE frame for several consecutive grid
+ * points and then switch to a freshly fetched one; the switch is a
+ * potential visual discontinuity. The paper ran an IRB user study
+ * (1 = very annoying .. 5 = imperceptible). We substitute a scoring
+ * model driven by the SSIM between consecutively displayed far-BE
+ * frames — consistent with the paper's own use of SSIM as a perceptual
+ * proxy — mapping similarity at each frame switch to the 5-point scale.
+ */
+
+#ifndef COTERIE_CORE_DISCONTINUITY_HH
+#define COTERIE_CORE_DISCONTINUITY_HH
+
+#include <array>
+#include <vector>
+
+#include "core/partitioner.hh"
+#include "core/similarity.hh"
+#include "trace/trace.hh"
+#include "world/grid.hh"
+
+namespace coterie::core {
+
+/** Distribution over the 1-5 user-study scale (fractions sum to 1). */
+struct ScoreDistribution
+{
+    std::array<double, 5> fraction{}; // index 0 -> score 1
+
+    double mean() const;
+};
+
+/** Map one frame-switch SSIM to a 1-5 score. */
+int scoreForSsim(double ssim);
+
+/**
+ * Replay a single-player trace under Coterie-style frame reuse: at
+ * each grid transition, either the cached frame is reused (no switch)
+ * or a new frame is fetched (a switch whose discontinuity is the SSIM
+ * between the previous displayed frame's location and the new one).
+ * Returns the score distribution over all switches.
+ *
+ * @p reuseDistance the leaf region's dist threshold at each point is
+ * approximated by the similarity model's inverse at the local cutoff.
+ */
+ScoreDistribution scoreTraceReplay(const trace::PlayerTrace &trace,
+                                   const world::GridMap &grid,
+                                   const RegionIndex &regions,
+                                   const SimilarityModel &model,
+                                   const std::vector<double> &distThresholds);
+
+} // namespace coterie::core
+
+#endif // COTERIE_CORE_DISCONTINUITY_HH

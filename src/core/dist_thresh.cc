@@ -1,0 +1,59 @@
+#include "core/dist_thresh.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace coterie::core {
+
+using geom::Vec2;
+
+double
+distThreshAt(const SimilarityModel &model, Vec2 location, double cutoff,
+             const DistThreshParams &params, Rng &rng)
+{
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    const Vec2 dir = Vec2::fromAngle(theta);
+    auto similar_at = [&](double d) {
+        return model.farBeSsim(location, location + dir * d, cutoff) >=
+               params.ssimThreshold;
+    };
+
+    double hi = params.startDistance;
+    if (similar_at(hi))
+        return hi;
+    double lo = 0.0;
+    while (hi - lo > params.tolerance) {
+        const double mid = 0.5 * (lo + hi);
+        if (similar_at(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::vector<double>
+deriveDistThresholds(const RegionIndex &index, const SimilarityModel &model,
+                     const DistThreshParams &params)
+{
+    Rng rng(params.seed);
+    std::vector<double> thresholds;
+    thresholds.reserve(index.leaves().size());
+    for (const LeafRegion &leaf : index.leaves()) {
+        double region_min = params.startDistance;
+        for (int i = 0; i < params.samplesPerRegion; ++i) {
+            const Vec2 p{rng.uniform(leaf.rect.lo.x, leaf.rect.hi.x),
+                         rng.uniform(leaf.rect.lo.y, leaf.rect.hi.y)};
+            region_min =
+                std::min(region_min,
+                         distThreshAt(model, p, leaf.cutoffRadius, params,
+                                      rng));
+        }
+        thresholds.push_back(region_min);
+    }
+    return thresholds;
+}
+
+} // namespace coterie::core

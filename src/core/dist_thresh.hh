@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-leaf-region distance-threshold derivation (paper §5.3).
+ *
+ * A cached far-BE frame may substitute for a nearby grid point only if
+ * the two frames are sufficiently similar (SSIM > 0.9). The offline
+ * pass derives, per leaf region, the largest reuse distance that still
+ * guarantees that: sample K grid points, binary-search the distance
+ * (starting from 32 m downward) until the far-BE frames at that
+ * separation reach the SSIM threshold, and keep the region minimum.
+ */
+
+#ifndef COTERIE_CORE_DIST_THRESH_HH
+#define COTERIE_CORE_DIST_THRESH_HH
+
+#include <vector>
+
+#include "core/partitioner.hh"
+#include "core/similarity.hh"
+
+namespace coterie::core {
+
+/** Derivation knobs. */
+struct DistThreshParams
+{
+    int samplesPerRegion = 10;   ///< the paper's K
+    double startDistance = 32.0; ///< binary search upper bracket (m)
+    double ssimThreshold = image::kGoodSsim;
+    double tolerance = 0.02;     ///< search resolution (m)
+    std::uint64_t seed = 17;
+};
+
+/**
+ * Binary-search the reuse distance at one location: largest d such
+ * that farBeSsim(l, l + d, cutoff) >= threshold.
+ */
+double distThreshAt(const SimilarityModel &model, geom::Vec2 location,
+                    double cutoff, const DistThreshParams &params, Rng &rng);
+
+/**
+ * Derive the distance threshold for every leaf region (minimum over K
+ * sampled grid points each). Returns one threshold per leaf, indexed
+ * by LeafRegion::id.
+ */
+std::vector<double> deriveDistThresholds(const RegionIndex &index,
+                                         const SimilarityModel &model,
+                                         const DistThreshParams &params = {});
+
+} // namespace coterie::core
+
+#endif // COTERIE_CORE_DIST_THRESH_HH

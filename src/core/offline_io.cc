@@ -1,0 +1,107 @@
+#include "core/offline_io.hh"
+
+#include <cstdio>
+
+namespace coterie::core {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+} // namespace
+
+bool
+saveArtifacts(const OfflineArtifacts &artifacts, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "coterie-offline %d\n", kFormatVersion);
+    std::fprintf(f, "game %s\ndevice %s\n", artifacts.game.c_str(),
+                 artifacts.device.c_str());
+    std::fprintf(f, "bounds %.9g %.9g %.9g %.9g\n",
+                 artifacts.worldBounds.lo.x, artifacts.worldBounds.lo.y,
+                 artifacts.worldBounds.hi.x, artifacts.worldBounds.hi.y);
+    std::fprintf(f, "leaves %zu\n", artifacts.leaves.size());
+    for (std::size_t i = 0; i < artifacts.leaves.size(); ++i) {
+        const LeafRegion &leaf = artifacts.leaves[i];
+        const double thresh = i < artifacts.distThresholds.size()
+                                  ? artifacts.distThresholds[i]
+                                  : 0.0;
+        std::fprintf(f,
+                     "%u %.9g %.9g %.9g %.9g %d %.9g %.9g %d %.9g\n",
+                     leaf.id, leaf.rect.lo.x, leaf.rect.lo.y,
+                     leaf.rect.hi.x, leaf.rect.hi.y, leaf.depth,
+                     leaf.cutoffRadius, leaf.triangleDensity,
+                     leaf.reachable ? 1 : 0, thresh);
+    }
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+std::optional<OfflineArtifacts>
+loadArtifacts(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return std::nullopt;
+    const auto fail = [&]() -> std::optional<OfflineArtifacts> {
+        std::fclose(f);
+        return std::nullopt;
+    };
+
+    char magic[32] = {};
+    int version = 0;
+    if (std::fscanf(f, "%31s %d", magic, &version) != 2 ||
+        std::string(magic) != "coterie-offline" ||
+        version != kFormatVersion) {
+        return fail();
+    }
+
+    OfflineArtifacts artifacts;
+    char word[16] = {}, name[256] = {};
+    if (std::fscanf(f, "%15s %255s", word, name) != 2 ||
+        std::string(word) != "game")
+        return fail();
+    artifacts.game = name;
+    if (std::fscanf(f, "%15s %255[^\n]", word, name) != 2 ||
+        std::string(word) != "device")
+        return fail();
+    artifacts.device = name;
+
+    if (std::fscanf(f, "%15s %lf %lf %lf %lf", word,
+                    &artifacts.worldBounds.lo.x,
+                    &artifacts.worldBounds.lo.y,
+                    &artifacts.worldBounds.hi.x,
+                    &artifacts.worldBounds.hi.y) != 5 ||
+        std::string(word) != "bounds")
+        return fail();
+
+    std::size_t count = 0;
+    if (std::fscanf(f, "%15s %zu", word, &count) != 2 ||
+        std::string(word) != "leaves" || count > 10'000'000)
+        return fail();
+
+    artifacts.leaves.reserve(count);
+    artifacts.distThresholds.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        LeafRegion leaf;
+        int reachable = 1;
+        double thresh = 0.0;
+        if (std::fscanf(f, "%u %lf %lf %lf %lf %d %lf %lf %d %lf",
+                        &leaf.id, &leaf.rect.lo.x, &leaf.rect.lo.y,
+                        &leaf.rect.hi.x, &leaf.rect.hi.y, &leaf.depth,
+                        &leaf.cutoffRadius, &leaf.triangleDensity,
+                        &reachable, &thresh) != 10) {
+            return fail();
+        }
+        leaf.reachable = reachable != 0;
+        artifacts.leaves.push_back(leaf);
+        artifacts.distThresholds.push_back(thresh);
+    }
+    std::fclose(f);
+    return artifacts;
+}
+
+} // namespace coterie::core

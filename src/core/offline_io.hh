@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Persistence for the offline preprocessing artifacts.
+ *
+ * The paper's workflow runs the adaptive cutoff scheme and the reuse-
+ * distance derivation once per (game, device) at install time; clients
+ * then load the results. This module serialises a PartitionResult plus
+ * its distance thresholds to a versioned text file and loads them back.
+ */
+
+#ifndef COTERIE_CORE_OFFLINE_IO_HH
+#define COTERIE_CORE_OFFLINE_IO_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/partitioner.hh"
+
+namespace coterie::core {
+
+/** The on-disk bundle: everything an online client needs. */
+struct OfflineArtifacts
+{
+    std::string game;
+    std::string device;
+    geom::Rect worldBounds;
+    std::vector<LeafRegion> leaves;
+    std::vector<double> distThresholds; ///< indexed by leaf id
+};
+
+/** Serialise to @p path; returns false on IO failure. */
+bool saveArtifacts(const OfflineArtifacts &artifacts,
+                   const std::string &path);
+
+/**
+ * Load from @p path. Returns nullopt on IO failure or a malformed /
+ * version-mismatched file (never panics on bad input: installation
+ * data may be stale or truncated).
+ */
+std::optional<OfflineArtifacts> loadArtifacts(const std::string &path);
+
+} // namespace coterie::core
+
+#endif // COTERIE_CORE_OFFLINE_IO_HH

@@ -1,0 +1,219 @@
+#include "core/partitioner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace coterie::core {
+
+using geom::Rect;
+using geom::Vec2;
+
+namespace {
+
+/** Modeled seconds per sampled cutoff on the paper's testbed: each
+ *  sample binary-searches the radius with a handful of trial renders
+ *  and render-time measurements on the device. */
+constexpr double kModeledSecondsPerSample = 3.0;
+
+struct BuildContext
+{
+    const world::VirtualWorld &world;
+    const device::PhoneProfile &profile;
+    const PartitionParams &params;
+    Rng rng;
+    std::vector<LeafRegion> leaves;
+    std::uint64_t calculations = 0;
+};
+
+void
+partitionRecursive(BuildContext &ctx, const Rect &rect, int depth)
+{
+    const PartitionParams &params = ctx.params;
+
+    std::vector<double> radii;
+    radii.reserve(params.samplesPerRegion);
+    double density_acc = 0.0;
+    bool reachable = true;
+    // Rejection-sample reachable locations; if the region contains
+    // none (e.g. off-track wilderness), fall back to unrestricted
+    // samples and mark the leaf unreachable.
+    std::vector<Vec2> samples;
+    if (params.reachable) {
+        const int budget = params.samplesPerRegion * 60;
+        for (int tries = 0;
+             tries < budget &&
+             samples.size() <
+                 static_cast<std::size_t>(params.samplesPerRegion);
+             ++tries) {
+            const Vec2 p{ctx.rng.uniform(rect.lo.x, rect.hi.x),
+                         ctx.rng.uniform(rect.lo.y, rect.hi.y)};
+            if (params.reachable(p))
+                samples.push_back(p);
+        }
+        reachable = !samples.empty();
+    }
+    if (samples.empty()) {
+        for (int i = 0; i < params.samplesPerRegion; ++i) {
+            samples.push_back(Vec2{ctx.rng.uniform(rect.lo.x, rect.hi.x),
+                                   ctx.rng.uniform(rect.lo.y, rect.hi.y)});
+        }
+    }
+    for (const Vec2 &p : samples) {
+        radii.push_back(maxCutoffRadius(ctx.world, p, ctx.profile,
+                                        params.constraint));
+        density_acc += ctx.world.triangleDensity(p, 12.0);
+        ++ctx.calculations;
+    }
+    const auto [min_it, max_it] =
+        std::minmax_element(radii.begin(), radii.end());
+    const double min_r = *min_it;
+    const double max_r = *max_it;
+
+    const bool uniform =
+        depth >= params.minDepth &&
+        (max_r - min_r) <=
+            std::max(params.absoluteSlack, params.relativeSlack * max_r);
+    const bool can_split =
+        depth < params.maxDepth &&
+        std::min(rect.width(), rect.height()) / 2.0 >= params.minRegionEdge;
+
+    if (uniform || !can_split || !reachable) {
+        LeafRegion leaf;
+        leaf.id = static_cast<std::uint32_t>(ctx.leaves.size());
+        leaf.rect = rect;
+        leaf.depth = depth;
+        // Conservative region-wide cutoff: sampled minimum with a
+        // safety margin for unsampled denser spots.
+        leaf.cutoffRadius =
+            std::max(params.constraint.minRadius,
+                     min_r * params.cutoffSafetyFactor);
+        leaf.triangleDensity =
+            density_acc / static_cast<double>(samples.size());
+        leaf.reachable = reachable;
+        ctx.leaves.push_back(leaf);
+        return;
+    }
+
+    for (const Rect &quadrant : rect.quadrants())
+        partitionRecursive(ctx, quadrant, depth + 1);
+}
+
+} // namespace
+
+PartitionResult
+partitionWorld(const world::VirtualWorld &world,
+               const device::PhoneProfile &profile,
+               const PartitionParams &params)
+{
+    const auto start = std::chrono::steady_clock::now();
+    PartitionParams effective = params;
+    if (effective.minRegionEdge <= 0.0) {
+        effective.minRegionEdge =
+            std::min(world.bounds().width(), world.bounds().height()) /
+            std::exp2(effective.maxDepth);
+    }
+    BuildContext ctx{world, profile, effective, Rng(params.seed), {}, 0};
+    partitionRecursive(ctx, world.bounds(), 0);
+
+    PartitionResult result;
+    result.leaves = std::move(ctx.leaves);
+    result.cutoffCalculations = ctx.calculations;
+    double depth_acc = 0.0;
+    for (const LeafRegion &leaf : result.leaves) {
+        depth_acc += leaf.depth;
+        result.maxLeafDepth = std::max(result.maxLeafDepth, leaf.depth);
+    }
+    result.avgLeafDepth =
+        result.leaves.empty()
+            ? 0.0
+            : depth_acc / static_cast<double>(result.leaves.size());
+    result.wallClockSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    result.modeledHours = static_cast<double>(result.cutoffCalculations) *
+                          kModeledSecondsPerSample / 3600.0;
+    return result;
+}
+
+RegionIndex::RegionIndex(Rect bounds, std::vector<LeafRegion> leaves)
+    : bounds_(bounds), leaves_(std::move(leaves))
+{
+    COTERIE_ASSERT(!leaves_.empty(), "RegionIndex needs leaves");
+    // Resolution: the finest leaf edge, bounded for memory.
+    double finest = std::min(bounds.width(), bounds.height());
+    for (const LeafRegion &leaf : leaves_)
+        finest = std::min(finest,
+                          std::min(leaf.rect.width(), leaf.rect.height()));
+    const int max_cells = 1024;
+    gridCols_ = std::clamp(
+        static_cast<int>(std::ceil(bounds.width() / finest)), 1, max_cells);
+    gridRows_ = std::clamp(
+        static_cast<int>(std::ceil(bounds.height() / finest)), 1, max_cells);
+    lookup_.assign(static_cast<std::size_t>(gridCols_) * gridRows_, 0);
+    for (const LeafRegion &leaf : leaves_) {
+        const auto x0 = static_cast<int>(
+            (leaf.rect.lo.x - bounds.lo.x) / bounds.width() * gridCols_);
+        const auto x1 = static_cast<int>(std::ceil(
+            (leaf.rect.hi.x - bounds.lo.x) / bounds.width() * gridCols_));
+        const auto y0 = static_cast<int>(
+            (leaf.rect.lo.y - bounds.lo.y) / bounds.height() * gridRows_);
+        const auto y1 = static_cast<int>(std::ceil(
+            (leaf.rect.hi.y - bounds.lo.y) / bounds.height() * gridRows_));
+        for (int y = std::max(0, y0); y < std::min(gridRows_, y1); ++y) {
+            for (int x = std::max(0, x0); x < std::min(gridCols_, x1); ++x) {
+                // Cells fully inside one leaf (quadtree cells align);
+                // boundary cells resolve by center containment below.
+                lookup_[static_cast<std::size_t>(y) * gridCols_ + x] =
+                    leaf.id;
+            }
+        }
+    }
+}
+
+const LeafRegion &
+RegionIndex::leafAt(Vec2 p) const
+{
+    const Vec2 q = bounds_.clamp(p);
+    auto cx = static_cast<int>((q.x - bounds_.lo.x) / bounds_.width() *
+                               gridCols_);
+    auto cy = static_cast<int>((q.y - bounds_.lo.y) / bounds_.height() *
+                               gridRows_);
+    cx = std::clamp(cx, 0, gridCols_ - 1);
+    cy = std::clamp(cy, 0, gridRows_ - 1);
+    const LeafRegion &guess =
+        leaves_[lookup_[static_cast<std::size_t>(cy) * gridCols_ + cx]];
+    if (guess.rect.containsClosed(q))
+        return guess;
+    // Boundary cell: fall back to a scan (rare).
+    for (const LeafRegion &leaf : leaves_)
+        if (leaf.rect.containsClosed(q))
+            return leaf;
+    return guess;
+}
+
+double
+constraintViolationRate(const world::VirtualWorld &world,
+                        const device::PhoneProfile &profile,
+                        const RegionIndex &index,
+                        const std::vector<Vec2> &locations,
+                        const CutoffConstraint &constraint)
+{
+    if (locations.empty())
+        return 0.0;
+    std::size_t violations = 0;
+    for (const Vec2 &p : locations) {
+        const double cutoff = index.cutoffAt(p);
+        if (nearBeRenderTimeMs(world, p, cutoff, profile) >=
+            constraint.nearBudgetMs()) {
+            ++violations;
+        }
+    }
+    return static_cast<double>(violations) /
+           static_cast<double>(locations.size());
+}
+
+} // namespace coterie::core

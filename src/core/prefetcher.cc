@@ -1,0 +1,83 @@
+#include "core/prefetcher.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coterie::core {
+
+using geom::Vec2;
+using world::GridPoint;
+
+Prefetcher::Prefetcher(const world::VirtualWorld &world,
+                       const world::GridMap &grid,
+                       const RegionIndex &regions, PrefetcherParams params)
+    : world_(world), grid_(grid), regions_(regions), params_(params)
+{
+}
+
+std::vector<GridPoint>
+Prefetcher::coverSet(GridPoint at, Vec2 exactPos, double dirRadians) const
+{
+    std::vector<GridPoint> out;
+    const Vec2 dir = Vec2::fromAngle(dirRadians);
+    const Vec2 lat = dir.perp();
+    const double spacing = grid_.spacing();
+    const Vec2 base = exactPos;
+    for (int step = 1; step <= params_.lookaheadSteps; ++step) {
+        for (int side = -params_.lateralSpread;
+             side <= params_.lateralSpread; ++side) {
+            const Vec2 p = base + dir * (spacing * step) +
+                           lat * (spacing * side);
+            const GridPoint g = grid_.snap(p);
+            if (std::find_if(out.begin(), out.end(), [&](GridPoint q) {
+                    return q == g;
+                }) == out.end() &&
+                !(g == at)) {
+                out.push_back(g);
+            }
+        }
+    }
+    return out;
+}
+
+FrameCache::Key
+Prefetcher::keyFor(GridPoint g) const
+{
+    FrameCache::Key key;
+    key.gridKey = grid_.key(g);
+    key.position = grid_.position(g);
+    const LeafRegion &leaf = regions_.leafAt(key.position);
+    key.leafRegionId = leaf.id;
+    // Anchored signature: quantize the evaluation point so nearby grid
+    // points agree on the (visually significant) near-BE object set.
+    const double cell = params_.signatureCellM;
+    const geom::Vec2 anchor{
+        (std::floor(key.position.x / cell) + 0.5) * cell,
+        (std::floor(key.position.y / cell) + 0.5) * cell};
+    key.nearSetSignature =
+        world_.nearSetSignature(anchor, leaf.cutoffRadius);
+    return key;
+}
+
+std::vector<PrefetchTarget>
+Prefetcher::misses(GridPoint at, Vec2 exactPos, double dirRadians,
+                   FrameCache *cache,
+                   const std::vector<double> &thresholds) const
+{
+    std::vector<PrefetchTarget> out;
+    for (const GridPoint g : coverSet(at, exactPos, dirRadians)) {
+        const FrameCache::Key key = keyFor(g);
+        if (cache) {
+            const double thresh =
+                key.leafRegionId < thresholds.size()
+                    ? thresholds[key.leafRegionId]
+                    : 0.0;
+            if (cache->lookup(key, thresh))
+                continue;
+        }
+        out.push_back(PrefetchTarget{g, key.gridKey});
+    }
+    return out;
+}
+
+} // namespace coterie::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Far-BE prefetcher (paper §5.2).
+ *
+ * When the player arrives at a new grid point moving in some direction,
+ * the prefetcher computes the set of upcoming grid points whose frames
+ * must be available (the next point along the heading plus its lateral
+ * neighbours, covering head-turn/strafe uncertainty) and asks the frame
+ * cache which of them still need fetching. Cache reuse both reduces
+ * fetch frequency and widens the fetch deadline window.
+ */
+
+#ifndef COTERIE_CORE_PREFETCHER_HH
+#define COTERIE_CORE_PREFETCHER_HH
+
+#include <vector>
+
+#include "core/frame_cache.hh"
+#include "core/partitioner.hh"
+#include "world/grid.hh"
+#include "world/world.hh"
+
+namespace coterie::core {
+
+/** Prefetcher tuning. */
+struct PrefetcherParams
+{
+    /** How many grid steps ahead along the heading to cover. */
+    int lookaheadSteps = 2;
+    /** Lateral neighbour spread (grid steps) around the predicted
+     *  path, covering direction changes. */
+    int lateralSpread = 1;
+    /**
+     * Near-BE set signatures are evaluated from a quantized anchor
+     * cell of this edge length rather than per grid point. A 3 cm
+     * move cannot make a visually significant object wholly vanish
+     * from the merged frame (boundary-straddling objects render
+     * partially in both layers — paper footnote 2), so per-point
+     * signatures would churn without correctness benefit.
+     */
+    double signatureCellM = 1.5;
+};
+
+/** A frame the prefetcher wants fetched. */
+struct PrefetchTarget
+{
+    world::GridPoint point;
+    std::uint64_t gridKey = 0;
+};
+
+/**
+ * Computes prefetch sets and consults the cache. Stateless apart from
+ * configuration; owned by each client.
+ */
+class Prefetcher
+{
+  public:
+    Prefetcher(const world::VirtualWorld &world, const world::GridMap &grid,
+               const RegionIndex &regions, PrefetcherParams params = {});
+
+    /**
+     * The set of grid points that must be covered when the player is
+     * at @p exactPos (snapped to @p at) heading along @p dirRadians.
+     */
+    std::vector<world::GridPoint> coverSet(world::GridPoint at,
+                                           geom::Vec2 exactPos,
+                                           double dirRadians) const;
+
+    /**
+     * Of the cover set, the targets the cache cannot serve (these get
+     * requested from the server). @p thresholds maps leaf id -> dist
+     * threshold. Pass nullptr cache to disable caching (fetch all).
+     */
+    std::vector<PrefetchTarget> misses(world::GridPoint at,
+                                       geom::Vec2 exactPos,
+                                       double dirRadians, FrameCache *cache,
+                                       const std::vector<double> &thresholds)
+        const;
+
+    /** Build a cache key for a grid point (near-set signature etc). */
+    FrameCache::Key keyFor(world::GridPoint g) const;
+
+  private:
+    const world::VirtualWorld &world_;
+    const world::GridMap &grid_;
+    const RegionIndex &regions_;
+    PrefetcherParams params_;
+};
+
+} // namespace coterie::core
+
+#endif // COTERIE_CORE_PREFETCHER_HH

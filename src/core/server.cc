@@ -1,0 +1,124 @@
+#include "core/server.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hh"
+
+namespace coterie::core {
+
+using geom::Vec2;
+using image::FrameContent;
+using image::FrameSizeSpec;
+
+FrameStore::FrameStore(const world::VirtualWorld &world,
+                       const world::GridMap &grid,
+                       const RegionIndex &regions, FrameStoreParams params)
+    : world_(world), grid_(grid), regions_(regions), params_(params)
+{
+}
+
+double
+FrameStore::wholeComplexity(Vec2 p) const
+{
+    const LeafRegion &leaf = regions_.leafAt(p);
+    const auto it = wholeCplx_.find(leaf.id);
+    if (it != wholeCplx_.end())
+        return it->second;
+    // Whole-BE complexity: content density near the viewer dominates
+    // the frame (perspective projection).
+    // Object density plus terrain ruggedness (mountainous worlds carry
+    // high-frequency texture everywhere, and encode large).
+    const double density = world_.triangleDensity(p, 40.0);
+    const double rugged = world_.terrain().params().amplitude;
+    const double cplx = std::clamp(
+        0.14 + 0.6 * density / params_.complexitySaturationDensity +
+            0.012 * rugged,
+        0.05, 1.0);
+    wholeCplx_.emplace(leaf.id, cplx);
+    return cplx;
+}
+
+double
+FrameStore::farComplexity(Vec2 p) const
+{
+    const LeafRegion &leaf = regions_.leafAt(p);
+    const auto it = farCplx_.find(leaf.id);
+    if (it != farCplx_.end())
+        return it->second;
+    // Far-BE complexity: only content beyond the cutoff contributes,
+    // and it projects smaller — flatter, more compressible frames.
+    const double cutoff = leaf.cutoffRadius;
+    const double far_density =
+        world_.triangleDensity(p, std::max(cutoff * 4.0, 120.0));
+    const double cplx = std::clamp(
+        0.25 + 0.9 * far_density / params_.complexitySaturationDensity,
+        0.05, 1.0);
+    farCplx_.emplace(leaf.id, cplx);
+    return cplx;
+}
+
+std::uint64_t
+FrameStore::farBeBytes(world::GridPoint g) const
+{
+    const Vec2 p = grid_.position(g);
+    FrameSizeSpec spec;
+    spec.width = params_.panoWidth;
+    spec.height = params_.panoHeight;
+    spec.content = FrameContent::FarBE;
+    spec.complexity = farComplexity(p);
+    return image::modelFrameBytes(spec);
+}
+
+std::uint64_t
+FrameStore::wholeBeBytes(world::GridPoint g) const
+{
+    const Vec2 p = grid_.position(g);
+    FrameSizeSpec spec;
+    spec.width = params_.panoWidth;
+    spec.height = params_.panoHeight;
+    spec.content = FrameContent::WholeBE;
+    spec.complexity = wholeComplexity(p);
+    return image::modelFrameBytes(spec);
+}
+
+std::uint64_t
+FrameStore::fovFrameBytes(world::GridPoint g) const
+{
+    const Vec2 p = grid_.position(g);
+    FrameSizeSpec spec;
+    // Thin-client streams display-resolution frames (1920x1080).
+    spec.width = 1920;
+    spec.height = 1080;
+    spec.content = FrameContent::FovFrame;
+    spec.complexity = wholeComplexity(p);
+    return image::modelFrameBytes(spec);
+}
+
+double
+FrameStore::meanFarBeKb(int samples, std::uint64_t seed) const
+{
+    Rng rng(seed);
+    double acc = 0.0;
+    for (int i = 0; i < samples; ++i) {
+        const world::GridPoint g{rng.uniformInt(0, grid_.cols() - 1),
+                                 rng.uniformInt(0, grid_.rows() - 1)};
+        acc += static_cast<double>(farBeBytes(g));
+    }
+    return acc / samples / 1024.0;
+}
+
+double
+FrameStore::meanWholeBeKb(int samples, std::uint64_t seed) const
+{
+    Rng rng(seed);
+    double acc = 0.0;
+    for (int i = 0; i < samples; ++i) {
+        const world::GridPoint g{rng.uniformInt(0, grid_.cols() - 1),
+                                 rng.uniformInt(0, grid_.rows() - 1)};
+        acc += static_cast<double>(wholeBeBytes(g));
+    }
+    return acc / samples / 1024.0;
+}
+
+} // namespace coterie::core

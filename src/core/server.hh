@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Coterie server: offline pre-rendering and per-grid-point encoded
+ * frame metadata.
+ *
+ * The real server pre-renders and x264-encodes a panoramic far-BE frame
+ * for every reachable grid point. At simulation scale we expose the two
+ * things the online system consumes: encoded frame *sizes* (from the
+ * calibrated H.264 size model, with per-region content complexity) and
+ * on-demand *actual frames* (from the software renderer) for the
+ * visual-quality experiments.
+ */
+
+#ifndef COTERIE_CORE_SERVER_HH
+#define COTERIE_CORE_SERVER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/partitioner.hh"
+#include "image/codec.hh"
+#include "image/size_model.hh"
+#include "render/renderer.hh"
+#include "world/grid.hh"
+
+namespace coterie::core {
+
+/** Frame catalogue configuration. */
+struct FrameStoreParams
+{
+    int panoWidth = 3840;  ///< the paper's 4K panoramas
+    int panoHeight = 2160;
+    /** Density (tri/m^2) that saturates content complexity at 1.0. */
+    double complexitySaturationDensity = 2500.0;
+};
+
+/**
+ * Pre-rendered frame catalogue over one world + grid + partition.
+ * Sizes are deterministic per grid point.
+ */
+class FrameStore
+{
+  public:
+    FrameStore(const world::VirtualWorld &world, const world::GridMap &grid,
+               const RegionIndex &regions, FrameStoreParams params = {});
+
+    /** Encoded far-BE frame size at a grid point (bytes). */
+    std::uint64_t farBeBytes(world::GridPoint g) const;
+
+    /** Encoded whole-BE frame size (Furion-style) at a grid point. */
+    std::uint64_t wholeBeBytes(world::GridPoint g) const;
+
+    /** Encoded per-eye FoV frame size (Thin-client). */
+    std::uint64_t fovFrameBytes(world::GridPoint g) const;
+
+    /** Mean sizes over sampled grid points (for reporting). */
+    double meanFarBeKb(int samples = 256, std::uint64_t seed = 3) const;
+    double meanWholeBeKb(int samples = 256, std::uint64_t seed = 3) const;
+
+    const world::GridMap &grid() const { return grid_; }
+    const RegionIndex &regions() const { return regions_; }
+    const world::VirtualWorld &world() const { return world_; }
+    const FrameStoreParams &params() const { return params_; }
+
+  private:
+    /** Content complexity in [0,1] for the far / whole layer at g. */
+    double farComplexity(geom::Vec2 p) const;
+    double wholeComplexity(geom::Vec2 p) const;
+
+    const world::VirtualWorld &world_;
+    const world::GridMap &grid_;
+    const RegionIndex &regions_;
+    FrameStoreParams params_;
+    /** Complexity cached per leaf region (cheap, stable). */
+    mutable std::unordered_map<std::uint32_t, double> farCplx_;
+    mutable std::unordered_map<std::uint32_t, double> wholeCplx_;
+};
+
+} // namespace coterie::core
+
+#endif // COTERIE_CORE_SERVER_HH

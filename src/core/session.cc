@@ -1,0 +1,137 @@
+#include "core/session.hh"
+
+#include "support/logging.hh"
+
+namespace coterie::core {
+
+Session::Session(world::gen::GameId game, const SessionParams &params,
+                 const OfflineArtifacts *artifacts)
+    : params_(params), info_(world::gen::gameInfo(game)),
+      world_(world::gen::makeWorld(game, params.seed)),
+      grid_(world::gen::makeGrid(info_))
+{
+    if (artifacts) {
+        COTERIE_ASSERT(artifacts->game == info_.name,
+                       "artifacts belong to ", artifacts->game,
+                       ", not ", info_.name);
+        partition_.leaves = artifacts->leaves;
+        for (const LeafRegion &leaf : partition_.leaves) {
+            partition_.avgLeafDepth += leaf.depth;
+            partition_.maxLeafDepth =
+                std::max(partition_.maxLeafDepth, leaf.depth);
+        }
+        if (!partition_.leaves.empty())
+            partition_.avgLeafDepth /=
+                static_cast<double>(partition_.leaves.size());
+        regions_ = std::make_unique<RegionIndex>(world_.bounds(),
+                                                 partition_.leaves);
+        distThresholds_ = artifacts->distThresholds;
+        similarityParams_ = params.similarity;
+        frames_ = std::make_unique<FrameStore>(world_, grid_, *regions_);
+
+        trace::TrajectoryParams tp;
+        tp.players = params.players;
+        tp.durationS = params.durationS;
+        tp.seed = hashCombine(params.seed, 0x77ace);
+        traces_ = trace::generateTrace(info_, world_, tp);
+        return;
+    }
+
+    // Offline step 1: adaptive cutoff partitioning (paper §4.3).
+    PartitionParams part = params.partition;
+    part.seed = hashCombine(params.seed, 0x9a97);
+    if (!part.reachable)
+        part.reachable = world::gen::makeReachability(info_, world_);
+    partition_ = partitionWorld(world_, params.profile, part);
+    regions_ = std::make_unique<RegionIndex>(world_.bounds(),
+                                             partition_.leaves);
+
+    // Offline step 2: per-region reuse distance thresholds (§5.3).
+    similarityParams_ = params.similarity;
+    if (params.calibrateSimilarity) {
+        // Fit against rendered SSIM at representative cutoffs.
+        std::vector<double> cutoffs;
+        const auto &leaves = partition_.leaves;
+        for (std::size_t i = 0; i < leaves.size();
+             i += std::max<std::size_t>(1, leaves.size() / 4)) {
+            if (leaves[i].reachable)
+                cutoffs.push_back(std::max(1.0, leaves[i].cutoffRadius));
+        }
+        if (cutoffs.empty())
+            cutoffs.push_back(8.0);
+        similarityParams_ = calibrateAnalytic(
+            world_, cutoffs, 5, hashCombine(params.seed, 0xca1),
+            part.reachable);
+        similarityParams_.alpha = params.similarity.alpha;
+        similarityParams_.floor = params.similarity.floor;
+    }
+    AnalyticSimilarity similarity(similarityParams_);
+    DistThreshParams dt = params.distThresh;
+    dt.seed = hashCombine(params.seed, 0xd157);
+    distThresholds_ = deriveDistThresholds(*regions_, similarity, dt);
+
+    // Offline step 3: the pre-rendered frame catalogue.
+    frames_ = std::make_unique<FrameStore>(world_, grid_, *regions_);
+
+    // Online input: multi-player movement traces.
+    trace::TrajectoryParams tp;
+    tp.players = params.players;
+    tp.durationS = params.durationS;
+    tp.seed = hashCombine(params.seed, 0x77ace);
+    traces_ = trace::generateTrace(info_, world_, tp);
+}
+
+std::unique_ptr<Session>
+Session::create(world::gen::GameId game, const SessionParams &params)
+{
+    return std::unique_ptr<Session>(new Session(game, params, nullptr));
+}
+
+std::unique_ptr<Session>
+Session::createFromArtifacts(world::gen::GameId game,
+                             const OfflineArtifacts &artifacts,
+                             const SessionParams &params)
+{
+    return std::unique_ptr<Session>(
+        new Session(game, params, &artifacts));
+}
+
+SystemConfig
+Session::systemConfig() const
+{
+    SystemConfig config;
+    config.world = &world_;
+    config.grid = &grid_;
+    config.regions = regions_.get();
+    config.frames = frames_.get();
+    config.traces = &traces_;
+    config.profile = params_.profile;
+    config.channel = params_.channel;
+    return config;
+}
+
+SystemResult
+Session::runMobileSystem() const
+{
+    return runMobile(systemConfig());
+}
+
+SystemResult
+Session::runThinClientSystem() const
+{
+    return runThinClient(systemConfig());
+}
+
+SystemResult
+Session::runMultiFurionSystem(bool withExactCache) const
+{
+    return runMultiFurion(systemConfig(), withExactCache);
+}
+
+SystemResult
+Session::runCoterieSystem(bool withCache, ReplacementPolicy policy) const
+{
+    return runCoterie(systemConfig(), distThresholds_, withCache, policy);
+}
+
+} // namespace coterie::core

@@ -1,0 +1,130 @@
+#include "core/similarity.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace coterie::core {
+
+using geom::Vec2;
+
+RenderedSimilarity::RenderedSimilarity(const world::VirtualWorld &world,
+                                       int panoWidth, int panoHeight)
+    : world_(world), renderer_(world), width_(panoWidth),
+      height_(panoHeight)
+{
+}
+
+image::Image
+RenderedSimilarity::renderFarBe(Vec2 p, double cutoff) const
+{
+    render::RenderOptions opts;
+    opts.layer = render::DepthLayer::farBe(cutoff);
+    return renderer_.renderPanorama(world_.eyePosition(p), width_, height_,
+                                    opts);
+}
+
+image::Image
+RenderedSimilarity::renderWholeBe(Vec2 p) const
+{
+    render::RenderOptions opts;
+    opts.layer = render::DepthLayer::whole();
+    return renderer_.renderPanorama(world_.eyePosition(p), width_, height_,
+                                    opts);
+}
+
+double
+RenderedSimilarity::farBeSsim(Vec2 a, Vec2 b, double cutoff) const
+{
+    const image::Image fa = cutoff > 0.0 ? renderFarBe(a, cutoff)
+                                         : renderWholeBe(a);
+    const image::Image fb = cutoff > 0.0 ? renderFarBe(b, cutoff)
+                                         : renderWholeBe(b);
+    return image::ssim(fa, fb);
+}
+
+double
+AnalyticSimilarity::farBeSsim(Vec2 a, Vec2 b, double cutoff) const
+{
+    const double d = a.distance(b);
+    if (d <= 0.0)
+        return 1.0;
+    const double radius = std::max(cutoff, params_.minRadius);
+    const double x = d / radius;
+    return params_.floor +
+           (1.0 - params_.floor) *
+               std::exp(-params_.decay * std::pow(x, params_.alpha));
+}
+
+double
+AnalyticSimilarity::maxDisplacement(double cutoff, double threshold) const
+{
+    COTERIE_ASSERT(threshold > params_.floor && threshold < 1.0,
+                   "threshold outside the model's range");
+    const double radius = std::max(cutoff, params_.minRadius);
+    const double y =
+        std::log((1.0 - params_.floor) / (threshold - params_.floor));
+    return radius * std::pow(y / params_.decay, 1.0 / params_.alpha);
+}
+
+AnalyticSimilarityParams
+calibrateAnalytic(const world::VirtualWorld &world,
+                  const std::vector<double> &cutoffs, int samplesPerCutoff,
+                  std::uint64_t seed,
+                  const std::function<bool(geom::Vec2)> &reachable)
+{
+    RenderedSimilarity rendered(world);
+    Rng rng(seed);
+    AnalyticSimilarityParams params;
+
+    // Sample pairs across cutoffs and displacements near the decision
+    // region (SSIM ~0.8-0.98); robust median fit of decay in the
+    // stretched-exponential domain with alpha held at its default.
+    // (A least-squares fit lets a few dense-content samples drag the
+    // global decay up, collapsing reuse distances everywhere.)
+    std::vector<double> estimates;
+    const geom::Rect &b = world.bounds();
+    for (double cutoff : cutoffs) {
+        for (int i = 0; i < samplesPerCutoff; ++i) {
+            const double margin = std::min({cutoff, b.width() / 4,
+                                            b.height() / 4});
+            Vec2 a{rng.uniform(b.lo.x + margin, b.hi.x - margin),
+                   rng.uniform(b.lo.y + margin, b.hi.y - margin)};
+            if (reachable) {
+                for (int tries = 0; tries < 200 && !reachable(a);
+                     ++tries) {
+                    a = Vec2{rng.uniform(b.lo.x + margin, b.hi.x - margin),
+                             rng.uniform(b.lo.y + margin, b.hi.y - margin)};
+                }
+            }
+            const double x_target = rng.uniform(0.01, 0.25);
+            const double d = x_target * std::max(cutoff,
+                                                 params.minRadius);
+            const double theta = rng.uniform(0.0, 2.0 * M_PI);
+            const Vec2 p2 = a + Vec2::fromAngle(theta) * d;
+            const double s = rendered.farBeSsim(a, p2, cutoff);
+            const double clamped =
+                std::clamp(s, params.floor + 0.01, 0.999);
+            const double y = -std::log((clamped - params.floor) /
+                                       (1.0 - params.floor));
+            const double x =
+                std::pow(d / std::max(cutoff, params.minRadius),
+                         params.alpha);
+            if (x > 1e-9)
+                estimates.push_back(y / x);
+        }
+    }
+    if (!estimates.empty()) {
+        std::nth_element(estimates.begin(),
+                         estimates.begin() + estimates.size() / 2,
+                         estimates.end());
+        params.decay = std::clamp(
+            estimates[estimates.size() / 2], 0.2, 40.0);
+    }
+    return params;
+}
+
+} // namespace coterie::core

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Far-BE frame-similarity models.
+ *
+ * RenderedSimilarity actually renders far-BE panoramas with the
+ * software renderer and computes SSIM — the ground truth used by the
+ * similarity experiments (Figures 1, 2, 5).
+ *
+ * AnalyticSimilarity is a closed-form surrogate — SSIM decays with the
+ * angular displacement d / cutoff of the nearest far-BE content — used
+ * by the large-scale caching and end-to-end experiments where rendering
+ * every lookup would be wasteful. Its constants are calibrated against
+ * RenderedSimilarity (see calibrateAnalytic and the similarity tests).
+ */
+
+#ifndef COTERIE_CORE_SIMILARITY_HH
+#define COTERIE_CORE_SIMILARITY_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "image/ssim.hh"
+#include "render/renderer.hh"
+#include "world/world.hh"
+
+namespace coterie::core {
+
+/** Abstract far-BE similarity oracle. */
+class SimilarityModel
+{
+  public:
+    virtual ~SimilarityModel() = default;
+
+    /**
+     * SSIM between the far-BE panoramas rendered at ground positions
+     * @p a and @p b with the given cutoff radius.
+     */
+    virtual double farBeSsim(geom::Vec2 a, geom::Vec2 b,
+                             double cutoff) const = 0;
+};
+
+/** Renders real frames; exact but expensive. */
+class RenderedSimilarity final : public SimilarityModel
+{
+  public:
+    RenderedSimilarity(const world::VirtualWorld &world, int panoWidth = 192,
+                       int panoHeight = 96);
+
+    double farBeSsim(geom::Vec2 a, geom::Vec2 b,
+                     double cutoff) const override;
+
+    /** Render the far-BE panorama at @p p (exposed for experiments). */
+    image::Image renderFarBe(geom::Vec2 p, double cutoff) const;
+
+    /** Render the whole-BE panorama at @p p (cutoff 0). */
+    image::Image renderWholeBe(geom::Vec2 p) const;
+
+  private:
+    const world::VirtualWorld &world_;
+    render::Renderer renderer_;
+    int width_, height_;
+};
+
+/** Parameters of the analytic decay model. */
+struct AnalyticSimilarityParams
+{
+    /** SSIM floor for completely decorrelated views of the same area. */
+    double floor = 0.15;
+    /**
+     * Stretched-exponential decay fit to rendered SSIM:
+     * ssim = floor + (1-floor) * exp(-decay * (d/R)^alpha).
+     */
+    double decay = 1.5;
+    double alpha = 0.75;
+    /** Effective minimum radius (whole-BE has near content at ~eye
+     *  height distance). */
+    double minRadius = 0.8;
+};
+
+/** Closed-form surrogate. */
+class AnalyticSimilarity final : public SimilarityModel
+{
+  public:
+    explicit AnalyticSimilarity(AnalyticSimilarityParams params = {})
+        : params_(params)
+    {
+    }
+
+    double farBeSsim(geom::Vec2 a, geom::Vec2 b,
+                     double cutoff) const override;
+
+    /**
+     * Largest displacement d with farBeSsim >= @p threshold at cutoff
+     * @p R (closed-form inverse; the dist-thresh search cross-checks
+     * against this).
+     */
+    double maxDisplacement(double cutoff, double threshold) const;
+
+    const AnalyticSimilarityParams &params() const { return params_; }
+
+  private:
+    AnalyticSimilarityParams params_;
+};
+
+/**
+ * Fit AnalyticSimilarityParams::decay against rendered SSIM samples at
+ * @p nSamples random location pairs of @p world (least-squares in the
+ * log domain). floor is taken from the most-distant pairs.
+ */
+AnalyticSimilarityParams
+calibrateAnalytic(const world::VirtualWorld &world,
+                  const std::vector<double> &cutoffs, int samplesPerCutoff = 6,
+                  std::uint64_t seed = 5,
+                  const std::function<bool(geom::Vec2)> &reachable = {});
+
+} // namespace coterie::core
+
+#endif // COTERIE_CORE_SIMILARITY_HH

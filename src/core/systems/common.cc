@@ -1,0 +1,49 @@
+#include "core/systems/common.hh"
+
+namespace coterie::core {
+
+namespace {
+
+template <typename Fn>
+double
+averageOver(const std::vector<PlayerMetrics> &players, Fn &&fn)
+{
+    if (players.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const PlayerMetrics &m : players)
+        acc += fn(m);
+    return acc / static_cast<double>(players.size());
+}
+
+} // namespace
+
+double
+SystemResult::avgFps() const
+{
+    return averageOver(players,
+                       [](const PlayerMetrics &m) { return m.fps; });
+}
+
+double
+SystemResult::avgInterFrameMs() const
+{
+    return averageOver(
+        players, [](const PlayerMetrics &m) { return m.interFrameMs; });
+}
+
+double
+SystemResult::avgNetDelayMs() const
+{
+    return averageOver(
+        players, [](const PlayerMetrics &m) { return m.netDelayMs; });
+}
+
+double
+SystemResult::avgCacheHitRatio() const
+{
+    return averageOver(
+        players, [](const PlayerMetrics &m) { return m.cacheHitRatio; });
+}
+
+} // namespace coterie::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared configuration and result types for the four end-to-end system
+ * models (Mobile, Thin-client, Multi-Furion, Coterie).
+ */
+
+#ifndef COTERIE_CORE_SYSTEMS_COMMON_HH
+#define COTERIE_CORE_SYSTEMS_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/frame_cache.hh"
+#include "core/server.hh"
+#include "device/phone.hh"
+#include "net/channel.hh"
+#include "net/fi_sync.hh"
+#include "support/stats.hh"
+#include "trace/trace.hh"
+
+namespace coterie::core {
+
+/** Everything a system simulation needs. */
+struct SystemConfig
+{
+    const world::VirtualWorld *world = nullptr;
+    const world::GridMap *grid = nullptr;
+    const RegionIndex *regions = nullptr;
+    const FrameStore *frames = nullptr;
+    const trace::SessionTrace *traces = nullptr;
+    device::PhoneProfile profile{};
+    net::ChannelParams channel{};
+    net::FiSyncParams fiSync{};
+
+    /** Per-frame FI render time on the device (paper: < 4 ms,
+     *  measured ~2.5 ms typical). */
+    double rtFiMs = 2.5;
+    /** Frame merge + projection cost after all inputs are ready. */
+    double mergeMs = 4.5;
+    /** Sensor sampling latency folded into responsiveness. */
+    double sensorMs = 1.0;
+    /** Display refresh budget (60 Hz). */
+    double tickMs = 1000.0 / 60.0;
+};
+
+/** Per-player outcome of a run. */
+struct PlayerMetrics
+{
+    int playerId = 0;
+    double fps = 0.0;
+    double interFrameMs = 0.0;
+    double responsivenessMs = 0.0;
+    double cpuPct = 0.0;
+    double gpuPct = 0.0;
+    double frameKb = 0.0;       ///< mean fetched frame size
+    double netDelayMs = 0.0;    ///< mean per-transfer latency
+    double beMbps = 0.0;        ///< BE prefetch bandwidth
+    double fiKbps = 0.0;        ///< FI sync bandwidth share
+    double renderMsPerFrame = 0.0;
+    std::uint64_t framesDisplayed = 0;
+    std::uint64_t framesFetched = 0;
+    std::uint64_t gridTransitions = 0;
+    double cacheHitRatio = 0.0; ///< 1 - fetches/transitions (see docs)
+    CacheStats cacheStats{};
+};
+
+/** Whole-session outcome. */
+struct SystemResult
+{
+    std::string systemName;
+    std::vector<PlayerMetrics> players;
+    double durationMs = 0.0;
+    double channelUtilMbps = 0.0;
+
+    /** Averages across players. */
+    double avgFps() const;
+    double avgInterFrameMs() const;
+    double avgNetDelayMs() const;
+    double avgCacheHitRatio() const;
+};
+
+} // namespace coterie::core
+
+#endif // COTERIE_CORE_SYSTEMS_COMMON_HH

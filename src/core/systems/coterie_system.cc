@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The Coterie system (paper §5): near/far BE decoupling with the
+ * adaptive cutoff quadtree, far-BE prefetching, and the similar-frame
+ * cache. The no-cache variant (still prefetching the smaller far-BE
+ * frames) is the "Coterie w/o cache" line of Figure 11.
+ */
+
+#include "core/systems/systems.hh"
+
+namespace coterie::core {
+
+SystemResult
+runCoterie(const SystemConfig &config,
+           const std::vector<double> &distThresholds, bool withCache,
+           ReplacementPolicy policy, bool overhear)
+{
+    SplitVariant variant = SplitVariant::coterie(withCache);
+    variant.policy = policy;
+    variant.overhear = overhear;
+    const char *name = !withCache  ? "Coterie w/o cache"
+                       : overhear  ? "Coterie + overhearing"
+                                   : "Coterie";
+    return runSplitSystem(config, variant, distThresholds, name);
+}
+
+} // namespace coterie::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Mobile (local rendering) system model: the whole scene is rendered
+ * on the phone each frame; frame time is the device render time of the
+ * full scene, and the GPU saturates (Table 1: 88-99% GPU, 21-27 FPS).
+ */
+
+#include "core/systems/systems.hh"
+
+#include <algorithm>
+
+#include "net/fi_sync.hh"
+#include "render/cost_model.hh"
+#include "support/logging.hh"
+
+namespace coterie::core {
+
+SystemResult
+runMobile(const SystemConfig &config)
+{
+    COTERIE_ASSERT(config.world && config.traces, "incomplete config");
+    const auto &world = *config.world;
+    const auto &traces = *config.traces;
+    const int players = traces.playerCount();
+    net::FiSync fi_sync(config.fiSync, 13);
+
+    SystemResult result;
+    result.systemName = "Mobile";
+    result.durationMs = traces.durationMs();
+
+    for (const trace::PlayerTrace &tr : traces.players) {
+        PlayerMetrics m;
+        m.playerId = tr.playerId;
+        RunningStats frame_time;
+        RunningStats render_time;
+
+        // Walk the trace; each displayed frame costs the full-scene
+        // render (plus remote players' FI and the sync wait).
+        double now = 0.0;
+        const double duration = result.durationMs;
+        while (now < duration) {
+            const auto idx = static_cast<std::size_t>(
+                std::min(now / traces.tickMs,
+                         static_cast<double>(tr.points.size() - 1)));
+            const geom::Vec2 pos = tr.points[idx].position;
+            double rt = config.rtFiMs +
+                        render::renderTimeMs(world, pos, 0.0,
+                                             config.profile.cost
+                                                 .cullDistance,
+                                             config.profile.cost);
+            // Remote players' FI adds per-player render cost and the
+            // sync latency can gate the frame.
+            rt += config.rtFiMs * 0.6 * (players - 1);
+            const double sync =
+                players > 1 ? fi_sync.syncLatencyMs(players) : 0.0;
+            const double ft =
+                std::max(config.tickMs, std::max(rt, sync) + 1.0);
+            frame_time.add(ft);
+            render_time.add(rt);
+            ++m.framesDisplayed;
+            now += ft;
+        }
+
+        m.interFrameMs = frame_time.mean();
+        m.fps = m.interFrameMs > 0.0 ? 1000.0 / m.interFrameMs : 0.0;
+        m.responsivenessMs =
+            config.sensorMs + frame_time.mean();
+        m.renderMsPerFrame = render_time.mean();
+        m.gpuPct =
+            device::gpuLoadPct(config.profile, m.renderMsPerFrame, m.fps);
+        device::CpuLoadInputs cpu_in;
+        cpu_in.networkMbps = 0.0;
+        cpu_in.decodeFps = 0.0;
+        cpu_in.syncHz = players > 1 ? 60.0 : 0.0;
+        cpu_in.rendering = true;
+        m.cpuPct = device::cpuLoadPct(config.profile, cpu_in) +
+                   2.0 * (players - 1); // local FI replication work
+        m.fiKbps = fi_sync.bandwidthKbps(players) / std::max(1, players);
+        result.players.push_back(m);
+    }
+    return result;
+}
+
+} // namespace coterie::core

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Multi-Furion: the prior-art single-player split-rendering design
+ * replicated per player (paper §3). Whole-BE panoramas are prefetched
+ * for every grid transition; FI is exchanged via the sync fabric and
+ * rendered locally. The optional exact-match frame cache reproduces
+ * the "Multi-Furion w/ frame cache" variant of Figure 11 (it almost
+ * never hits: players do not revisit exact grid points).
+ */
+
+#include "core/systems/systems.hh"
+
+namespace coterie::core {
+
+SystemResult
+runMultiFurion(const SystemConfig &config, bool withExactCache)
+{
+    const SplitVariant variant = SplitVariant::multiFurion(withExactCache);
+    // Exact matching ignores distance thresholds.
+    const std::vector<double> no_thresholds;
+    return runSplitSystem(config, variant, no_thresholds,
+                          withExactCache ? "Multi-Furion+cache"
+                                         : "Multi-Furion");
+}
+
+} // namespace coterie::core

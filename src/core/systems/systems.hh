@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The four end-to-end system models compared in the paper:
+ *
+ *  - Mobile: render everything locally (Google Daydream style);
+ *  - Thin-client: render + encode everything on the server, stream
+ *    display frames;
+ *  - Multi-Furion: Furion's FI / whole-BE split replicated per player,
+ *    optionally with an exact-match frame cache (Figure 11 variant);
+ *  - Coterie: near/far BE decoupling + similar-frame cache (optionally
+ *    disabled for the Figure 11 "Coterie w/o cache" variant).
+ */
+
+#ifndef COTERIE_CORE_SYSTEMS_SYSTEMS_HH
+#define COTERIE_CORE_SYSTEMS_SYSTEMS_HH
+
+#include "core/client.hh"
+#include "core/systems/common.hh"
+
+namespace coterie::core {
+
+/** Local rendering only (no server, no network). */
+SystemResult runMobile(const SystemConfig &config);
+
+/** Server-side rendering, streamed display frames. */
+struct ThinClientParams
+{
+    double serverRenderMs = 7.5; ///< GTX 1080 Ti per-frame render
+    double serverEncodeMs = 16.0; ///< x264 4K-class encode
+    double clientDisplayMs = 2.0;
+};
+SystemResult runThinClient(const SystemConfig &config,
+                           const ThinClientParams &params = {});
+
+/** Furion replicated N-fold (whole-BE prefetch each grid step). */
+SystemResult runMultiFurion(const SystemConfig &config,
+                            bool withExactCache = false);
+
+/** Coterie (far-BE prefetch + similar-frame cache). */
+SystemResult runCoterie(const SystemConfig &config,
+                        const std::vector<double> &distThresholds,
+                        bool withCache = true,
+                        ReplacementPolicy policy = ReplacementPolicy::Lru,
+                        bool overhear = false);
+
+} // namespace coterie::core
+
+#endif // COTERIE_CORE_SYSTEMS_SYSTEMS_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Thin-client system model: the server renders and encodes every
+ * display frame; the client decodes and displays. The loop is closed
+ * (pose -> server render -> encode -> transfer -> decode -> display),
+ * so frame latency is the whole chain, and the shared channel plus the
+ * shared server GPU contend across players (Table 1: 15-24 FPS,
+ * 41-64 ms inter-frame latency).
+ */
+
+#include "core/systems/systems.hh"
+
+#include <algorithm>
+
+#include "net/endpoints.hh"
+#include "net/fi_sync.hh"
+#include "support/logging.hh"
+
+namespace coterie::core {
+
+using sim::TimeMs;
+
+SystemResult
+runThinClient(const SystemConfig &config, const ThinClientParams &params)
+{
+    COTERIE_ASSERT(config.world && config.grid && config.frames &&
+                   config.traces, "incomplete config");
+    const auto &grid = *config.grid;
+    const auto &frames = *config.frames;
+    const auto &traces = *config.traces;
+    const int players = traces.playerCount();
+    const double duration = traces.durationMs();
+
+    sim::EventQueue queue;
+    net::SharedChannel channel(queue, config.channel);
+    net::FiSync fi_sync(config.fiSync, 17);
+
+    // Display-resolution frames decode fast (2 MP vs 8.3 MP panorama).
+    const double decode_ms = device::decodeMs(config.profile, 1920, 1080);
+
+    struct Client
+    {
+        RunningStats interFrame;
+        RunningStats latency;
+        RunningStats transfer;
+        RunningStats frameKb;
+        std::uint64_t frames = 0;
+        std::uint64_t bytes = 0;
+        TimeMs lastDisplay = 0.0;
+    };
+    std::vector<Client> clients(players);
+
+    // The server GPU renders one frame at a time (FIFO).
+    TimeMs gpu_free_at = 0.0;
+
+    std::function<void(int)> next_frame = [&](int pid) {
+        const TimeMs now = queue.now();
+        if (now >= duration)
+            return;
+        const trace::PlayerTrace &tr = traces.players[pid];
+        const auto idx = static_cast<std::size_t>(
+            std::min(now / traces.tickMs,
+                     static_cast<double>(tr.points.size() - 1)));
+        const world::GridPoint g = grid.snap(tr.points[idx].position);
+        const std::uint64_t bytes = frames.fovFrameBytes(g);
+
+        // Queue on the shared server GPU, then encode, then transfer.
+        const TimeMs frame_start = now;
+        const TimeMs render_start = std::max(now, gpu_free_at);
+        gpu_free_at = render_start + params.serverRenderMs;
+        const TimeMs encoded_at = gpu_free_at + params.serverEncodeMs;
+        queue.scheduleAt(encoded_at, [&, pid, bytes, frame_start] {
+            const TimeMs sent_at = queue.now();
+            channel.startTransfer(bytes, [&, pid, bytes, frame_start,
+                                          sent_at](TimeMs arrived) {
+                Client &cc = clients[pid];
+                cc.transfer.add(arrived - sent_at);
+                cc.bytes += bytes;
+                cc.frameKb.add(static_cast<double>(bytes) / 1024.0);
+                const TimeMs displayed =
+                    arrived + decode_ms + params.clientDisplayMs;
+                queue.scheduleAt(displayed, [&, pid, frame_start] {
+                    Client &ccc = clients[pid];
+                    const TimeMs done = queue.now();
+                    ccc.interFrame.add(done - ccc.lastDisplay);
+                    ccc.latency.add(config.sensorMs +
+                                    (done - frame_start));
+                    ccc.lastDisplay = done;
+                    ++ccc.frames;
+                    next_frame(pid);
+                });
+            });
+        });
+    };
+
+    for (int p = 0; p < players; ++p)
+        queue.scheduleIn(p * 3.7, [&, p] { next_frame(p); });
+    queue.runUntil(duration + 1000.0);
+
+    SystemResult result;
+    result.systemName = "Thin-client";
+    result.durationMs = duration;
+    result.channelUtilMbps = channel.meanThroughputMbps();
+    for (int p = 0; p < players; ++p) {
+        Client &c = clients[p];
+        PlayerMetrics m;
+        m.playerId = p;
+        m.framesDisplayed = c.frames;
+        m.fps = duration > 0.0
+                    ? static_cast<double>(c.frames) / (duration / 1000.0)
+                    : 0.0;
+        m.interFrameMs = c.interFrame.mean();
+        m.responsivenessMs = c.latency.mean();
+        m.netDelayMs = c.transfer.mean();
+        m.frameKb = c.frameKb.mean();
+        m.beMbps = duration > 0.0
+                       ? static_cast<double>(c.bytes) * 8.0 /
+                             (duration / 1000.0) / 1e6
+                       : 0.0;
+        m.fiKbps = fi_sync.bandwidthKbps(players) / std::max(1, players);
+        // The phone only decodes and displays: light GPU, packet+decode
+        // CPU.
+        m.renderMsPerFrame = 0.0;
+        m.gpuPct = device::gpuLoadPct(config.profile, 1.2, m.fps);
+        device::CpuLoadInputs cpu_in;
+        cpu_in.networkMbps = m.beMbps;
+        cpu_in.decodeFps = m.fps;
+        cpu_in.syncHz = players > 1 ? 60.0 : 0.0;
+        cpu_in.rendering = false;
+        m.cpuPct = device::cpuLoadPct(config.profile, cpu_in) + 12.0;
+        result.players.push_back(m);
+    }
+    return result;
+}
+
+} // namespace coterie::core

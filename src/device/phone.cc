@@ -1,0 +1,49 @@
+#include "device/phone.hh"
+
+#include <algorithm>
+
+namespace coterie::device {
+
+const PhoneProfile &
+pixel2()
+{
+    static const PhoneProfile profile = [] {
+        PhoneProfile p;
+        p.name = "Pixel 2";
+        p.cost.nsPerTriangle = 50.0;
+        p.cost.baseMs = 1.0;
+        p.cost.lodDistance = 35.0;
+        p.cost.cullDistance = 600.0;
+        return p;
+    }();
+    return profile;
+}
+
+double
+decodeMs(const PhoneProfile &profile, int width, int height)
+{
+    const double megapixels =
+        static_cast<double>(width) * static_cast<double>(height) / 1e6;
+    return profile.decodeBaseMs + profile.decodeMsPerMegapixel * megapixels;
+}
+
+double
+gpuLoadPct(const PhoneProfile &profile, double renderMsPerFrame, double fps)
+{
+    const double busy = renderMsPerFrame * fps / 10.0; // ms*fps -> percent
+    return std::clamp(busy + profile.gpuComposePct, 0.0, 100.0);
+}
+
+double
+cpuLoadPct(const PhoneProfile &profile, const CpuLoadInputs &in)
+{
+    double load = profile.cpuBasePct;
+    load += profile.cpuPctPerMbps * in.networkMbps;
+    load += profile.cpuPctPerDecodeFps * in.decodeFps;
+    load += profile.cpuPctPerSyncHz * in.syncHz;
+    if (in.rendering)
+        load += profile.cpuRenderSharePct;
+    return std::clamp(load, 0.0, 100.0);
+}
+
+} // namespace coterie::device

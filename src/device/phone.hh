@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Mobile-device performance model.
+ *
+ * One profile (Pixel 2) is calibrated against the paper's Table 1
+ * measurements and reused unchanged across every experiment: render
+ * throughput (triangles/s feeding render/cost_model), hardware H.264
+ * decode latency, CPU cost of network processing and decode, and the
+ * GPU-utilisation mapping. See DESIGN.md §4 for the calibration rule.
+ */
+
+#ifndef COTERIE_DEVICE_PHONE_HH
+#define COTERIE_DEVICE_PHONE_HH
+
+#include "render/cost_model.hh"
+
+namespace coterie::device {
+
+/** Static hardware profile of a phone. */
+struct PhoneProfile
+{
+    const char *name = "Pixel 2";
+
+    /** Triangle-throughput render model (render/cost_model). */
+    render::CostModelParams cost{};
+
+    /** Hardware video decoder: fixed + per-megapixel latency (ms). */
+    double decodeBaseMs = 1.5;
+    double decodeMsPerMegapixel = 1.05;
+
+    /** CPU-load components (percent of total multicore capacity). */
+    double cpuBasePct = 6.0;          ///< game logic, sensors, OS
+    double cpuPctPerMbps = 0.040;     ///< packet processing per Mbps
+    double cpuPctPerDecodeFps = 0.08; ///< decoder driver per decoded fps
+    double cpuPctPerSyncHz = 0.03;    ///< FI sync serialization per Hz
+    double cpuRenderSharePct = 2.0;   ///< CPU side of render submission
+
+    /** Display/compose overhead on the GPU (percent). */
+    double gpuComposePct = 5.0;
+
+    /** Memory available for the frame cache (bytes). */
+    std::size_t cacheBudgetBytes = 1200ull * 1024 * 1024;
+
+    /** Battery capacity (mAh) and nominal voltage, for endurance. */
+    double batteryMah = 2770.0;
+    double batteryVolts = 3.85;
+
+    /** SoC thermal throttle limit (Celsius), Pixel 2 config. */
+    double thermalLimitC = 52.0;
+};
+
+/** The calibrated Pixel 2 profile used throughout the benches. */
+const PhoneProfile &pixel2();
+
+/** Decode latency of a frame of w x h pixels (hardware decoder). */
+double decodeMs(const PhoneProfile &profile, int width, int height);
+
+/** GPU utilisation given render ms consumed per displayed frame. */
+double gpuLoadPct(const PhoneProfile &profile, double renderMsPerFrame,
+                  double fps);
+
+/** CPU utilisation from the component loads. */
+struct CpuLoadInputs
+{
+    double networkMbps = 0.0;
+    double decodeFps = 0.0;
+    double syncHz = 0.0;
+    bool rendering = true;
+};
+double cpuLoadPct(const PhoneProfile &profile, const CpuLoadInputs &in);
+
+} // namespace coterie::device
+
+#endif // COTERIE_DEVICE_PHONE_HH

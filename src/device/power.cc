@@ -1,0 +1,25 @@
+#include "device/power.hh"
+
+namespace coterie::device {
+
+double
+powerDrawW(const PowerModel &model, const PowerInputs &in)
+{
+    double watts = model.idleW;
+    watts += model.cpuMaxW * in.cpuPct / 100.0;
+    watts += model.gpuMaxW * in.gpuPct / 100.0;
+    watts += model.radioBaseW + model.radioWPerMbps * in.networkMbps;
+    if (in.displayOn)
+        watts += model.displayW;
+    return watts;
+}
+
+double
+batteryLifeHours(const PhoneProfile &profile, double watts)
+{
+    const double capacity_wh =
+        profile.batteryMah / 1000.0 * profile.batteryVolts;
+    return watts > 0.0 ? capacity_wh / watts : 0.0;
+}
+
+} // namespace coterie::device

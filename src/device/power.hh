@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Battery power-draw model: component-level sum of idle, CPU, GPU,
+ * radio and display power, calibrated to the paper's measured ~4 W
+ * steady draw on Pixel 2 under Coterie (Figure 12).
+ */
+
+#ifndef COTERIE_DEVICE_POWER_HH
+#define COTERIE_DEVICE_POWER_HH
+
+#include "device/phone.hh"
+
+namespace coterie::device {
+
+/** Power model coefficients (watts). */
+struct PowerModel
+{
+    double idleW = 0.75;
+    double cpuMaxW = 2.2;      ///< at 100% multicore load
+    double gpuMaxW = 2.4;      ///< at 100% GPU load
+    double radioBaseW = 0.28;  ///< WiFi associated, mostly idle
+    double radioWPerMbps = 0.0035;
+    double displayW = 1.15;    ///< VR mode locks brightness at 100%
+};
+
+/** Instantaneous utilisation snapshot. */
+struct PowerInputs
+{
+    double cpuPct = 0.0;
+    double gpuPct = 0.0;
+    double networkMbps = 0.0;
+    bool displayOn = true;
+};
+
+/** Total draw in watts. */
+double powerDrawW(const PowerModel &model, const PowerInputs &in);
+
+/** Runtime in hours on @p profile's battery at constant @p watts. */
+double batteryLifeHours(const PhoneProfile &profile, double watts);
+
+} // namespace coterie::device
+
+#endif // COTERIE_DEVICE_POWER_HH

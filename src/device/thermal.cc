@@ -1,0 +1,26 @@
+#include "device/thermal.hh"
+
+#include <cmath>
+
+namespace coterie::device {
+
+ThermalModel::ThermalModel(ThermalParams params)
+    : params_(params), tempC_(params.initialC)
+{
+}
+
+double
+ThermalModel::steadyStateC(double watts) const
+{
+    return params_.ambientC + watts * params_.thermalResistanceCPerW;
+}
+
+void
+ThermalModel::step(double watts, double dtS)
+{
+    const double target = steadyStateC(watts);
+    const double alpha = 1.0 - std::exp(-dtS / params_.timeConstantS);
+    tempC_ += (target - tempC_) * alpha;
+}
+
+} // namespace coterie::device

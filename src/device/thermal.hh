@@ -1,0 +1,76 @@
+/**
+ * @file
+ * First-order RC thermal model of the phone SoC: temperature relaxes
+ * toward ambient + P * Rth with time constant tau. Reproduces the
+ * paper's Figure 12 temperature traces (gradual rise, staying under
+ * the Pixel 2 thermal-engine limit of 52 C).
+ */
+
+#ifndef COTERIE_DEVICE_THERMAL_HH
+#define COTERIE_DEVICE_THERMAL_HH
+
+namespace coterie::device {
+
+/** Thermal RC parameters. */
+struct ThermalParams
+{
+    double ambientC = 26.0;
+    double thermalResistanceCPerW = 5.4; ///< steady delta-T per watt
+    double timeConstantS = 420.0;        ///< chassis heat-up time
+    double initialC = 28.0;              ///< skin-warm start
+};
+
+/** Integrates SoC temperature under a power trace. */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(ThermalParams params = {});
+
+    /** Advance @p dtS seconds at constant draw @p watts. */
+    void step(double watts, double dtS);
+
+    double temperatureC() const { return tempC_; }
+
+    /** Steady-state temperature at constant @p watts. */
+    double steadyStateC(double watts) const;
+
+  private:
+    ThermalParams params_;
+    double tempC_;
+};
+
+/**
+ * Thermal governor: above the throttle limit the SoC sheds frequency,
+ * multiplying render times. The paper's systems are engineered to stay
+ * below the limit ("sustain long running ... without being restricted
+ * by temperature control"); this model quantifies what happens when a
+ * workload does not.
+ */
+struct ThermalGovernor
+{
+    double limitC = 52.0;          ///< Pixel 2 thermal-engine setpoint
+    double slowdownPerDegree = 0.08; ///< render-time multiplier slope
+
+    /** Render-time multiplier at SoC temperature @p tempC (>= 1). */
+    double
+    renderTimeMultiplier(double tempC) const
+    {
+        if (tempC <= limitC)
+            return 1.0;
+        return 1.0 + slowdownPerDegree * (tempC - limitC);
+    }
+
+    /** Effective FPS after throttling a 60 FPS pipeline whose render
+     *  time is @p renderMs at nominal frequency. */
+    double
+    throttledFps(double renderMs, double tempC,
+                 double frameBudgetMs = 1000.0 / 60.0) const
+    {
+        const double effective = renderMs * renderTimeMultiplier(tempC);
+        return effective <= frameBudgetMs ? 60.0 : 1000.0 / effective;
+    }
+};
+
+} // namespace coterie::device
+
+#endif // COTERIE_DEVICE_THERMAL_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Axis-aligned bounding boxes in 3D, used for world objects and the BVH.
+ */
+
+#ifndef COTERIE_GEOM_AABB_HH
+#define COTERIE_GEOM_AABB_HH
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/vec.hh"
+
+namespace coterie::geom {
+
+/** 3D axis-aligned box. Invalid (empty) until extended or constructed. */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+    Vec3 hi{-std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+
+    constexpr Aabb() = default;
+    constexpr Aabb(Vec3 lo_, Vec3 hi_) : lo(lo_), hi(hi_) {}
+
+    bool
+    valid() const
+    {
+        return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z;
+    }
+
+    Vec3 center() const { return (lo + hi) * 0.5; }
+    Vec3 extent() const { return hi - lo; }
+
+    /** Grow to contain @p p. */
+    void
+    extend(Vec3 p)
+    {
+        lo.x = std::min(lo.x, p.x); lo.y = std::min(lo.y, p.y);
+        lo.z = std::min(lo.z, p.z);
+        hi.x = std::max(hi.x, p.x); hi.y = std::max(hi.y, p.y);
+        hi.z = std::max(hi.z, p.z);
+    }
+
+    /** Grow to contain @p b. */
+    void
+    extend(const Aabb &b)
+    {
+        extend(b.lo);
+        extend(b.hi);
+    }
+
+    bool
+    contains(Vec3 p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    bool
+    overlaps(const Aabb &b) const
+    {
+        return lo.x <= b.hi.x && hi.x >= b.lo.x && lo.y <= b.hi.y &&
+               hi.y >= b.lo.y && lo.z <= b.hi.z && hi.z >= b.lo.z;
+    }
+
+    double
+    surfaceArea() const
+    {
+        if (!valid())
+            return 0.0;
+        const Vec3 e = extent();
+        return 2.0 * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    /** Squared distance from @p p to the closest point of the box. */
+    double
+    distanceSq(Vec3 p) const
+    {
+        const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+        const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+        const double dz = std::max({lo.z - p.z, 0.0, p.z - hi.z});
+        return dx * dx + dy * dy + dz * dz;
+    }
+};
+
+} // namespace coterie::geom
+
+#endif // COTERIE_GEOM_AABB_HH

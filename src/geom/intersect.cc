@@ -1,0 +1,190 @@
+#include "geom/intersect.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coterie::geom {
+
+std::optional<double>
+intersectSphere(const Ray &ray, Vec3 center, double radius)
+{
+    const Vec3 oc = ray.origin - center;
+    const double a = ray.dir.dot(ray.dir);
+    const double half_b = oc.dot(ray.dir);
+    const double c = oc.dot(oc) - radius * radius;
+    const double disc = half_b * half_b - a * c;
+    if (disc < 0.0)
+        return std::nullopt;
+    const double sqrt_disc = std::sqrt(disc);
+    double t = (-half_b - sqrt_disc) / a;
+    if (t < ray.tMin) {
+        t = (-half_b + sqrt_disc) / a;
+        if (t < ray.tMin)
+            return std::nullopt;
+    }
+    if (t > ray.tMax)
+        return std::nullopt;
+    return t;
+}
+
+std::optional<double>
+intersectBox(const Ray &ray, const Aabb &box, Vec3 *normal)
+{
+    double t_enter = ray.tMin;
+    double t_exit = ray.tMax;
+    int enter_axis = -1;
+    double enter_sign = 0.0;
+
+    const double o[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+    const double d[3] = {ray.dir.x, ray.dir.y, ray.dir.z};
+    const double lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+    const double hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+
+    for (int axis = 0; axis < 3; ++axis) {
+        if (std::abs(d[axis]) < 1e-12) {
+            if (o[axis] < lo[axis] || o[axis] > hi[axis])
+                return std::nullopt;
+            continue;
+        }
+        const double inv = 1.0 / d[axis];
+        double t0 = (lo[axis] - o[axis]) * inv;
+        double t1 = (hi[axis] - o[axis]) * inv;
+        double sign = -1.0;
+        if (t0 > t1) {
+            std::swap(t0, t1);
+            sign = 1.0;
+        }
+        if (t0 > t_enter) {
+            t_enter = t0;
+            enter_axis = axis;
+            enter_sign = sign;
+        }
+        t_exit = std::min(t_exit, t1);
+        if (t_enter > t_exit)
+            return std::nullopt;
+    }
+
+    double t = t_enter;
+    if (enter_axis < 0) {
+        // Ray origin is inside the box; report the exit point.
+        t = t_exit;
+        if (t < ray.tMin || t > ray.tMax)
+            return std::nullopt;
+        if (normal)
+            *normal = ray.dir * -1.0;
+        return t;
+    }
+    if (normal) {
+        Vec3 n{0.0, 0.0, 0.0};
+        if (enter_axis == 0)
+            n.x = enter_sign;
+        else if (enter_axis == 1)
+            n.y = enter_sign;
+        else
+            n.z = enter_sign;
+        *normal = n;
+    }
+    return t;
+}
+
+std::optional<double>
+intersectGround(const Ray &ray, double height)
+{
+    if (std::abs(ray.dir.y) < 1e-12)
+        return std::nullopt;
+    const double t = (height - ray.origin.y) / ray.dir.y;
+    if (t < ray.tMin || t > ray.tMax)
+        return std::nullopt;
+    return t;
+}
+
+std::optional<double>
+intersectCylinderY(const Ray &ray, Vec3 base, double radius, double height,
+                   Vec3 *normal)
+{
+    // Solve in the (x, z) plane.
+    const double ox = ray.origin.x - base.x;
+    const double oz = ray.origin.z - base.z;
+    const double dx = ray.dir.x;
+    const double dz = ray.dir.z;
+    const double a = dx * dx + dz * dz;
+    const double y0 = base.y;
+    const double y1 = base.y + height;
+
+    auto side_hit = [&](double t) -> bool {
+        const double y = ray.origin.y + t * ray.dir.y;
+        return y >= y0 && y <= y1 && t >= ray.tMin && t <= ray.tMax;
+    };
+
+    double best = std::numeric_limits<double>::infinity();
+    Vec3 best_normal;
+
+    if (a > 1e-12) {
+        const double half_b = ox * dx + oz * dz;
+        const double c = ox * ox + oz * oz - radius * radius;
+        const double disc = half_b * half_b - a * c;
+        if (disc >= 0.0) {
+            const double sq = std::sqrt(disc);
+            for (double t : {(-half_b - sq) / a, (-half_b + sq) / a}) {
+                if (t < best && side_hit(t)) {
+                    best = t;
+                    const Vec3 p = ray.at(t);
+                    best_normal =
+                        Vec3{p.x - base.x, 0.0, p.z - base.z}.normalized();
+                    break;
+                }
+            }
+        }
+    }
+
+    // End caps.
+    for (double y_cap : {y0, y1}) {
+        if (std::abs(ray.dir.y) < 1e-12)
+            continue;
+        const double t = (y_cap - ray.origin.y) / ray.dir.y;
+        if (t < ray.tMin || t > ray.tMax || t >= best)
+            continue;
+        const double px = ox + t * dx;
+        const double pz = oz + t * dz;
+        if (px * px + pz * pz <= radius * radius) {
+            best = t;
+            best_normal = Vec3{0.0, y_cap == y0 ? -1.0 : 1.0, 0.0};
+        }
+    }
+
+    if (!std::isfinite(best))
+        return std::nullopt;
+    if (normal)
+        *normal = best_normal;
+    return best;
+}
+
+bool
+rayHitsAabb(const Ray &ray, const Aabb &box, double tMax)
+{
+    double t_enter = ray.tMin;
+    double t_exit = std::min(ray.tMax, tMax);
+    const double o[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+    const double d[3] = {ray.dir.x, ray.dir.y, ray.dir.z};
+    const double lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+    const double hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+    for (int axis = 0; axis < 3; ++axis) {
+        if (std::abs(d[axis]) < 1e-12) {
+            if (o[axis] < lo[axis] || o[axis] > hi[axis])
+                return false;
+            continue;
+        }
+        const double inv = 1.0 / d[axis];
+        double t0 = (lo[axis] - o[axis]) * inv;
+        double t1 = (hi[axis] - o[axis]) * inv;
+        if (t0 > t1)
+            std::swap(t0, t1);
+        t_enter = std::max(t_enter, t0);
+        t_exit = std::min(t_exit, t1);
+        if (t_enter > t_exit)
+            return false;
+    }
+    return true;
+}
+
+} // namespace coterie::geom

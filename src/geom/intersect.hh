@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ray-primitive intersection routines (sphere, box, ground plane,
+ * cylinder) plus the slab test used by the BVH traversal.
+ */
+
+#ifndef COTERIE_GEOM_INTERSECT_HH
+#define COTERIE_GEOM_INTERSECT_HH
+
+#include <optional>
+
+#include "geom/aabb.hh"
+#include "geom/ray.hh"
+
+namespace coterie::geom {
+
+/** Ray vs sphere; returns hit distance t within [ray.tMin, ray.tMax]. */
+std::optional<double> intersectSphere(const Ray &ray, Vec3 center,
+                                      double radius);
+
+/**
+ * Ray vs axis-aligned box; returns the entry distance (or the exit
+ * distance when the ray starts inside), with the outward surface normal
+ * written to @p normal when non-null.
+ */
+std::optional<double> intersectBox(const Ray &ray, const Aabb &box,
+                                   Vec3 *normal = nullptr);
+
+/** Ray vs horizontal plane y = height. */
+std::optional<double> intersectGround(const Ray &ray, double height);
+
+/**
+ * Ray vs vertical (y-axis-aligned) finite cylinder centered at
+ * (center.x, *, center.z), spanning [center.y, center.y + height].
+ */
+std::optional<double> intersectCylinderY(const Ray &ray, Vec3 base,
+                                         double radius, double height,
+                                         Vec3 *normal = nullptr);
+
+/** Cheap slab overlap test (no normal); used by BVH traversal. */
+bool rayHitsAabb(const Ray &ray, const Aabb &box, double tMax);
+
+} // namespace coterie::geom
+
+#endif // COTERIE_GEOM_INTERSECT_HH

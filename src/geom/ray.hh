@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ray type and hit record for the ray-casting renderer.
+ */
+
+#ifndef COTERIE_GEOM_RAY_HH
+#define COTERIE_GEOM_RAY_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "geom/vec.hh"
+
+namespace coterie::geom {
+
+/** A ray with a parametric validity interval [tMin, tMax]. */
+struct Ray
+{
+    Vec3 origin;
+    Vec3 dir; // must be normalized by callers that rely on t == distance
+    double tMin = 1e-4;
+    double tMax = std::numeric_limits<double>::infinity();
+
+    Vec3 at(double t) const { return origin + dir * t; }
+};
+
+/** Result of a ray-primitive intersection. */
+struct Hit
+{
+    double t = std::numeric_limits<double>::infinity();
+    Vec3 point;
+    Vec3 normal;
+    std::uint32_t objectId = UINT32_MAX;
+
+    bool valid() const { return objectId != UINT32_MAX; }
+};
+
+} // namespace coterie::geom
+
+#endif // COTERIE_GEOM_RAY_HH

@@ -1,0 +1,25 @@
+#include "geom/region.hh"
+
+#include <algorithm>
+
+namespace coterie::geom {
+
+Vec2
+Rect::clamp(Vec2 p) const
+{
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+}
+
+std::array<Rect, 4>
+Rect::quadrants() const
+{
+    const Vec2 c = center();
+    return {
+        Rect{lo, c},                       // SW
+        Rect{{c.x, lo.y}, {hi.x, c.y}},    // SE
+        Rect{{lo.x, c.y}, {c.x, hi.y}},    // NW
+        Rect{c, hi},                       // NE
+    };
+}
+
+} // namespace coterie::geom

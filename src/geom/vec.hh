@@ -1,0 +1,120 @@
+/**
+ * @file
+ * 2D/3D vector types used throughout the world model and renderer.
+ * Header-only for inlining in the ray-casting hot path.
+ */
+
+#ifndef COTERIE_GEOM_VEC_HH
+#define COTERIE_GEOM_VEC_HH
+
+#include <cmath>
+
+namespace coterie::geom {
+
+/** 2D vector / point (virtual-world ground plane coordinates, meters). */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+    constexpr Vec2 &operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+    constexpr Vec2 &operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+    constexpr bool operator==(const Vec2 &) const = default;
+
+    constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+    constexpr double lengthSq() const { return dot(*this); }
+    double length() const { return std::sqrt(lengthSq()); }
+    double distance(Vec2 o) const { return (*this - o).length(); }
+    constexpr double distanceSq(Vec2 o) const
+    {
+        return (*this - o).lengthSq();
+    }
+
+    Vec2
+    normalized() const
+    {
+        const double len = length();
+        return len > 0.0 ? Vec2{x / len, y / len} : Vec2{0.0, 0.0};
+    }
+
+    /** Counter-clockwise perpendicular. */
+    constexpr Vec2 perp() const { return {-y, x}; }
+
+    /** Angle from +x axis in radians. */
+    double angle() const { return std::atan2(y, x); }
+
+    static Vec2
+    fromAngle(double radians)
+    {
+        return {std::cos(radians), std::sin(radians)};
+    }
+};
+
+/** 3D vector / point (x,z span the ground plane; y is up, meters). */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(Vec3 o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(Vec3 o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 &operator+=(Vec3 o)
+    {
+        x += o.x; y += o.y; z += o.z;
+        return *this;
+    }
+    constexpr bool operator==(const Vec3 &) const = default;
+
+    constexpr double dot(Vec3 o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+    constexpr Vec3 cross(Vec3 o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    constexpr double lengthSq() const { return dot(*this); }
+    double length() const { return std::sqrt(lengthSq()); }
+    double distance(Vec3 o) const { return (*this - o).length(); }
+
+    Vec3
+    normalized() const
+    {
+        const double len = length();
+        return len > 0.0 ? Vec3{x / len, y / len, z / len}
+                         : Vec3{0.0, 0.0, 0.0};
+    }
+
+    /** Project onto the ground plane (x, z) -> Vec2. */
+    constexpr Vec2 ground() const { return {x, z}; }
+};
+
+/** Lift a ground-plane point into 3D at height @p y. */
+constexpr Vec3
+lift(Vec2 ground, double y)
+{
+    return {ground.x, y, ground.y};
+}
+
+} // namespace coterie::geom
+
+#endif // COTERIE_GEOM_VEC_HH

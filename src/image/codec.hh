@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Intra-frame block-transform codec.
+ *
+ * The paper encodes pre-rendered panoramic frames with x264 (CRF 25,
+ * fastdecode). We substitute a real — if much simpler — lossy intra
+ * codec: YCoCg color transform, 8x8 block Haar transform, dead-zone
+ * quantisation driven by a quality factor, zigzag scan, zero run-length
+ * coding, and varint entropy coding. It produces genuinely
+ * content-dependent byte sizes (flat far-BE frames compress harder than
+ * busy whole-BE frames), which is the property the caching and
+ * bandwidth experiments rely on.
+ */
+
+#ifndef COTERIE_IMAGE_CODEC_HH
+#define COTERIE_IMAGE_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hh"
+
+namespace coterie::image {
+
+/** Codec tuning parameters. */
+struct CodecParams
+{
+    /**
+     * Quality in [1, 100]; higher keeps more coefficients. 60 roughly
+     * corresponds to x264 CRF 25 in perceived quality (SSIM ~0.95+ on
+     * our rendered content).
+     */
+    int quality = 60;
+    /** Subsample chroma 2x in each dimension (like 4:2:0). */
+    bool chromaSubsample = true;
+};
+
+/** An encoded frame: an opaque byte stream plus its dimensions. */
+struct EncodedFrame
+{
+    int width = 0;
+    int height = 0;
+    CodecParams params;
+    std::vector<std::uint8_t> bytes;
+
+    std::size_t sizeBytes() const { return bytes.size(); }
+};
+
+/** Encode an RGB image. */
+EncodedFrame encode(const Image &frame, const CodecParams &params = {});
+
+/** Decode back to RGB; panics on a corrupt stream. */
+Image decode(const EncodedFrame &encoded);
+
+} // namespace coterie::image
+
+#endif // COTERIE_IMAGE_CODEC_HH

@@ -1,0 +1,321 @@
+#include "image/codec_internal.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace coterie::image::detail {
+namespace {
+
+
+constexpr int kBlock = 8;
+
+/** Zigzag scan order for an 8x8 block. */
+const std::array<int, 64> &
+zigzagOrder()
+{
+    static const std::array<int, 64> order = [] {
+        std::array<int, 64> o{};
+        int idx = 0;
+        for (int s = 0; s < 2 * kBlock - 1; ++s) {
+            if (s % 2 == 0) {
+                for (int y = std::min(s, kBlock - 1);
+                     y >= std::max(0, s - kBlock + 1); --y)
+                    o[idx++] = y * kBlock + (s - y);
+            } else {
+                for (int y = std::max(0, s - kBlock + 1);
+                     y <= std::min(s, kBlock - 1); ++y)
+                    o[idx++] = y * kBlock + (s - y);
+            }
+        }
+        return o;
+    }();
+    return order;
+}
+
+/** In-place 1D Haar lifting over 8 samples (3 levels). */
+void
+haar1d(double *v, int stride, bool inverse)
+{
+    double tmp[kBlock];
+    if (!inverse) {
+        int len = kBlock;
+        while (len > 1) {
+            const int half = len / 2;
+            for (int i = 0; i < half; ++i) {
+                const double a = v[(2 * i) * stride];
+                const double b = v[(2 * i + 1) * stride];
+                tmp[i] = (a + b) * 0.5;
+                tmp[half + i] = (a - b) * 0.5;
+            }
+            for (int i = 0; i < len; ++i)
+                v[i * stride] = tmp[i];
+            len = half;
+        }
+    } else {
+        int len = 2;
+        while (len <= kBlock) {
+            const int half = len / 2;
+            for (int i = 0; i < half; ++i) {
+                const double avg = v[i * stride];
+                const double diff = v[(half + i) * stride];
+                tmp[2 * i] = avg + diff;
+                tmp[2 * i + 1] = avg - diff;
+            }
+            for (int i = 0; i < len; ++i)
+                v[i * stride] = tmp[i];
+            len *= 2;
+        }
+    }
+}
+
+/** 2D Haar over an 8x8 block stored row-major. */
+void
+haar2d(double *block, bool inverse)
+{
+    if (!inverse) {
+        for (int y = 0; y < kBlock; ++y)
+            haar1d(block + y * kBlock, 1, false);
+        for (int x = 0; x < kBlock; ++x)
+            haar1d(block + x, kBlock, false);
+    } else {
+        for (int x = 0; x < kBlock; ++x)
+            haar1d(block + x, kBlock, true);
+        for (int y = 0; y < kBlock; ++y)
+            haar1d(block + y * kBlock, 1, true);
+    }
+}
+
+/** Quantisation step for coefficient index (frequency-weighted). */
+double
+quantStep(int zigzag_index, int quality, bool chroma)
+{
+    const double q = std::clamp(quality, 1, 100);
+    // Map quality 1..100 to a base step ~ [24 .. 0.8].
+    const double base = 80.0 / (q + 2.0) * (chroma ? 1.8 : 1.0);
+    // Higher frequencies quantised more coarsely.
+    const double freq = 1.0 + static_cast<double>(zigzag_index) * 0.25;
+    return base * freq;
+}
+
+/** Append an unsigned varint (LEB128). */
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+getVarint(const std::vector<std::uint8_t> &in, std::size_t &pos)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        COTERIE_ASSERT(pos < in.size(), "varint past end of stream");
+        const std::uint8_t byte = in[pos++];
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            break;
+        shift += 7;
+    }
+    return v;
+}
+
+/** ZigZag-map a signed value to unsigned for varint coding. */
+std::uint64_t
+zz(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzz(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+} // namespace
+
+/**
+ * Encode one plane: per 8x8 block, Haar, quantise, zigzag, then emit
+ * (runOfZeros, value) pairs with an end-of-block marker. DC coefficients
+ * are delta-coded across blocks.
+ */
+void
+encodePlane(const std::vector<double> &plane, int w, int h, int quality,
+            bool chroma, std::vector<std::uint8_t> &out)
+{
+    const auto &order = zigzagOrder();
+    std::int64_t prev_dc = 0;
+    for (int by = 0; by < h; by += kBlock) {
+        for (int bx = 0; bx < w; bx += kBlock) {
+            double block[kBlock * kBlock];
+            for (int y = 0; y < kBlock; ++y) {
+                for (int x = 0; x < kBlock; ++x) {
+                    const int sx = std::min(bx + x, w - 1);
+                    const int sy = std::min(by + y, h - 1);
+                    block[y * kBlock + x] =
+                        plane[static_cast<std::size_t>(sy) * w + sx];
+                }
+            }
+            haar2d(block, false);
+
+            std::int64_t q[kBlock * kBlock];
+            for (int i = 0; i < kBlock * kBlock; ++i) {
+                const double step = quantStep(i, quality, chroma);
+                q[i] = static_cast<std::int64_t>(
+                    std::llround(block[order[i]] / step));
+            }
+
+            // DC delta.
+            putVarint(out, zz(q[0] - prev_dc));
+            prev_dc = q[0];
+
+            // AC: run-length of zeros then value; 0-run 63 acts as EOB.
+            int run = 0;
+            for (int i = 1; i < kBlock * kBlock; ++i) {
+                if (q[i] == 0) {
+                    ++run;
+                    continue;
+                }
+                putVarint(out, static_cast<std::uint64_t>(run));
+                putVarint(out, zz(q[i]));
+                run = 0;
+            }
+            putVarint(out, 63); // EOB
+        }
+    }
+}
+
+void
+decodePlane(const std::vector<std::uint8_t> &in, std::size_t &pos, int w,
+            int h, int quality, bool chroma, std::vector<double> &plane)
+{
+    const auto &order = zigzagOrder();
+    plane.assign(static_cast<std::size_t>(w) * h, 0.0);
+    std::int64_t prev_dc = 0;
+    for (int by = 0; by < h; by += kBlock) {
+        for (int bx = 0; bx < w; bx += kBlock) {
+            std::int64_t q[kBlock * kBlock] = {};
+            prev_dc += unzz(getVarint(in, pos));
+            q[0] = prev_dc;
+            // Read (run, value) pairs until the end-of-block marker;
+            // the encoder always emits it, even after a value in the
+            // final coefficient slot.
+            int i = 1;
+            while (true) {
+                const std::uint64_t run = getVarint(in, pos);
+                if (run == 63)
+                    break;
+                i += static_cast<int>(run);
+                COTERIE_ASSERT(i < kBlock * kBlock, "corrupt AC run");
+                q[i] = unzz(getVarint(in, pos));
+                ++i;
+            }
+
+            double block[kBlock * kBlock];
+            for (int j = 0; j < kBlock * kBlock; ++j)
+                block[order[j]] =
+                    static_cast<double>(q[j]) * quantStep(j, quality, chroma);
+            haar2d(block, true);
+
+            for (int y = 0; y < kBlock && by + y < h; ++y)
+                for (int x = 0; x < kBlock && bx + x < w; ++x)
+                    plane[static_cast<std::size_t>(by + y) * w + bx + x] =
+                        block[y * kBlock + x];
+        }
+    }
+}
+
+/** RGB -> YCoCg (lossy in integer domain; we work in doubles). */
+void
+rgbToYcocg(const Image &img, std::vector<double> &yp, std::vector<double> &co,
+           std::vector<double> &cg)
+{
+    const auto n = img.pixelCount();
+    yp.resize(n);
+    co.resize(n);
+    cg.resize(n);
+    const auto &px = img.pixels();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double r = px[i].r, g = px[i].g, b = px[i].b;
+        co[i] = r - b;
+        const double tmp = b + co[i] * 0.5;
+        cg[i] = g - tmp;
+        yp[i] = tmp + cg[i] * 0.5;
+    }
+}
+
+std::uint8_t
+clamp255(double v)
+{
+    return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+Image
+ycocgToRgb(const std::vector<double> &yp, const std::vector<double> &co,
+           const std::vector<double> &cg, int w, int h)
+{
+    Image out(w, h);
+    auto &px = out.pixels();
+    for (std::size_t i = 0; i < px.size(); ++i) {
+        const double tmp = yp[i] - cg[i] * 0.5;
+        const double g = cg[i] + tmp;
+        const double b = tmp - co[i] * 0.5;
+        const double r = b + co[i];
+        px[i] = Rgb{clamp255(r + 0.5), clamp255(g + 0.5), clamp255(b + 0.5)};
+    }
+    return out;
+}
+
+std::vector<double>
+subsample2(const std::vector<double> &plane, int w, int h, int &sw, int &sh)
+{
+    sw = (w + 1) / 2;
+    sh = (h + 1) / 2;
+    std::vector<double> out(static_cast<std::size_t>(sw) * sh);
+    for (int y = 0; y < sh; ++y) {
+        for (int x = 0; x < sw; ++x) {
+            double sum = 0.0;
+            int n = 0;
+            for (int dy = 0; dy < 2; ++dy) {
+                for (int dx = 0; dx < 2; ++dx) {
+                    const int sx = 2 * x + dx;
+                    const int sy = 2 * y + dy;
+                    if (sx < w && sy < h) {
+                        sum += plane[static_cast<std::size_t>(sy) * w + sx];
+                        ++n;
+                    }
+                }
+            }
+            out[static_cast<std::size_t>(y) * sw + x] = sum / n;
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+upsample2(const std::vector<double> &plane, int sw, int sh, int w, int h)
+{
+    std::vector<double> out(static_cast<std::size_t>(w) * h);
+    for (int y = 0; y < h; ++y) {
+        const int sy = std::min(y / 2, sh - 1);
+        for (int x = 0; x < w; ++x) {
+            const int sx = std::min(x / 2, sw - 1);
+            out[static_cast<std::size_t>(y) * w + x] =
+                plane[static_cast<std::size_t>(sy) * sw + sx];
+        }
+    }
+    return out;
+}
+
+
+} // namespace coterie::image::detail

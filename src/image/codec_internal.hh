@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Internal plane-level coding primitives shared by the still-frame
+ * codec (codec.cc) and the video codec (video.cc): Haar transform,
+ * quantisation, zigzag RLE/varint entropy coding, YCoCg conversion and
+ * chroma resampling. Not part of the public API.
+ */
+
+#ifndef COTERIE_IMAGE_CODEC_INTERNAL_HH
+#define COTERIE_IMAGE_CODEC_INTERNAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hh"
+
+namespace coterie::image::detail {
+
+/** Encode one plane into the byte stream (8x8 Haar blocks). */
+void encodePlane(const std::vector<double> &plane, int w, int h,
+                 int quality, bool chroma, std::vector<std::uint8_t> &out);
+
+/** Decode one plane from the stream at @p pos (advances pos). */
+void decodePlane(const std::vector<std::uint8_t> &in, std::size_t &pos,
+                 int w, int h, int quality, bool chroma,
+                 std::vector<double> &plane);
+
+/** RGB <-> YCoCg plane conversion. */
+void rgbToYcocg(const Image &img, std::vector<double> &yp,
+                std::vector<double> &co, std::vector<double> &cg);
+Image ycocgToRgb(const std::vector<double> &yp,
+                 const std::vector<double> &co,
+                 const std::vector<double> &cg, int w, int h);
+
+/** 2x chroma down/up sampling. */
+std::vector<double> subsample2(const std::vector<double> &plane, int w,
+                               int h, int &sw, int &sh);
+std::vector<double> upsample2(const std::vector<double> &plane, int sw,
+                              int sh, int w, int h);
+
+} // namespace coterie::image::detail
+
+#endif // COTERIE_IMAGE_CODEC_INTERNAL_HH

@@ -1,0 +1,125 @@
+#include "image/image.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace coterie::image {
+
+double
+luma(Rgb c)
+{
+    return 0.299 * c.r + 0.587 * c.g + 0.114 * c.b;
+}
+
+Image::Image(int width, int height, Rgb fill)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, fill)
+{
+    COTERIE_ASSERT(width >= 0 && height >= 0, "negative image dims");
+}
+
+Rgb &
+Image::at(int x, int y)
+{
+    COTERIE_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_,
+                   "pixel out of range: ", x, ",", y);
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+const Rgb &
+Image::at(int x, int y) const
+{
+    COTERIE_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_,
+                   "pixel out of range: ", x, ",", y);
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+std::vector<double>
+Image::lumaPlane() const
+{
+    std::vector<double> out;
+    out.reserve(pixels_.size());
+    for (const Rgb &p : pixels_)
+        out.push_back(luma(p));
+    return out;
+}
+
+Image
+Image::downsample(int factor) const
+{
+    COTERIE_ASSERT(factor >= 1, "bad downsample factor");
+    if (factor == 1)
+        return *this;
+    const int w = std::max(1, width_ / factor);
+    const int h = std::max(1, height_ / factor);
+    Image out(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            long sr = 0, sg = 0, sb = 0;
+            int n = 0;
+            for (int dy = 0; dy < factor; ++dy) {
+                for (int dx = 0; dx < factor; ++dx) {
+                    const int sx = x * factor + dx;
+                    const int sy = y * factor + dy;
+                    if (sx < width_ && sy < height_) {
+                        const Rgb &p = at(sx, sy);
+                        sr += p.r; sg += p.g; sb += p.b;
+                        ++n;
+                    }
+                }
+            }
+            out.at(x, y) = Rgb{static_cast<std::uint8_t>(sr / n),
+                               static_cast<std::uint8_t>(sg / n),
+                               static_cast<std::uint8_t>(sb / n)};
+        }
+    }
+    return out;
+}
+
+Image
+Image::crop(int x0, int y0, int w, int h) const
+{
+    x0 = std::clamp(x0, 0, width_);
+    y0 = std::clamp(y0, 0, height_);
+    w = std::clamp(w, 0, width_ - x0);
+    h = std::clamp(h, 0, height_ - y0);
+    Image out(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            out.at(x, y) = at(x0 + x, y0 + y);
+    return out;
+}
+
+double
+Image::meanAbsDiff(const Image &other) const
+{
+    COTERIE_ASSERT(width_ == other.width_ && height_ == other.height_,
+                   "meanAbsDiff on mismatched sizes");
+    if (pixels_.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < pixels_.size(); ++i) {
+        acc += std::abs(int(pixels_[i].r) - int(other.pixels_[i].r));
+        acc += std::abs(int(pixels_[i].g) - int(other.pixels_[i].g));
+        acc += std::abs(int(pixels_[i].b) - int(other.pixels_[i].b));
+    }
+    return acc / (3.0 * static_cast<double>(pixels_.size()));
+}
+
+bool
+Image::writePpm(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+    const bool ok = std::fwrite(pixels_.data(), sizeof(Rgb), pixels_.size(),
+                                f) == pixels_.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace coterie::image

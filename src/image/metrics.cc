@@ -1,0 +1,106 @@
+#include "image/metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "image/ssim.hh"
+#include "support/logging.hh"
+
+namespace coterie::image {
+
+double
+mse(const Image &a, const Image &b)
+{
+    COTERIE_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                   "mse size mismatch");
+    if (a.empty())
+        return 0.0;
+    const auto la = a.lumaPlane();
+    const auto lb = b.lumaPlane();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+        const double d = la[i] - lb[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(la.size());
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    const double err = mse(a, b);
+    if (err <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(255.0 * 255.0 / err);
+}
+
+double
+SsimMap::min() const
+{
+    double m = 1.0;
+    for (double v : values)
+        m = std::min(m, v);
+    return values.empty() ? 0.0 : m;
+}
+
+double
+SsimMap::mean() const
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+SsimMap
+ssimMap(const Image &a, const Image &b, int windowSize)
+{
+    COTERIE_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                   "ssimMap size mismatch");
+    COTERIE_ASSERT(windowSize >= 4, "window too small");
+    SsimMap map;
+    map.tilesX = std::max(1, a.width() / windowSize);
+    map.tilesY = std::max(1, a.height() / windowSize);
+    map.values.reserve(static_cast<std::size_t>(map.tilesX) * map.tilesY);
+    SsimParams params;
+    params.windowSize = std::min(windowSize, 8);
+    params.stride = params.windowSize;
+    for (int ty = 0; ty < map.tilesY; ++ty) {
+        for (int tx = 0; tx < map.tilesX; ++tx) {
+            const Image ta =
+                a.crop(tx * windowSize, ty * windowSize, windowSize,
+                       windowSize);
+            const Image tb =
+                b.crop(tx * windowSize, ty * windowSize, windowSize,
+                       windowSize);
+            map.values.push_back(ssim(ta, tb, params));
+        }
+    }
+    return map;
+}
+
+Image
+readPpm(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return {};
+    char magic[3] = {};
+    int w = 0, h = 0, maxval = 0;
+    if (std::fscanf(f, "%2s %d %d %d", magic, &w, &h, &maxval) != 4 ||
+        std::string(magic) != "P6" || maxval != 255 || w <= 0 || h <= 0) {
+        std::fclose(f);
+        return {};
+    }
+    std::fgetc(f); // single whitespace after the header
+    Image img(w, h);
+    const bool ok = std::fread(img.pixels().data(), sizeof(Rgb),
+                               img.pixelCount(), f) == img.pixelCount();
+    std::fclose(f);
+    return ok ? img : Image{};
+}
+
+} // namespace coterie::image

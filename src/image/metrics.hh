@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Additional image-quality metrics beyond SSIM: MSE/PSNR (the classic
+ * codec-fidelity measures) and a per-block SSIM map useful for
+ * inspecting where two frames diverge (e.g. near the cutoff boundary).
+ */
+
+#ifndef COTERIE_IMAGE_METRICS_HH
+#define COTERIE_IMAGE_METRICS_HH
+
+#include <vector>
+
+#include "image/image.hh"
+
+namespace coterie::image {
+
+/** Mean squared error over the luma plane. */
+double mse(const Image &a, const Image &b);
+
+/** Peak signal-to-noise ratio in dB (infinity for identical frames). */
+double psnr(const Image &a, const Image &b);
+
+/**
+ * Per-window SSIM map: one value per (windowSize x windowSize) tile,
+ * row-major, tiles truncated at the image edge. Useful to localise
+ * merge seams and codec artefacts.
+ */
+struct SsimMap
+{
+    int tilesX = 0;
+    int tilesY = 0;
+    std::vector<double> values;
+
+    double at(int tx, int ty) const
+    {
+        return values[static_cast<std::size_t>(ty) * tilesX + tx];
+    }
+    double min() const;
+    double mean() const;
+};
+
+SsimMap ssimMap(const Image &a, const Image &b, int windowSize = 16);
+
+/** Read a binary PPM (P6) file; returns an empty image on failure. */
+Image readPpm(const std::string &path);
+
+} // namespace coterie::image
+
+#endif // COTERIE_IMAGE_METRICS_HH

@@ -1,0 +1,82 @@
+#include "image/ssim.hh"
+
+#include "support/logging.hh"
+
+namespace coterie::image {
+
+double
+ssimLuma(const std::vector<double> &a, const std::vector<double> &b,
+         int width, int height, const SsimParams &params)
+{
+    COTERIE_ASSERT(a.size() == b.size() &&
+                   a.size() ==
+                       static_cast<std::size_t>(width) * height,
+                   "ssim plane size mismatch");
+    const int win = params.windowSize;
+    const int stride = params.stride > 0 ? params.stride : win;
+    const double c1 = params.k1 * params.dynamicRange;
+    const double c2 = params.k2 * params.dynamicRange;
+    const double C1 = c1 * c1;
+    const double C2 = c2 * c2;
+
+    if (width < win || height < win) {
+        // Degenerate: single window over the whole image.
+        double ma = 0, mb = 0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            ma += a[i];
+            mb += b[i];
+        }
+        const double n = static_cast<double>(a.size());
+        ma /= n; mb /= n;
+        double va = 0, vb = 0, cov = 0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            va += (a[i] - ma) * (a[i] - ma);
+            vb += (b[i] - mb) * (b[i] - mb);
+            cov += (a[i] - ma) * (b[i] - mb);
+        }
+        va /= n; vb /= n; cov /= n;
+        return ((2 * ma * mb + C1) * (2 * cov + C2)) /
+               ((ma * ma + mb * mb + C1) * (va + vb + C2));
+    }
+
+    double acc = 0.0;
+    std::size_t windows = 0;
+    const double inv_n = 1.0 / (static_cast<double>(win) * win);
+    for (int y0 = 0; y0 + win <= height; y0 += stride) {
+        for (int x0 = 0; x0 + win <= width; x0 += stride) {
+            double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+            for (int y = y0; y < y0 + win; ++y) {
+                const double *ra = &a[static_cast<std::size_t>(y) * width];
+                const double *rb = &b[static_cast<std::size_t>(y) * width];
+                for (int x = x0; x < x0 + win; ++x) {
+                    const double pa = ra[x];
+                    const double pb = rb[x];
+                    sa += pa; sb += pb;
+                    saa += pa * pa; sbb += pb * pb;
+                    sab += pa * pb;
+                }
+            }
+            const double ma = sa * inv_n;
+            const double mb = sb * inv_n;
+            const double va = saa * inv_n - ma * ma;
+            const double vb = sbb * inv_n - mb * mb;
+            const double cov = sab * inv_n - ma * mb;
+            acc += ((2 * ma * mb + C1) * (2 * cov + C2)) /
+                   ((ma * ma + mb * mb + C1) * (va + vb + C2));
+            ++windows;
+        }
+    }
+    return windows ? acc / static_cast<double>(windows) : 1.0;
+}
+
+double
+ssim(const Image &a, const Image &b, const SsimParams &params)
+{
+    COTERIE_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                   "ssim size mismatch: ", a.width(), "x", a.height(),
+                   " vs ", b.width(), "x", b.height());
+    return ssimLuma(a.lumaPlane(), b.lumaPlane(), a.width(), a.height(),
+                    params);
+}
+
+} // namespace coterie::image

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Structural Similarity (SSIM) — Wang, Bovik, Sheikh, Simoncelli 2004 —
+ * the metric the paper uses everywhere to quantify frame similarity.
+ * An SSIM above 0.90 is the paper's threshold for "good" visual quality.
+ */
+
+#ifndef COTERIE_IMAGE_SSIM_HH
+#define COTERIE_IMAGE_SSIM_HH
+
+#include "image/image.hh"
+
+namespace coterie::image {
+
+/** Parameters of the SSIM computation. */
+struct SsimParams
+{
+    int windowSize = 8;    ///< square window side (paper uses 8x8 blocks)
+    int stride = 4;        ///< window step; < windowSize -> overlapping
+    double k1 = 0.01;      ///< stabilisation constant C1 = (k1*L)^2
+    double k2 = 0.03;      ///< stabilisation constant C2 = (k2*L)^2
+    double dynamicRange = 255.0;
+};
+
+/** The paper's similarity threshold for reusable / "good" frames. */
+inline constexpr double kGoodSsim = 0.90;
+
+/**
+ * Mean SSIM between the luma planes of two equally-sized images.
+ * Returns 1.0 for identical images; panics on size mismatch.
+ */
+double ssim(const Image &a, const Image &b, const SsimParams &params = {});
+
+/** SSIM on raw luma planes (width*height doubles each). */
+double ssimLuma(const std::vector<double> &a, const std::vector<double> &b,
+                int width, int height, const SsimParams &params = {});
+
+} // namespace coterie::image
+
+#endif // COTERIE_IMAGE_SSIM_HH

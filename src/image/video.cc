@@ -1,0 +1,163 @@
+#include "image/video.hh"
+
+#include "image/codec_internal.hh"
+#include "support/logging.hh"
+
+namespace coterie::image {
+
+namespace {
+
+/** The three YCoCg planes of a frame, chroma at full resolution. */
+struct Planes
+{
+    std::vector<double> y, co, cg;
+};
+
+Planes
+toPlanes(const Image &frame)
+{
+    Planes p;
+    detail::rgbToYcocg(frame, p.y, p.co, p.cg);
+    return p;
+}
+
+/** Encode (cur - ref) per plane; chroma subsampled if configured. */
+void
+encodePlanes(const Planes &planes, int w, int h, const CodecParams &params,
+             std::vector<std::uint8_t> &out)
+{
+    detail::encodePlane(planes.y, w, h, params.quality, false, out);
+    if (params.chromaSubsample) {
+        int sw = 0, sh = 0;
+        const auto co_s = detail::subsample2(planes.co, w, h, sw, sh);
+        const auto cg_s = detail::subsample2(planes.cg, w, h, sw, sh);
+        detail::encodePlane(co_s, sw, sh, params.quality, true, out);
+        detail::encodePlane(cg_s, sw, sh, params.quality, true, out);
+    } else {
+        detail::encodePlane(planes.co, w, h, params.quality, true, out);
+        detail::encodePlane(planes.cg, w, h, params.quality, true, out);
+    }
+}
+
+Planes
+decodePlanes(const std::vector<std::uint8_t> &bytes, int w, int h,
+             const CodecParams &params)
+{
+    Planes p;
+    std::size_t pos = 0;
+    detail::decodePlane(bytes, pos, w, h, params.quality, false, p.y);
+    if (params.chromaSubsample) {
+        const int sw = (w + 1) / 2;
+        const int sh = (h + 1) / 2;
+        std::vector<double> co_s, cg_s;
+        detail::decodePlane(bytes, pos, sw, sh, params.quality, true,
+                            co_s);
+        detail::decodePlane(bytes, pos, sw, sh, params.quality, true,
+                            cg_s);
+        p.co = detail::upsample2(co_s, sw, sh, w, h);
+        p.cg = detail::upsample2(cg_s, sw, sh, w, h);
+    } else {
+        detail::decodePlane(bytes, pos, w, h, params.quality, true, p.co);
+        detail::decodePlane(bytes, pos, w, h, params.quality, true, p.cg);
+    }
+    return p;
+}
+
+Planes
+subtract(const Planes &a, const Planes &b)
+{
+    Planes out = a;
+    for (std::size_t i = 0; i < out.y.size(); ++i) {
+        out.y[i] -= b.y[i];
+        out.co[i] -= b.co[i];
+        out.cg[i] -= b.cg[i];
+    }
+    return out;
+}
+
+void
+addInPlace(Planes &a, const Planes &b)
+{
+    for (std::size_t i = 0; i < a.y.size(); ++i) {
+        a.y[i] += b.y[i];
+        a.co[i] += b.co[i];
+        a.cg[i] += b.cg[i];
+    }
+}
+
+} // namespace
+
+std::size_t
+EncodedVideo::totalBytes() const
+{
+    std::size_t total = 0;
+    for (const EncodedVideoFrame &frame : frames)
+        total += frame.sizeBytes();
+    return total;
+}
+
+EncodedVideo
+encodeVideo(const std::vector<Image> &frames, const VideoParams &params)
+{
+    COTERIE_ASSERT(!frames.empty(), "encoding empty sequence");
+    EncodedVideo video;
+    video.width = frames.front().width();
+    video.height = frames.front().height();
+    video.params = params.codec;
+    video.gopLength = std::max(1, params.gopLength);
+
+    // The encoder tracks the *reconstructed* reference (what the
+    // decoder will see), so quantisation error does not accumulate.
+    Planes reference;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        const Image &frame = frames[i];
+        COTERIE_ASSERT(frame.width() == video.width &&
+                       frame.height() == video.height,
+                       "sequence frames must share dimensions");
+        EncodedVideoFrame out;
+        const Planes cur = toPlanes(frame);
+        const bool intra =
+            i % static_cast<std::size_t>(video.gopLength) == 0;
+        if (intra) {
+            out.type = FrameType::Intra;
+            encodePlanes(cur, video.width, video.height, video.params,
+                         out.bytes);
+            reference = decodePlanes(out.bytes, video.width, video.height,
+                                     video.params);
+        } else {
+            out.type = FrameType::Predicted;
+            const Planes delta = subtract(cur, reference);
+            encodePlanes(delta, video.width, video.height, video.params,
+                         out.bytes);
+            Planes recon = decodePlanes(out.bytes, video.width,
+                                        video.height, video.params);
+            addInPlace(recon, reference);
+            reference = std::move(recon);
+        }
+        video.frames.push_back(std::move(out));
+    }
+    return video;
+}
+
+std::vector<Image>
+decodeVideo(const EncodedVideo &video)
+{
+    std::vector<Image> out;
+    out.reserve(video.frames.size());
+    Planes reference;
+    for (const EncodedVideoFrame &frame : video.frames) {
+        Planes planes = decodePlanes(frame.bytes, video.width,
+                                     video.height, video.params);
+        if (frame.type == FrameType::Predicted) {
+            COTERIE_ASSERT(!reference.y.empty(),
+                           "P-frame before any I-frame");
+            addInPlace(planes, reference);
+        }
+        reference = planes;
+        out.push_back(detail::ycocgToRgb(planes.y, planes.co, planes.cg,
+                                         video.width, video.height));
+    }
+    return out;
+}
+
+} // namespace coterie::image

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sequence (video) codec: I-frames plus predicted P-frames.
+ *
+ * The Coterie server pre-encodes far-BE panoramas of neighbouring grid
+ * points as a video (the paper uses x264). Consecutive far-BE frames
+ * are highly similar — that is the whole premise — so P-frames that
+ * code only the difference against the previously reconstructed frame
+ * compress far better than independent stills. Built on the same
+ * plane-level Haar/quantisation pipeline as the still codec.
+ */
+
+#ifndef COTERIE_IMAGE_VIDEO_HH
+#define COTERIE_IMAGE_VIDEO_HH
+
+#include <vector>
+
+#include "image/codec.hh"
+
+namespace coterie::image {
+
+/** Frame type within an encoded sequence. */
+enum class FrameType : std::uint8_t { Intra, Predicted };
+
+/** One encoded frame of a sequence. */
+struct EncodedVideoFrame
+{
+    FrameType type = FrameType::Intra;
+    std::vector<std::uint8_t> bytes;
+
+    std::size_t sizeBytes() const { return bytes.size(); }
+};
+
+/** An encoded sequence. */
+struct EncodedVideo
+{
+    int width = 0;
+    int height = 0;
+    CodecParams params;
+    int gopLength = 8; ///< an I-frame every gopLength frames
+    std::vector<EncodedVideoFrame> frames;
+
+    std::size_t totalBytes() const;
+};
+
+/** Video encoding options. */
+struct VideoParams
+{
+    CodecParams codec{};
+    int gopLength = 8;
+};
+
+/** Encode a sequence of equally-sized frames. */
+EncodedVideo encodeVideo(const std::vector<Image> &frames,
+                         const VideoParams &params = {});
+
+/** Decode the full sequence. */
+std::vector<Image> decodeVideo(const EncodedVideo &video);
+
+} // namespace coterie::image
+
+#endif // COTERIE_IMAGE_VIDEO_HH

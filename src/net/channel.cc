@@ -1,0 +1,109 @@
+#include "net/channel.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace coterie::net {
+
+SharedChannel::SharedChannel(sim::EventQueue &queue, ChannelParams params)
+    : queue_(queue), params_(params), rng_(params.seed)
+{
+    COTERIE_ASSERT(params.goodputMbps > 0.0, "channel needs capacity");
+}
+
+double
+SharedChannel::currentRateBitsPerMs() const
+{
+    if (transfers_.empty())
+        return 0.0;
+    const auto n = static_cast<double>(transfers_.size());
+    // Fair share with a mild MAC contention penalty per extra station.
+    const double efficiency =
+        std::max(0.3, 1.0 - params_.contentionPenalty * (n - 1.0));
+    const double capacity_bits_per_ms = params_.goodputMbps * 1e3;
+    return capacity_bits_per_ms * efficiency / n;
+}
+
+void
+SharedChannel::progressAndReschedule()
+{
+    const sim::TimeMs now = queue_.now();
+    const double elapsed = now - lastUpdate_;
+    if (elapsed > 0.0 && !transfers_.empty()) {
+        const double served = currentRateBitsPerMs() * elapsed;
+        for (auto &[id, tr] : transfers_)
+            tr.remainingBits = std::max(0.0, tr.remainingBits - served);
+    }
+    lastUpdate_ = now;
+
+    // Fire completions (possibly several at identical finish time).
+    for (auto it = transfers_.begin(); it != transfers_.end();) {
+        if (it->second.remainingBits <= 1e-3) {
+            TransferDone done = std::move(it->second.done);
+            bytesDelivered_ += it->second.totalBytes;
+            it = transfers_.erase(it);
+            if (done)
+                done(now);
+        } else {
+            ++it;
+        }
+    }
+
+    if (transfers_.empty())
+        return;
+
+    // Schedule an event at the earliest projected finish.
+    double min_remaining = std::numeric_limits<double>::infinity();
+    for (const auto &[id, tr] : transfers_)
+        min_remaining = std::min(min_remaining, tr.remainingBits);
+    const double rate = currentRateBitsPerMs();
+    // Floor the reschedule step: double rounding can leave a transfer
+    // with sub-epsilon residual bits, and a zero-width event would
+    // livelock the queue at a fixed timestamp.
+    const double eta = std::max(min_remaining / rate, 1e-6);
+    const std::uint64_t epoch = ++epoch_;
+    queue_.scheduleIn(eta, [this, epoch] {
+        if (epoch == epoch_)
+            progressAndReschedule();
+    });
+}
+
+void
+SharedChannel::startTransfer(std::uint64_t bytes, TransferDone done)
+{
+    // The latency floor (plus optional MAC jitter and loss episodes)
+    // is modeled by delaying the transfer start; a loss episode also
+    // re-serves part of the payload.
+    double delay = params_.baseLatencyMs;
+    double effective_bytes = static_cast<double>(bytes);
+    if (params_.jitterMeanMs > 0.0)
+        delay += rng_.exponential(1.0 / params_.jitterMeanMs);
+    if (params_.lossProbability > 0.0 &&
+        rng_.chance(params_.lossProbability)) {
+        delay += params_.retransmitPenaltyMs;
+        effective_bytes *= 1.0 + params_.retransmitFraction;
+    }
+    queue_.scheduleIn(delay, [this, bytes, effective_bytes,
+                              done = std::move(done)]() {
+        progressAndReschedule(); // bring existing transfers up to now
+        Transfer tr;
+        tr.remainingBits = effective_bytes * 8.0;
+        tr.totalBytes = bytes;
+        tr.done = done;
+        transfers_.emplace(nextId_++, std::move(tr));
+        progressAndReschedule(); // recompute with the new membership
+    });
+}
+
+double
+SharedChannel::meanThroughputMbps() const
+{
+    const double elapsed = queue_.now();
+    if (elapsed <= 0.0)
+        return 0.0;
+    return static_cast<double>(bytesDelivered_) * 8.0 / 1e3 / elapsed;
+}
+
+} // namespace coterie::net

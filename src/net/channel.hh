@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared wireless channel model (802.11ac WLAN).
+ *
+ * The paper's scaling bottleneck is the shared downlink: with N players
+ * the per-frame transfer latency grows ~N-fold (Table 1). We model the
+ * channel as a processor-sharing fluid link: concurrent transfers split
+ * the measured TCP goodput (500 Mbps in the paper's testbed) equally,
+ * plus a fixed per-transfer latency floor (TCP/WiFi RTT).
+ */
+
+#ifndef COTERIE_NET_CHANNEL_HH
+#define COTERIE_NET_CHANNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/event_queue.hh"
+#include "support/rng.hh"
+
+namespace coterie::net {
+
+/** Completion callback for a transfer. */
+using TransferDone = std::function<void(sim::TimeMs completedAt)>;
+
+/** Channel configuration. */
+struct ChannelParams
+{
+    double goodputMbps = 500.0;  ///< measured TCP throughput (iperf)
+    double baseLatencyMs = 1.2;  ///< request + ACK RTT floor
+    /** MAC efficiency loss per extra concurrent station (contention
+     *  overhead beyond pure fair sharing), e.g. 0.03 = 3% per extra. */
+    double contentionPenalty = 0.03;
+    /**
+     * Random per-transfer extra latency (ms, exponential mean); models
+     * WiFi MAC backoff jitter. 0 disables.
+     */
+    double jitterMeanMs = 0.0;
+    /**
+     * Probability that a transfer suffers a TCP loss/retransmission
+     * episode, which adds retransmitPenaltyMs and re-serves a fraction
+     * of the payload. 0 disables.
+     */
+    double lossProbability = 0.0;
+    double retransmitPenaltyMs = 8.0;
+    double retransmitFraction = 0.1;
+    /** Seed for the jitter/loss draws. */
+    std::uint64_t seed = 1234;
+};
+
+/**
+ * Processor-sharing shared link driven by an EventQueue. Start a
+ * transfer with startTransfer(); all in-flight transfers progress at
+ * capacity / nActive, recomputed whenever membership changes.
+ */
+class SharedChannel
+{
+  public:
+    SharedChannel(sim::EventQueue &queue, ChannelParams params = {});
+
+    /** Begin transferring @p bytes; @p done fires on completion. */
+    void startTransfer(std::uint64_t bytes, TransferDone done);
+
+    /** Number of in-flight transfers. */
+    std::size_t active() const { return transfers_.size(); }
+
+    /** Total bytes delivered since construction. */
+    std::uint64_t bytesDelivered() const { return bytesDelivered_; }
+
+    /** Average utilised throughput over the simulation so far (Mbps). */
+    double meanThroughputMbps() const;
+
+    const ChannelParams &params() const { return params_; }
+
+  private:
+    struct Transfer
+    {
+        double remainingBits = 0.0;
+        std::uint64_t totalBytes = 0;
+        TransferDone done;
+    };
+
+    /** Per-transfer service rate (bits/ms) under current contention. */
+    double currentRateBitsPerMs() const;
+
+    /** Advance all transfers to now, then reschedule the next finish. */
+    void progressAndReschedule();
+
+    sim::EventQueue &queue_;
+    ChannelParams params_;
+    std::map<std::uint64_t, Transfer> transfers_;
+    std::uint64_t nextId_ = 0;
+    std::uint64_t epoch_ = 0; ///< invalidates stale finish events
+    sim::TimeMs lastUpdate_ = 0.0;
+    std::uint64_t bytesDelivered_ = 0;
+    Rng rng_;
+};
+
+} // namespace coterie::net
+
+#endif // COTERIE_NET_CHANNEL_HH

@@ -1,0 +1,28 @@
+#include "net/endpoints.hh"
+
+#include <utility>
+
+namespace coterie::net {
+
+FrameServer::FrameServer(sim::EventQueue &queue, SharedChannel &channel,
+                         FrameSizeFn frameSize)
+    : queue_(queue), channel_(channel), frameSize_(std::move(frameSize))
+{
+}
+
+void
+FrameServer::request(std::uint64_t frameKey, FrameDelivered onDelivery)
+{
+    const std::uint64_t bytes = frameSize_(frameKey);
+    const sim::TimeMs issued = queue_.now();
+    channel_.startTransfer(
+        bytes, [this, frameKey, issued,
+                onDelivery = std::move(onDelivery)](sim::TimeMs at) {
+            ++served_;
+            latency_.add(at - issued);
+            if (onDelivery)
+                onDelivery(frameKey, at);
+        });
+}
+
+} // namespace coterie::net

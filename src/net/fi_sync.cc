@@ -1,0 +1,42 @@
+#include "net/fi_sync.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coterie::net {
+
+FiSync::FiSync(FiSyncParams params, std::uint64_t seed)
+    : params_(params), rng_(seed)
+{
+}
+
+double
+FiSync::syncLatencyMs(int players)
+{
+    // Round trip: upload own FI, download combined FI. Slightly more
+    // serialization work with more players.
+    const double base = 2.0 * params_.meanLatencyMs;
+    const double per_player = 0.08 * std::max(0, players - 1);
+    const double jitter =
+        std::abs(rng_.normal(0.0, params_.latencyJitterMs));
+    return base + per_player + jitter;
+}
+
+double
+FiSync::bandwidthKbps(int players) const
+{
+    const double per_tick_bytes =
+        static_cast<double>(params_.bytesPerPlayerTick);
+    if (players <= 1) {
+        // Heartbeat only: one state upload per tick, nothing to fetch.
+        return per_tick_bytes * params_.tickHz * 8.0 / 1e3 * 0.065;
+    }
+    // Each of N players uploads 1 state and downloads N-1 states per
+    // tick, all through the server.
+    const double n = players;
+    const double bytes_per_s =
+        n * (1.0 + (n - 1.0)) * per_tick_bytes * params_.tickHz;
+    return bytes_per_s * 8.0 / 1e3;
+}
+
+} // namespace coterie::net

@@ -1,0 +1,52 @@
+#include "render/camera.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coterie::render {
+
+using geom::Vec3;
+
+Vec3
+Camera::rayDirection(double sx, double sy, double aspect) const
+{
+    const double tan_half = std::tan(fovY * 0.5);
+    // Camera space: +x right, +y up, +z forward.
+    const Vec3 local{sx * tan_half * aspect, sy * tan_half, 1.0};
+    // Rotate by pitch (about x) then yaw (about y). Forward at yaw 0 is
+    // +x in world space.
+    const double cp = std::cos(pitch), sp = std::sin(pitch);
+    const Vec3 pitched{local.x, local.y * cp + local.z * sp,
+                       -local.y * sp + local.z * cp};
+    const double cy = std::cos(yaw), sy2 = std::sin(yaw);
+    // World forward for yaw: (cos yaw, 0, sin yaw); right: (sin yaw, 0,
+    // -cos yaw).
+    const Vec3 forward{cy, 0.0, sy2};
+    const Vec3 right{sy2, 0.0, -cy};
+    const Vec3 up{0.0, 1.0, 0.0};
+    return (right * pitched.x + up * pitched.y + forward * pitched.z)
+        .normalized();
+}
+
+Vec3
+panoramaDirection(double u, double v)
+{
+    const double yaw = u * 2.0 * M_PI;
+    const double pitch = (0.5 - v) * M_PI; // v=0 top (+pi/2)
+    const double cp = std::cos(pitch);
+    return {cp * std::cos(yaw), std::sin(pitch), cp * std::sin(yaw)};
+}
+
+void
+directionToPanoramaUv(Vec3 dir, double &u, double &v)
+{
+    const Vec3 d = dir.normalized();
+    double yaw = std::atan2(d.z, d.x);
+    if (yaw < 0.0)
+        yaw += 2.0 * M_PI;
+    const double pitch = std::asin(std::clamp(d.y, -1.0, 1.0));
+    u = yaw / (2.0 * M_PI);
+    v = 0.5 - pitch / M_PI;
+}
+
+} // namespace coterie::render

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Camera poses and projection descriptions for the two render modes:
+ * perspective FoV frames (what the player sees) and equirectangular
+ * panoramas (what the server pre-renders per grid point, croppable to
+ * any head orientation at no cost — the Furion/Coterie trick).
+ */
+
+#ifndef COTERIE_RENDER_CAMERA_HH
+#define COTERIE_RENDER_CAMERA_HH
+
+#include "geom/vec.hh"
+
+namespace coterie::render {
+
+/** A positioned, oriented perspective camera. */
+struct Camera
+{
+    geom::Vec3 position;
+    double yaw = 0.0;    ///< radians, 0 = +x, counter-clockwise
+    double pitch = 0.0;  ///< radians, positive looks up
+    double fovY = 1.815; ///< ~104 degrees vertical (Daydream-like)
+
+    /** World-space ray direction through normalized screen coords
+     *  (sx, sy) in [-1, 1] with aspect ratio @p aspect. */
+    geom::Vec3 rayDirection(double sx, double sy, double aspect) const;
+};
+
+/** Direction for an equirectangular panorama texel. u,v in [0,1). */
+geom::Vec3 panoramaDirection(double u, double v);
+
+/** Inverse mapping: direction -> (u, v) in the panorama. */
+void directionToPanoramaUv(geom::Vec3 dir, double &u, double &v);
+
+} // namespace coterie::render
+
+#endif // COTERIE_RENDER_CAMERA_HH

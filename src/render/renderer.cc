@@ -1,0 +1,274 @@
+#include "render/renderer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "world/bvh.hh"
+
+namespace coterie::render {
+
+using geom::Hit;
+using geom::Ray;
+using geom::Vec2;
+using geom::Vec3;
+using image::Image;
+using image::Rgb;
+
+namespace {
+
+const Vec3 kSunDir = Vec3{0.45, 0.8, 0.35}.normalized();
+
+Rgb
+applyLight(Rgb base, double intensity)
+{
+    intensity = std::clamp(intensity, 0.0, 2.0);
+    const auto scale = [&](std::uint8_t c) {
+        return static_cast<std::uint8_t>(
+            std::clamp(c * intensity, 0.0, 255.0));
+    };
+    return {scale(base.r), scale(base.g), scale(base.b)};
+}
+
+/**
+ * Mip-filtered procedural texture factor in [1-str, 1+str]. The sample
+ * cell grows with the pixel footprint at the hit distance; blending
+ * between the two nearest cell scales avoids popping.
+ */
+double
+textureFactor(Vec3 point, double hitDist, const RenderOptions &opts)
+{
+    const double footprint =
+        std::max(opts.textureScale, hitDist * opts.pixelAngleRad * 2.0);
+    // Snap cell size to power-of-two multiples of textureScale.
+    const double level = std::log2(footprint / opts.textureScale);
+    const double lo_cell =
+        opts.textureScale * std::exp2(std::floor(level));
+    const double hi_cell = lo_cell * 2.0;
+    const double blend = level - std::floor(level);
+
+    const auto sample = [&](double cell) {
+        const auto qx = static_cast<std::int64_t>(
+            std::floor(point.x / cell));
+        const auto qy = static_cast<std::int64_t>(
+            std::floor(point.y / cell));
+        const auto qz = static_cast<std::int64_t>(
+            std::floor(point.z / cell));
+        const std::uint64_t h = hashCombine(
+            hashCombine(hashMix(static_cast<std::uint64_t>(qx)),
+                        hashMix(static_cast<std::uint64_t>(qy))),
+            hashMix(static_cast<std::uint64_t>(qz)));
+        return (h >> 11) * 0x1.0p-53; // [0, 1)
+    };
+    const double noise =
+        sample(lo_cell) * (1.0 - blend) + sample(hi_cell) * blend;
+    return 1.0 - opts.textureStrength + 2.0 * opts.textureStrength * noise;
+}
+
+/** Run @p fn(row) over [0, rows) on worker threads. */
+template <typename Fn>
+void
+parallelRows(int rows, int threads, Fn &&fn)
+{
+    int n = threads > 0 ? threads
+                        : static_cast<int>(
+                              std::thread::hardware_concurrency());
+    n = std::clamp(n, 1, 64);
+    if (n == 1 || rows < 4) {
+        for (int y = 0; y < rows; ++y)
+            fn(y);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(n));
+    std::atomic<int> next{0};
+    for (int t = 0; t < n; ++t) {
+        pool.emplace_back([&] {
+            for (int y = next.fetch_add(1); y < rows;
+                 y = next.fetch_add(1)) {
+                fn(y);
+            }
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+}
+
+} // namespace
+
+Rgb
+Renderer::shadeRay(const Ray &ray, const RenderOptions &opts) const
+{
+    // Closest object hit within the layer's depth interval.
+    Ray clipped = ray;
+    clipped.tMin = std::max(ray.tMin, opts.layer.nearClip);
+    clipped.tMax = std::min(ray.tMax, opts.layer.farClip);
+
+    Hit obj_hit;
+    if (clipped.tMin < clipped.tMax)
+        obj_hit = world_.bvh().closestHit(clipped);
+
+    // Terrain hit within the same interval.
+    double terrain_t = std::numeric_limits<double>::infinity();
+    if (clipped.tMin < clipped.tMax) {
+        if (auto t = world_.terrain().intersect(clipped,
+                                                opts.terrainMaxDist)) {
+            if (*t >= clipped.tMin && *t <= clipped.tMax)
+                terrain_t = *t;
+        }
+    }
+
+    const bool object_wins = obj_hit.valid() && obj_hit.t < terrain_t;
+    if (object_wins) {
+        const world::WorldObject &obj = world_.object(obj_hit.objectId);
+        double light = 1.0;
+        if (opts.shading) {
+            const double diffuse =
+                std::max(0.0, obj_hit.normal.dot(kSunDir));
+            light = 0.40 + 0.60 * diffuse;
+        }
+        if (opts.texture)
+            light *= textureFactor(obj_hit.point, obj_hit.t, opts);
+        return applyLight(obj.color, light);
+    }
+    if (std::isfinite(terrain_t)) {
+        const Vec3 p = ray.at(terrain_t);
+        const Rgb base = world_.terrain().colorAt(p.ground());
+        double light = 1.0;
+        if (opts.shading) {
+            const double diffuse = std::max(
+                0.0, world_.terrain().normalAt(p.ground()).dot(kSunDir));
+            light = 0.45 + 0.55 * diffuse;
+        }
+        if (opts.texture)
+            light *= textureFactor(p, terrain_t, opts);
+        return applyLight(base, light);
+    }
+
+    // Nothing in this depth layer. Far layers fall through to sky; a
+    // clipped near layer reports the chroma key so merging works.
+    if (std::isfinite(opts.layer.farClip)) {
+        // Check whether something exists beyond the far clip: if the
+        // layer is near-BE, everything beyond belongs to far BE and
+        // this pixel must be transparent.
+        return opts.clipKey;
+    }
+    const double pitch = std::asin(std::clamp(ray.dir.y, -1.0, 1.0));
+    return world_.skyColor(std::max(0.0, pitch));
+}
+
+Image
+Renderer::renderPerspective(const Camera &camera, int width, int height,
+                            const RenderOptions &opts) const
+{
+    Image frame(width, height);
+    const double aspect =
+        static_cast<double>(width) / static_cast<double>(height);
+    RenderOptions local = opts;
+    local.pixelAngleRad = camera.fovY / static_cast<double>(height);
+    parallelRows(height, opts.threads, [&](int y) {
+        const double sy = 1.0 - 2.0 * (y + 0.5) / height;
+        for (int x = 0; x < width; ++x) {
+            const double sx = 2.0 * (x + 0.5) / width - 1.0;
+            Ray ray;
+            ray.origin = camera.position;
+            ray.dir = camera.rayDirection(sx, sy, aspect);
+            frame.at(x, y) = shadeRay(ray, local);
+        }
+    });
+    return frame;
+}
+
+Image
+Renderer::renderPanorama(Vec3 eye, int width, int height,
+                         const RenderOptions &opts) const
+{
+    Image frame(width, height);
+    RenderOptions local = opts;
+    local.pixelAngleRad = M_PI / static_cast<double>(height);
+    parallelRows(height, opts.threads, [&](int y) {
+        const double v = (y + 0.5) / height;
+        for (int x = 0; x < width; ++x) {
+            const double u = (x + 0.5) / width;
+            Ray ray;
+            ray.origin = eye;
+            ray.dir = panoramaDirection(u, v);
+            frame.at(x, y) = shadeRay(ray, local);
+        }
+    });
+    return frame;
+}
+
+Image
+Renderer::merge(const Image &nearLayer, const Image &farLayer, Rgb clipKey)
+{
+    COTERIE_ASSERT(nearLayer.width() == farLayer.width() &&
+                   nearLayer.height() == farLayer.height(),
+                   "merge size mismatch");
+    Image out = farLayer;
+    for (int y = 0; y < out.height(); ++y) {
+        for (int x = 0; x < out.width(); ++x) {
+            const Rgb p = nearLayer.at(x, y);
+            if (!(p == clipKey))
+                out.at(x, y) = p;
+        }
+    }
+    return out;
+}
+
+Image
+cropPanoramaToView(const Image &panorama, const Camera &camera, int width,
+                   int height)
+{
+    Image out(width, height);
+    const double aspect =
+        static_cast<double>(width) / static_cast<double>(height);
+    // Bilinear texture sampling (what the GPU's SphereTexture lookup
+    // does); yaw wraps around, pitch clamps at the poles.
+    const int pw = panorama.width();
+    const int ph = panorama.height();
+    auto sample = [&](double u, double v) {
+        const double fx = u * pw - 0.5;
+        const double fy = v * ph - 0.5;
+        const auto x0 = static_cast<int>(std::floor(fx));
+        const auto y0 = static_cast<int>(std::floor(fy));
+        const double tx = fx - x0;
+        const double ty = fy - y0;
+        auto texel = [&](int x, int y) -> const Rgb & {
+            const int xw = ((x % pw) + pw) % pw;
+            const int yc = std::clamp(y, 0, ph - 1);
+            return panorama.at(xw, yc);
+        };
+        const Rgb &c00 = texel(x0, y0);
+        const Rgb &c10 = texel(x0 + 1, y0);
+        const Rgb &c01 = texel(x0, y0 + 1);
+        const Rgb &c11 = texel(x0 + 1, y0 + 1);
+        auto mix = [&](std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                       std::uint8_t d) {
+            const double top = a * (1.0 - tx) + b * tx;
+            const double bot = c * (1.0 - tx) + d * tx;
+            return static_cast<std::uint8_t>(
+                std::clamp(top * (1.0 - ty) + bot * ty, 0.0, 255.0));
+        };
+        return Rgb{mix(c00.r, c10.r, c01.r, c11.r),
+                   mix(c00.g, c10.g, c01.g, c11.g),
+                   mix(c00.b, c10.b, c01.b, c11.b)};
+    };
+    for (int y = 0; y < height; ++y) {
+        const double sy = 1.0 - 2.0 * (y + 0.5) / height;
+        for (int x = 0; x < width; ++x) {
+            const double sx = 2.0 * (x + 0.5) / width - 1.0;
+            const Vec3 dir = camera.rayDirection(sx, sy, aspect);
+            double u, v;
+            directionToPanoramaUv(dir, u, v);
+            out.at(x, y) = sample(u, v);
+        }
+    }
+    return out;
+}
+
+} // namespace coterie::render

@@ -1,0 +1,76 @@
+#include "render/stereo.hh"
+
+#include <cmath>
+
+namespace coterie::render {
+
+using geom::Vec3;
+using image::Image;
+
+Image
+StereoFrame::composite() const
+{
+    Image out(left.width() + right.width(),
+              std::max(left.height(), right.height()));
+    for (int y = 0; y < left.height(); ++y)
+        for (int x = 0; x < left.width(); ++x)
+            out.at(x, y) = left.at(x, y);
+    for (int y = 0; y < right.height(); ++y)
+        for (int x = 0; x < right.width(); ++x)
+            out.at(left.width() + x, y) = right.at(x, y);
+    return out;
+}
+
+std::pair<Camera, Camera>
+eyeCameras(const Camera &head, const StereoParams &params)
+{
+    // Eyes are displaced along the head's right vector.
+    const double cy = std::cos(head.yaw);
+    const double sy = std::sin(head.yaw);
+    const Vec3 right{sy, 0.0, -cy};
+    Camera left = head;
+    Camera r = head;
+    left.position = head.position - right * (params.ipdMeters / 2.0);
+    r.position = head.position + right * (params.ipdMeters / 2.0);
+    return {left, r};
+}
+
+StereoFrame
+renderStereo(const Renderer &renderer, const Camera &head,
+             const StereoParams &params, const RenderOptions &opts)
+{
+    const auto [left_cam, right_cam] = eyeCameras(head, params);
+    StereoFrame out;
+    out.left = renderer.renderPerspective(left_cam, params.eyeWidth,
+                                          params.eyeHeight, opts);
+    out.right = renderer.renderPerspective(right_cam, params.eyeWidth,
+                                           params.eyeHeight, opts);
+    return out;
+}
+
+StereoFrame
+stereoFromPanorama(const Renderer &renderer, const image::Image &farPanorama,
+                   const Camera &head, double cutoffRadius,
+                   const StereoParams &params)
+{
+    const auto [left_cam, right_cam] = eyeCameras(head, params);
+    StereoFrame out;
+    RenderOptions near_opts;
+    near_opts.layer = DepthLayer::nearBe(cutoffRadius);
+    for (int eye = 0; eye < 2; ++eye) {
+        const Camera &cam = eye == 0 ? left_cam : right_cam;
+        // Far BE: crop of the shared panorama (objects beyond the
+        // cutoff have negligible per-eye parallax — the same argument
+        // that makes far frames reusable across grid points).
+        const Image far_view = cropPanoramaToView(
+            farPanorama, cam, params.eyeWidth, params.eyeHeight);
+        // Near BE: true per-eye render (parallax matters up close).
+        const Image near_view = renderer.renderPerspective(
+            cam, params.eyeWidth, params.eyeHeight, near_opts);
+        Image merged = Renderer::merge(near_view, far_view);
+        (eye == 0 ? out.left : out.right) = std::move(merged);
+    }
+    return out;
+}
+
+} // namespace coterie::render

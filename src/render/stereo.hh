@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Stereo projection — the paper's "Sensing and Projection" module: the
+ * merged frame is projected into two per-eye views (Daydream renders
+ * left/right with a ~64 mm interpupillary offset and converged optics).
+ */
+
+#ifndef COTERIE_RENDER_STEREO_HH
+#define COTERIE_RENDER_STEREO_HH
+
+#include <utility>
+
+#include "render/renderer.hh"
+
+namespace coterie::render {
+
+/** Stereo rig parameters. */
+struct StereoParams
+{
+    double ipdMeters = 0.064;  ///< interpupillary distance
+    int eyeWidth = 1920 / 2;   ///< per-eye resolution (half the panel)
+    int eyeHeight = 1080;
+};
+
+/** The two per-eye frames. */
+struct StereoFrame
+{
+    image::Image left;
+    image::Image right;
+
+    /** Panel layout: left and right side by side. */
+    image::Image composite() const;
+};
+
+/** Per-eye cameras for a head pose. */
+std::pair<Camera, Camera> eyeCameras(const Camera &head,
+                                     const StereoParams &params = {});
+
+/** Render both eyes directly from the world. */
+StereoFrame renderStereo(const Renderer &renderer, const Camera &head,
+                         const StereoParams &params = {},
+                         const RenderOptions &opts = {});
+
+/**
+ * Project a (merged) panorama into both eyes by cropping — the client's
+ * final step: far BE comes from the panorama, so per-eye parallax only
+ * exists for the locally rendered near layer, which is re-rendered per
+ * eye and merged over the shared panorama crop.
+ */
+StereoFrame stereoFromPanorama(const Renderer &renderer,
+                               const image::Image &farPanorama,
+                               const Camera &head, double cutoffRadius,
+                               const StereoParams &params = {});
+
+} // namespace coterie::render
+
+#endif // COTERIE_RENDER_STEREO_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The network model (shared 802.11ac channel, flows, clients) and the
+ * end-to-end system benches run on this queue. Time is kept in double
+ * milliseconds, matching the paper's reporting unit.
+ */
+
+#ifndef COTERIE_SIM_EVENT_QUEUE_HH
+#define COTERIE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace coterie::sim {
+
+/** Simulation time in milliseconds. */
+using TimeMs = double;
+
+/** Callback invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A priority-ordered event queue with stable FIFO ordering among events
+ * scheduled for the same instant.
+ */
+class EventQueue
+{
+  public:
+    /** Current simulation time. */
+    TimeMs now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute time @p when (>= now). */
+    void scheduleAt(TimeMs when, EventFn fn);
+
+    /** Schedule @p fn to run @p delay ms from now. */
+    void scheduleIn(TimeMs delay, EventFn fn);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Run a single event; returns false when the queue is empty. */
+    bool step();
+
+    /** Run until the queue drains or time would exceed @p horizon. */
+    void runUntil(TimeMs horizon);
+
+    /** Run until the queue drains completely. */
+    void runToCompletion();
+
+    /** Drop all pending events and reset the clock to zero. */
+    void reset();
+
+  private:
+    struct Event
+    {
+        TimeMs when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    TimeMs now_ = 0.0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+} // namespace coterie::sim
+
+#endif // COTERIE_SIM_EVENT_QUEUE_HH

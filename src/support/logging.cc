@@ -1,0 +1,60 @@
+#include "support/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace coterie {
+
+namespace {
+
+std::atomic<bool> g_verbose{false};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+verbose()
+{
+    return g_verbose.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+log(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    if (level == LogLevel::Inform && !coterie::verbose())
+        return;
+    std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level), msg.c_str(),
+                 file, line);
+}
+
+void
+logAndDie(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level), msg.c_str(),
+                 file, line);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace coterie

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (aborts), fatal() for unrecoverable user errors (clean exit(1)),
+ * warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef COTERIE_SUPPORT_LOGGING_HH
+#define COTERIE_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace coterie {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Emit a formatted log line to stderr; aborts/exits per level. */
+[[noreturn]] void logAndDie(LogLevel level, const char *file, int line,
+                            const std::string &msg);
+void log(LogLevel level, const char *file, int line, const std::string &msg);
+
+/** Stream-concatenate a variadic pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Enable/disable inform() output globally (benches silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace coterie
+
+/** Internal invariant violated: print and abort (core-dumpable). */
+#define COTERIE_PANIC(...)                                                   \
+    ::coterie::detail::logAndDie(::coterie::LogLevel::Panic, __FILE__,       \
+                                 __LINE__,                                   \
+                                 ::coterie::detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error: print and exit(1). */
+#define COTERIE_FATAL(...)                                                   \
+    ::coterie::detail::logAndDie(::coterie::LogLevel::Fatal, __FILE__,       \
+                                 __LINE__,                                   \
+                                 ::coterie::detail::concat(__VA_ARGS__))
+
+/** Suspicious but survivable condition. */
+#define COTERIE_WARN(...)                                                    \
+    ::coterie::detail::log(::coterie::LogLevel::Warn, __FILE__, __LINE__,    \
+                           ::coterie::detail::concat(__VA_ARGS__))
+
+/** Informational status message (suppressed unless verbose). */
+#define COTERIE_INFORM(...)                                                  \
+    ::coterie::detail::log(::coterie::LogLevel::Inform, __FILE__, __LINE__,  \
+                           ::coterie::detail::concat(__VA_ARGS__))
+
+/** Checked assertion that survives NDEBUG; use for cheap invariants. */
+#define COTERIE_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            COTERIE_PANIC("assertion failed: " #cond " ", __VA_ARGS__);     \
+        }                                                                    \
+    } while (0)
+
+#endif // COTERIE_SUPPORT_LOGGING_HH

@@ -1,0 +1,205 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace coterie {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(n_) *
+               static_cast<double>(other.n_) / total;
+    mean_ = (mean_ * static_cast<double>(n_) +
+             other.mean_ * static_cast<double>(other.n_)) / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    n_ += other.n_;
+}
+
+void
+SampleSet::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::min() const
+{
+    ensureSorted();
+    return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double
+SampleSet::max() const
+{
+    ensureSorted();
+    return samples_.empty() ? 0.0 : samples_.back();
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    COTERIE_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_[0];
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size())
+        return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double
+SampleSet::fractionAbove(double threshold) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it =
+        std::upper_bound(samples_.begin(), samples_.end(), threshold);
+    return static_cast<double>(samples_.end() - it) /
+           static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::fractionAtOrBelow(double threshold) const
+{
+    return 1.0 - fractionAbove(threshold);
+}
+
+std::vector<std::pair<double, double>>
+SampleSet::cdf(std::size_t points) const
+{
+    std::vector<std::pair<double, double>> out;
+    if (samples_.empty() || points == 0)
+        return out;
+    ensureSorted();
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double frac =
+            static_cast<double>(i + 1) / static_cast<double>(points);
+        const auto idx = static_cast<std::size_t>(
+            frac * static_cast<double>(samples_.size() - 1));
+        out.emplace_back(samples_[idx], frac);
+    }
+    return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    COTERIE_ASSERT(hi > lo && bins > 0, "bad histogram spec");
+}
+
+void
+Histogram::add(double x)
+{
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::ptrdiff_t>(
+        frac * static_cast<double>(counts_.size()));
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return binLow(i + 1);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::ostringstream os;
+    std::size_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        os << "[" << binLow(i) << ", " << binHigh(i) << ") "
+           << std::string(bar, '#') << " " << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace coterie

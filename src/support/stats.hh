@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the benches and the
+ * simulation: running mean/variance, percentile sampling, histograms,
+ * and CDF extraction (figures 1, 2, 7 are CDFs).
+ */
+
+#ifndef COTERIE_SUPPORT_STATS_HH
+#define COTERIE_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace coterie {
+
+/**
+ * Streaming mean / variance / min / max accumulator (Welford).
+ */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Unbiased sample variance (0 when < 2 samples). */
+    double variance() const;
+    /** Sample standard deviation. */
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Stores every sample; supports exact percentiles and CDF dumps.
+ * Intended for experiment-sized populations (up to a few million).
+ */
+class SampleSet
+{
+  public:
+    void add(double x);
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** Exact percentile, p in [0, 100]; linear interpolation. */
+    double percentile(double p) const;
+    double median() const { return percentile(50.0); }
+
+    /** Fraction of samples strictly above the threshold. */
+    double fractionAbove(double threshold) const;
+    /** Fraction of samples at or below the threshold. */
+    double fractionAtOrBelow(double threshold) const;
+
+    /**
+     * Extract an n-point CDF as (value, cumulative fraction) pairs,
+     * evenly spaced in cumulative probability.
+     */
+    std::vector<std::pair<double, double>> cdf(std::size_t points = 100) const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Fixed-bin histogram over [lo, hi); out-of-range clamps to edge bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    std::size_t bin(std::size_t i) const { return counts_.at(i); }
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    double binLow(std::size_t i) const;
+    double binHigh(std::size_t i) const;
+
+    /** Render a terminal-friendly bar chart (for bench output). */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace coterie
+
+#endif // COTERIE_SUPPORT_STATS_HH

@@ -1,0 +1,180 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace coterie::trace {
+
+double
+PlayerTrace::pathLength() const
+{
+    double total = 0.0;
+    for (std::size_t i = 1; i < points.size(); ++i)
+        total += points[i].position.distance(points[i - 1].position);
+    return total;
+}
+
+std::vector<world::GridPoint>
+PlayerTrace::gridPath(const world::GridMap &grid) const
+{
+    std::vector<world::GridPoint> path;
+    for (const TracePoint &tp : points) {
+        const world::GridPoint g = grid.snap(tp.position);
+        if (path.empty() || !(path.back() == g))
+            path.push_back(g);
+    }
+    return path;
+}
+
+double
+SessionTrace::durationMs() const
+{
+    double latest = 0.0;
+    for (const PlayerTrace &p : players)
+        if (!p.points.empty())
+            latest = std::max(latest, p.points.back().timeMs);
+    return latest;
+}
+
+TraceCursor::TraceCursor(const PlayerTrace &trace, double tickMs)
+    : trace_(trace), tickMs_(tickMs)
+{
+    COTERIE_ASSERT(tickMs > 0.0, "cursor needs a positive tick");
+    COTERIE_ASSERT(!trace.points.empty(), "cursor over empty trace");
+}
+
+double
+TraceCursor::durationMs() const
+{
+    return static_cast<double>(trace_.points.size() - 1) * tickMs_;
+}
+
+TracePoint
+TraceCursor::at(double timeMs) const
+{
+    const double ticks = std::clamp(
+        timeMs / tickMs_, 0.0,
+        static_cast<double>(trace_.points.size() - 1));
+    const auto lo = static_cast<std::size_t>(ticks);
+    const double frac = ticks - static_cast<double>(lo);
+    const TracePoint &a = trace_.points[lo];
+    if (frac <= 0.0 || lo + 1 >= trace_.points.size())
+        return a;
+    const TracePoint &b = trace_.points[lo + 1];
+    TracePoint out;
+    out.timeMs = timeMs;
+    out.position = a.position + (b.position - a.position) * frac;
+    // Interpolate yaw along the shorter arc.
+    double dyaw = b.yaw - a.yaw;
+    while (dyaw > M_PI)
+        dyaw -= 2.0 * M_PI;
+    while (dyaw < -M_PI)
+        dyaw += 2.0 * M_PI;
+    out.yaw = a.yaw + dyaw * frac;
+    return out;
+}
+
+double
+TraceCursor::speedAt(double timeMs) const
+{
+    const double h = tickMs_ / 2.0;
+    const TracePoint before = at(std::max(0.0, timeMs - h));
+    const TracePoint after = at(std::min(durationMs(), timeMs + h));
+    const double dt_s = (after.timeMs - before.timeMs) / 1000.0;
+    if (dt_s <= 0.0)
+        return 0.0;
+    return before.position.distance(after.position) / dt_s;
+}
+
+bool
+saveTrace(const SessionTrace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "coterie-trace 1\n%s %f %d\n", trace.game.c_str(),
+                 trace.tickMs, trace.playerCount());
+    for (const PlayerTrace &p : trace.players) {
+        std::fprintf(f, "player %d %zu\n", p.playerId, p.points.size());
+        for (const TracePoint &tp : p.points)
+            std::fprintf(f, "%f %f %f %f\n", tp.timeMs, tp.position.x,
+                         tp.position.y, tp.yaw);
+    }
+    std::fclose(f);
+    return true;
+}
+
+SessionTrace
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        COTERIE_FATAL("cannot open trace file: ", path);
+    SessionTrace trace;
+    char magic[64];
+    int version = 0;
+    if (std::fscanf(f, "%63s %d", magic, &version) != 2 ||
+        std::string(magic) != "coterie-trace" || version != 1) {
+        std::fclose(f);
+        COTERIE_FATAL("bad trace header in ", path);
+    }
+    char game[128];
+    int players = 0;
+    if (std::fscanf(f, "%127s %lf %d", game, &trace.tickMs, &players) != 3) {
+        std::fclose(f);
+        COTERIE_FATAL("bad trace session line in ", path);
+    }
+    trace.game = game;
+    for (int i = 0; i < players; ++i) {
+        char kw[32];
+        int pid = 0;
+        std::size_t n = 0;
+        if (std::fscanf(f, "%31s %d %zu", kw, &pid, &n) != 3 ||
+            std::string(kw) != "player") {
+            std::fclose(f);
+            COTERIE_FATAL("bad player header in ", path);
+        }
+        PlayerTrace p;
+        p.playerId = pid;
+        p.points.reserve(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            TracePoint tp;
+            if (std::fscanf(f, "%lf %lf %lf %lf", &tp.timeMs,
+                            &tp.position.x, &tp.position.y, &tp.yaw) != 4) {
+                std::fclose(f);
+                COTERIE_FATAL("truncated trace in ", path);
+            }
+            p.points.push_back(tp);
+        }
+        trace.players.push_back(std::move(p));
+    }
+    std::fclose(f);
+    return trace;
+}
+
+double
+meanPlayerSeparation(const SessionTrace &trace)
+{
+    if (trace.players.size() < 2)
+        return 0.0;
+    double acc = 0.0;
+    std::size_t n = 0;
+    std::size_t ticks = SIZE_MAX;
+    for (const PlayerTrace &p : trace.players)
+        ticks = std::min(ticks, p.points.size());
+    for (std::size_t t = 0; t < ticks; ++t) {
+        for (std::size_t a = 0; a < trace.players.size(); ++a) {
+            for (std::size_t b = a + 1; b < trace.players.size(); ++b) {
+                acc += trace.players[a].points[t].position.distance(
+                    trace.players[b].points[t].position);
+                ++n;
+            }
+        }
+    }
+    return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+} // namespace coterie::trace

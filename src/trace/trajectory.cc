@@ -1,0 +1,184 @@
+#include "trace/trajectory.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "world/gen/track.hh"
+
+namespace coterie::trace {
+
+using geom::Rect;
+using geom::Vec2;
+using world::gen::GameInfo;
+using world::gen::MovementStyle;
+
+namespace {
+
+/** Keep roaming players away from the hard world edge. */
+constexpr double kEdgeMargin = 2.0;
+
+Rect
+shrunk(const Rect &r, double margin)
+{
+    const double m = std::min({margin, r.width() / 4, r.height() / 4});
+    return {r.lo + Vec2{m, m}, r.hi - Vec2{m, m}};
+}
+
+/**
+ * Track-following: player i trails player 0 by i * followGap along the
+ * arc, with a small lateral lane offset and speed jitter.
+ */
+PlayerTrace
+trackTrace(const GameInfo &info, const world::VirtualWorld &world,
+           const TrajectoryParams &params, int player, Rng &rng)
+{
+    world::gen::Track track({{0.0, 0.0}, {info.width, info.height}},
+                            /*seed=*/world.terrain().params().seed);
+    PlayerTrace out;
+    out.playerId = player;
+    const double dt = 1.0 / params.tickHz;
+    const auto ticks =
+        static_cast<std::size_t>(params.durationS * params.tickHz);
+    out.points.reserve(ticks);
+
+    double s = -static_cast<double>(player) * params.followGap * 4.0;
+    const double lane =
+        (player % 2 == 0 ? 1.0 : -1.0) *
+        (0.5 + params.lateralSpread * 0.8 * (player / 2));
+    double speed = info.playerSpeed;
+    for (std::size_t t = 0; t < ticks; ++t) {
+        // Speed wanders +-15% like a human driver.
+        speed += rng.normal(0.0, info.playerSpeed * 0.01);
+        speed = std::clamp(speed, info.playerSpeed * 0.85,
+                           info.playerSpeed * 1.15);
+        s += speed * dt;
+        const Vec2 center = track.pointAt(s);
+        const Vec2 tangent = track.tangentAt(s);
+        const Vec2 pos = center + tangent.perp() * lane;
+        TracePoint tp;
+        tp.timeMs = static_cast<double>(t) * dt * 1000.0;
+        tp.position = world.bounds().clamp(pos);
+        tp.yaw = tangent.angle();
+        out.points.push_back(tp);
+    }
+    return out;
+}
+
+/** Waypoint-roaming leader path; shared by all followers. */
+std::vector<TracePoint>
+leaderRoam(const GameInfo &info, const world::VirtualWorld &world,
+           const TrajectoryParams &params, Rng &rng)
+{
+    const Rect area = shrunk(world.bounds(), kEdgeMargin);
+    const double dt = 1.0 / params.tickHz;
+    const auto ticks =
+        static_cast<std::size_t>(params.durationS * params.tickHz);
+
+    std::vector<TracePoint> pts;
+    pts.reserve(ticks);
+    // Roaming covers the whole playable map: waypoints are uniform in
+    // the (margin-shrunk) world, the way mission/shooter players sweep
+    // a level rather than orbiting one spot.
+    Vec2 pos{rng.uniform(area.lo.x, area.hi.x),
+             rng.uniform(area.lo.y, area.hi.y)};
+    Vec2 waypoint = pos;
+    double yaw = 0.0;
+    for (std::size_t t = 0; t < ticks; ++t) {
+        if (pos.distance(waypoint) < 1.0) {
+            waypoint = Vec2{rng.uniform(area.lo.x, area.hi.x),
+                            rng.uniform(area.lo.y, area.hi.y)};
+        }
+        const Vec2 to_wp = (waypoint - pos).normalized();
+        yaw += rng.normal(0.0, params.headingNoise * dt);
+        const double blend = 0.15;
+        const Vec2 heading =
+            (Vec2::fromAngle(yaw) * (1.0 - blend) + to_wp * blend)
+                .normalized();
+        yaw = heading.angle();
+        pos += heading * (info.playerSpeed * dt);
+        pos = area.clamp(pos);
+        TracePoint tp;
+        tp.timeMs = static_cast<double>(t) * dt * 1000.0;
+        tp.position = pos;
+        tp.yaw = yaw;
+        pts.push_back(tp);
+    }
+    return pts;
+}
+
+/**
+ * Followers trail the leader's *historic* position (followGap seconds
+ * behind) plus a personal lateral offset and jitter: close proximity,
+ * never the identical path.
+ */
+PlayerTrace
+followerFrom(const std::vector<TracePoint> &leader,
+             const TrajectoryParams &params, int player, Rng &rng,
+             const Rect &area, double speed)
+{
+    PlayerTrace out;
+    out.playerId = player;
+    out.points.reserve(leader.size());
+    const double dt_ms = 1000.0 / params.tickHz;
+    const auto lag_ticks = static_cast<std::size_t>(
+        params.followGap / std::max(speed, 0.1) * params.tickHz *
+        static_cast<double>(player));
+    const Vec2 offset{rng.normal(0.0, params.lateralSpread),
+                      rng.normal(0.0, params.lateralSpread)};
+    Vec2 jitter{0.0, 0.0};
+    for (std::size_t t = 0; t < leader.size(); ++t) {
+        const std::size_t src = t > lag_ticks ? t - lag_ticks : 0;
+        // Smooth bounded random-walk jitter.
+        jitter += Vec2{rng.normal(0.0, 0.02), rng.normal(0.0, 0.02)};
+        jitter = jitter * 0.995;
+        TracePoint tp = leader[src];
+        tp.timeMs = static_cast<double>(t) * dt_ms;
+        tp.position = area.clamp(tp.position + offset + jitter);
+        out.points.push_back(tp);
+    }
+    return out;
+}
+
+} // namespace
+
+SessionTrace
+generateTrace(const GameInfo &info, const world::VirtualWorld &world,
+              const TrajectoryParams &params)
+{
+    COTERIE_ASSERT(params.players >= 1, "need at least one player");
+    SessionTrace session;
+    session.game = info.name;
+    session.tickMs = 1000.0 / params.tickHz;
+
+    Rng rng(hashCombine(params.seed, static_cast<std::uint64_t>(info.id)));
+
+    if (info.movement == MovementStyle::TrackFollow) {
+        for (int p = 0; p < params.players; ++p) {
+            Rng prng = rng.fork();
+            session.players.push_back(
+                trackTrace(info, world, params, p, prng));
+        }
+        return session;
+    }
+
+    // Roam / IndoorWalk: leader plus followers.
+    const auto leader = leaderRoam(info, world, params, rng);
+    const Rect area = shrunk(world.bounds(), kEdgeMargin);
+    for (int p = 0; p < params.players; ++p) {
+        if (p == 0) {
+            PlayerTrace lead;
+            lead.playerId = 0;
+            lead.points = leader;
+            session.players.push_back(std::move(lead));
+        } else {
+            Rng prng = rng.fork();
+            session.players.push_back(followerFrom(
+                leader, params, p, prng, area, info.playerSpeed));
+        }
+    }
+    return session;
+}
+
+} // namespace coterie::trace

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Trajectory synthesis: movement models per game genre (Table 2) and
+ * multiplayer proximity coupling.
+ *
+ * Track games: all cars chase each other closely around the loop.
+ * Roaming games: a leader wanders between waypoints; followers trail the
+ * leader with offsets ("multiple avatars closely follow each other").
+ * Indoor games: slow walks inside the room.
+ *
+ * A central property the paper measures (Table 5): players stay *near*
+ * each other but essentially never traverse *exactly* the same path —
+ * follower offsets and per-player jitter guarantee that here too.
+ */
+
+#ifndef COTERIE_TRACE_TRAJECTORY_HH
+#define COTERIE_TRACE_TRAJECTORY_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie::trace {
+
+/** Synthesis knobs. */
+struct TrajectoryParams
+{
+    int players = 1;
+    double durationS = 600.0;      ///< paper: 10-minute plays
+    double tickHz = 60.0;
+    std::uint64_t seed = 7;
+    /** Mean follower distance behind the leader (m). */
+    double followGap = 3.0;
+    /** Per-player lateral offset scale (m). */
+    double lateralSpread = 0.6;
+    /** Heading noise (radians/s RMS). */
+    double headingNoise = 0.35;
+};
+
+/**
+ * Generate a session trace for a game. Movement style and speed come
+ * from the game's GameInfo; the world provides bounds (positions are
+ * kept inside, and outside obstacles for roaming).
+ */
+SessionTrace generateTrace(const world::gen::GameInfo &info,
+                           const world::VirtualWorld &world,
+                           const TrajectoryParams &params);
+
+} // namespace coterie::trace
+
+#endif // COTERIE_TRACE_TRAJECTORY_HH

@@ -1,0 +1,220 @@
+#include "world/bvh.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "support/logging.hh"
+
+namespace coterie::world {
+
+using geom::Aabb;
+using geom::Hit;
+using geom::Ray;
+using geom::Vec2;
+using geom::Vec3;
+
+namespace {
+
+constexpr std::size_t kLeafSize = 4;
+
+} // namespace
+
+Bvh::Bvh(const std::vector<WorldObject> &objects) : objects_(objects)
+{
+    std::vector<std::uint32_t> items(objects.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        items[i] = static_cast<std::uint32_t>(i);
+    if (!items.empty()) {
+        nodes_.reserve(2 * items.size());
+        build(items, 0, items.size());
+    }
+}
+
+std::int32_t
+Bvh::build(std::vector<std::uint32_t> &items, std::size_t begin,
+           std::size_t end)
+{
+    const auto node_index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+
+    Aabb box;
+    for (std::size_t i = begin; i < end; ++i)
+        box.extend(objects_[items[i]].bounds());
+
+    if (end - begin <= kLeafSize) {
+        Node &leaf = nodes_[node_index];
+        leaf.box = box;
+        leaf.left = static_cast<std::int32_t>(items_.size());
+        leaf.count = static_cast<std::int32_t>(end - begin);
+        for (std::size_t i = begin; i < end; ++i)
+            items_.push_back(items[i]);
+        return node_index;
+    }
+
+    // Split along the widest axis at the median of object centers.
+    const Vec3 extent = box.extent();
+    int axis = 0;
+    if (extent.y > extent.x)
+        axis = 1;
+    if (extent.z > (axis == 0 ? extent.x : extent.y))
+        axis = 2;
+
+    const std::size_t mid = (begin + end) / 2;
+    std::nth_element(
+        items.begin() + static_cast<std::ptrdiff_t>(begin),
+        items.begin() + static_cast<std::ptrdiff_t>(mid),
+        items.begin() + static_cast<std::ptrdiff_t>(end),
+        [&](std::uint32_t a, std::uint32_t b) {
+            const Vec3 ca = objects_[a].bounds().center();
+            const Vec3 cb = objects_[b].bounds().center();
+            if (axis == 0)
+                return ca.x < cb.x;
+            if (axis == 1)
+                return ca.y < cb.y;
+            return ca.z < cb.z;
+        });
+
+    const std::int32_t left = build(items, begin, mid);
+    const std::int32_t right = build(items, mid, end);
+    Node &node = nodes_[node_index];
+    node.box = box;
+    node.left = left;
+    node.right = right;
+    node.count = 0;
+    return node_index;
+}
+
+bool
+Bvh::intersectObject(const Ray &ray, const WorldObject &obj, double &t,
+                     Vec3 &normal) const
+{
+    std::optional<double> hit;
+    Vec3 n{0.0, 1.0, 0.0};
+    switch (obj.shape) {
+      case Shape::Sphere:
+        hit = geom::intersectSphere(ray, obj.position, obj.dims.x);
+        if (hit)
+            n = (ray.at(*hit) - obj.position).normalized();
+        break;
+      case Shape::Box:
+        hit = geom::intersectBox(
+            ray, Aabb{obj.position - obj.dims * 0.5,
+                      obj.position + obj.dims * 0.5}, &n);
+        break;
+      case Shape::CylinderY:
+        hit = geom::intersectCylinderY(ray, obj.position, obj.dims.x,
+                                       obj.dims.y, &n);
+        break;
+    }
+    if (!hit)
+        return false;
+    t = *hit;
+    normal = n;
+    return true;
+}
+
+Hit
+Bvh::closestHit(const Ray &ray) const
+{
+    Hit best;
+    best.t = ray.tMax;
+    if (nodes_.empty())
+        return best;
+
+    std::array<std::int32_t, 64> stack;
+    int sp = 0;
+    stack[sp++] = 0;
+    while (sp > 0) {
+        const Node &node = nodes_[stack[--sp]];
+        if (!geom::rayHitsAabb(ray, node.box, best.t))
+            continue;
+        if (node.count > 0) {
+            for (std::int32_t i = 0; i < node.count; ++i) {
+                const std::uint32_t obj_id = items_[node.left + i];
+                const WorldObject &obj = objects_[obj_id];
+                double t;
+                Vec3 normal;
+                if (intersectObject(ray, obj, t, normal) && t < best.t) {
+                    best.t = t;
+                    best.point = ray.at(t);
+                    best.normal = normal;
+                    best.objectId = obj_id;
+                }
+            }
+        } else {
+            COTERIE_ASSERT(sp + 2 <= static_cast<int>(stack.size()),
+                           "BVH traversal stack overflow");
+            stack[sp++] = node.left;
+            stack[sp++] = node.right;
+        }
+    }
+    return best;
+}
+
+bool
+Bvh::anyHit(const Ray &ray) const
+{
+    if (nodes_.empty())
+        return false;
+    std::array<std::int32_t, 64> stack;
+    int sp = 0;
+    stack[sp++] = 0;
+    while (sp > 0) {
+        const Node &node = nodes_[stack[--sp]];
+        if (!geom::rayHitsAabb(ray, node.box, ray.tMax))
+            continue;
+        if (node.count > 0) {
+            for (std::int32_t i = 0; i < node.count; ++i) {
+                const WorldObject &obj = objects_[items_[node.left + i]];
+                double t;
+                Vec3 normal;
+                if (intersectObject(ray, obj, t, normal))
+                    return true;
+            }
+        } else {
+            stack[sp++] = node.left;
+            stack[sp++] = node.right;
+        }
+    }
+    return false;
+}
+
+std::vector<std::uint32_t>
+Bvh::queryDisc(Vec2 center, double radius) const
+{
+    std::vector<std::uint32_t> out;
+    if (nodes_.empty())
+        return out;
+    const double r2 = radius * radius;
+    std::array<std::int32_t, 64> stack;
+    int sp = 0;
+    stack[sp++] = 0;
+    while (sp > 0) {
+        const Node &node = nodes_[stack[--sp]];
+        // Distance from the disc center to the box footprint in XZ.
+        const double dx = std::max(
+            {node.box.lo.x - center.x, 0.0, center.x - node.box.hi.x});
+        const double dz = std::max(
+            {node.box.lo.z - center.y, 0.0, center.y - node.box.hi.z});
+        if (dx * dx + dz * dz > r2)
+            continue;
+        if (node.count > 0) {
+            for (std::int32_t i = 0; i < node.count; ++i) {
+                const std::uint32_t obj_id = items_[node.left + i];
+                const Aabb b = objects_[obj_id].bounds();
+                const double ox = std::max(
+                    {b.lo.x - center.x, 0.0, center.x - b.hi.x});
+                const double oz = std::max(
+                    {b.lo.z - center.y, 0.0, center.y - b.hi.z});
+                if (ox * ox + oz * oz <= r2)
+                    out.push_back(obj_id);
+            }
+        } else {
+            stack[sp++] = node.left;
+            stack[sp++] = node.right;
+        }
+    }
+    return out;
+}
+
+} // namespace coterie::world

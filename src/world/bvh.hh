@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bounding-volume hierarchy over world objects, used by the renderer
+ * (closest-hit ray casts) and by radius queries. Median-split build,
+ * iterative stack traversal.
+ */
+
+#ifndef COTERIE_WORLD_BVH_HH
+#define COTERIE_WORLD_BVH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/intersect.hh"
+#include "geom/ray.hh"
+#include "world/object.hh"
+
+namespace coterie::world {
+
+/**
+ * Static BVH. Leaves hold small runs of object indices; inner nodes are
+ * laid out in a flat array (child indices), friendly to iterative
+ * traversal.
+ */
+class Bvh
+{
+  public:
+    /** Build over the given objects (indices refer into this vector). */
+    explicit Bvh(const std::vector<WorldObject> &objects);
+
+    /**
+     * Closest intersection along the ray within [ray.tMin, ray.tMax],
+     * respecting per-ray interval clipping (this is how near/far BE
+     * separation by cutoff radius is implemented).
+     */
+    geom::Hit closestHit(const geom::Ray &ray) const;
+
+    /** Any-hit predicate (shadow rays). */
+    bool anyHit(const geom::Ray &ray) const;
+
+    /** Ids of objects whose AABB intersects the XZ disc (cylinder). */
+    std::vector<std::uint32_t> queryDisc(geom::Vec2 center,
+                                         double radius) const;
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+  private:
+    struct Node
+    {
+        geom::Aabb box;
+        std::int32_t left = -1;   // inner: child index; leaf: first item
+        std::int32_t right = -1;  // inner: child index; leaf: -1
+        std::int32_t count = 0;   // leaf: number of items; inner: 0
+    };
+
+    std::int32_t build(std::vector<std::uint32_t> &items, std::size_t begin,
+                       std::size_t end);
+    bool intersectObject(const geom::Ray &ray, const WorldObject &obj,
+                         double &t, geom::Vec3 &normal) const;
+
+    const std::vector<WorldObject> &objects_;
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> items_;
+};
+
+} // namespace coterie::world
+
+#endif // COTERIE_WORLD_BVH_HH

@@ -1,0 +1,184 @@
+#include "world/gen/assets.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coterie::world::gen {
+
+using geom::Vec2;
+using geom::Vec3;
+using image::Rgb;
+
+namespace {
+
+Rgb
+jitterColor(Rng &rng, Rgb base, int spread)
+{
+    auto j = [&](int c) {
+        const int v = c + static_cast<int>(rng.uniformInt(-spread, spread));
+        return static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+    };
+    return {j(base.r), j(base.g), j(base.b)};
+}
+
+} // namespace
+
+WorldObject
+makeTree(Rng &rng, Vec2 at, double groundY)
+{
+    WorldObject obj;
+    obj.shape = Shape::CylinderY;
+    obj.kind = AssetKind::Tree;
+    const double height = rng.uniform(5.0, 14.0);
+    const double canopy = rng.uniform(1.2, 3.0);
+    obj.position = geom::lift(at, groundY);
+    obj.dims = Vec3{canopy, height, 0.0};
+    obj.color = jitterColor(rng, {46, 96, 42}, 18);
+    // High-quality foliage assets: 8k-40k triangles.
+    obj.triangles = static_cast<std::uint32_t>(rng.uniform(8000, 40000));
+    return obj;
+}
+
+WorldObject
+makeRock(Rng &rng, Vec2 at, double groundY)
+{
+    WorldObject obj;
+    obj.shape = Shape::Sphere;
+    obj.kind = AssetKind::Rock;
+    const double radius = rng.uniform(0.4, 2.2);
+    obj.position = geom::lift(at, groundY + radius * 0.4);
+    obj.dims = Vec3{radius, 0.0, 0.0};
+    obj.color = jitterColor(rng, {120, 116, 110}, 14);
+    obj.triangles = static_cast<std::uint32_t>(rng.uniform(400, 2500));
+    return obj;
+}
+
+WorldObject
+makeBuilding(Rng &rng, Vec2 at, double groundY)
+{
+    WorldObject obj;
+    obj.shape = Shape::Box;
+    obj.kind = AssetKind::Building;
+    const double w = rng.uniform(4.0, 12.0);
+    const double d = rng.uniform(4.0, 12.0);
+    const double h = rng.uniform(3.5, 9.0);
+    obj.position = geom::lift(at, groundY + h * 0.5);
+    obj.dims = Vec3{w, h, d};
+    obj.color = jitterColor(rng, {150, 120, 90}, 24);
+    obj.triangles = static_cast<std::uint32_t>(rng.uniform(20000, 90000));
+    return obj;
+}
+
+WorldObject
+makeProp(Rng &rng, Vec2 at, double groundY)
+{
+    WorldObject obj;
+    obj.kind = AssetKind::Prop;
+    if (rng.chance(0.5)) {
+        obj.shape = Shape::CylinderY; // barrels, posts
+        const double r = rng.uniform(0.25, 0.7);
+        const double h = rng.uniform(0.6, 1.6);
+        obj.position = geom::lift(at, groundY);
+        obj.dims = Vec3{r, h, 0.0};
+    } else {
+        obj.shape = Shape::Box; // crates, carts, fences
+        const double w = rng.uniform(0.5, 2.5);
+        const double d = rng.uniform(0.5, 2.5);
+        const double h = rng.uniform(0.5, 1.8);
+        obj.position = geom::lift(at, groundY + h * 0.5);
+        obj.dims = Vec3{w, h, d};
+    }
+    obj.color = jitterColor(rng, {140, 105, 70}, 30);
+    obj.triangles = static_cast<std::uint32_t>(rng.uniform(800, 6000));
+    return obj;
+}
+
+WorldObject
+makePerson(Rng &rng, Vec2 at, double groundY)
+{
+    WorldObject obj;
+    obj.shape = Shape::CylinderY;
+    obj.kind = AssetKind::Person;
+    obj.position = geom::lift(at, groundY);
+    obj.dims = Vec3{0.3, rng.uniform(1.6, 1.9), 0.0};
+    obj.color = jitterColor(rng, {180, 140, 120}, 40);
+    obj.triangles = static_cast<std::uint32_t>(rng.uniform(6000, 15000));
+    return obj;
+}
+
+WorldObject
+makeMountain(Rng &rng, Vec2 at, double groundY)
+{
+    WorldObject obj;
+    obj.shape = Shape::Sphere;
+    obj.kind = AssetKind::Rock;
+    const double radius = rng.uniform(35.0, 90.0);
+    // Mostly buried: only the peak rises above the terrain.
+    obj.position = geom::lift(at, groundY - radius * 0.45);
+    obj.dims = Vec3{radius, 0.0, 0.0};
+    obj.color = jitterColor(rng, {105, 108, 112}, 10);
+    // Sculpted mountain meshes are enormous.
+    obj.triangles =
+        static_cast<std::uint32_t>(rng.uniform(250000, 700000));
+    return obj;
+}
+
+WorldObject
+makeDenseProp(Rng &rng, Vec2 at, double groundY)
+{
+    WorldObject obj = makeProp(rng, at, groundY);
+    // Market-square clutter is modeled with full-detail assets.
+    obj.triangles = static_cast<std::uint32_t>(rng.uniform(3000, 16000));
+    return obj;
+}
+
+WorldObject
+makeStandSection(Rng &rng, Vec2 at, double groundY, double facingRadians)
+{
+    (void)facingRadians; // stands are axis-aligned boxes in this model
+    WorldObject obj;
+    obj.shape = Shape::Box;
+    obj.kind = AssetKind::Stand;
+    const double w = rng.uniform(10.0, 18.0);
+    const double d = rng.uniform(6.0, 10.0);
+    const double h = rng.uniform(8.0, 14.0);
+    obj.position = geom::lift(at, groundY + h * 0.5);
+    obj.dims = Vec3{w, h, d};
+    obj.color = jitterColor(rng, {90, 90, 110}, 15);
+    obj.triangles = static_cast<std::uint32_t>(rng.uniform(30000, 80000));
+    return obj;
+}
+
+WorldObject
+makeWallSegment(Vec2 from, Vec2 to, double height, double thickness,
+                Rgb color)
+{
+    WorldObject obj;
+    obj.shape = Shape::Box;
+    obj.kind = AssetKind::Wall;
+    const Vec2 mid = (from + to) * 0.5;
+    const double len_x = std::abs(to.x - from.x);
+    const double len_y = std::abs(to.y - from.y);
+    obj.position = geom::lift(mid, height * 0.5);
+    obj.dims = Vec3{std::max(len_x, thickness), height,
+                    std::max(len_y, thickness)};
+    obj.color = color;
+    obj.triangles = 120;
+    return obj;
+}
+
+WorldObject
+makeFurniture(Rng &rng, Vec2 at, double footprint, double height)
+{
+    WorldObject obj;
+    obj.shape = Shape::Box;
+    obj.kind = AssetKind::Furniture;
+    obj.position = geom::lift(at, height * 0.5);
+    obj.dims = Vec3{footprint, height, footprint * rng.uniform(0.6, 1.4)};
+    obj.color = {rng.chance(0.5) ? std::uint8_t(60) : std::uint8_t(140),
+                 90, 60};
+    obj.triangles = static_cast<std::uint32_t>(rng.uniform(18000, 80000));
+    return obj;
+}
+
+} // namespace coterie::world::gen

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Asset factories shared by the world generators: parameterized trees,
+ * rocks, buildings, props, stands, walls, furniture with triangle
+ * budgets representative of high-quality Unity store assets.
+ */
+
+#ifndef COTERIE_WORLD_GEN_ASSETS_HH
+#define COTERIE_WORLD_GEN_ASSETS_HH
+
+#include "support/rng.hh"
+#include "world/object.hh"
+
+namespace coterie::world::gen {
+
+WorldObject makeTree(Rng &rng, geom::Vec2 at, double groundY);
+WorldObject makeRock(Rng &rng, geom::Vec2 at, double groundY);
+WorldObject makeBuilding(Rng &rng, geom::Vec2 at, double groundY);
+WorldObject makeProp(Rng &rng, geom::Vec2 at, double groundY);
+WorldObject makePerson(Rng &rng, geom::Vec2 at, double groundY);
+WorldObject makeMountain(Rng &rng, geom::Vec2 at, double groundY);
+/** Dense, high-detail clutter (market stalls, ornate props). */
+WorldObject makeDenseProp(Rng &rng, geom::Vec2 at, double groundY);
+WorldObject makeStandSection(Rng &rng, geom::Vec2 at, double groundY,
+                             double facingRadians);
+
+/** Indoor pieces sit on a flat floor (groundY == 0). */
+WorldObject makeWallSegment(geom::Vec2 from, geom::Vec2 to, double height,
+                            double thickness, image::Rgb color);
+WorldObject makeFurniture(Rng &rng, geom::Vec2 at, double footprint,
+                          double height);
+
+} // namespace coterie::world::gen
+
+#endif // COTERIE_WORLD_GEN_ASSETS_HH

@@ -1,0 +1,104 @@
+#include "world/gen/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include <memory>
+
+#include "support/logging.hh"
+#include "world/gen/assets.hh"
+#include "world/gen/track.hh"
+
+namespace coterie::world::gen {
+
+using geom::Vec2;
+using geom::Vec3;
+
+const std::vector<GameInfo> &
+allGames()
+{
+    // Dimensions and grid spacing reproduce Table 3's grid-point counts;
+    // spacing is 1/32 m except the two racing games, whose reachable
+    // grid is track-resolution (0.394 m).
+    static const std::vector<GameInfo> games = {
+        {GameId::Racing, "Racing", "racing/chasing", "racing car movement",
+         SceneType::Outdoor, 1090.0, 1096.0, 0.394,
+         MovementStyle::TrackFollow, 23.6},
+        {GameId::DS, "DS", "racing/chasing", "racing car movement",
+         SceneType::Outdoor, 1286.0, 361.0, 0.394,
+         MovementStyle::TrackFollow, 23.6},
+        {GameId::Viking, "Viking", "competing shooting",
+         "roaming and killing enemies", SceneType::Outdoor, 187.0, 130.0,
+         1.0 / 32.0, MovementStyle::Roam, 1.875},
+        {GameId::CTS, "CTS", "group adventure/mission",
+         "walking and jumping", SceneType::Outdoor, 512.0, 512.0,
+         1.0 / 32.0, MovementStyle::Roam, 1.875},
+        {GameId::FPS, "FPS", "competing shooting",
+         "roaming and killing enemies", SceneType::Outdoor, 71.0, 70.0,
+         1.0 / 32.0, MovementStyle::Roam, 1.875},
+        {GameId::Soccer, "Soccer", "group adventure/mission",
+         "moving and hitting balls", SceneType::Outdoor, 104.0, 140.0,
+         1.0 / 32.0, MovementStyle::Roam, 1.875},
+        {GameId::Pool, "Pool", "static sports", "walking and hitting balls",
+         SceneType::Indoor, 10.0, 13.0, 1.0 / 32.0,
+         MovementStyle::IndoorWalk, 0.9},
+        {GameId::Bowling, "Bowling", "static sports",
+         "walking and throwing balls", SceneType::Indoor, 34.0, 41.0,
+         1.0 / 32.0, MovementStyle::IndoorWalk, 0.9},
+        {GameId::Corridor, "Corridor", "group adventure", "roaming",
+         SceneType::Indoor, 50.0, 30.0, 1.0 / 32.0,
+         MovementStyle::IndoorWalk, 1.2},
+    };
+    return games;
+}
+
+const GameInfo &
+gameInfo(GameId id)
+{
+    for (const GameInfo &info : allGames())
+        if (info.id == id)
+            return info;
+    COTERIE_PANIC("unknown game id");
+}
+
+std::vector<GameId>
+evaluationGames()
+{
+    return {GameId::Viking, GameId::CTS, GameId::Racing};
+}
+
+GridMap
+makeGrid(const GameInfo &info)
+{
+    return GridMap(geom::Rect{{0.0, 0.0}, {info.width, info.height}},
+                   info.gridSpacing);
+}
+
+std::function<bool(geom::Vec2)>
+makeReachability(const GameInfo &info, const VirtualWorld &world)
+{
+    if (info.movement != MovementStyle::TrackFollow)
+        return {}; // everywhere reachable
+    // Track corridor: the drivable band around the centerline.
+    auto track = std::make_shared<Track>(
+        geom::Rect{{0.0, 0.0}, {info.width, info.height}},
+        world.terrain().params().seed);
+    return [track](geom::Vec2 p) { return track->distanceTo(p) < 60.0; };
+}
+
+// Implemented in outdoor.cc / indoor.cc.
+VirtualWorld makeOutdoorWorld(const GameInfo &info, std::uint64_t seed);
+VirtualWorld makeIndoorWorld(const GameInfo &info, std::uint64_t seed);
+
+VirtualWorld
+makeWorld(GameId id, std::uint64_t seed)
+{
+    const GameInfo &info = gameInfo(id);
+    VirtualWorld world = info.sceneType == SceneType::Outdoor
+                             ? makeOutdoorWorld(info, seed)
+                             : makeIndoorWorld(info, seed);
+    world.finalize();
+    return world;
+}
+
+} // namespace coterie::world::gen

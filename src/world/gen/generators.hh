@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Procedural generators for the nine VR game worlds of the paper's
+ * study (Table 2), matching each game's published dimensions and grid
+ * density (Table 3) and its qualitative object-density character
+ * (uniform forest, clustered village, sparse track, dense start/finish,
+ * small indoor rooms, ...). Deterministic in the seed.
+ */
+
+#ifndef COTERIE_WORLD_GEN_GENERATORS_HH
+#define COTERIE_WORLD_GEN_GENERATORS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "world/grid.hh"
+#include "world/world.hh"
+
+namespace coterie::world::gen {
+
+/** The nine study games. */
+enum class GameId
+{
+    Racing,   ///< Racing Mountain: huge sparse track world
+    DS,       ///< Death Speedway: long track, dense start/finish
+    Viking,   ///< Viking Village: small, heavily clustered village
+    CTS,      ///< CTS Procedural World: large quasi-uniform forest
+    FPS,      ///< urban shooter arena
+    Soccer,   ///< stadium: empty pitch ringed by dense stands
+    Pool,     ///< indoor pool hall
+    Bowling,  ///< indoor bowling alley
+    Corridor, ///< indoor corridor complex
+};
+
+/** Movement style of a game's players (drives trace generation). */
+enum class MovementStyle
+{
+    TrackFollow, ///< vehicles on a closed track
+    Roam,        ///< free waypoint roaming outdoors
+    IndoorWalk,  ///< slow walking in a small interior
+};
+
+/** Static facts about a game (mirrors Tables 2 and 3). */
+struct GameInfo
+{
+    GameId id;
+    std::string name;
+    std::string genre;
+    std::string foregroundInteraction;
+    SceneType sceneType;
+    double width;        ///< world x-dimension (m)
+    double height;       ///< world z-dimension (m)
+    double gridSpacing;  ///< grid pitch (m) reproducing Table 3 counts
+    MovementStyle movement;
+    double playerSpeed;  ///< typical movement speed (m/s)
+};
+
+/** All nine games, in the paper's Table 2 order. */
+const std::vector<GameInfo> &allGames();
+
+/** Lookup by id; panics if unknown. */
+const GameInfo &gameInfo(GameId id);
+
+/** The three testbed-evaluation games (§7): Viking, CTS, Racing. */
+std::vector<GameId> evaluationGames();
+
+/** Build the world for a game. */
+VirtualWorld makeWorld(GameId id, std::uint64_t seed = 42);
+
+/** Grid map for a game, using its Table 3 spacing. */
+GridMap makeGrid(const GameInfo &info);
+
+/**
+ * Reachability predicate for a game: roaming/indoor games can reach the
+ * whole world; track games only a corridor around the track. Used by
+ * the offline preprocessing (the server only pre-renders reachable grid
+ * points) and by the adaptive-cutoff partitioner.
+ */
+std::function<bool(geom::Vec2)> makeReachability(const GameInfo &info,
+                                                 const VirtualWorld &world);
+
+} // namespace coterie::world::gen
+
+#endif // COTERIE_WORLD_GEN_GENERATORS_HH

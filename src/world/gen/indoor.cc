@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Indoor world generators: Pool (single hall with tables), Bowling
+ * (lanes and seating), Corridor (a small maze of corridors). Indoor
+ * worlds use a flat floor and bounding walls; their small dimensions
+ * produce the shallow quadtrees of Table 3.
+ */
+
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "world/gen/assets.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie::world::gen {
+
+using geom::Rect;
+using geom::Vec2;
+using image::Rgb;
+
+namespace {
+
+constexpr double kWallHeight = 3.2;
+constexpr double kWallThickness = 0.3;
+
+TerrainParams
+indoorFloor(std::uint64_t seed)
+{
+    TerrainParams t;
+    t.seed = seed;
+    t.flat = true;
+    t.trianglesPerM2 = 80.0;
+    return t;
+}
+
+/** Perimeter walls around the whole world rectangle. */
+void
+addPerimeter(VirtualWorld &world, Rgb color)
+{
+    const Rect b = world.bounds();
+    world.addObject(makeWallSegment({b.lo.x, b.lo.y}, {b.hi.x, b.lo.y},
+                                    kWallHeight, kWallThickness, color));
+    world.addObject(makeWallSegment({b.lo.x, b.hi.y}, {b.hi.x, b.hi.y},
+                                    kWallHeight, kWallThickness, color));
+    world.addObject(makeWallSegment({b.lo.x, b.lo.y}, {b.lo.x, b.hi.y},
+                                    kWallHeight, kWallThickness, color));
+    world.addObject(makeWallSegment({b.hi.x, b.lo.y}, {b.hi.x, b.hi.y},
+                                    kWallHeight, kWallThickness, color));
+}
+
+VirtualWorld
+makePool(const GameInfo &info, std::uint64_t seed)
+{
+    VirtualWorld world(info.name, {{0.0, 0.0}, {info.width, info.height}},
+                       indoorFloor(seed), SceneType::Indoor);
+    Rng rng(hashCombine(seed, 0x3001));
+    addPerimeter(world, {110, 95, 80});
+
+    // Two pool tables with surrounding chairs and a bar counter.
+    for (const double cy : {4.0, 9.0}) {
+        const Vec2 at{info.width / 2, cy};
+        WorldObject table = makeFurniture(rng, at, 2.6, 0.85);
+        table.color = {20, 90, 40};
+        table.triangles = 18000;
+        world.addObject(table);
+        for (int k = 0; k < 4; ++k) {
+            const double theta = 2.0 * M_PI * k / 4 + 0.4;
+            world.addObject(makeFurniture(
+                rng, at + Vec2{2.2 * std::cos(theta), 2.2 * std::sin(theta)},
+                0.5, 1.0));
+        }
+    }
+    world.addObject(makeFurniture(rng, {1.4, info.height / 2}, 1.0, 1.1));
+    return world;
+}
+
+VirtualWorld
+makeBowling(const GameInfo &info, std::uint64_t seed)
+{
+    VirtualWorld world(info.name, {{0.0, 0.0}, {info.width, info.height}},
+                       indoorFloor(seed), SceneType::Indoor);
+    Rng rng(hashCombine(seed, 0xB0));
+    addPerimeter(world, {100, 100, 115});
+
+    // Uniform rows of lanes with pin decks and ball returns: the most
+    // homogeneous of the nine worlds (complete depth-2 quadtree).
+    const int lanes = 8;
+    const double lane_pitch = info.width / (lanes + 1);
+    for (int lane = 1; lane <= lanes; ++lane) {
+        const double x = lane * lane_pitch;
+        WorldObject deck = makeFurniture(rng, {x, info.height - 5.0},
+                                         1.2, 0.6);
+        deck.color = {200, 195, 180};
+        world.addObject(deck);
+        WorldObject ret = makeFurniture(rng, {x, 8.0}, 0.8, 0.9);
+        ret.color = {60, 60, 70};
+        world.addObject(ret);
+        world.addObject(makeFurniture(rng, {x, 4.0}, 0.9, 0.8));
+    }
+    return world;
+}
+
+VirtualWorld
+makeCorridor(const GameInfo &info, std::uint64_t seed)
+{
+    VirtualWorld world(info.name, {{0.0, 0.0}, {info.width, info.height}},
+                       indoorFloor(seed), SceneType::Indoor);
+    Rng rng(hashCombine(seed, 0xC0DE));
+    addPerimeter(world, {90, 88, 95});
+
+    // Interior walls form corridors: vertical walls with door gaps.
+    const Rgb wall_color{105, 100, 96};
+    for (double x = 10.0; x < info.width - 5.0; x += 10.0) {
+        const double gap_at = rng.uniform(6.0, info.height - 6.0);
+        world.addObject(makeWallSegment({x, 0.0}, {x, gap_at - 1.5},
+                                        kWallHeight, kWallThickness,
+                                        wall_color));
+        world.addObject(makeWallSegment({x, gap_at + 1.5},
+                                        {x, info.height}, kWallHeight,
+                                        kWallThickness, wall_color));
+    }
+    // One long cross corridor.
+    world.addObject(makeWallSegment({0.0, info.height / 2},
+                                    {info.width * 0.45, info.height / 2},
+                                    kWallHeight, kWallThickness,
+                                    wall_color));
+    // Scattered props (crates, pipes).
+    for (int i = 0; i < 30; ++i) {
+        const Vec2 at{rng.uniform(1.0, info.width - 1.0),
+                      rng.uniform(1.0, info.height - 1.0)};
+        world.addObject(makeFurniture(rng, at, rng.uniform(0.4, 1.2),
+                                      rng.uniform(0.5, 1.6)));
+    }
+    return world;
+}
+
+} // namespace
+
+VirtualWorld
+makeIndoorWorld(const GameInfo &info, std::uint64_t seed)
+{
+    switch (info.id) {
+      case GameId::Pool:     return makePool(info, seed);
+      case GameId::Bowling:  return makeBowling(info, seed);
+      case GameId::Corridor: return makeCorridor(info, seed);
+      default: break;
+    }
+    COTERIE_PANIC("not an indoor game");
+}
+
+} // namespace coterie::world::gen

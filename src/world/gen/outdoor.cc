@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Outdoor world generators: Viking (clustered village), CTS (large
+ * quasi-uniform forest), FPS (urban arena), Soccer (stadium), Racing
+ * and DS (track worlds, one sparse with a trackside forest, one with
+ * dense start/finish zones).
+ */
+
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "world/gen/assets.hh"
+#include "world/gen/generators.hh"
+#include "world/gen/track.hh"
+
+namespace coterie::world::gen {
+
+using geom::Rect;
+using geom::Vec2;
+
+namespace {
+
+Rect
+worldRect(const GameInfo &info)
+{
+    return {{0.0, 0.0}, {info.width, info.height}};
+}
+
+/** Place @p n objects via @p factory, rejecting points outside bounds. */
+template <typename Factory>
+void
+scatter(VirtualWorld &world, Rng &rng, Rect area, int n, Factory &&factory)
+{
+    for (int i = 0; i < n; ++i) {
+        const Vec2 at{rng.uniform(area.lo.x, area.hi.x),
+                      rng.uniform(area.lo.y, area.hi.y)};
+        if (!world.bounds().containsClosed(at))
+            continue;
+        world.addObject(factory(rng, at, world.terrain().heightAt(at)));
+    }
+}
+
+/** Gaussian cluster of objects around a center. */
+template <typename Factory>
+void
+cluster(VirtualWorld &world, Rng &rng, Vec2 center, double sigma, int n,
+        Factory &&factory)
+{
+    for (int i = 0; i < n; ++i) {
+        const Vec2 at = center + Vec2{rng.normal(0.0, sigma),
+                                      rng.normal(0.0, sigma)};
+        if (!world.bounds().containsClosed(at))
+            continue;
+        world.addObject(factory(rng, at, world.terrain().heightAt(at)));
+    }
+}
+
+VirtualWorld
+makeViking(const GameInfo &info, std::uint64_t seed)
+{
+    TerrainParams terrain;
+    terrain.seed = seed;
+    terrain.amplitude = 2.5;
+    terrain.featureScale = 45.0;
+    terrain.trianglesPerM2 = 40.0;
+    VirtualWorld world(info.name, worldRect(info), terrain);
+    Rng rng(hashCombine(seed, 0x71C1));
+
+    // The village covers the whole (small) map: hut clusters at jittered
+    // grid sites with varying clutter density. Object density therefore
+    // varies at every scale, which is what drives Viking's nearly
+    // complete depth-6 quadtree in Table 3.
+    const double pitch = 26.0;
+    for (double x = pitch / 2; x < info.width; x += pitch) {
+        for (double y = pitch / 2; y < info.height; y += pitch) {
+            if (!rng.chance(0.75))
+                continue; // leave clearings
+            const Vec2 site{x + rng.uniform(-6.0, 6.0),
+                            y + rng.uniform(-6.0, 6.0)};
+            const double richness = rng.uniform(0.1, 2.2);
+            cluster(world, rng, site, 9.0,
+                    static_cast<int>(3 * richness), makeBuilding);
+            cluster(world, rng, site, 9.0,
+                    static_cast<int>(52 * richness), makeProp);
+            cluster(world, rng, site, 9.0,
+                    static_cast<int>(5 * richness), makePerson);
+        }
+    }
+    // Market square: a dense knot of high-detail clutter anchoring the
+    // smallest cutoff radii of the whole study (Figure 8's 2 m bins).
+    const Vec2 center = world.bounds().center();
+    cluster(world, rng, center, 6.0, 250, makeDenseProp);
+    cluster(world, rng, center, 6.0, 25, makePerson);
+
+    // Trees and rocks interspersed.
+    scatter(world, rng, world.bounds(), 150, makeTree);
+    scatter(world, rng, world.bounds(), 100, makeRock);
+    return world;
+}
+
+VirtualWorld
+makeCts(const GameInfo &info, std::uint64_t seed)
+{
+    TerrainParams terrain;
+    terrain.seed = seed;
+    terrain.amplitude = 6.0;
+    terrain.featureScale = 90.0;
+    terrain.trianglesPerM2 = 30.0;
+    VirtualWorld world(info.name, worldRect(info), terrain);
+    Rng rng(hashCombine(seed, 0xC75));
+
+    // Quasi-uniform forest: jittered grid with mild noise-modulated
+    // density (shallow, regular quadtree).
+    const double cell = 7.0;
+    for (double x = cell / 2; x < info.width; x += cell) {
+        for (double y = cell / 2; y < info.height; y += cell) {
+            // Mild spatial density modulation.
+            const double keep =
+                0.45 + 0.25 * std::sin(x / 97.0) * std::cos(y / 83.0);
+            if (!rng.chance(keep))
+                continue;
+            const Vec2 at{x + rng.uniform(-cell / 2, cell / 2),
+                          y + rng.uniform(-cell / 2, cell / 2)};
+            if (!world.bounds().containsClosed(at))
+                continue;
+            const double ground = world.terrain().heightAt(at);
+            if (rng.chance(0.9))
+                world.addObject(makeTree(rng, at, ground));
+            else
+                world.addObject(makeRock(rng, at, ground));
+        }
+    }
+    return world;
+}
+
+VirtualWorld
+makeFps(const GameInfo &info, std::uint64_t seed)
+{
+    TerrainParams terrain;
+    terrain.seed = seed;
+    terrain.amplitude = 0.8;
+    terrain.featureScale = 30.0;
+    terrain.trianglesPerM2 = 30.0;
+    VirtualWorld world(info.name, worldRect(info), terrain);
+    Rng rng(hashCombine(seed, 0xF125));
+
+    // Urban arena: perimeter buildings, interior cover props.
+    const Rect b = world.bounds();
+    const double margin = 7.0;
+    for (double x = margin; x < info.width - margin; x += 13.0) {
+        for (const double y : {margin, info.height - margin}) {
+            const Vec2 at{x + rng.uniform(-2.0, 2.0), y};
+            world.addObject(
+                makeBuilding(rng, at, world.terrain().heightAt(at)));
+        }
+    }
+    for (double y = margin + 13.0; y < info.height - margin - 13.0;
+         y += 13.0) {
+        for (const double x : {margin, info.width - margin}) {
+            const Vec2 at{x, y + rng.uniform(-2.0, 2.0)};
+            world.addObject(
+                makeBuilding(rng, at, world.terrain().heightAt(at)));
+        }
+    }
+    scatter(world, rng, Rect{b.lo + Vec2{12, 12}, b.hi - Vec2{12, 12}}, 110,
+            makeProp);
+    scatter(world, rng, b, 18, makePerson);
+    // Interior city blocks: density contrast inside the arena drives
+    // the deeper quadtree the paper reports for FPS (208 leaves).
+    for (double x = 22.0; x < info.width - 20.0; x += 16.0) {
+        for (double y = 22.0; y < info.height - 20.0; y += 16.0) {
+            if (!rng.chance(0.55))
+                continue;
+            const Vec2 at{x + rng.uniform(-3.0, 3.0),
+                          y + rng.uniform(-3.0, 3.0)};
+            world.addObject(
+                makeBuilding(rng, at, world.terrain().heightAt(at)));
+            cluster(world, rng, at, 4.0, 14, makeDenseProp);
+        }
+    }
+    return world;
+}
+
+VirtualWorld
+makeSoccer(const GameInfo &info, std::uint64_t seed)
+{
+    TerrainParams terrain;
+    terrain.seed = seed;
+    terrain.amplitude = 0.3;
+    terrain.featureScale = 50.0;
+    terrain.trianglesPerM2 = 20.0;
+    VirtualWorld world(info.name, worldRect(info), terrain);
+    Rng rng(hashCombine(seed, 0x50CC));
+
+    // Empty central pitch ringed by dense stands and crowd figures.
+    const Vec2 c = world.bounds().center();
+    const double pitch_w = 40.0, pitch_h = 60.0;
+    const double ring_w = pitch_w / 2 + 12.0;
+    const double ring_h = pitch_h / 2 + 12.0;
+    const int sections = 26;
+    for (int i = 0; i < sections; ++i) {
+        const double theta = 2.0 * M_PI * i / sections;
+        const Vec2 at = c + Vec2{ring_w * std::cos(theta) * 1.25,
+                                 ring_h * std::sin(theta) * 1.15};
+        if (!world.bounds().containsClosed(at))
+            continue;
+        world.addObject(makeStandSection(
+            rng, at, world.terrain().heightAt(at), theta));
+        cluster(world, rng, at, 5.0, 3, makePerson);
+    }
+    // A few props near the touchlines.
+    cluster(world, rng, c + Vec2{0.0, pitch_h / 2 + 4.0}, 6.0, 14, makeProp);
+    cluster(world, rng, c - Vec2{0.0, pitch_h / 2 + 4.0}, 6.0, 14, makeProp);
+    return world;
+}
+
+VirtualWorld
+makeRacing(const GameInfo &info, std::uint64_t seed)
+{
+    TerrainParams terrain;
+    terrain.seed = seed;
+    terrain.amplitude = 14.0;
+    terrain.featureScale = 220.0;
+    terrain.trianglesPerM2 = 14.0;
+    VirtualWorld world(info.name, worldRect(info), terrain);
+    Rng rng(hashCombine(seed, 0x6ACE));
+
+    Track track(worldRect(info), seed);
+    // A forest hugging one sector of the track ("a few regions along the
+    // track are very close to a forest of trees"), sparse elsewhere.
+    const auto &pts = track.samples();
+    const std::size_t forest_begin = pts.size() / 8;
+    const std::size_t forest_end = pts.size() / 8 + pts.size() / 5;
+    for (std::size_t i = forest_begin; i < forest_end; i += 6) {
+        const Vec2 base = pts[i % pts.size()];
+        for (int k = 0; k < 3; ++k) {
+            const Vec2 at = base + Vec2{rng.normal(0.0, 24.0),
+                                        rng.normal(0.0, 24.0)};
+            if (world.bounds().containsClosed(at) &&
+                track.distanceTo(at) > 12.0) {
+                world.addObject(
+                    makeTree(rng, at, world.terrain().heightAt(at)));
+            }
+        }
+    }
+    // Start-line paddock, set back from the racing line.
+    const Vec2 paddock =
+        track.start() + track.tangentAt(0.0).perp() * 22.0;
+    cluster(world, rng, paddock, 12.0, 5, makeBuilding);
+    cluster(world, rng, paddock, 12.0, 15, makeProp);
+    // Sparse rocks across the vast world.
+    scatter(world, rng, world.bounds(), 220, makeRock);
+    // The mountain range the game is named for: huge sculpted meshes
+    // well away from the track. They dominate the Mobile whole-scene
+    // render cost but never enter any near BE.
+    for (int i = 0; i < 350; ++i) {
+        const Vec2 at{rng.uniform(0.0, info.width),
+                      rng.uniform(0.0, info.height)};
+        if (track.distanceTo(at) > 110.0) {
+            world.addObject(
+                makeMountain(rng, at, world.terrain().heightAt(at)));
+        }
+    }
+    return world;
+}
+
+VirtualWorld
+makeDs(const GameInfo &info, std::uint64_t seed)
+{
+    TerrainParams terrain;
+    terrain.seed = seed;
+    terrain.amplitude = 8.0;
+    terrain.featureScale = 160.0;
+    terrain.trianglesPerM2 = 14.0;
+    VirtualWorld world(info.name, worldRect(info), terrain);
+    Rng rng(hashCombine(seed, 0xD5));
+
+    Track track(worldRect(info), seed, 0.08);
+    // Dense start/finish zone: stadiums, buildings, crowds.
+    const Vec2 start = track.start();
+    for (int i = 0; i < 6; ++i) {
+        const Vec2 at = start + Vec2{rng.normal(0.0, 30.0),
+                                     rng.normal(0.0, 18.0)};
+        if (world.bounds().containsClosed(at) &&
+            track.distanceTo(at) > 8.0) {
+            world.addObject(makeStandSection(
+                rng, at, world.terrain().heightAt(at), 0.0));
+        }
+    }
+    cluster(world, rng, start, 35.0, 14, makeBuilding);
+    cluster(world, rng, start, 35.0, 60, makePerson);
+    cluster(world, rng, start, 35.0, 40, makeProp);
+    // The rest of the long world is nearly empty.
+    scatter(world, rng, world.bounds(), 90, makeRock);
+    scatter(world, rng, world.bounds(), 60, makeTree);
+    for (int i = 0; i < 200; ++i) {
+        const Vec2 at{rng.uniform(0.0, info.width),
+                      rng.uniform(0.0, info.height)};
+        if (track.distanceTo(at) > 110.0 && start.distance(at) > 150.0) {
+            world.addObject(
+                makeMountain(rng, at, world.terrain().heightAt(at)));
+        }
+    }
+    return world;
+}
+
+} // namespace
+
+VirtualWorld
+makeOutdoorWorld(const GameInfo &info, std::uint64_t seed)
+{
+    switch (info.id) {
+      case GameId::Viking: return makeViking(info, seed);
+      case GameId::CTS:    return makeCts(info, seed);
+      case GameId::FPS:    return makeFps(info, seed);
+      case GameId::Soccer: return makeSoccer(info, seed);
+      case GameId::Racing: return makeRacing(info, seed);
+      case GameId::DS:     return makeDs(info, seed);
+      default: break;
+    }
+    COTERIE_PANIC("not an outdoor game");
+}
+
+} // namespace coterie::world::gen

@@ -1,0 +1,85 @@
+#include "world/gen/track.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace coterie::world::gen {
+
+using geom::Rect;
+using geom::Vec2;
+
+Track::Track(Rect bounds, std::uint64_t seed, double wobble)
+{
+    const Vec2 center = bounds.center();
+    const double rx = bounds.width() * 0.38;
+    const double ry = bounds.height() * 0.38;
+
+    // Low-order Fourier wobble keeps the loop smooth and closed.
+    Rng rng(seed);
+    const int harmonics = 3;
+    std::vector<double> amp(harmonics), phase(harmonics);
+    for (int h = 0; h < harmonics; ++h) {
+        amp[h] = rng.uniform(0.0, wobble / (h + 1));
+        phase[h] = rng.uniform(0.0, 2.0 * M_PI);
+    }
+
+    const int n = 2048;
+    points_.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        const double theta = 2.0 * M_PI * i / n;
+        double radial = 1.0;
+        for (int h = 0; h < harmonics; ++h)
+            radial += amp[h] * std::sin((h + 2) * theta + phase[h]);
+        points_.push_back(center + Vec2{rx * radial * std::cos(theta),
+                                        ry * radial * std::sin(theta)});
+    }
+
+    cumLength_.resize(points_.size() + 1);
+    cumLength_[0] = 0.0;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        const Vec2 &a = points_[i];
+        const Vec2 &b = points_[(i + 1) % points_.size()];
+        cumLength_[i + 1] = cumLength_[i] + a.distance(b);
+    }
+    totalLength_ = cumLength_.back();
+    COTERIE_ASSERT(totalLength_ > 0.0, "degenerate track");
+}
+
+Vec2
+Track::pointAt(double s) const
+{
+    s = std::fmod(s, totalLength_);
+    if (s < 0.0)
+        s += totalLength_;
+    const auto it =
+        std::upper_bound(cumLength_.begin(), cumLength_.end(), s);
+    const auto seg = static_cast<std::size_t>(
+        std::max<std::ptrdiff_t>(0, it - cumLength_.begin() - 1));
+    const double seg_start = cumLength_[seg];
+    const double seg_len = cumLength_[seg + 1] - seg_start;
+    const double t = seg_len > 0.0 ? (s - seg_start) / seg_len : 0.0;
+    const Vec2 &a = points_[seg % points_.size()];
+    const Vec2 &b = points_[(seg + 1) % points_.size()];
+    return a + (b - a) * t;
+}
+
+Vec2
+Track::tangentAt(double s) const
+{
+    const double eps = totalLength_ / static_cast<double>(points_.size());
+    return (pointAt(s + eps) - pointAt(s)).normalized();
+}
+
+double
+Track::distanceTo(Vec2 p) const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const Vec2 &q : points_)
+        best = std::min(best, p.distanceSq(q));
+    return std::sqrt(best);
+}
+
+} // namespace coterie::world::gen

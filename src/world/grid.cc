@@ -1,0 +1,59 @@
+#include "world/grid.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace coterie::world {
+
+using geom::Rect;
+using geom::Vec2;
+
+GridMap::GridMap(Rect bounds, double spacing)
+    : bounds_(bounds), spacing_(spacing)
+{
+    COTERIE_ASSERT(spacing > 0.0, "grid spacing must be positive");
+    cols_ = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::floor(bounds.width() / spacing)));
+    rows_ = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::floor(bounds.height() / spacing)));
+}
+
+GridPoint
+GridMap::snap(Vec2 p) const
+{
+    const Vec2 local = p - bounds_.lo;
+    auto ix = static_cast<std::int64_t>(std::llround(local.x / spacing_));
+    auto iy = static_cast<std::int64_t>(std::llround(local.y / spacing_));
+    ix = std::clamp<std::int64_t>(ix, 0, cols_ - 1);
+    iy = std::clamp<std::int64_t>(iy, 0, rows_ - 1);
+    return {ix, iy};
+}
+
+Vec2
+GridMap::position(GridPoint g) const
+{
+    return bounds_.lo + Vec2{static_cast<double>(g.ix) * spacing_,
+                             static_cast<double>(g.iy) * spacing_};
+}
+
+std::uint64_t
+GridMap::index(GridPoint g) const
+{
+    COTERIE_ASSERT(g.ix >= 0 && g.ix < cols_ && g.iy >= 0 && g.iy < rows_,
+                   "grid point out of range");
+    return static_cast<std::uint64_t>(g.iy) *
+               static_cast<std::uint64_t>(cols_) +
+           static_cast<std::uint64_t>(g.ix);
+}
+
+double
+GridMap::distance(GridPoint a, GridPoint b) const
+{
+    const double dx = static_cast<double>(a.ix - b.ix) * spacing_;
+    const double dy = static_cast<double>(a.iy - b.iy) * spacing_;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+} // namespace coterie::world

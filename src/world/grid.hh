@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Virtual-world discretisation into grid points.
+ *
+ * Pre-rendering VR systems (Furion, Coterie, Kahawai) discretise the
+ * reachable world into a finite grid so the server can pre-render a
+ * panorama per grid point. This mirrors the paper's Table 3 "Grid
+ * Points" counts via a per-game spacing.
+ */
+
+#ifndef COTERIE_WORLD_GRID_HH
+#define COTERIE_WORLD_GRID_HH
+
+#include <cstdint>
+
+#include "geom/region.hh"
+
+namespace coterie::world {
+
+/** Integer grid coordinates of a grid point. */
+struct GridPoint
+{
+    std::int64_t ix = 0;
+    std::int64_t iy = 0;
+
+    bool operator==(const GridPoint &) const = default;
+};
+
+/** Uniform discretisation of a rectangular world. */
+class GridMap
+{
+  public:
+    /** @p spacing is the grid pitch in meters. */
+    GridMap(geom::Rect bounds, double spacing);
+
+    double spacing() const { return spacing_; }
+    const geom::Rect &bounds() const { return bounds_; }
+
+    /** Grid columns / rows. */
+    std::int64_t cols() const { return cols_; }
+    std::int64_t rows() const { return rows_; }
+
+    /** Total number of grid points. */
+    std::uint64_t pointCount() const
+    {
+        return static_cast<std::uint64_t>(cols_) *
+               static_cast<std::uint64_t>(rows_);
+    }
+
+    /** Snap a world position to the nearest grid point. */
+    GridPoint snap(geom::Vec2 p) const;
+
+    /** World position of a grid point (clamped into bounds). */
+    geom::Vec2 position(GridPoint g) const;
+
+    /** Dense linear index of a grid point (row-major). */
+    std::uint64_t index(GridPoint g) const;
+
+    /** Euclidean distance between two grid points in meters. */
+    double distance(GridPoint a, GridPoint b) const;
+
+    /** 64-bit key usable in hash maps. */
+    std::uint64_t key(GridPoint g) const { return index(g); }
+
+  private:
+    geom::Rect bounds_;
+    double spacing_;
+    std::int64_t cols_;
+    std::int64_t rows_;
+};
+
+} // namespace coterie::world
+
+#endif // COTERIE_WORLD_GRID_HH

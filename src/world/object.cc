@@ -1,0 +1,62 @@
+#include "world/object.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace coterie::world {
+
+const char *
+assetKindName(AssetKind kind)
+{
+    switch (kind) {
+      case AssetKind::Tree:      return "tree";
+      case AssetKind::Rock:      return "rock";
+      case AssetKind::Building:  return "building";
+      case AssetKind::Prop:      return "prop";
+      case AssetKind::Vehicle:   return "vehicle";
+      case AssetKind::Stand:     return "stand";
+      case AssetKind::Wall:      return "wall";
+      case AssetKind::Furniture: return "furniture";
+      case AssetKind::Person:    return "person";
+    }
+    return "?";
+}
+
+double
+WorldObject::maxDimension() const
+{
+    switch (shape) {
+      case Shape::Sphere:
+        return 2.0 * dims.x;
+      case Shape::Box:
+        return std::max({dims.x, dims.y, dims.z});
+      case Shape::CylinderY:
+        return std::max(2.0 * dims.x, dims.y);
+    }
+    COTERIE_PANIC("unknown shape");
+}
+
+geom::Aabb
+WorldObject::bounds() const
+{
+    using geom::Vec3;
+    switch (shape) {
+      case Shape::Sphere: {
+        const double r = dims.x;
+        return {position - Vec3{r, r, r}, position + Vec3{r, r, r}};
+      }
+      case Shape::Box: {
+        const Vec3 half = dims * 0.5;
+        return {position - half, position + half};
+      }
+      case Shape::CylinderY: {
+        const double r = dims.x;
+        return {position - Vec3{r, 0.0, r},
+                position + Vec3{r, dims.y, r}};
+      }
+    }
+    COTERIE_PANIC("unknown shape");
+}
+
+} // namespace coterie::world

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * World objects ("assets" in Unity terminology): renderable primitives
+ * carrying a triangle count used by the device render-cost model and the
+ * object-density queries behind the adaptive cutoff scheme.
+ */
+
+#ifndef COTERIE_WORLD_OBJECT_HH
+#define COTERIE_WORLD_OBJECT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "geom/aabb.hh"
+#include "geom/vec.hh"
+#include "image/image.hh"
+
+namespace coterie::world {
+
+/** Geometric primitive used to render the object. */
+enum class Shape : std::uint8_t
+{
+    Sphere,     ///< center + radius
+    Box,        ///< axis-aligned box
+    CylinderY,  ///< vertical cylinder: base center, radius, height
+};
+
+/** Coarse semantic category; drives triangle counts and colors. */
+enum class AssetKind : std::uint8_t
+{
+    Tree,
+    Rock,
+    Building,
+    Prop,       // barrels, fences, small furniture
+    Vehicle,
+    Stand,      // stadium stands / large structures
+    Wall,       // indoor walls / ceiling slabs
+    Furniture,  // tables, lanes, large indoor items
+    Person,     // static crowd figures
+};
+
+const char *assetKindName(AssetKind kind);
+
+/** A single static world object. */
+struct WorldObject
+{
+    std::uint32_t id = 0;
+    Shape shape = Shape::Box;
+    AssetKind kind = AssetKind::Prop;
+
+    /**
+     * Placement. For Sphere: center and dims.x = radius. For Box: center
+     * and dims = full extents. For CylinderY: center of the base circle
+     * (y = base height), dims.x = radius, dims.y = height.
+     */
+    geom::Vec3 position;
+    geom::Vec3 dims;
+
+    image::Rgb color{128, 128, 128};
+
+    /** Mesh complexity of the underlying asset (render-cost model). */
+    std::uint32_t triangles = 100;
+
+    /** World-space bounding box. */
+    geom::Aabb bounds() const;
+
+    /** Largest world-space extent (meters), for visibility tests. */
+    double maxDimension() const;
+
+    /** Ground-plane footprint center. */
+    geom::Vec2 footprint() const { return position.ground(); }
+};
+
+} // namespace coterie::world
+
+#endif // COTERIE_WORLD_OBJECT_HH

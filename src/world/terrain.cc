@@ -1,0 +1,170 @@
+#include "world/terrain.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hh"
+
+namespace coterie::world {
+
+using geom::Ray;
+using geom::Vec2;
+using geom::Vec3;
+
+Terrain::Terrain(const TerrainParams &params) : params_(params) {}
+
+namespace {
+
+/** Quintic fade for value-noise interpolation. */
+double
+fade(double t)
+{
+    return t * t * t * (t * (t * 6.0 - 15.0) + 10.0);
+}
+
+double
+latticeValue(std::int64_t ix, std::int64_t iy, std::uint64_t seed,
+             std::uint64_t salt)
+{
+    std::uint64_t h = hashCombine(seed ^ salt,
+                                  hashCombine(hashMix(ix), hashMix(iy)));
+    h = hashMix(h);
+    return (h >> 11) * 0x1.0p-53 * 2.0 - 1.0; // [-1, 1)
+}
+
+} // namespace
+
+double
+Terrain::noise2(double x, double y, std::uint64_t salt) const
+{
+    const double fx = std::floor(x);
+    const double fy = std::floor(y);
+    const auto ix = static_cast<std::int64_t>(fx);
+    const auto iy = static_cast<std::int64_t>(fy);
+    const double tx = fade(x - fx);
+    const double ty = fade(y - fy);
+    const double v00 = latticeValue(ix, iy, params_.seed, salt);
+    const double v10 = latticeValue(ix + 1, iy, params_.seed, salt);
+    const double v01 = latticeValue(ix, iy + 1, params_.seed, salt);
+    const double v11 = latticeValue(ix + 1, iy + 1, params_.seed, salt);
+    const double a = v00 + (v10 - v00) * tx;
+    const double b = v01 + (v11 - v01) * tx;
+    return a + (b - a) * ty;
+}
+
+double
+Terrain::fractal(Vec2 p) const
+{
+    double amp = 1.0;
+    double freq = 1.0 / params_.featureScale;
+    double sum = 0.0;
+    double norm = 0.0;
+    for (int o = 0; o < params_.octaves; ++o) {
+        sum += amp * noise2(p.x * freq, p.y * freq,
+                            0x5eedULL + static_cast<std::uint64_t>(o));
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    return norm > 0.0 ? sum / norm : 0.0;
+}
+
+double
+Terrain::heightAt(Vec2 p) const
+{
+    if (params_.flat)
+        return 0.0;
+    return params_.amplitude * fractal(p);
+}
+
+Vec3
+Terrain::normalAt(Vec2 p) const
+{
+    if (params_.flat)
+        return {0.0, 1.0, 0.0};
+    const double eps = 0.25;
+    const double hx =
+        heightAt({p.x + eps, p.y}) - heightAt({p.x - eps, p.y});
+    const double hy =
+        heightAt({p.x, p.y + eps}) - heightAt({p.x, p.y - eps});
+    return Vec3{-hx / (2 * eps), 1.0, -hy / (2 * eps)}.normalized();
+}
+
+std::optional<double>
+Terrain::intersect(const Ray &ray, double maxDist) const
+{
+    if (params_.flat) {
+        // Plane y = 0.
+        if (std::abs(ray.dir.y) < 1e-12)
+            return std::nullopt;
+        const double t = -ray.origin.y / ray.dir.y;
+        if (t < ray.tMin || t > std::min(ray.tMax, maxDist))
+            return std::nullopt;
+        return t;
+    }
+    // Adaptive march (step grows with distance — angular error budget),
+    // then bisection refinement. A ray whose clipped start is already
+    // below the surface is treated as clipped out (no hit), matching
+    // depth-interval clipping semantics in the renderer.
+    double t_prev = ray.tMin;
+    double h_prev = ray.origin.y + t_prev * ray.dir.y -
+                    heightAt(ray.at(t_prev).ground());
+    if (h_prev <= 0.0)
+        return std::nullopt;
+    const double limit = std::min(ray.tMax, maxDist);
+    double t = t_prev;
+    while (t < limit) {
+        t = std::min(limit, t + std::max(0.35, t * 0.025));
+        const Vec3 p = ray.at(t);
+        // Early escape: climbing above any possible terrain.
+        if (ray.dir.y >= 0.0 && p.y > params_.amplitude + 0.5)
+            return std::nullopt;
+        const double h = p.y - heightAt(p.ground());
+        if (h <= 0.0) {
+            double lo = t_prev, hi = t;
+            for (int i = 0; i < 16; ++i) {
+                const double mid = 0.5 * (lo + hi);
+                const Vec3 mp = ray.at(mid);
+                if (mp.y - heightAt(mp.ground()) <= 0.0)
+                    hi = mid;
+                else
+                    lo = mid;
+            }
+            return hi;
+        }
+        t_prev = t;
+        h_prev = h;
+    }
+    (void)h_prev;
+    return std::nullopt;
+}
+
+image::Rgb
+Terrain::colorAt(Vec2 p) const
+{
+    if (params_.flat)
+        return {96, 92, 88}; // indoor floor
+    const double h = heightAt(p);
+    const double moisture =
+        0.5 + 0.5 * noise2(p.x / 37.0, p.y / 37.0, 0x5151ULL);
+    // Grass -> dirt -> rock blend with elevation.
+    const double rockiness =
+        std::clamp((h / std::max(params_.amplitude, 1e-9)) * 0.5 + 0.3,
+                   0.0, 1.0);
+    const auto mix = [](double a, double b, double t) {
+        return a + (b - a) * t;
+    };
+    const double r = mix(mix(70, 110, moisture), 130, rockiness);
+    const double g = mix(mix(120, 100, moisture), 125, rockiness);
+    const double b = mix(mix(60, 60, moisture), 120, rockiness);
+    return {static_cast<std::uint8_t>(r), static_cast<std::uint8_t>(g),
+            static_cast<std::uint8_t>(b)};
+}
+
+double
+Terrain::trianglesWithin(Vec2 /*p*/, double radius) const
+{
+    return params_.trianglesPerM2 * M_PI * radius * radius;
+}
+
+} // namespace coterie::world

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Property tests for the BVH: closest-hit and disc queries must agree
+ * exactly with brute force over randomized worlds and rays.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "geom/intersect.hh"
+#include "support/rng.hh"
+#include "world/bvh.hh"
+
+namespace coterie::world {
+namespace {
+
+using geom::Aabb;
+using geom::Hit;
+using geom::Ray;
+using geom::Vec2;
+using geom::Vec3;
+
+std::vector<WorldObject>
+randomObjects(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<WorldObject> objects;
+    for (int i = 0; i < n; ++i) {
+        WorldObject obj;
+        obj.id = static_cast<std::uint32_t>(i);
+        const int kind = static_cast<int>(rng.uniformInt(0, 2));
+        obj.position = {rng.uniform(-50, 50), rng.uniform(0, 10),
+                        rng.uniform(-50, 50)};
+        if (kind == 0) {
+            obj.shape = Shape::Sphere;
+            obj.dims = {rng.uniform(0.5, 3.0), 0, 0};
+        } else if (kind == 1) {
+            obj.shape = Shape::Box;
+            obj.dims = {rng.uniform(0.5, 4.0), rng.uniform(0.5, 4.0),
+                        rng.uniform(0.5, 4.0)};
+        } else {
+            obj.shape = Shape::CylinderY;
+            obj.dims = {rng.uniform(0.3, 2.0), rng.uniform(1.0, 6.0), 0};
+        }
+        objects.push_back(obj);
+    }
+    return objects;
+}
+
+/** Brute-force closest hit for cross-checking. */
+std::optional<std::pair<double, std::uint32_t>>
+bruteClosest(const std::vector<WorldObject> &objects, const Ray &ray)
+{
+    std::optional<std::pair<double, std::uint32_t>> best;
+    for (const WorldObject &obj : objects) {
+        std::optional<double> t;
+        switch (obj.shape) {
+          case Shape::Sphere:
+            t = geom::intersectSphere(ray, obj.position, obj.dims.x);
+            break;
+          case Shape::Box:
+            t = geom::intersectBox(
+                ray, Aabb{obj.position - obj.dims * 0.5,
+                          obj.position + obj.dims * 0.5});
+            break;
+          case Shape::CylinderY:
+            t = geom::intersectCylinderY(ray, obj.position, obj.dims.x,
+                                         obj.dims.y);
+            break;
+        }
+        if (t && (!best || *t < best->first))
+            best = {{*t, obj.id}};
+    }
+    return best;
+}
+
+class BvhProperty : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BvhProperty, ClosestHitMatchesBruteForce)
+{
+    const auto objects = randomObjects(60, GetParam());
+    const Bvh bvh(objects);
+    Rng rng(GetParam() ^ 0xabc);
+    for (int i = 0; i < 500; ++i) {
+        Ray ray;
+        ray.origin = {rng.uniform(-60, 60), rng.uniform(-5, 20),
+                      rng.uniform(-60, 60)};
+        ray.dir = Vec3{rng.normal(), rng.normal() * 0.3, rng.normal()}
+                      .normalized();
+        const Hit hit = bvh.closestHit(ray);
+        const auto brute = bruteClosest(objects, ray);
+        if (brute) {
+            ASSERT_TRUE(hit.valid());
+            EXPECT_NEAR(hit.t, brute->first, 1e-9);
+            EXPECT_EQ(hit.objectId, brute->second);
+        } else {
+            EXPECT_FALSE(hit.valid());
+        }
+    }
+}
+
+TEST_P(BvhProperty, DiscQueryMatchesBruteForce)
+{
+    const auto objects = randomObjects(80, GetParam());
+    const Bvh bvh(objects);
+    Rng rng(GetParam() ^ 0xdef);
+    for (int i = 0; i < 200; ++i) {
+        const Vec2 center{rng.uniform(-60, 60), rng.uniform(-60, 60)};
+        const double radius = rng.uniform(1.0, 30.0);
+        auto got = bvh.queryDisc(center, radius);
+        std::sort(got.begin(), got.end());
+
+        std::vector<std::uint32_t> expected;
+        const double r2 = radius * radius;
+        for (const WorldObject &obj : objects) {
+            const Aabb b = obj.bounds();
+            const double dx = std::max(
+                {b.lo.x - center.x, 0.0, center.x - b.hi.x});
+            const double dz = std::max(
+                {b.lo.z - center.y, 0.0, center.y - b.hi.z});
+            if (dx * dx + dz * dz <= r2)
+                expected.push_back(obj.id);
+        }
+        EXPECT_EQ(got, expected);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BvhProperty,
+                         testing::Values(1, 2, 3, 4, 5));
+
+TEST(Bvh, EmptyWorld)
+{
+    const std::vector<WorldObject> none;
+    const Bvh bvh(none);
+    Ray ray;
+    ray.origin = {0, 0, 0};
+    ray.dir = {1, 0, 0};
+    EXPECT_FALSE(bvh.closestHit(ray).valid());
+    EXPECT_FALSE(bvh.anyHit(ray));
+    EXPECT_TRUE(bvh.queryDisc({0, 0}, 100.0).empty());
+}
+
+TEST(Bvh, AnyHitAgreesWithClosestHit)
+{
+    const auto objects = randomObjects(40, 9);
+    const Bvh bvh(objects);
+    Rng rng(10);
+    for (int i = 0; i < 300; ++i) {
+        Ray ray;
+        ray.origin = {rng.uniform(-60, 60), rng.uniform(-5, 15),
+                      rng.uniform(-60, 60)};
+        ray.dir = Vec3{rng.normal(), rng.normal() * 0.2, rng.normal()}
+                      .normalized();
+        EXPECT_EQ(bvh.anyHit(ray), bvh.closestHit(ray).valid());
+    }
+}
+
+TEST(Bvh, RespectsRayInterval)
+{
+    std::vector<WorldObject> objects;
+    WorldObject obj;
+    obj.shape = Shape::Sphere;
+    obj.position = {10, 0, 0};
+    obj.dims = {1.0, 0, 0};
+    objects.push_back(obj);
+    const Bvh bvh(objects);
+    Ray ray;
+    ray.origin = {0, 0, 0};
+    ray.dir = {1, 0, 0};
+    ray.tMax = 5.0; // sphere is at t=9
+    EXPECT_FALSE(bvh.closestHit(ray).valid());
+    ray.tMax = 1e30;
+    ray.tMin = 12.0; // past the sphere
+    EXPECT_FALSE(bvh.closestHit(ray).valid());
+    ray.tMin = 1e-4;
+    EXPECT_TRUE(bvh.closestHit(ray).valid());
+}
+
+} // namespace
+} // namespace coterie::world

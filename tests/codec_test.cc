@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the block-transform intra codec: round-trip quality,
+ * quality/size monotonicity, content-dependent sizing (the property the
+ * bandwidth experiments rely on), and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/codec.hh"
+#include "image/ssim.hh"
+#include "support/rng.hh"
+
+namespace coterie::image {
+namespace {
+
+Image
+gradientImage(int w, int h)
+{
+    Image img(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            img.at(x, y) = Rgb{static_cast<std::uint8_t>(x * 255 / w),
+                               static_cast<std::uint8_t>(y * 255 / h),
+                               128};
+    return img;
+}
+
+Image
+noiseImage(int w, int h, std::uint64_t seed)
+{
+    Image img(w, h);
+    Rng rng(seed);
+    for (auto &p : img.pixels())
+        p = Rgb{static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+                static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+                static_cast<std::uint8_t>(rng.uniformInt(0, 255))};
+    return img;
+}
+
+TEST(Codec, RoundTripPreservesDimensions)
+{
+    const Image src = gradientImage(64, 48);
+    const Image out = decode(encode(src));
+    EXPECT_EQ(out.width(), 64);
+    EXPECT_EQ(out.height(), 48);
+}
+
+TEST(Codec, RoundTripQualityIsHigh)
+{
+    const Image src = gradientImage(96, 96);
+    CodecParams params;
+    params.quality = 80;
+    const double s = ssim(src, decode(encode(src, params)));
+    EXPECT_GT(s, 0.95);
+}
+
+TEST(Codec, FlatImageNearlyLossless)
+{
+    const Image src(64, 64, Rgb{77, 140, 200});
+    const Image out = decode(encode(src));
+    EXPECT_LT(src.meanAbsDiff(out), 2.0);
+}
+
+TEST(Codec, HigherQualityMeansLargerAndBetter)
+{
+    const Image src = noiseImage(96, 96, 9);
+    std::size_t prev_size = 0;
+    double prev_ssim = 0.0;
+    for (int q : {20, 50, 90}) {
+        CodecParams params;
+        params.quality = q;
+        const EncodedFrame enc = encode(src, params);
+        const double s = ssim(src, decode(enc));
+        EXPECT_GT(enc.sizeBytes(), prev_size) << "quality " << q;
+        EXPECT_GT(s, prev_ssim) << "quality " << q;
+        prev_size = enc.sizeBytes();
+        prev_ssim = s;
+    }
+}
+
+TEST(Codec, BusyContentCostsMoreThanFlatContent)
+{
+    const Image flat(128, 128, Rgb{100, 100, 100});
+    const Image busy = noiseImage(128, 128, 4);
+    const auto flat_bytes = encode(flat).sizeBytes();
+    const auto busy_bytes = encode(busy).sizeBytes();
+    EXPECT_GT(busy_bytes, flat_bytes * 5);
+}
+
+TEST(Codec, Deterministic)
+{
+    const Image src = noiseImage(64, 64, 2);
+    const EncodedFrame a = encode(src);
+    const EncodedFrame b = encode(src);
+    EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST(Codec, ChromaSubsamplingShrinksStream)
+{
+    const Image src = noiseImage(128, 128, 6);
+    CodecParams with;
+    with.chromaSubsample = true;
+    CodecParams without;
+    without.chromaSubsample = false;
+    EXPECT_LT(encode(src, with).sizeBytes(),
+              encode(src, without).sizeBytes());
+    // And both round-trip acceptably.
+    EXPECT_GT(ssim(src, decode(encode(src, without))), 0.5);
+}
+
+TEST(Codec, NonMultipleOfBlockSizeDimensions)
+{
+    const Image src = gradientImage(37, 23);
+    const Image out = decode(encode(src));
+    EXPECT_EQ(out.width(), 37);
+    EXPECT_EQ(out.height(), 23);
+    EXPECT_LT(src.meanAbsDiff(out), 12.0);
+}
+
+TEST(Codec, OnePixelImage)
+{
+    Image src(1, 1, Rgb{200, 40, 90});
+    const Image out = decode(encode(src));
+    EXPECT_LT(src.meanAbsDiff(out), 8.0);
+}
+
+} // namespace
+} // namespace coterie::image

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the phone model: decode latency scaling, CPU/GPU load
+ * composition and clamping, the power model's ~4 W Coterie operating
+ * point (Figure 12), battery life, and the thermal RC model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/phone.hh"
+#include "device/power.hh"
+#include "device/thermal.hh"
+
+namespace coterie::device {
+namespace {
+
+TEST(Phone, DecodeScalesWithResolution)
+{
+    const PhoneProfile &p = pixel2();
+    const double pano_4k = decodeMs(p, 3840, 2160);
+    const double display = decodeMs(p, 1920, 1080);
+    EXPECT_GT(pano_4k, display);
+    // Hardware decoder does 4K panoramas within a frame interval.
+    EXPECT_LT(pano_4k, 16.7);
+    EXPECT_GT(pano_4k, 5.0);
+}
+
+TEST(Phone, GpuLoadFromRenderTime)
+{
+    const PhoneProfile &p = pixel2();
+    // 10 ms render at 60 fps = 60% busy + compose overhead.
+    EXPECT_NEAR(gpuLoadPct(p, 10.0, 60.0), 65.0, 1.0);
+    // Saturates at 100.
+    EXPECT_DOUBLE_EQ(gpuLoadPct(p, 50.0, 60.0), 100.0);
+    EXPECT_GE(gpuLoadPct(p, 0.0, 0.0), 0.0);
+}
+
+TEST(Phone, CpuLoadComposition)
+{
+    const PhoneProfile &p = pixel2();
+    CpuLoadInputs idle;
+    idle.rendering = false;
+    const double base = cpuLoadPct(p, idle);
+    CpuLoadInputs busy;
+    busy.networkMbps = 250.0;
+    busy.decodeFps = 60.0;
+    busy.syncHz = 60.0;
+    busy.rendering = true;
+    const double loaded = cpuLoadPct(p, busy);
+    EXPECT_GT(loaded, base + 10.0);
+    EXPECT_LE(loaded, 100.0);
+}
+
+TEST(Power, CoterieOperatingPointAboutFourWatts)
+{
+    // Figure 12: steady ~4 W under Coterie (CPU ~30%, GPU ~55%,
+    // tens of Mbps on the radio, display locked at 100%).
+    PowerInputs in;
+    in.cpuPct = 30.0;
+    in.gpuPct = 55.0;
+    in.networkMbps = 30.0;
+    in.displayOn = true;
+    const double watts = powerDrawW(PowerModel{}, in);
+    EXPECT_NEAR(watts, 4.0, 0.6);
+}
+
+TEST(Power, MonotoneInEachComponent)
+{
+    const PowerModel model;
+    PowerInputs in;
+    in.cpuPct = 20;
+    in.gpuPct = 20;
+    in.networkMbps = 10;
+    const double base = powerDrawW(model, in);
+    PowerInputs more = in;
+    more.cpuPct = 60;
+    EXPECT_GT(powerDrawW(model, more), base);
+    more = in;
+    more.gpuPct = 80;
+    EXPECT_GT(powerDrawW(model, more), base);
+    more = in;
+    more.networkMbps = 300;
+    EXPECT_GT(powerDrawW(model, more), base);
+    more = in;
+    more.displayOn = false;
+    EXPECT_LT(powerDrawW(model, more), base);
+}
+
+TEST(Power, BatteryLifeOverTwoPointFiveHours)
+{
+    // Paper: at ~4 W the 2770 mAh battery lasts > 2.5 hours.
+    EXPECT_GT(batteryLifeHours(pixel2(), 4.0), 2.5);
+    EXPECT_LT(batteryLifeHours(pixel2(), 4.0), 3.5);
+}
+
+TEST(Thermal, RelaxesTowardSteadyState)
+{
+    ThermalModel model{ThermalParams{}};
+    const double target = model.steadyStateC(4.0);
+    for (int i = 0; i < 3600; ++i) // 1 h at 1 s steps: several taus
+        model.step(4.0, 1.0);
+    EXPECT_NEAR(model.temperatureC(), target, 1.0);
+}
+
+TEST(Thermal, StaysUnderPixel2LimitAtCoteriePower)
+{
+    // Figure 12: SoC temperature rises gradually but stays below the
+    // 52 C thermal-engine limit over a 30-minute 4-player run.
+    ThermalModel model{ThermalParams{}};
+    for (int i = 0; i < 1800; ++i)
+        model.step(4.2, 1.0);
+    EXPECT_LT(model.temperatureC(), pixel2().thermalLimitC);
+    EXPECT_GT(model.temperatureC(), 35.0); // it does heat up
+}
+
+TEST(Thermal, MonotoneRiseUnderConstantPower)
+{
+    ThermalModel model{ThermalParams{}};
+    double prev = model.temperatureC();
+    for (int i = 0; i < 20; ++i) {
+        model.step(4.0, 30.0);
+        EXPECT_GE(model.temperatureC(), prev);
+        prev = model.temperatureC();
+    }
+}
+
+TEST(Thermal, CoolsWhenPowerDrops)
+{
+    ThermalModel model{ThermalParams{}};
+    for (int i = 0; i < 600; ++i)
+        model.step(5.0, 1.0);
+    const double hot = model.temperatureC();
+    for (int i = 0; i < 600; ++i)
+        model.step(0.5, 1.0);
+    EXPECT_LT(model.temperatureC(), hot);
+}
+
+} // namespace
+} // namespace coterie::device

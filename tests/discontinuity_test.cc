@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the user-study discontinuity scoring model (Table 10):
+ * SSIM-to-score mapping, distribution normalisation, and the replay
+ * producing mostly 4-5 scores under Coterie-style reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dist_thresh.hh"
+#include "core/discontinuity.hh"
+#include "trace/trajectory.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie::core {
+namespace {
+
+TEST(ScoreForSsim, MonotoneMapping)
+{
+    EXPECT_EQ(scoreForSsim(0.999), 5);
+    EXPECT_EQ(scoreForSsim(0.95), 5);
+    EXPECT_EQ(scoreForSsim(0.90), 4);
+    EXPECT_EQ(scoreForSsim(0.85), 3);
+    EXPECT_EQ(scoreForSsim(0.75), 2);
+    EXPECT_EQ(scoreForSsim(0.5), 1);
+    int prev = 1;
+    for (double s = 0.5; s <= 1.0; s += 0.01) {
+        const int score = scoreForSsim(s);
+        EXPECT_GE(score, prev);
+        prev = score;
+    }
+}
+
+TEST(ScoreDistribution, MeanOfPointMass)
+{
+    ScoreDistribution d;
+    d.fraction[4] = 1.0;
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    ScoreDistribution mixed;
+    mixed.fraction[2] = 0.5;
+    mixed.fraction[4] = 0.5;
+    EXPECT_DOUBLE_EQ(mixed.mean(), 4.0);
+}
+
+struct ReplayFixture : testing::Test
+{
+    ReplayFixture()
+        : world(world::gen::makeWorld(world::gen::GameId::Viking, 42)),
+          grid(world::gen::makeGrid(
+              world::gen::gameInfo(world::gen::GameId::Viking))),
+          partition(partitionWorld(world, device::pixel2(), {})),
+          regions(world.bounds(), partition.leaves)
+    {
+    }
+
+    world::VirtualWorld world;
+    world::GridMap grid;
+    PartitionResult partition;
+    RegionIndex regions;
+};
+
+TEST_F(ReplayFixture, CoterieReplayScoresMostlyImperceptible)
+{
+    // 20-second single-player trace, as in the paper's user study.
+    trace::TrajectoryParams tp;
+    tp.players = 1;
+    tp.durationS = 20.0;
+    tp.seed = 6;
+    const auto session = trace::generateTrace(
+        world::gen::gameInfo(world::gen::GameId::Viking), world, tp);
+
+    const AnalyticSimilarity model;
+    const auto thresholds =
+        deriveDistThresholds(regions, model, {});
+    const ScoreDistribution dist = scoreTraceReplay(
+        session.players[0], grid, regions, model, thresholds);
+
+    double total = 0.0;
+    for (double f : dist.fraction)
+        total += f;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Table 10: ~95% of responses are 4 or 5, none below 3; our denser
+    // village produces somewhat more score-3 switches in small-cutoff
+    // regions (the paper's volunteers noticed the same spots).
+    EXPECT_GT(dist.fraction[3] + dist.fraction[4], 0.6);
+    EXPECT_LT(dist.fraction[0] + dist.fraction[1], 0.1);
+    EXPECT_GT(dist.mean(), 3.5);
+}
+
+TEST_F(ReplayFixture, EmptyTraceIsImperceptible)
+{
+    trace::PlayerTrace empty;
+    const AnalyticSimilarity model;
+    const ScoreDistribution dist =
+        scoreTraceReplay(empty, grid, regions, model, {});
+    EXPECT_DOUBLE_EQ(dist.fraction[4], 1.0);
+}
+
+TEST_F(ReplayFixture, ZeroThresholdsForceMoreSwitchesNotWorseScores)
+{
+    // With zero reuse distance every grid transition switches frames,
+    // but adjacent far-BE frames are still similar: scores stay high,
+    // there are just more of them.
+    trace::TrajectoryParams tp;
+    tp.players = 1;
+    tp.durationS = 10.0;
+    tp.seed = 6;
+    const auto session = trace::generateTrace(
+        world::gen::gameInfo(world::gen::GameId::Viking), world, tp);
+    const AnalyticSimilarity model;
+    const std::vector<double> zero(partition.leaves.size(), 0.0);
+    const ScoreDistribution dist = scoreTraceReplay(
+        session.players[0], grid, regions, model, zero);
+    EXPECT_GT(dist.mean(), 4.2);
+}
+
+} // namespace
+} // namespace coterie::core

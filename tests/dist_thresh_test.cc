@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the reuse-distance derivation (§5.3): the returned distance
+ * guarantees SSIM >= 0.9 under the similarity model, grows with the
+ * cutoff radius, and the per-region minimum is conservative.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dist_thresh.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie::core {
+namespace {
+
+using geom::Vec2;
+
+TEST(DistThresh, SsimAtThresholdMeetsTarget)
+{
+    const AnalyticSimilarity model;
+    DistThreshParams params;
+    Rng rng(3);
+    for (double cutoff : {2.0, 8.0, 40.0}) {
+        const double d =
+            distThreshAt(model, {50, 50}, cutoff, params, rng);
+        ASSERT_GT(d, 0.0);
+        EXPECT_GE(model.farBeSsim({50, 50}, {50 + d, 50}, cutoff),
+                  params.ssimThreshold - 0.02);
+    }
+}
+
+TEST(DistThresh, GrowsWithCutoff)
+{
+    const AnalyticSimilarity model;
+    DistThreshParams params;
+    Rng rng(3);
+    const double small =
+        distThreshAt(model, {0, 0}, 2.0, params, rng);
+    const double large =
+        distThreshAt(model, {0, 0}, 60.0, params, rng);
+    EXPECT_GT(large, small * 5.0);
+}
+
+TEST(DistThresh, CappedAtStartDistance)
+{
+    // With a huge cutoff, the analytic SSIM barely decays and the
+    // search bracket saturates.
+    AnalyticSimilarityParams loose;
+    loose.decay = 0.25;
+    const AnalyticSimilarity model(loose);
+    DistThreshParams params;
+    params.startDistance = 32.0;
+    Rng rng(5);
+    const double d =
+        distThreshAt(model, {0, 0}, 5000.0, params, rng);
+    EXPECT_DOUBLE_EQ(d, 32.0);
+}
+
+TEST(DistThresh, PerRegionDerivationCoversAllLeaves)
+{
+    const auto world =
+        world::gen::makeWorld(world::gen::GameId::Pool, 42);
+    const auto partition = partitionWorld(world, device::pixel2(), {});
+    const RegionIndex index(world.bounds(), partition.leaves);
+    const AnalyticSimilarity model;
+    const auto thresholds = deriveDistThresholds(index, model, {});
+    ASSERT_EQ(thresholds.size(), partition.leaves.size());
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        EXPECT_GE(thresholds[i], 0.0);
+        EXPECT_LE(thresholds[i], DistThreshParams{}.startDistance);
+        // Region minimum is conservative: no larger than the analytic
+        // inverse at the leaf's cutoff.
+        EXPECT_LE(thresholds[i],
+                  model.maxDisplacement(
+                      partition.leaves[i].cutoffRadius, 0.9) +
+                      DistThreshParams{}.tolerance + 1e-9);
+    }
+}
+
+TEST(DistThresh, LargerCutoffLeavesGetLargerThresholds)
+{
+    const auto world =
+        world::gen::makeWorld(world::gen::GameId::Viking, 42);
+    const auto partition = partitionWorld(world, device::pixel2(), {});
+    const RegionIndex index(world.bounds(), partition.leaves);
+    const AnalyticSimilarity model;
+    const auto thresholds = deriveDistThresholds(index, model, {});
+    // Correlation between leaf cutoff and threshold must be positive.
+    double mean_c = 0, mean_t = 0;
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        mean_c += partition.leaves[i].cutoffRadius;
+        mean_t += thresholds[i];
+    }
+    mean_c /= thresholds.size();
+    mean_t /= thresholds.size();
+    double cov = 0;
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        cov += (partition.leaves[i].cutoffRadius - mean_c) *
+               (thresholds[i] - mean_t);
+    }
+    EXPECT_GT(cov, 0.0);
+}
+
+} // namespace
+} // namespace coterie::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the discrete-event simulation queue: temporal ordering,
+ * FIFO tie-breaking, horizon semantics, and reentrancy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace coterie::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(5.0, [&] { order.push_back(2); });
+    q.scheduleAt(1.0, [&] { order.push_back(1); });
+    q.scheduleAt(9.0, [&] { order.push_back(3); });
+    q.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, SameTimeIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.scheduleAt(3.0, [&, i] { order.push_back(i); });
+    q.runToCompletion();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    double fired_at = -1.0;
+    q.scheduleAt(10.0, [&] {
+        q.scheduleIn(5.0, [&] { fired_at = q.now(); });
+    });
+    q.runToCompletion();
+    EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleAt(1.0, [&] { ++fired; });
+    q.scheduleAt(100.0, [&] { ++fired; });
+    q.runUntil(50.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(q.now(), 50.0);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runUntil(200.0);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 100)
+            q.scheduleIn(1.0, chain);
+    };
+    q.scheduleIn(1.0, chain);
+    q.runToCompletion();
+    EXPECT_EQ(count, 100);
+    EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue q;
+    q.scheduleAt(5.0, [] {});
+    q.runUntil(2.0);
+    q.reset();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_DOUBLE_EQ(q.now(), 0.0);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+    q.scheduleAt(1.0, [] {});
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.scheduleAt(10.0, [] {});
+    q.runToCompletion();
+    EXPECT_DEATH(q.scheduleAt(5.0, [] {}), "past");
+}
+
+} // namespace
+} // namespace coterie::sim

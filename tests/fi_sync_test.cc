@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the FI synchronisation model against Table 9's measured
+ * figures: ~1 Kbps for a single player, tens to hundreds of Kbps for
+ * 2-4 players, and 2-3 ms sync latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/fi_sync.hh"
+
+namespace coterie::net {
+namespace {
+
+TEST(FiSync, SinglePlayerHeartbeatAboutOneKbps)
+{
+    FiSync sync({}, 1);
+    EXPECT_GT(sync.bandwidthKbps(1), 0.2);
+    EXPECT_LT(sync.bandwidthKbps(1), 3.0);
+}
+
+TEST(FiSync, MultiplayerBandwidthMatchesTable9Ranges)
+{
+    FiSync sync({}, 1);
+    // Table 9 FI columns across the three games:
+    //   2P: 52-71 Kbps, 3P: 129-153 Kbps, 4P: 260-275 Kbps.
+    EXPECT_NEAR(sync.bandwidthKbps(2), 61.0, 25.0);
+    EXPECT_NEAR(sync.bandwidthKbps(3), 140.0, 45.0);
+    EXPECT_NEAR(sync.bandwidthKbps(4), 267.0, 70.0);
+}
+
+TEST(FiSync, BandwidthMonotoneInPlayers)
+{
+    FiSync sync({}, 1);
+    double prev = 0.0;
+    for (int players = 1; players <= 8; ++players) {
+        const double bw = sync.bandwidthKbps(players);
+        EXPECT_GT(bw, prev);
+        prev = bw;
+    }
+}
+
+TEST(FiSync, BandwidthOrdersBelowBeTraffic)
+{
+    // "2-4 orders of magnitude lower than the traffic for BE": BE runs
+    // tens of Mbps; FI must stay under ~0.5 Mbps at 4 players.
+    FiSync sync({}, 1);
+    EXPECT_LT(sync.bandwidthKbps(4), 500.0);
+}
+
+TEST(FiSync, LatencyInPaperRange)
+{
+    FiSync sync({}, 7);
+    for (int i = 0; i < 100; ++i) {
+        const double lat = sync.syncLatencyMs(4);
+        EXPECT_GT(lat, 1.0);  // round trip floor
+        EXPECT_LT(lat, 6.0);  // well under a frame interval
+    }
+}
+
+TEST(FiSync, LatencyGrowsMildlyWithPlayers)
+{
+    FiSyncParams params;
+    params.latencyJitterMs = 0.0;
+    FiSync sync(params, 3);
+    EXPECT_LT(sync.syncLatencyMs(2), sync.syncLatencyMs(8));
+    // But stays bounded: even 8 players sync within a frame.
+    EXPECT_LT(sync.syncLatencyMs(8), 16.7);
+}
+
+} // namespace
+} // namespace coterie::net

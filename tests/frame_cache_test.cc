@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the frame cache: the three lookup criteria, closest-wins
+ * tie breaking, exact-only mode (cache Versions 1/2), replacement
+ * policies (LRU vs FLF vs Random), capacity enforcement, and stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/frame_cache.hh"
+
+namespace coterie::core {
+namespace {
+
+FrameCache::Key
+keyAt(double x, double y, std::uint32_t region = 1,
+      std::uint64_t sig = 0xAA)
+{
+    FrameCache::Key key;
+    key.gridKey =
+        static_cast<std::uint64_t>(x * 1000) * 100000 +
+        static_cast<std::uint64_t>(y * 1000);
+    key.position = {x, y};
+    key.leafRegionId = region;
+    key.nearSetSignature = sig;
+    return key;
+}
+
+TEST(FrameCache, ExactHitAlwaysMatches)
+{
+    FrameCache cache;
+    const auto key = keyAt(5.0, 5.0);
+    cache.insert(key, 1000);
+    const auto hit = cache.lookup(key, 0.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, key.gridKey);
+    EXPECT_EQ(cache.stats().exactHits, 1u);
+}
+
+TEST(FrameCache, SimilarHitWithinThreshold)
+{
+    FrameCache cache;
+    cache.insert(keyAt(5.0, 5.0), 1000);
+    EXPECT_TRUE(cache.lookup(keyAt(5.3, 5.0), 0.5).has_value());
+    EXPECT_FALSE(cache.lookup(keyAt(6.0, 5.0), 0.5).has_value());
+}
+
+TEST(FrameCache, Criterion2DifferentRegionRejected)
+{
+    FrameCache cache;
+    cache.insert(keyAt(5.0, 5.0, /*region=*/1), 1000);
+    EXPECT_FALSE(
+        cache.lookup(keyAt(5.1, 5.0, /*region=*/2), 1.0).has_value());
+    EXPECT_GT(cache.stats().rejectedRegion, 0u);
+}
+
+TEST(FrameCache, Criterion3DifferentNearSetRejected)
+{
+    FrameCache cache;
+    cache.insert(keyAt(5.0, 5.0, 1, /*sig=*/0xAA), 1000);
+    EXPECT_FALSE(
+        cache.lookup(keyAt(5.1, 5.0, 1, /*sig=*/0xBB), 1.0).has_value());
+    EXPECT_GT(cache.stats().rejectedSignature, 0u);
+}
+
+TEST(FrameCache, ClosestCandidateWins)
+{
+    FrameCache cache;
+    const auto far_key = keyAt(5.0, 5.0);
+    const auto near_key = keyAt(5.4, 5.0);
+    cache.insert(far_key, 1000);
+    cache.insert(near_key, 1000);
+    const auto hit = cache.lookup(keyAt(5.5, 5.0), 1.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, near_key.gridKey);
+}
+
+TEST(FrameCache, ExactOnlyModeIgnoresSimilarFrames)
+{
+    FrameCacheParams params;
+    params.mode = MatchMode::ExactOnly;
+    FrameCache cache(params);
+    cache.insert(keyAt(5.0, 5.0), 1000);
+    EXPECT_FALSE(cache.lookup(keyAt(5.01, 5.0), 10.0).has_value());
+    EXPECT_TRUE(cache.lookup(keyAt(5.0, 5.0), 0.0).has_value());
+}
+
+TEST(FrameCache, LargeThresholdWidensBucketScan)
+{
+    FrameCacheParams params;
+    params.bucketEdge = 1.0;
+    FrameCache cache(params);
+    cache.insert(keyAt(0.0, 0.0), 1000);
+    // Candidate 5 buckets away must still be found with a threshold
+    // larger than the bucket edge.
+    EXPECT_TRUE(cache.lookup(keyAt(5.0, 0.0), 6.0).has_value());
+}
+
+TEST(FrameCache, CapacityEnforced)
+{
+    FrameCacheParams params;
+    params.capacityBytes = 10000;
+    FrameCache cache(params);
+    for (int i = 0; i < 20; ++i)
+        cache.insert(keyAt(i, 0.0), 1000);
+    EXPECT_LE(cache.bytesUsed(), params.capacityBytes);
+    EXPECT_LE(cache.entryCount(), 10u);
+    EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(FrameCache, LruEvictsLeastRecentlyUsed)
+{
+    FrameCacheParams params;
+    params.capacityBytes = 3000;
+    params.policy = ReplacementPolicy::Lru;
+    FrameCache cache(params);
+    const auto a = keyAt(1.0, 0.0);
+    const auto b = keyAt(2.0, 0.0);
+    const auto c = keyAt(3.0, 0.0);
+    cache.insert(a, 1000);
+    cache.insert(b, 1000);
+    cache.insert(c, 1000);
+    // Touch a and c; inserting d must evict b.
+    cache.lookup(a, 0.0);
+    cache.lookup(c, 0.0);
+    cache.insert(keyAt(4.0, 0.0), 1000);
+    EXPECT_TRUE(cache.containsExact(a.gridKey));
+    EXPECT_FALSE(cache.containsExact(b.gridKey));
+    EXPECT_TRUE(cache.containsExact(c.gridKey));
+}
+
+TEST(FrameCache, FlfEvictsFurthestFromPlayer)
+{
+    FrameCacheParams params;
+    params.capacityBytes = 3000;
+    params.policy = ReplacementPolicy::Flf;
+    FrameCache cache(params);
+    const auto near_key = keyAt(1.0, 1.0);
+    const auto far_key = keyAt(90.0, 90.0);
+    const auto mid_key = keyAt(10.0, 10.0);
+    cache.insert(near_key, 1000);
+    cache.insert(far_key, 1000);
+    cache.insert(mid_key, 1000);
+    cache.setPlayerPosition({0.0, 0.0});
+    cache.insert(keyAt(2.0, 2.0), 1000); // evicts the furthest
+    EXPECT_TRUE(cache.containsExact(near_key.gridKey));
+    EXPECT_FALSE(cache.containsExact(far_key.gridKey));
+}
+
+TEST(FrameCache, RandomPolicyStillBoundsMemory)
+{
+    FrameCacheParams params;
+    params.capacityBytes = 5000;
+    params.policy = ReplacementPolicy::Random;
+    FrameCache cache(params);
+    for (int i = 0; i < 50; ++i)
+        cache.insert(keyAt(i, i), 1000);
+    EXPECT_LE(cache.bytesUsed(), params.capacityBytes);
+}
+
+TEST(FrameCache, DuplicateInsertIgnored)
+{
+    FrameCache cache;
+    const auto key = keyAt(5.0, 5.0);
+    cache.insert(key, 1000);
+    cache.insert(key, 1000);
+    EXPECT_EQ(cache.entryCount(), 1u);
+    EXPECT_EQ(cache.bytesUsed(), 1000u);
+}
+
+TEST(FrameCache, PeekHasNoSideEffects)
+{
+    FrameCache cache;
+    cache.insert(keyAt(5.0, 5.0), 1000);
+    const auto before = cache.stats().lookups;
+    EXPECT_TRUE(cache.peek(keyAt(5.1, 5.0), 0.5).has_value());
+    EXPECT_EQ(cache.stats().lookups, before);
+}
+
+TEST(FrameCache, HitRatioAccounting)
+{
+    FrameCache cache;
+    cache.insert(keyAt(5.0, 5.0), 1000);
+    cache.lookup(keyAt(5.0, 5.0), 0.0);  // hit
+    cache.lookup(keyAt(50.0, 50.0), 0.1); // miss
+    EXPECT_EQ(cache.stats().lookups, 2u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_DOUBLE_EQ(cache.stats().hitRatio(), 0.5);
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().lookups, 0u);
+}
+
+TEST(FrameCache, NegativeCoordinatesSupported)
+{
+    FrameCache cache;
+    FrameCache::Key key;
+    key.gridKey = 424242;
+    key.position = {-15.3, -7.8};
+    key.leafRegionId = 3;
+    key.nearSetSignature = 0xCC;
+    cache.insert(key, 500);
+    FrameCache::Key probe = key;
+    probe.gridKey = 424243;
+    probe.position = {-15.2, -7.8};
+    EXPECT_TRUE(cache.lookup(probe, 0.5).has_value());
+}
+
+} // namespace
+} // namespace coterie::core

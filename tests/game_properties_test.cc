@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Cross-game property sweeps: invariants that must hold for every one
+ * of the nine study worlds — quadtree tiling and point location, the
+ * near/far merge identity, cutoffs satisfying Constraint 1 at random
+ * reachable points, and eye placement above the terrain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.hh"
+#include "render/renderer.hh"
+#include "support/rng.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie {
+namespace {
+
+using core::LeafRegion;
+using core::PartitionParams;
+using core::PartitionResult;
+using core::RegionIndex;
+using world::gen::GameId;
+using world::gen::gameInfo;
+using world::gen::makeWorld;
+
+class GameProperty : public testing::TestWithParam<GameId>
+{
+  protected:
+    const world::gen::GameInfo &info() const
+    {
+        return gameInfo(GetParam());
+    }
+};
+
+TEST_P(GameProperty, QuadtreeTilesAndLocates)
+{
+    const auto world = makeWorld(GetParam(), 42);
+    PartitionParams params;
+    params.reachable = world::gen::makeReachability(info(), world);
+    const PartitionResult result =
+        core::partitionWorld(world, device::pixel2(), params);
+    ASSERT_FALSE(result.leaves.empty());
+
+    double area = 0.0;
+    for (const LeafRegion &leaf : result.leaves)
+        area += leaf.rect.area();
+    EXPECT_NEAR(area, world.bounds().area(),
+                world.bounds().area() * 1e-9);
+
+    const RegionIndex index(world.bounds(), result.leaves);
+    Rng rng(GetParam() == GameId::CTS ? 2u : 3u);
+    for (int i = 0; i < 120; ++i) {
+        const geom::Vec2 p{
+            rng.uniform(world.bounds().lo.x, world.bounds().hi.x),
+            rng.uniform(world.bounds().lo.y, world.bounds().hi.y)};
+        EXPECT_TRUE(index.leafAt(p).rect.containsClosed(p));
+    }
+}
+
+TEST_P(GameProperty, ReachableCutoffsMeetConstraintOne)
+{
+    const auto world = makeWorld(GetParam(), 42);
+    PartitionParams params;
+    params.reachable = world::gen::makeReachability(info(), world);
+    const PartitionResult result =
+        core::partitionWorld(world, device::pixel2(), params);
+    const RegionIndex index(world.bounds(), result.leaves);
+    Rng rng(11);
+    int checked = 0, violations = 0;
+    for (int i = 0; i < 600 && checked < 100; ++i) {
+        const geom::Vec2 p{
+            rng.uniform(world.bounds().lo.x, world.bounds().hi.x),
+            rng.uniform(world.bounds().lo.y, world.bounds().hi.y)};
+        if (params.reachable && !params.reachable(p))
+            continue;
+        ++checked;
+        if (core::nearBeRenderTimeMs(world, p, index.cutoffAt(p),
+                                     device::pixel2()) >=
+            params.constraint.nearBudgetMs()) {
+            ++violations;
+        }
+    }
+    ASSERT_GT(checked, 20);
+    // Safety-factored region cutoffs keep violations rare.
+    EXPECT_LT(violations, checked / 10) << info().name;
+}
+
+TEST_P(GameProperty, NearPlusFarMergesToWholeFrame)
+{
+    const auto world = makeWorld(GetParam(), 42);
+    const render::Renderer renderer(world);
+    Rng rng(5);
+    const geom::Vec2 p =
+        world.bounds().clamp(world.bounds().center() +
+                             geom::Vec2{rng.uniform(-5.0, 5.0),
+                                        rng.uniform(-5.0, 5.0)});
+    const geom::Vec3 eye = world.eyePosition(p);
+    const double cutoff = 6.0;
+
+    const auto whole = renderer.renderPanorama(eye, 64, 32, {});
+    render::RenderOptions near_opts;
+    near_opts.layer = render::DepthLayer::nearBe(cutoff);
+    render::RenderOptions far_opts;
+    far_opts.layer = render::DepthLayer::farBe(cutoff);
+    const auto merged = render::Renderer::merge(
+        renderer.renderPanorama(eye, 64, 32, near_opts),
+        renderer.renderPanorama(eye, 64, 32, far_opts));
+    int mismatches = 0;
+    for (int y = 0; y < whole.height(); ++y)
+        for (int x = 0; x < whole.width(); ++x)
+            mismatches += !(merged.at(x, y) == whole.at(x, y));
+    EXPECT_LE(mismatches, whole.width() * whole.height() / 50)
+        << info().name;
+}
+
+TEST_P(GameProperty, EyeStandsAboveTheGround)
+{
+    const auto world = makeWorld(GetParam(), 42);
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        const geom::Vec2 p{
+            rng.uniform(world.bounds().lo.x, world.bounds().hi.x),
+            rng.uniform(world.bounds().lo.y, world.bounds().hi.y)};
+        const geom::Vec3 eye = world.eyePosition(p);
+        EXPECT_NEAR(eye.y - world.terrain().heightAt(p),
+                    world.eyeHeight(), 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGames, GameProperty,
+    testing::Values(GameId::Racing, GameId::DS, GameId::Viking,
+                    GameId::CTS, GameId::FPS, GameId::Soccer,
+                    GameId::Pool, GameId::Bowling, GameId::Corridor),
+    [](const testing::TestParamInfo<GameId> &info) {
+        return gameInfo(info.param).name;
+    });
+
+} // namespace
+} // namespace coterie

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the nine procedural game worlds: construction, determinism,
+ * dimensional fidelity to Table 3, genre metadata of Table 2, density
+ * character (Viking clustered, CTS uniform, track worlds sparse), and
+ * reachability predicates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hh"
+#include "world/gen/generators.hh"
+#include "world/gen/track.hh"
+
+namespace coterie::world::gen {
+namespace {
+
+using geom::Vec2;
+
+TEST(Generators, AllNineGamesListed)
+{
+    EXPECT_EQ(allGames().size(), 9u);
+    // Table 2 composition: 6 outdoor, 3 indoor.
+    int outdoor = 0, indoor = 0;
+    for (const GameInfo &info : allGames())
+        (info.sceneType == SceneType::Outdoor ? outdoor : indoor)++;
+    EXPECT_EQ(outdoor, 6);
+    EXPECT_EQ(indoor, 3);
+}
+
+TEST(Generators, EvaluationGamesAreTheTestbedTriple)
+{
+    const auto eval = evaluationGames();
+    ASSERT_EQ(eval.size(), 3u);
+    EXPECT_EQ(eval[0], GameId::Viking);
+    EXPECT_EQ(eval[1], GameId::CTS);
+    EXPECT_EQ(eval[2], GameId::Racing);
+}
+
+class EveryGame : public testing::TestWithParam<GameId>
+{
+};
+
+TEST_P(EveryGame, BuildsFinalizedNonEmptyWorld)
+{
+    const VirtualWorld world = makeWorld(GetParam(), 42);
+    EXPECT_TRUE(world.finalized());
+    EXPECT_GT(world.objects().size(), 10u);
+    const GameInfo &info = gameInfo(GetParam());
+    EXPECT_DOUBLE_EQ(world.bounds().width(), info.width);
+    EXPECT_DOUBLE_EQ(world.bounds().height(), info.height);
+    EXPECT_EQ(world.name(), info.name);
+    EXPECT_EQ(world.sceneType(), info.sceneType);
+}
+
+TEST_P(EveryGame, DeterministicInSeed)
+{
+    const VirtualWorld a = makeWorld(GetParam(), 7);
+    const VirtualWorld b = makeWorld(GetParam(), 7);
+    ASSERT_EQ(a.objects().size(), b.objects().size());
+    for (std::size_t i = 0; i < a.objects().size(); ++i) {
+        EXPECT_EQ(a.objects()[i].position, b.objects()[i].position);
+        EXPECT_EQ(a.objects()[i].triangles, b.objects()[i].triangles);
+    }
+    const VirtualWorld c = makeWorld(GetParam(), 8);
+    // Indoor layouts have fixed furniture sites, so compare mesh
+    // complexity too when looking for seed-driven variation.
+    bool differs = a.objects().size() != c.objects().size();
+    for (std::size_t i = 0; !differs && i < a.objects().size(); ++i) {
+        differs = !(a.objects()[i].position == c.objects()[i].position) ||
+                  a.objects()[i].triangles != c.objects()[i].triangles;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST_P(EveryGame, ObjectsLieWithinBounds)
+{
+    const VirtualWorld world = makeWorld(GetParam(), 42);
+    int outside = 0;
+    for (const WorldObject &obj : world.objects()) {
+        if (!world.bounds().containsClosed(obj.footprint()))
+            ++outside;
+    }
+    // Cluster scatter may graze edges; essentially everything inside.
+    EXPECT_LE(outside, static_cast<int>(world.objects().size() / 50));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGames, EveryGame,
+    testing::Values(GameId::Racing, GameId::DS, GameId::Viking,
+                    GameId::CTS, GameId::FPS, GameId::Soccer, GameId::Pool,
+                    GameId::Bowling, GameId::Corridor),
+    [](const testing::TestParamInfo<GameId> &info) {
+        return gameInfo(info.param).name;
+    });
+
+TEST(Generators, VikingIsDenserThanRacingPerArea)
+{
+    const VirtualWorld viking = makeWorld(GameId::Viking, 42);
+    const VirtualWorld racing = makeWorld(GameId::Racing, 42);
+    const double viking_density =
+        static_cast<double>(viking.objects().size()) /
+        viking.bounds().area();
+    const double racing_density =
+        static_cast<double>(racing.objects().size()) /
+        racing.bounds().area();
+    EXPECT_GT(viking_density, racing_density * 20.0);
+}
+
+TEST(Generators, VikingDensityVariesMoreThanCts)
+{
+    // Coefficient of variation of local triangle density: Viking's
+    // clustered village vs CTS's quasi-uniform forest (the property
+    // behind Table 3's quadtree depths).
+    auto density_cv = [](const VirtualWorld &world) {
+        Rng rng(5);
+        double sum = 0, sum2 = 0;
+        const int n = 120;
+        for (int i = 0; i < n; ++i) {
+            const Vec2 p{rng.uniform(world.bounds().lo.x,
+                                     world.bounds().hi.x),
+                         rng.uniform(world.bounds().lo.y,
+                                     world.bounds().hi.y)};
+            const double d = world.triangleDensity(p, 8.0);
+            sum += d;
+            sum2 += d * d;
+        }
+        const double mean = sum / n;
+        const double var = sum2 / n - mean * mean;
+        return mean > 0 ? std::sqrt(var) / mean : 0.0;
+    };
+    const VirtualWorld viking = makeWorld(GameId::Viking, 42);
+    const VirtualWorld cts = makeWorld(GameId::CTS, 42);
+    EXPECT_GT(density_cv(viking), density_cv(cts));
+}
+
+TEST(Generators, IndoorWorldsAreFlatWithWalls)
+{
+    for (GameId id : {GameId::Pool, GameId::Bowling, GameId::Corridor}) {
+        const VirtualWorld world = makeWorld(id, 42);
+        EXPECT_TRUE(world.terrain().params().flat);
+        bool has_wall = false;
+        for (const WorldObject &obj : world.objects())
+            has_wall |= obj.kind == AssetKind::Wall;
+        EXPECT_TRUE(has_wall) << world.name();
+    }
+}
+
+TEST(Generators, ReachabilityTrackCorridor)
+{
+    const GameInfo &info = gameInfo(GameId::Racing);
+    const VirtualWorld world = makeWorld(GameId::Racing, 42);
+    const auto reachable = makeReachability(info, world);
+    ASSERT_TRUE(static_cast<bool>(reachable));
+    Track track({{0, 0}, {info.width, info.height}},
+                world.terrain().params().seed);
+    EXPECT_TRUE(reachable(track.pointAt(100.0)));
+    EXPECT_FALSE(reachable(world.bounds().center()));
+}
+
+TEST(Generators, ReachabilityUnrestrictedForRoamGames)
+{
+    const GameInfo &info = gameInfo(GameId::Viking);
+    const VirtualWorld world = makeWorld(GameId::Viking, 42);
+    EXPECT_FALSE(static_cast<bool>(makeReachability(info, world)));
+}
+
+TEST(Generators, GridSpeedConsistency)
+{
+    // A player at the game's typical speed crosses about one grid
+    // point per 60 Hz tick (the paper's per-interval prefetch cadence).
+    for (const GameInfo &info : allGames()) {
+        const double per_tick = info.playerSpeed / 60.0;
+        EXPECT_NEAR(per_tick, info.gridSpacing, info.gridSpacing * 0.6)
+            << info.name;
+    }
+}
+
+TEST(GeneratorsDeath, GameInfoUnknownIdPanics)
+{
+    EXPECT_DEATH(gameInfo(static_cast<GameId>(99)), "unknown");
+}
+
+} // namespace
+} // namespace coterie::world::gen

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the extra image metrics: MSE/PSNR, the per-tile SSIM map,
+ * and PPM read/write round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "image/metrics.hh"
+#include "support/rng.hh"
+
+namespace coterie::image {
+namespace {
+
+Image
+noiseImage(int w, int h, std::uint64_t seed)
+{
+    Image img(w, h);
+    Rng rng(seed);
+    for (auto &p : img.pixels())
+        p = {static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+             static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+             static_cast<std::uint8_t>(rng.uniformInt(0, 255))};
+    return img;
+}
+
+TEST(Metrics, MseZeroForIdentical)
+{
+    const Image img = noiseImage(32, 32, 1);
+    EXPECT_DOUBLE_EQ(mse(img, img), 0.0);
+    EXPECT_TRUE(std::isinf(psnr(img, img)));
+}
+
+TEST(Metrics, MseOfKnownLumaShift)
+{
+    const Image a(16, 16, Rgb{100, 100, 100});
+    const Image b(16, 16, Rgb{110, 110, 110});
+    // Luma shift of exactly 10 -> MSE 100.
+    EXPECT_NEAR(mse(a, b), 100.0, 1e-6);
+    EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0),
+                1e-6);
+}
+
+TEST(Metrics, PsnrDecreasesWithNoise)
+{
+    const Image base = noiseImage(64, 64, 2);
+    Image lightly = base, heavily = base;
+    Rng rng(3);
+    for (auto &p : lightly.pixels())
+        p.r = static_cast<std::uint8_t>(
+            std::clamp<int>(p.r + rng.uniformInt(-5, 5), 0, 255));
+    for (auto &p : heavily.pixels())
+        p.r = static_cast<std::uint8_t>(
+            std::clamp<int>(p.r + rng.uniformInt(-60, 60), 0, 255));
+    EXPECT_GT(psnr(base, lightly), psnr(base, heavily));
+}
+
+TEST(Metrics, SsimMapLocalisesDamage)
+{
+    Image a = noiseImage(64, 64, 4);
+    Image b = a;
+    // Destroy only the top-left 16x16 tile.
+    Rng rng(5);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            b.at(x, y) = {static_cast<std::uint8_t>(
+                              rng.uniformInt(0, 255)),
+                          0, 0};
+    const SsimMap map = ssimMap(a, b, 16);
+    ASSERT_EQ(map.tilesX, 4);
+    ASSERT_EQ(map.tilesY, 4);
+    EXPECT_LT(map.at(0, 0), 0.5);
+    EXPECT_GT(map.at(3, 3), 0.99);
+    EXPECT_LT(map.min(), 0.5);
+    EXPECT_GT(map.mean(), map.min());
+}
+
+TEST(Metrics, PpmRoundTrip)
+{
+    const Image img = noiseImage(23, 17, 6);
+    const std::string path = testing::TempDir() + "/coterie_rt.ppm";
+    ASSERT_TRUE(img.writePpm(path));
+    const Image back = readPpm(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(back.empty());
+    EXPECT_EQ(back, img);
+}
+
+TEST(Metrics, ReadPpmRejectsGarbage)
+{
+    EXPECT_TRUE(readPpm("/nonexistent/x.ppm").empty());
+    const std::string path = testing::TempDir() + "/coterie_bad.ppm";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "P3 2 2 255\n0 0 0\n");
+    std::fclose(f);
+    EXPECT_TRUE(readPpm(path).empty());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace coterie::image

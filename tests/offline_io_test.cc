@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for offline-artifact persistence: save/load round trip, graceful
+ * rejection of malformed files, and integration with a real partition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/dist_thresh.hh"
+#include "core/offline_io.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie::core {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+TEST(OfflineIo, RoundTripPreservesEverything)
+{
+    const auto world =
+        world::gen::makeWorld(world::gen::GameId::Pool, 42);
+    const auto partition = partitionWorld(world, device::pixel2(), {});
+    const RegionIndex regions(world.bounds(), partition.leaves);
+    const AnalyticSimilarity model;
+    const auto thresholds = deriveDistThresholds(regions, model, {});
+
+    OfflineArtifacts artifacts;
+    artifacts.game = "Pool";
+    artifacts.device = "Pixel 2";
+    artifacts.worldBounds = world.bounds();
+    artifacts.leaves = partition.leaves;
+    artifacts.distThresholds = thresholds;
+
+    const std::string path = tempPath("coterie_artifacts.txt");
+    ASSERT_TRUE(saveArtifacts(artifacts, path));
+    const auto loaded = loadArtifacts(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(loaded.has_value());
+
+    EXPECT_EQ(loaded->game, "Pool");
+    EXPECT_EQ(loaded->device, "Pixel 2");
+    EXPECT_DOUBLE_EQ(loaded->worldBounds.hi.x, world.bounds().hi.x);
+    ASSERT_EQ(loaded->leaves.size(), partition.leaves.size());
+    ASSERT_EQ(loaded->distThresholds.size(), thresholds.size());
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        EXPECT_EQ(loaded->leaves[i].id, partition.leaves[i].id);
+        EXPECT_NEAR(loaded->leaves[i].cutoffRadius,
+                    partition.leaves[i].cutoffRadius, 1e-6);
+        EXPECT_EQ(loaded->leaves[i].depth, partition.leaves[i].depth);
+        EXPECT_EQ(loaded->leaves[i].reachable,
+                  partition.leaves[i].reachable);
+        EXPECT_NEAR(loaded->distThresholds[i], thresholds[i], 1e-6);
+        EXPECT_NEAR(loaded->leaves[i].rect.lo.x,
+                    partition.leaves[i].rect.lo.x, 1e-6);
+    }
+
+    // A loaded bundle drives a working RegionIndex.
+    const RegionIndex reloaded(loaded->worldBounds, loaded->leaves);
+    EXPECT_GT(reloaded.cutoffAt(world.bounds().center()), 0.0);
+}
+
+TEST(OfflineIo, MissingFileReturnsNullopt)
+{
+    EXPECT_FALSE(loadArtifacts("/nonexistent/bundle.txt").has_value());
+}
+
+TEST(OfflineIo, RejectsWrongMagic)
+{
+    const std::string path = tempPath("coterie_bad_magic.txt");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "not-coterie 1\n");
+    std::fclose(f);
+    EXPECT_FALSE(loadArtifacts(path).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(OfflineIo, RejectsWrongVersion)
+{
+    const std::string path = tempPath("coterie_bad_version.txt");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "coterie-offline 999\ngame X\ndevice Y\n");
+    std::fclose(f);
+    EXPECT_FALSE(loadArtifacts(path).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(OfflineIo, RejectsTruncatedLeafTable)
+{
+    const std::string path = tempPath("coterie_truncated.txt");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "coterie-offline 1\ngame X\ndevice Y\n"
+                    "bounds 0 0 10 10\nleaves 5\n"
+                    "0 0 0 5 5 1 3.0 100 1 0.2\n"); // only 1 of 5
+    std::fclose(f);
+    EXPECT_FALSE(loadArtifacts(path).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(OfflineIo, SaveFailsOnBadPath)
+{
+    OfflineArtifacts artifacts;
+    artifacts.leaves.push_back({});
+    artifacts.distThresholds.push_back(0.0);
+    EXPECT_FALSE(saveArtifacts(artifacts, "/nonexistent_dir/x.txt"));
+}
+
+} // namespace
+} // namespace coterie::core

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the prefetcher: cover-set geometry (lookahead along the
+ * movement heading plus lateral spread), cache-aware miss filtering,
+ * and the anchored near-set signatures in cache keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/prefetcher.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie::core {
+namespace {
+
+using geom::Vec2;
+using world::GridPoint;
+using world::gen::GameId;
+
+struct PrefetcherFixture : testing::Test
+{
+    PrefetcherFixture()
+        : world(world::gen::makeWorld(GameId::Viking, 42)),
+          grid(world::gen::makeGrid(
+              world::gen::gameInfo(GameId::Viking))),
+          partition(partitionWorld(world, device::pixel2(), {})),
+          regions(world.bounds(), partition.leaves)
+    {
+    }
+
+    world::VirtualWorld world;
+    world::GridMap grid;
+    PartitionResult partition;
+    RegionIndex regions;
+};
+
+TEST_F(PrefetcherFixture, CoverSetLiesAhead)
+{
+    Prefetcher prefetcher(world, grid, regions, {});
+    const Vec2 pos{60.0, 60.0};
+    const GridPoint at = grid.snap(pos);
+    const double heading = 0.0; // +x
+    const auto cover = prefetcher.coverSet(at, pos, heading);
+    EXPECT_FALSE(cover.empty());
+    for (const GridPoint g : cover) {
+        const Vec2 p = grid.position(g);
+        EXPECT_GE(p.x, pos.x - grid.spacing() * 1.5) << "behind player";
+        EXPECT_FALSE(g == at);
+    }
+}
+
+TEST_F(PrefetcherFixture, CoverSetSizeBoundedByParams)
+{
+    PrefetcherParams params;
+    params.lookaheadSteps = 3;
+    params.lateralSpread = 2;
+    Prefetcher prefetcher(world, grid, regions, params);
+    const Vec2 pos{60.0, 60.0};
+    const auto cover = prefetcher.coverSet(grid.snap(pos), pos, 0.4);
+    EXPECT_LE(cover.size(), 15u); // 3 * 5 max, minus dedup
+    EXPECT_GE(cover.size(), 3u);
+}
+
+TEST_F(PrefetcherFixture, CoverSetUnique)
+{
+    Prefetcher prefetcher(world, grid, regions, {});
+    const Vec2 pos{60.0, 60.0};
+    const auto cover = prefetcher.coverSet(grid.snap(pos), pos, 1.1);
+    for (std::size_t i = 0; i < cover.size(); ++i)
+        for (std::size_t j = i + 1; j < cover.size(); ++j)
+            EXPECT_FALSE(cover[i] == cover[j]);
+}
+
+TEST_F(PrefetcherFixture, MissesWithoutCacheReturnsFullCoverSet)
+{
+    Prefetcher prefetcher(world, grid, regions, {});
+    const Vec2 pos{60.0, 60.0};
+    const GridPoint at = grid.snap(pos);
+    const auto cover = prefetcher.coverSet(at, pos, 0.0);
+    const auto misses =
+        prefetcher.misses(at, pos, 0.0, nullptr, {});
+    EXPECT_EQ(misses.size(), cover.size());
+}
+
+TEST_F(PrefetcherFixture, MissesShrinkAsCacheFills)
+{
+    Prefetcher prefetcher(world, grid, regions, {});
+    FrameCache cache;
+    const Vec2 pos{60.0, 60.0};
+    const GridPoint at = grid.snap(pos);
+    std::vector<double> thresholds(partition.leaves.size(), 0.5);
+
+    const auto first =
+        prefetcher.misses(at, pos, 0.0, &cache, thresholds);
+    for (const PrefetchTarget &t : first)
+        cache.insert(prefetcher.keyFor(t.point), 1000);
+    const auto second =
+        prefetcher.misses(at, pos, 0.0, &cache, thresholds);
+    EXPECT_TRUE(second.empty());
+}
+
+TEST_F(PrefetcherFixture, KeyCarriesRegionAndAnchoredSignature)
+{
+    Prefetcher prefetcher(world, grid, regions, {});
+    const Vec2 pos{60.0, 60.0};
+    const GridPoint g = grid.snap(pos);
+    const FrameCache::Key key = prefetcher.keyFor(g);
+    EXPECT_EQ(key.gridKey, grid.key(g));
+    EXPECT_EQ(key.leafRegionId, regions.leafAt(pos).id);
+
+    // Anchoring: a neighbouring grid point (3.1 cm away, same anchor
+    // cell) carries the same signature.
+    const GridPoint neighbour{g.ix + 1, g.iy};
+    const FrameCache::Key key2 = prefetcher.keyFor(neighbour);
+    EXPECT_EQ(key.nearSetSignature, key2.nearSetSignature);
+}
+
+TEST_F(PrefetcherFixture, SignatureChangesAcrossTheMap)
+{
+    Prefetcher prefetcher(world, grid, regions, {});
+    const FrameCache::Key a = prefetcher.keyFor(grid.snap({60, 60}));
+    const FrameCache::Key b = prefetcher.keyFor(grid.snap({120, 90}));
+    EXPECT_NE(a.nearSetSignature, b.nearSetSignature);
+}
+
+} // namespace
+} // namespace coterie::core

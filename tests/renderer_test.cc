@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the software renderer: sky/terrain/object shading, the
+ * near/far depth-layer decomposition invariant (near merged over far
+ * equals the whole frame), chroma-key transparency, panorama cropping,
+ * and texture determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "render/renderer.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie::render {
+namespace {
+
+using geom::Vec2;
+using geom::Vec3;
+using image::Image;
+using image::Rgb;
+using world::SceneType;
+using world::TerrainParams;
+using world::VirtualWorld;
+using world::WorldObject;
+
+VirtualWorld
+tinyWorld()
+{
+    TerrainParams terrain;
+    terrain.flat = true;
+    VirtualWorld world("tiny", {{0, 0}, {60, 60}}, terrain);
+    WorldObject near_box;
+    near_box.shape = world::Shape::Box;
+    near_box.position = {33, 1.0, 30};
+    near_box.dims = {2, 2, 2};
+    near_box.color = {200, 40, 40};
+    world.addObject(near_box);
+    WorldObject far_box;
+    far_box.shape = world::Shape::Box;
+    far_box.position = {50, 2.0, 30};
+    far_box.dims = {4, 4, 4};
+    far_box.color = {40, 40, 200};
+    world.addObject(far_box);
+    world.finalize();
+    return world;
+}
+
+TEST(Renderer, SkyAboveHorizonOutdoors)
+{
+    const VirtualWorld world = tinyWorld();
+    const Renderer renderer(world);
+    geom::Ray up;
+    up.origin = world.eyePosition({30, 30});
+    up.dir = {0.0, 1.0, 0.0};
+    RenderOptions opts;
+    opts.texture = false;
+    const Rgb sky = renderer.shadeRay(up, opts);
+    EXPECT_EQ(sky, world.skyColor(M_PI / 2));
+}
+
+TEST(Renderer, GroundBelowFeet)
+{
+    const VirtualWorld world = tinyWorld();
+    const Renderer renderer(world);
+    geom::Ray down;
+    down.origin = world.eyePosition({10, 10});
+    down.dir = {0.0, -1.0, 0.0};
+    RenderOptions opts;
+    opts.texture = false;
+    opts.shading = false;
+    const Rgb ground = renderer.shadeRay(down, opts);
+    EXPECT_EQ(ground, world.terrain().colorAt({10, 10}));
+}
+
+TEST(Renderer, ObjectOccludesSkyAndGetsItsColor)
+{
+    const VirtualWorld world = tinyWorld();
+    const Renderer renderer(world);
+    geom::Ray toward;
+    toward.origin = {30.0, 1.0, 30.0};
+    toward.dir = Vec3{1.0, 0.0, 0.0}; // toward the red box at x=33
+    RenderOptions opts;
+    opts.texture = false;
+    opts.shading = false;
+    EXPECT_EQ(renderer.shadeRay(toward, opts), (Rgb{200, 40, 40}));
+}
+
+TEST(Renderer, NearLayerClipsFarContentToChromaKey)
+{
+    const VirtualWorld world = tinyWorld();
+    const Renderer renderer(world);
+    geom::Ray toward;
+    toward.origin = {30.0, 2.0, 30.0};
+    toward.dir = Vec3{1.0, 0.05, 0.0}.normalized(); // slightly upward
+    RenderOptions near_opts;
+    near_opts.layer = DepthLayer::nearBe(1.5); // red box at 2m excluded
+    near_opts.texture = false;
+    EXPECT_EQ(renderer.shadeRay(toward, near_opts), near_opts.clipKey);
+}
+
+TEST(Renderer, FarLayerSkipsNearContent)
+{
+    const VirtualWorld world = tinyWorld();
+    const Renderer renderer(world);
+    geom::Ray toward;
+    toward.origin = {30.0, 2.0, 30.0};
+    toward.dir = Vec3{1.0, 0.0, 0.0};
+    RenderOptions far_opts;
+    far_opts.layer = DepthLayer::farBe(10.0); // past the red box (3m)
+    far_opts.texture = false;
+    far_opts.shading = false;
+    // The ray now sees the blue box at 20m instead of the red at 3m.
+    EXPECT_EQ(renderer.shadeRay(toward, far_opts), (Rgb{40, 40, 200}));
+}
+
+TEST(Renderer, MergeOfNearAndFarEqualsWholeFrame)
+{
+    // The core split-rendering invariant: render near BE and far BE
+    // separately at the same cutoff and merge; the result must equal
+    // the whole-scene render (modulo nothing — same rays, same
+    // shading).
+    const world::VirtualWorld world =
+        world::gen::makeWorld(world::gen::GameId::Pool, 11);
+    const Renderer renderer(world);
+    const Vec3 eye = world.eyePosition({5.0, 6.0});
+    const double cutoff = 4.0;
+
+    RenderOptions whole;
+    const Image full = renderer.renderPanorama(eye, 96, 48, whole);
+    RenderOptions near_opts;
+    near_opts.layer = DepthLayer::nearBe(cutoff);
+    const Image near_img = renderer.renderPanorama(eye, 96, 48, near_opts);
+    RenderOptions far_opts;
+    far_opts.layer = DepthLayer::farBe(cutoff);
+    const Image far_img = renderer.renderPanorama(eye, 96, 48, far_opts);
+
+    const Image merged = Renderer::merge(near_img, far_img);
+    // Allow a tiny number of boundary pixels to differ (points exactly
+    // at the cutoff).
+    int mismatches = 0;
+    for (int y = 0; y < full.height(); ++y)
+        for (int x = 0; x < full.width(); ++x)
+            mismatches += !(merged.at(x, y) == full.at(x, y));
+    EXPECT_LE(mismatches, full.width() * full.height() / 100);
+}
+
+TEST(Renderer, PanoramaDirectionRoundTrip)
+{
+    for (double u : {0.1, 0.4, 0.7, 0.95}) {
+        for (double v : {0.1, 0.5, 0.9}) {
+            const Vec3 dir = panoramaDirection(u, v);
+            EXPECT_NEAR(dir.length(), 1.0, 1e-12);
+            double u2, v2;
+            directionToPanoramaUv(dir, u2, v2);
+            EXPECT_NEAR(u2, u, 1e-9);
+            EXPECT_NEAR(v2, v, 1e-9);
+        }
+    }
+}
+
+TEST(Renderer, CropPanoramaMatchesPerspectiveApproximately)
+{
+    const world::VirtualWorld world =
+        world::gen::makeWorld(world::gen::GameId::Pool, 11);
+    const Renderer renderer(world);
+    const Vec3 eye = world.eyePosition({5.0, 6.0});
+    RenderOptions opts;
+    const Image pano = renderer.renderPanorama(eye, 512, 256, opts);
+
+    Camera cam;
+    cam.position = eye;
+    cam.yaw = 0.7;
+    const Image direct = renderer.renderPerspective(cam, 64, 64, opts);
+    const Image cropped = cropPanoramaToView(pano, cam, 64, 64);
+    // Nearest-texel resampling: expect agreement, not equality.
+    EXPECT_LT(direct.meanAbsDiff(cropped), 40.0);
+}
+
+TEST(Renderer, DeterministicAcrossThreadCounts)
+{
+    const VirtualWorld world = tinyWorld();
+    const Renderer renderer(world);
+    RenderOptions serial;
+    serial.threads = 1;
+    RenderOptions parallel;
+    parallel.threads = 4;
+    const Vec3 eye = world.eyePosition({30, 30});
+    EXPECT_EQ(renderer.renderPanorama(eye, 64, 32, serial),
+              renderer.renderPanorama(eye, 64, 32, parallel));
+}
+
+TEST(Renderer, TextureAddsHighFrequencyDetail)
+{
+    const world::VirtualWorld world =
+        world::gen::makeWorld(world::gen::GameId::Pool, 11);
+    const Renderer renderer(world);
+    const Vec3 eye = world.eyePosition({5.0, 6.0});
+    RenderOptions with;
+    RenderOptions without;
+    without.texture = false;
+    const Image tex = renderer.renderPanorama(eye, 96, 48, with);
+    const Image flat = renderer.renderPanorama(eye, 96, 48, without);
+    // Textured frames differ from flat ones and are reproducible.
+    EXPECT_GT(tex.meanAbsDiff(flat), 2.0);
+    EXPECT_EQ(tex, renderer.renderPanorama(eye, 96, 48, with));
+}
+
+TEST(RendererDeath, MergeSizeMismatchPanics)
+{
+    const Image a(4, 4), b(5, 4);
+    EXPECT_DEATH(Renderer::merge(a, b), "mismatch");
+}
+
+} // namespace
+} // namespace coterie::render

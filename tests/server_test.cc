@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the frame store (server-side catalogue): deterministic
+ * sizes, far-BE smaller than whole-BE (the 2-3x factor behind
+ * "Coterie w/o cache" in Figure 11), and sane absolute values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/server.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie::core {
+namespace {
+
+using world::GridPoint;
+using world::gen::GameId;
+
+struct ServerFixture : testing::Test
+{
+    ServerFixture()
+        : world(world::gen::makeWorld(GameId::Viking, 42)),
+          grid(world::gen::makeGrid(
+              world::gen::gameInfo(GameId::Viking))),
+          partition(partitionWorld(world, device::pixel2(), {})),
+          regions(world.bounds(), partition.leaves),
+          frames(world, grid, regions)
+    {
+    }
+
+    world::VirtualWorld world;
+    world::GridMap grid;
+    PartitionResult partition;
+    RegionIndex regions;
+    FrameStore frames;
+};
+
+TEST_F(ServerFixture, SizesAreDeterministic)
+{
+    const GridPoint g{100, 100};
+    EXPECT_EQ(frames.farBeBytes(g), frames.farBeBytes(g));
+    EXPECT_EQ(frames.wholeBeBytes(g), frames.wholeBeBytes(g));
+    EXPECT_EQ(frames.fovFrameBytes(g), frames.fovFrameBytes(g));
+}
+
+TEST_F(ServerFixture, FarBeSmallerThanWholeBe)
+{
+    // §4.3: near BE and far BE frames are each about half the original
+    // BE frame; far-BE transfers are 2-3x smaller than whole-BE.
+    for (std::int64_t x = 200; x < grid.cols(); x += grid.cols() / 7) {
+        const GridPoint g{x, grid.rows() / 2};
+        const double ratio =
+            static_cast<double>(frames.wholeBeBytes(g)) /
+            static_cast<double>(frames.farBeBytes(g));
+        EXPECT_GT(ratio, 1.5) << "at x=" << x;
+        EXPECT_LT(ratio, 5.0) << "at x=" << x;
+    }
+}
+
+TEST_F(ServerFixture, AbsoluteSizesInPaperRange)
+{
+    // Viking Village: whole-BE ~550 KB, far-BE ~280 KB (Tables 1, 8).
+    const double whole_kb = frames.meanWholeBeKb();
+    const double far_kb = frames.meanFarBeKb();
+    EXPECT_GT(whole_kb, 300.0);
+    EXPECT_LT(whole_kb, 900.0);
+    EXPECT_GT(far_kb, 120.0);
+    EXPECT_LT(far_kb, 450.0);
+}
+
+TEST_F(ServerFixture, DenseRegionsEncodeLarger)
+{
+    // Content complexity follows object density.
+    const GridPoint market = grid.snap(world.bounds().center());
+    const GridPoint edge = grid.snap({4.0, 4.0});
+    EXPECT_GE(frames.wholeBeBytes(market), frames.wholeBeBytes(edge));
+}
+
+TEST_F(ServerFixture, FovFramesAtDisplayResolution)
+{
+    const GridPoint g{500, 500};
+    const double kb = frames.fovFrameBytes(g) / 1024.0;
+    // Table 1 Thin-client: 586-680 KB per streamed frame.
+    EXPECT_GT(kb, 250.0);
+    EXPECT_LT(kb, 900.0);
+}
+
+} // namespace
+} // namespace coterie::core

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the offline→online round trip: a session rebuilt from saved
+ * artifacts must behave identically to the session that produced them
+ * (same leaves, same thresholds, same end-to-end results), closing the
+ * loop exercised by tools/coterie_offline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/session.hh"
+
+namespace coterie::core {
+namespace {
+
+using world::gen::GameId;
+
+OfflineArtifacts
+artifactsOf(const Session &session)
+{
+    OfflineArtifacts artifacts;
+    artifacts.game = session.info().name;
+    artifacts.device = session.params().profile.name;
+    artifacts.worldBounds = session.world().bounds();
+    artifacts.leaves = session.partition().leaves;
+    artifacts.distThresholds = session.distThresholds();
+    return artifacts;
+}
+
+TEST(SessionArtifacts, RoundTripMatchesFreshPreprocessing)
+{
+    SessionParams params;
+    params.players = 1;
+    params.durationS = 10.0;
+    params.seed = 21;
+    auto fresh = Session::create(GameId::Pool, params);
+
+    // Save and reload through the on-disk format.
+    const std::string path =
+        testing::TempDir() + "/coterie_session_artifacts.txt";
+    ASSERT_TRUE(saveArtifacts(artifactsOf(*fresh), path));
+    const auto loaded = loadArtifacts(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(loaded.has_value());
+
+    auto restored =
+        Session::createFromArtifacts(GameId::Pool, *loaded, params);
+
+    ASSERT_EQ(restored->partition().leaves.size(),
+              fresh->partition().leaves.size());
+    for (std::size_t i = 0; i < fresh->distThresholds().size(); ++i) {
+        EXPECT_NEAR(restored->distThresholds()[i],
+                    fresh->distThresholds()[i], 1e-6);
+        EXPECT_NEAR(restored->partition().leaves[i].cutoffRadius,
+                    fresh->partition().leaves[i].cutoffRadius, 1e-6);
+    }
+
+    // End-to-end behaviour is identical.
+    const SystemResult a = fresh->runCoterieSystem();
+    const SystemResult b = restored->runCoterieSystem();
+    ASSERT_EQ(a.players.size(), b.players.size());
+    EXPECT_EQ(a.players[0].framesDisplayed, b.players[0].framesDisplayed);
+    EXPECT_EQ(a.players[0].framesFetched, b.players[0].framesFetched);
+    EXPECT_DOUBLE_EQ(a.players[0].beMbps, b.players[0].beMbps);
+}
+
+TEST(SessionArtifacts, SkipsTheExpensivePreprocessing)
+{
+    SessionParams params;
+    params.players = 1;
+    params.durationS = 5.0;
+    auto fresh = Session::create(GameId::Pool, params);
+    const OfflineArtifacts artifacts = artifactsOf(*fresh);
+
+    // Rebuilding from artifacts performs no cutoff calculations.
+    auto restored =
+        Session::createFromArtifacts(GameId::Pool, artifacts, params);
+    EXPECT_EQ(restored->partition().cutoffCalculations, 0u);
+    EXPECT_GT(restored->partition().leaves.size(), 0u);
+}
+
+TEST(SessionArtifactsDeath, WrongGamePanics)
+{
+    SessionParams params;
+    params.players = 1;
+    params.durationS = 5.0;
+    auto fresh = Session::create(GameId::Pool, params);
+    const OfflineArtifacts artifacts = artifactsOf(*fresh);
+    EXPECT_DEATH(
+        Session::createFromArtifacts(GameId::Bowling, artifacts, params),
+        "belong");
+}
+
+} // namespace
+} // namespace coterie::core

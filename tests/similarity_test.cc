@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the similarity models — the scientific heart of the paper:
+ * the near-object effect (whole-BE frames of adjacent locations are
+ * dissimilar; far-BE frames are similar), monotonicity of far-BE SSIM
+ * in the cutoff radius (Figure 5), and the analytic surrogate's
+ * agreement with rendered SSIM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie::core {
+namespace {
+
+using geom::Vec2;
+using world::gen::GameId;
+using world::gen::makeWorld;
+
+const world::VirtualWorld &
+viking()
+{
+    static const world::VirtualWorld world = makeWorld(GameId::Viking, 42);
+    return world;
+}
+
+/** A location in the dense village with near objects. */
+Vec2
+denseSpot()
+{
+    return viking().bounds().center() + Vec2{9.0, 7.0};
+}
+
+TEST(RenderedSimilarity, IdenticalLocationScoresOne)
+{
+    const RenderedSimilarity model(viking(), 96, 48);
+    EXPECT_NEAR(model.farBeSsim(denseSpot(), denseSpot(), 10.0), 1.0,
+                1e-9);
+}
+
+TEST(RenderedSimilarity, NearObjectEffect)
+{
+    // The paper's §4.2 observation: for adjacent grid points (3.1 cm
+    // apart), whole-BE frames are NOT similar (SSIM < 0.9) while far-BE
+    // frames after decoupling ARE (SSIM > 0.9).
+    const RenderedSimilarity model(viking(), 192, 96);
+    const Vec2 a = denseSpot();
+    const Vec2 b = a + Vec2{1.0 / 32.0, 0.0};
+    const double whole = model.farBeSsim(a, b, 0.0);
+    const double far = model.farBeSsim(a, b, 8.0);
+    EXPECT_LT(whole, 0.9);
+    EXPECT_GT(far, 0.9);
+    EXPECT_GT(far, whole + 0.05);
+}
+
+TEST(RenderedSimilarity, MonotoneInCutoffRadius)
+{
+    // Figure 5: SSIM between nearby far-BE frames rises quickly and
+    // monotonically with the cutoff radius.
+    const RenderedSimilarity model(viking(), 128, 64);
+    const Vec2 a = denseSpot();
+    const Vec2 b = a + Vec2{0.1, 0.0};
+    double prev = 0.0;
+    for (double cutoff : {1.0, 3.0, 8.0, 20.0}) {
+        const double s = model.farBeSsim(a, b, cutoff);
+        EXPECT_GE(s, prev - 0.02) << "cutoff " << cutoff;
+        prev = s;
+    }
+    EXPECT_GT(prev, 0.95);
+}
+
+TEST(RenderedSimilarity, DecaysWithDisplacement)
+{
+    const RenderedSimilarity model(viking(), 128, 64);
+    const Vec2 a = denseSpot();
+    const double near = model.farBeSsim(a, a + Vec2{0.05, 0.0}, 6.0);
+    const double far = model.farBeSsim(a, a + Vec2{2.0, 0.0}, 6.0);
+    EXPECT_GT(near, far);
+}
+
+TEST(AnalyticSimilarity, BasicShape)
+{
+    const AnalyticSimilarity model;
+    EXPECT_DOUBLE_EQ(model.farBeSsim({0, 0}, {0, 0}, 5.0), 1.0);
+    // Monotone decreasing in displacement.
+    double prev = 1.0;
+    for (double d : {0.05, 0.2, 1.0, 5.0}) {
+        const double s = model.farBeSsim({0, 0}, {d, 0}, 5.0);
+        EXPECT_LT(s, prev);
+        prev = s;
+    }
+    // Bounded below by the floor.
+    EXPECT_GE(model.farBeSsim({0, 0}, {1000, 0}, 5.0),
+              model.params().floor - 1e-9);
+}
+
+TEST(AnalyticSimilarity, MonotoneInCutoff)
+{
+    const AnalyticSimilarity model;
+    EXPECT_LT(model.farBeSsim({0, 0}, {0.5, 0}, 2.0),
+              model.farBeSsim({0, 0}, {0.5, 0}, 20.0));
+}
+
+TEST(AnalyticSimilarity, MaxDisplacementIsExactInverse)
+{
+    const AnalyticSimilarity model;
+    for (double cutoff : {2.0, 10.0, 50.0}) {
+        const double d = model.maxDisplacement(cutoff, 0.9);
+        const double s = model.farBeSsim({0, 0}, {d, 0}, cutoff);
+        EXPECT_NEAR(s, 0.9, 1e-9) << "cutoff " << cutoff;
+    }
+}
+
+TEST(AnalyticSimilarity, MaxDisplacementScalesWithCutoff)
+{
+    const AnalyticSimilarity model;
+    EXPECT_GT(model.maxDisplacement(50.0, 0.9),
+              model.maxDisplacement(5.0, 0.9) * 5.0);
+}
+
+TEST(AnalyticSimilarityDeath, ThresholdBelowFloorPanics)
+{
+    const AnalyticSimilarity model;
+    EXPECT_DEATH(model.maxDisplacement(5.0, 0.05), "range");
+}
+
+TEST(Calibration, FitsDecayToRenderedData)
+{
+    const auto params = calibrateAnalytic(viking(), {4.0, 12.0}, 4, 5);
+    EXPECT_GT(params.decay, 0.2);
+    EXPECT_LT(params.decay, 20.0);
+    // The calibrated analytic model should rank displacements the same
+    // way the renderer does at a probe point.
+    const AnalyticSimilarity analytic(params);
+    const RenderedSimilarity rendered(viking(), 128, 64);
+    const Vec2 a = denseSpot();
+    const double cutoff = 8.0;
+    const double rendered_small =
+        rendered.farBeSsim(a, a + Vec2{0.05, 0}, cutoff);
+    const double analytic_small =
+        analytic.farBeSsim(a, a + Vec2{0.05, 0}, cutoff);
+    EXPECT_NEAR(analytic_small, rendered_small, 0.12);
+}
+
+} // namespace
+} // namespace coterie::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the calibrated H.264 frame-size model against the paper's
+ * anchor points: 4K whole-BE panoramas ~440-580 KB, far-BE ~150-280 KB,
+ * Thin-client display frames ~590-680 KB (Tables 1 and 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/size_model.hh"
+
+namespace coterie::image {
+namespace {
+
+TEST(SizeModel, WholeBeAnchorsInPaperRange)
+{
+    FrameSizeSpec spec;
+    spec.content = FrameContent::WholeBE;
+    spec.complexity = 0.3;
+    const double kb_low = modelFrameBytes(spec) / 1024.0;
+    spec.complexity = 0.6;
+    const double kb_high = modelFrameBytes(spec) / 1024.0;
+    EXPECT_GT(kb_low, 300.0);
+    EXPECT_LT(kb_high, 900.0);
+}
+
+TEST(SizeModel, FarBeRoughlyHalfToThirdOfWhole)
+{
+    FrameSizeSpec whole;
+    whole.content = FrameContent::WholeBE;
+    whole.complexity = 0.5;
+    FrameSizeSpec far = whole;
+    far.content = FrameContent::FarBE;
+    const double ratio =
+        static_cast<double>(modelFrameBytes(far)) /
+        static_cast<double>(modelFrameBytes(whole));
+    EXPECT_GT(ratio, 0.25);
+    EXPECT_LT(ratio, 0.6);
+}
+
+TEST(SizeModel, FovFrameMatchesThinClientRange)
+{
+    FrameSizeSpec spec;
+    spec.content = FrameContent::FovFrame;
+    spec.width = 1920;
+    spec.height = 1080;
+    spec.complexity = 0.5;
+    const double kb = modelFrameBytes(spec) / 1024.0;
+    EXPECT_GT(kb, 400.0);
+    EXPECT_LT(kb, 800.0);
+}
+
+TEST(SizeModel, MonotoneInComplexity)
+{
+    FrameSizeSpec spec;
+    spec.content = FrameContent::FarBE;
+    std::size_t prev = 0;
+    for (double c : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+        spec.complexity = c;
+        const std::size_t bytes = modelFrameBytes(spec);
+        EXPECT_GT(bytes, prev);
+        prev = bytes;
+    }
+}
+
+TEST(SizeModel, ScalesWithResolution)
+{
+    FrameSizeSpec big;
+    big.content = FrameContent::WholeBE;
+    FrameSizeSpec small = big;
+    small.width = 1920;
+    small.height = 1080;
+    const auto big_bytes = modelFrameBytes(big);
+    const auto small_bytes = modelFrameBytes(small);
+    // 4x pixels -> ~4x bytes (modulo fixed overhead).
+    EXPECT_NEAR(static_cast<double>(big_bytes) /
+                    static_cast<double>(small_bytes),
+                4.0, 0.3);
+}
+
+TEST(SizeModel, ComplexityClamped)
+{
+    FrameSizeSpec lo;
+    lo.complexity = -5.0;
+    FrameSizeSpec zero;
+    zero.complexity = 0.0;
+    EXPECT_EQ(modelFrameBytes(lo), modelFrameBytes(zero));
+    FrameSizeSpec hi;
+    hi.complexity = 99.0;
+    FrameSizeSpec one;
+    one.complexity = 1.0;
+    EXPECT_EQ(modelFrameBytes(hi), modelFrameBytes(one));
+}
+
+} // namespace
+} // namespace coterie::image

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for stereo projection: eye geometry, parallax behaviour (near
+ * content shifts between eyes, far content barely), composite layout,
+ * and the split-path stereo (per-eye near render over a shared far
+ * panorama) against full per-eye renders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/ssim.hh"
+#include "render/stereo.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie::render {
+namespace {
+
+using geom::Vec3;
+
+TEST(Stereo, EyeCamerasSeparatedByIpd)
+{
+    Camera head;
+    head.position = {10, 1.7, 10};
+    head.yaw = 0.8;
+    StereoParams params;
+    const auto [left, right] = eyeCameras(head, params);
+    EXPECT_NEAR(left.position.distance(right.position),
+                params.ipdMeters, 1e-12);
+    // Midpoint is the head position; yaw unchanged.
+    const Vec3 mid = (left.position + right.position) * 0.5;
+    EXPECT_NEAR(mid.distance(head.position), 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(left.yaw, head.yaw);
+    // Separation is horizontal.
+    EXPECT_DOUBLE_EQ(left.position.y, right.position.y);
+}
+
+TEST(Stereo, CompositePlacesEyesSideBySide)
+{
+    StereoFrame frame;
+    frame.left = image::Image(4, 3, {10, 0, 0});
+    frame.right = image::Image(4, 3, {0, 20, 0});
+    const image::Image panel = frame.composite();
+    EXPECT_EQ(panel.width(), 8);
+    EXPECT_EQ(panel.height(), 3);
+    EXPECT_EQ(panel.at(0, 0), (image::Rgb{10, 0, 0}));
+    EXPECT_EQ(panel.at(4, 0), (image::Rgb{0, 20, 0}));
+}
+
+TEST(Stereo, NearContentHasMoreParallaxThanFar)
+{
+    const auto world =
+        world::gen::makeWorld(world::gen::GameId::Pool, 11);
+    const Renderer renderer(world);
+    Camera head;
+    head.position = world.eyePosition({5.0, 6.5});
+    head.yaw = 1.2;
+    StereoParams params;
+    params.eyeWidth = 128;
+    params.eyeHeight = 96;
+    // Exaggerate the IPD so parallax is measurable at low resolution.
+    params.ipdMeters = 0.3;
+
+    RenderOptions near_opts;
+    near_opts.layer = DepthLayer::nearBe(3.0);
+    RenderOptions far_opts;
+    far_opts.layer = DepthLayer::farBe(3.0);
+    const StereoFrame near_pair =
+        renderStereo(renderer, head, params, near_opts);
+    const StereoFrame far_pair =
+        renderStereo(renderer, head, params, far_opts);
+    // Left/right near layers differ more than left/right far layers.
+    const double near_diff =
+        near_pair.left.meanAbsDiff(near_pair.right);
+    const double far_diff = far_pair.left.meanAbsDiff(far_pair.right);
+    EXPECT_GT(near_diff, far_diff);
+}
+
+TEST(Stereo, PanoramaPathApproximatesFullPerEyeRender)
+{
+    const auto world =
+        world::gen::makeWorld(world::gen::GameId::Pool, 11);
+    const Renderer renderer(world);
+    Camera head;
+    head.position = world.eyePosition({5.0, 6.5});
+    head.yaw = 0.4;
+    const double cutoff = 3.0;
+    StereoParams params;
+    params.eyeWidth = 96;
+    params.eyeHeight = 72;
+
+    RenderOptions far_opts;
+    far_opts.layer = DepthLayer::farBe(cutoff);
+    const image::Image pano = renderer.renderPanorama(
+        head.position, 768, 384, far_opts);
+    const StereoFrame split =
+        stereoFromPanorama(renderer, pano, head, cutoff, params);
+    const StereoFrame truth = renderStereo(renderer, head, params);
+
+    EXPECT_GT(image::ssim(split.left, truth.left), 0.6);
+    EXPECT_GT(image::ssim(split.right, truth.right), 0.6);
+}
+
+} // namespace
+} // namespace coterie::render

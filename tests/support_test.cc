@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the support library: RNG determinism and distribution
+ * sanity, statistics accumulators, and histogram binning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace coterie {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(3, 7);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect)
+{
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.normal(5.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(13);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.exponential(4.0));
+    EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(21);
+    Rng child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(HashMix, DistinctInputsDistinctOutputs)
+{
+    std::set<std::uint64_t> outputs;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        outputs.insert(hashMix(i));
+    EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(HashCombine, OrderSensitive)
+{
+    EXPECT_NE(hashCombine(hashMix(1), hashMix(2)),
+              hashCombine(hashMix(2), hashMix(1)));
+}
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream)
+{
+    Rng rng(31);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normal();
+        all.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SampleSet, ExactPercentiles)
+{
+    SampleSet s;
+    for (int i = 100; i >= 1; --i) // reverse order: must sort internally
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_NEAR(s.median(), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-9);
+    EXPECT_NEAR(s.percentile(100.0), 100.0, 1e-9);
+}
+
+TEST(SampleSet, FractionAboveThreshold)
+{
+    SampleSet s;
+    for (int i = 1; i <= 10; ++i)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(10.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.fractionAtOrBelow(5.0), 0.5);
+}
+
+TEST(SampleSet, CdfIsMonotone)
+{
+    SampleSet s;
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i)
+        s.add(rng.normal());
+    const auto cdf = s.cdf(50);
+    ASSERT_EQ(cdf.size(), 50u);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+    }
+    EXPECT_NEAR(cdf.back().second, 1.0, 1e-9);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.5);   // bin 9
+    h.add(-3.0);  // clamps to bin 0
+    h.add(42.0);  // clamps to bin 9
+    h.add(5.0);   // bin 5
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(9), 2u);
+    EXPECT_EQ(h.bin(5), 1u);
+    EXPECT_DOUBLE_EQ(h.binLow(5), 5.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(5), 6.0);
+    EXPECT_FALSE(h.render().empty());
+}
+
+} // namespace
+} // namespace coterie

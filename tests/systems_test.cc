@@ -1,0 +1,185 @@
+/**
+ * @file
+ * End-to-end integration tests: build a full Viking session and run
+ * all four system models, checking the paper's headline orderings —
+ * Mobile and Thin-client fail the 60 FPS QoE, Multi-Furion meets it at
+ * 1 player and degrades at 2, Coterie holds 60 FPS with a high cache
+ * hit ratio and an order-of-magnitude lower network load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/session.hh"
+
+namespace coterie::core {
+namespace {
+
+using world::gen::GameId;
+
+/** Shared session (expensive to build; reused across tests). */
+const Session &
+vikingSession(int players)
+{
+    static std::unique_ptr<Session> one = [] {
+        SessionParams params;
+        params.players = 1;
+        params.durationS = 30.0;
+        return Session::create(GameId::Viking, params);
+    }();
+    static std::unique_ptr<Session> two = [] {
+        SessionParams params;
+        params.players = 2;
+        params.durationS = 30.0;
+        return Session::create(GameId::Viking, params);
+    }();
+    return players == 1 ? *one : *two;
+}
+
+TEST(Session, PreprocessingProducesUsableArtifacts)
+{
+    const Session &session = vikingSession(1);
+    EXPECT_GT(session.partition().leaves.size(), 50u);
+    EXPECT_EQ(session.distThresholds().size(),
+              session.partition().leaves.size());
+    EXPECT_GT(session.similarityParams().decay, 0.1);
+    EXPECT_EQ(session.traces().playerCount(), 1);
+    EXPECT_GT(session.traces().durationMs(), 29000.0);
+}
+
+TEST(Systems, MobileFailsSixtyFps)
+{
+    const SystemResult result = vikingSession(1).runMobileSystem();
+    ASSERT_EQ(result.players.size(), 1u);
+    EXPECT_LT(result.avgFps(), 35.0);
+    EXPECT_GT(result.avgFps(), 10.0);
+    EXPECT_GT(result.players[0].gpuPct, 80.0); // GPU-saturated
+}
+
+TEST(Systems, ThinClientFailsSixtyFpsAndHasLongLatency)
+{
+    const SystemResult result = vikingSession(1).runThinClientSystem();
+    EXPECT_LT(result.avgFps(), 35.0);
+    EXPECT_GT(result.avgInterFrameMs(), 30.0);
+    EXPECT_LT(result.players[0].gpuPct, 25.0); // phone GPU nearly idle
+    EXPECT_GT(result.players[0].beMbps, 50.0); // heavy streaming
+}
+
+TEST(Systems, MultiFurionMeetsQoeForOnePlayer)
+{
+    const SystemResult result = vikingSession(1).runMultiFurionSystem();
+    EXPECT_GT(result.avgFps(), 55.0);
+    EXPECT_LT(result.avgInterFrameMs(), 18.0);
+    // Whole-BE prefetch load ~250-290 Mbps per player (Table 9).
+    EXPECT_GT(result.players[0].beMbps, 150.0);
+}
+
+TEST(Systems, MultiFurionDegradesAtTwoPlayers)
+{
+    const SystemResult two = vikingSession(2).runMultiFurionSystem();
+    const SystemResult one = vikingSession(1).runMultiFurionSystem();
+    // The second player's transfers share the channel: per-frame
+    // network delay rises substantially, and FPS cannot improve.
+    EXPECT_GT(two.avgNetDelayMs(), one.avgNetDelayMs() * 1.3);
+    EXPECT_LE(two.avgFps(), one.avgFps() + 0.5);
+}
+
+TEST(Systems, CoterieHoldsSixtyFpsForTwoPlayers)
+{
+    const SystemResult result = vikingSession(2).runCoterieSystem();
+    EXPECT_GT(result.avgFps(), 57.0);
+    EXPECT_LT(result.avgInterFrameMs(), 17.5);
+    for (const PlayerMetrics &m : result.players) {
+        EXPECT_LT(m.responsivenessMs, 17.0); // under 16.7 + slack
+        EXPECT_LT(m.gpuPct, 75.0);           // within thermal envelope
+        EXPECT_LT(m.cpuPct, 45.0);
+    }
+}
+
+TEST(Systems, CoterieCacheHitRatioHigh)
+{
+    const SystemResult result = vikingSession(1).runCoterieSystem();
+    // Table 6: 80.8% for Viking; allow simulation slack.
+    EXPECT_GT(result.avgCacheHitRatio(), 0.6);
+    EXPECT_GT(result.players[0].cacheStats.hits, 100u);
+}
+
+TEST(Systems, CoterieNetworkLoadFarBelowMultiFurion)
+{
+    const SystemResult coterie = vikingSession(1).runCoterieSystem();
+    const SystemResult furion = vikingSession(1).runMultiFurionSystem();
+    // Table 9: 10.6x-25.7x per-player reduction.
+    EXPECT_GT(furion.players[0].beMbps,
+              coterie.players[0].beMbps * 6.0);
+}
+
+TEST(Systems, CoterieWithoutCacheFetchesMore)
+{
+    const SystemResult with = vikingSession(1).runCoterieSystem(true);
+    const SystemResult without =
+        vikingSession(1).runCoterieSystem(false);
+    EXPECT_GT(without.players[0].beMbps,
+              with.players[0].beMbps * 2.0);
+    // But still less than Multi-Furion (far BE frames are smaller).
+    const SystemResult furion = vikingSession(1).runMultiFurionSystem();
+    EXPECT_LT(without.players[0].beMbps, furion.players[0].beMbps);
+}
+
+TEST(Systems, ExactMatchCacheAlmostNeverHits)
+{
+    // Table 5 Version 1: players never revisit exact grid points.
+    const SystemResult result =
+        vikingSession(1).runMultiFurionSystem(/*withExactCache=*/true);
+    EXPECT_LT(result.avgCacheHitRatio(), 0.25);
+}
+
+TEST(Systems, FlfPolicyAlsoSustainsSixtyFps)
+{
+    const SystemResult result =
+        vikingSession(1).runCoterieSystem(true, ReplacementPolicy::Flf);
+    EXPECT_GT(result.avgFps(), 57.0);
+    EXPECT_GT(result.avgCacheHitRatio(), 0.6);
+}
+
+TEST(Systems, FrameSizesMatchPaperOrdering)
+{
+    const SystemResult coterie = vikingSession(1).runCoterieSystem();
+    const SystemResult furion = vikingSession(1).runMultiFurionSystem();
+    const SystemResult thin = vikingSession(1).runThinClientSystem();
+    // far BE < whole BE; thin-client display frames are the largest.
+    EXPECT_LT(coterie.players[0].frameKb, furion.players[0].frameKb);
+    EXPECT_GT(thin.players[0].frameKb, coterie.players[0].frameKb);
+}
+
+TEST(Systems, OverhearingAddsLittleOverIntraPlayerReuse)
+{
+    // The Section 4.6 conclusion that justifies dropping overhearing
+    // from the final design: with similar-frame intra-player reuse
+    // already on, promiscuous-mode caching barely moves the needle.
+    const Session &session = vikingSession(2);
+    const SystemResult base = runCoterie(
+        session.systemConfig(), session.distThresholds(), true,
+        ReplacementPolicy::Lru, /*overhear=*/false);
+    const SystemResult over = runCoterie(
+        session.systemConfig(), session.distThresholds(), true,
+        ReplacementPolicy::Lru, /*overhear=*/true);
+    EXPECT_GT(over.avgFps(), 57.0);
+    // Bandwidth improves at most modestly.
+    double base_be = 0.0, over_be = 0.0;
+    for (const PlayerMetrics &m : base.players)
+        base_be += m.beMbps;
+    for (const PlayerMetrics &m : over.players)
+        over_be += m.beMbps;
+    EXPECT_LE(over_be, base_be * 1.05);
+    EXPECT_GT(over_be, base_be * 0.5);
+}
+
+TEST(Systems, FiTrafficOrdersOfMagnitudeBelowBe)
+{
+    const SystemResult result = vikingSession(2).runCoterieSystem();
+    for (const PlayerMetrics &m : result.players) {
+        EXPECT_LT(m.fiKbps / 1000.0, m.beMbps / 10.0);
+    }
+}
+
+} // namespace
+} // namespace coterie::core

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the thermal governor and the channel's jitter/loss options
+ * (failure-injection substrate): throttling kicks in only above the
+ * limit, and a lossy/jittery channel degrades gracefully instead of
+ * breaking the simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/thermal.hh"
+#include "net/channel.hh"
+#include "support/stats.hh"
+
+namespace coterie {
+namespace {
+
+TEST(ThermalGovernor, NoThrottleBelowLimit)
+{
+    device::ThermalGovernor governor;
+    EXPECT_DOUBLE_EQ(governor.renderTimeMultiplier(30.0), 1.0);
+    EXPECT_DOUBLE_EQ(governor.renderTimeMultiplier(52.0), 1.0);
+    EXPECT_DOUBLE_EQ(governor.throttledFps(10.0, 45.0), 60.0);
+}
+
+TEST(ThermalGovernor, ThrottleGrowsAboveLimit)
+{
+    device::ThermalGovernor governor;
+    const double mild = governor.renderTimeMultiplier(54.0);
+    const double severe = governor.renderTimeMultiplier(60.0);
+    EXPECT_GT(mild, 1.0);
+    EXPECT_GT(severe, mild);
+    // A 12 ms render at +8 C over the limit blows the 16.7 ms budget.
+    EXPECT_LT(governor.throttledFps(12.0, 60.0), 60.0);
+}
+
+TEST(ThermalGovernor, CoterieOperatingPointNeverThrottles)
+{
+    // Figure 12: the steady-state temperature at Coterie's ~4 W stays
+    // below the 52 C limit, so the governor multiplier is exactly 1.
+    device::ThermalModel model{device::ThermalParams{}};
+    for (int i = 0; i < 3600; ++i)
+        model.step(4.2, 1.0);
+    device::ThermalGovernor governor;
+    EXPECT_DOUBLE_EQ(
+        governor.renderTimeMultiplier(model.temperatureC()), 1.0);
+}
+
+TEST(ThermalGovernor, MobileWorkloadWouldThrottle)
+{
+    // A Mobile-style 100% GPU workload draws ~6.5 W: the steady state
+    // exceeds the limit and the governor engages — the paper's point
+    // about temperature control restricting long runs.
+    device::ThermalModel model{device::ThermalParams{}};
+    for (int i = 0; i < 7200; ++i)
+        model.step(6.5, 1.0);
+    device::ThermalGovernor governor;
+    EXPECT_GT(model.temperatureC(), governor.limitC);
+    EXPECT_GT(governor.renderTimeMultiplier(model.temperatureC()), 1.0);
+}
+
+TEST(ChannelFaults, JitterDelaysButDelivers)
+{
+    sim::EventQueue queue;
+    net::ChannelParams params;
+    params.baseLatencyMs = 1.0;
+    params.jitterMeanMs = 5.0;
+    params.contentionPenalty = 0.0;
+    net::SharedChannel channel(queue, params);
+    int done = 0;
+    RunningStats latency;
+    for (int i = 0; i < 200; ++i) {
+        const sim::TimeMs start = queue.now();
+        channel.startTransfer(125000, [&, start](sim::TimeMs t) {
+            ++done;
+            latency.add(t - start);
+        });
+    }
+    queue.runToCompletion();
+    EXPECT_EQ(done, 200);
+    // Mean latency exceeds the no-jitter case (1 ms + transfer time).
+    EXPECT_GT(latency.mean(), 1.0 + 2.0);
+    // And the latencies vary (jitter is actually random).
+    EXPECT_GT(latency.stddev(), 1.0);
+}
+
+TEST(ChannelFaults, LossAddsRetransmissionCost)
+{
+    auto run = [](double loss) {
+        sim::EventQueue queue;
+        net::ChannelParams params;
+        params.baseLatencyMs = 0.5;
+        params.contentionPenalty = 0.0;
+        params.lossProbability = loss;
+        net::SharedChannel channel(queue, params);
+        RunningStats latency;
+        for (int i = 0; i < 300; ++i) {
+            const sim::TimeMs start = queue.now();
+            channel.startTransfer(250000, [&, start](sim::TimeMs t) {
+                latency.add(t - start);
+            });
+        }
+        queue.runToCompletion();
+        return latency.mean();
+    };
+    // With every transfer hit (p=1), the 10% payload re-serve plus the
+    // 8 ms penalty must show up clearly in the mean latency.
+    EXPECT_GT(run(1.0), run(0.0) * 1.08);
+}
+
+TEST(ChannelFaults, FaultDrawsAreDeterministicInSeed)
+{
+    auto trace = [](std::uint64_t seed) {
+        sim::EventQueue queue;
+        net::ChannelParams params;
+        params.jitterMeanMs = 3.0;
+        params.lossProbability = 0.2;
+        params.seed = seed;
+        net::SharedChannel channel(queue, params);
+        std::vector<double> completions;
+        for (int i = 0; i < 50; ++i)
+            channel.startTransfer(
+                100000, [&](sim::TimeMs t) { completions.push_back(t); });
+        queue.runToCompletion();
+        return completions;
+    };
+    EXPECT_EQ(trace(9), trace(9));
+    EXPECT_NE(trace(9), trace(10));
+}
+
+} // namespace
+} // namespace coterie

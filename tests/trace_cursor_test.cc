@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the interpolating trace cursor: midpoint interpolation,
+ * clamping, yaw wrap-around, speed estimation, and consistency with
+ * the raw tick samples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/trace.hh"
+
+namespace coterie::trace {
+namespace {
+
+PlayerTrace
+straightTrace(int ticks, double stepX)
+{
+    PlayerTrace tr;
+    for (int i = 0; i < ticks; ++i) {
+        TracePoint tp;
+        tp.timeMs = i * 10.0;
+        tp.position = {i * stepX, 0.0};
+        tp.yaw = 0.0;
+        tr.points.push_back(tp);
+    }
+    return tr;
+}
+
+TEST(TraceCursor, ExactTicksMatchSamples)
+{
+    const PlayerTrace tr = straightTrace(10, 1.0);
+    const TraceCursor cursor(tr, 10.0);
+    for (int i = 0; i < 10; ++i) {
+        const TracePoint tp = cursor.at(i * 10.0);
+        EXPECT_NEAR(tp.position.x, tr.points[i].position.x, 1e-9);
+    }
+}
+
+TEST(TraceCursor, MidTickInterpolatesLinearly)
+{
+    const PlayerTrace tr = straightTrace(10, 2.0);
+    const TraceCursor cursor(tr, 10.0);
+    EXPECT_NEAR(cursor.at(15.0).position.x, 3.0, 1e-9);
+    EXPECT_NEAR(cursor.at(17.5).position.x, 3.5, 1e-9);
+}
+
+TEST(TraceCursor, ClampsOutsideTheTrace)
+{
+    const PlayerTrace tr = straightTrace(5, 1.0);
+    const TraceCursor cursor(tr, 10.0);
+    EXPECT_NEAR(cursor.at(-100.0).position.x, 0.0, 1e-9);
+    EXPECT_NEAR(cursor.at(1e6).position.x, 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(cursor.durationMs(), 40.0);
+}
+
+TEST(TraceCursor, YawInterpolatesAlongShorterArc)
+{
+    PlayerTrace tr;
+    TracePoint a;
+    a.timeMs = 0.0;
+    a.yaw = 3.0; // near +pi
+    TracePoint b;
+    b.timeMs = 10.0;
+    b.yaw = -3.0; // near -pi: shorter arc crosses pi, not zero
+    tr.points = {a, b};
+    const TraceCursor cursor(tr, 10.0);
+    const double mid = cursor.at(5.0).yaw;
+    // Midpoint of the short arc is ~pi (3.14), not 0.
+    EXPECT_GT(std::abs(mid), 3.0);
+}
+
+TEST(TraceCursor, SpeedMatchesConstantVelocity)
+{
+    // 0.5 m per 10 ms tick = 50 m/s.
+    const PlayerTrace tr = straightTrace(100, 0.5);
+    const TraceCursor cursor(tr, 10.0);
+    EXPECT_NEAR(cursor.speedAt(500.0), 50.0, 0.5);
+}
+
+TEST(TraceCursor, SpeedZeroWhenStationary)
+{
+    PlayerTrace tr;
+    for (int i = 0; i < 10; ++i) {
+        TracePoint tp;
+        tp.timeMs = i * 10.0;
+        tp.position = {7.0, 7.0};
+        tr.points.push_back(tp);
+    }
+    const TraceCursor cursor(tr, 10.0);
+    EXPECT_NEAR(cursor.speedAt(50.0), 0.0, 1e-9);
+}
+
+TEST(TraceCursorDeath, EmptyTracePanics)
+{
+    PlayerTrace empty;
+    EXPECT_DEATH(TraceCursor(empty, 10.0), "empty");
+}
+
+} // namespace
+} // namespace coterie::trace

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for trajectory synthesis: bounds containment, realistic speeds,
+ * track following, and the two multiplayer-locality properties the
+ * paper measures — players stay close to each other but never traverse
+ * exactly the same path (Table 5's Version-1/2 result).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trajectory.hh"
+
+namespace coterie::trace {
+namespace {
+
+using world::gen::GameId;
+using world::gen::gameInfo;
+using world::gen::makeWorld;
+
+TrajectoryParams
+shortParams(int players, std::uint64_t seed = 3)
+{
+    TrajectoryParams tp;
+    tp.players = players;
+    tp.durationS = 20.0;
+    tp.seed = seed;
+    return tp;
+}
+
+class TrajectoryPerGame : public testing::TestWithParam<GameId>
+{
+};
+
+TEST_P(TrajectoryPerGame, StaysInBoundsAtGameSpeed)
+{
+    const auto &info = gameInfo(GetParam());
+    const auto world = makeWorld(GetParam(), 42);
+    const SessionTrace session =
+        generateTrace(info, world, shortParams(2));
+    ASSERT_EQ(session.playerCount(), 2);
+    for (const PlayerTrace &tr : session.players) {
+        ASSERT_GT(tr.points.size(), 100u);
+        for (const TracePoint &tp : tr.points)
+            EXPECT_TRUE(world.bounds().containsClosed(tp.position));
+        // Mean speed ~ the game's player speed.
+        const double duration_s =
+            tr.points.back().timeMs / 1000.0;
+        const double speed = tr.pathLength() / duration_s;
+        // Small indoor rooms clamp movement at the walls, pulling the
+        // realized speed further below the nominal walking speed.
+        EXPECT_GT(speed, info.playerSpeed * 0.2) << info.name;
+        EXPECT_LT(speed, info.playerSpeed * 2.0) << info.name;
+    }
+}
+
+TEST_P(TrajectoryPerGame, DeterministicInSeed)
+{
+    const auto &info = gameInfo(GetParam());
+    const auto world = makeWorld(GetParam(), 42);
+    const auto a = generateTrace(info, world, shortParams(2, 9));
+    const auto b = generateTrace(info, world, shortParams(2, 9));
+    ASSERT_EQ(a.players[1].points.size(), b.players[1].points.size());
+    for (std::size_t i = 0; i < a.players[1].points.size(); i += 37) {
+        EXPECT_EQ(a.players[1].points[i].position,
+                  b.players[1].points[i].position);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Games, TrajectoryPerGame,
+    testing::Values(GameId::Viking, GameId::Racing, GameId::Pool),
+    [](const testing::TestParamInfo<GameId> &info) {
+        return gameInfo(info.param).name;
+    });
+
+TEST(Trajectory, PlayersStayInProximity)
+{
+    const auto &info = gameInfo(GameId::Viking);
+    const auto world = makeWorld(GameId::Viking, 42);
+    const SessionTrace session =
+        generateTrace(info, world, shortParams(4));
+    // "Multiple avatars closely follow each other": mean pairwise
+    // separation is a few meters, far below the world diagonal.
+    const double sep = meanPlayerSeparation(session);
+    EXPECT_LT(sep, 25.0);
+    EXPECT_GT(sep, 0.5);
+}
+
+TEST(Trajectory, PlayersNeverTraverseIdenticalPaths)
+{
+    // The Table 5 Version-2 result depends on trajectories of distinct
+    // players never being grid-identical.
+    const auto &info = gameInfo(GameId::Viking);
+    const auto world = makeWorld(GameId::Viking, 42);
+    const SessionTrace session =
+        generateTrace(info, world, shortParams(2));
+    const world::GridMap grid = world::gen::makeGrid(info);
+    const auto path0 = session.players[0].gridPath(grid);
+    const auto path1 = session.players[1].gridPath(grid);
+    std::size_t overlap = 0;
+    std::set<std::uint64_t> visited0;
+    for (const auto g : path0)
+        visited0.insert(grid.key(g));
+    for (const auto g : path1)
+        overlap += visited0.count(grid.key(g));
+    // Some incidental crossings are fine; identical paths are not.
+    EXPECT_LT(static_cast<double>(overlap),
+              0.5 * static_cast<double>(path1.size()));
+}
+
+TEST(Trajectory, TrackPlayersFollowTheTrack)
+{
+    const auto &info = gameInfo(GameId::Racing);
+    const auto world = makeWorld(GameId::Racing, 42);
+    const auto reachable = world::gen::makeReachability(info, world);
+    const SessionTrace session =
+        generateTrace(info, world, shortParams(2));
+    for (const PlayerTrace &tr : session.players) {
+        std::size_t off_track = 0;
+        for (std::size_t i = 0; i < tr.points.size(); i += 20)
+            off_track += !reachable(tr.points[i].position);
+        EXPECT_EQ(off_track, 0u);
+    }
+}
+
+TEST(Trajectory, RacersChaseEachOther)
+{
+    const auto &info = gameInfo(GameId::Racing);
+    const auto world = makeWorld(GameId::Racing, 42);
+    const SessionTrace session =
+        generateTrace(info, world, shortParams(3));
+    // Racing proximity: cars within tens of meters around the track.
+    EXPECT_LT(meanPlayerSeparation(session), 120.0);
+}
+
+TEST(Trajectory, SinglePlayerSupported)
+{
+    const auto &info = gameInfo(GameId::Corridor);
+    const auto world = makeWorld(GameId::Corridor, 42);
+    const SessionTrace session =
+        generateTrace(info, world, shortParams(1));
+    EXPECT_EQ(session.playerCount(), 1);
+}
+
+} // namespace
+} // namespace coterie::trace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the sequence (I/P-frame) codec: round-trip fidelity, the
+ * compression advantage of P-frames on similar frames (the far-BE
+ * premise), GOP structure, and drift-free reconstruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/metrics.hh"
+#include "image/ssim.hh"
+#include "image/video.hh"
+#include <cmath>
+
+#include "support/rng.hh"
+
+namespace coterie::image {
+namespace {
+
+/** A smooth textured frame drifting by @p phase — a far-BE stand-in:
+ *  nearby far-BE panoramas differ by tiny sub-texel shifts. */
+Image
+texturedFrame(int w, int h, double phase, std::uint64_t seed)
+{
+    Image img(w, h);
+    const double s0 = static_cast<double>(seed % 97);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const double v =
+                127.0 +
+                60.0 * std::sin((x + phase + s0) / 6.0) *
+                    std::cos(y / 5.0) +
+                40.0 * std::sin((x - 2.0 * phase) / 17.0);
+            const auto b = static_cast<std::uint8_t>(
+                std::clamp(v, 0.0, 255.0));
+            img.at(x, y) = {b, static_cast<std::uint8_t>(255 - b), 128};
+        }
+    }
+    return img;
+}
+
+std::vector<Image>
+slowPan(int frames)
+{
+    std::vector<Image> out;
+    for (int i = 0; i < frames; ++i)
+        out.push_back(texturedFrame(96, 64, i * 0.4, 7));
+    return out;
+}
+
+TEST(Video, RoundTripFidelity)
+{
+    const auto frames = slowPan(10);
+    const EncodedVideo video = encodeVideo(frames);
+    const auto decoded = decodeVideo(video);
+    ASSERT_EQ(decoded.size(), frames.size());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        EXPECT_GT(ssim(frames[i], decoded[i]), 0.85)
+            << "frame " << i;
+    }
+}
+
+TEST(Video, GopStructure)
+{
+    VideoParams params;
+    params.gopLength = 4;
+    const EncodedVideo video = encodeVideo(slowPan(10), params);
+    ASSERT_EQ(video.frames.size(), 10u);
+    for (std::size_t i = 0; i < video.frames.size(); ++i) {
+        const FrameType expected =
+            i % 4 == 0 ? FrameType::Intra : FrameType::Predicted;
+        EXPECT_EQ(video.frames[i].type, expected) << "frame " << i;
+    }
+}
+
+TEST(Video, PFramesSmallerThanIFramesOnSimilarContent)
+{
+    const EncodedVideo video = encodeVideo(slowPan(8));
+    ASSERT_GE(video.frames.size(), 2u);
+    const double i_size =
+        static_cast<double>(video.frames[0].sizeBytes());
+    double p_total = 0.0;
+    int p_count = 0;
+    for (std::size_t i = 1; i < video.frames.size(); ++i) {
+        if (video.frames[i].type == FrameType::Predicted) {
+            p_total += static_cast<double>(video.frames[i].sizeBytes());
+            ++p_count;
+        }
+    }
+    ASSERT_GT(p_count, 0);
+    EXPECT_LT(p_total / p_count, i_size * 0.7);
+}
+
+TEST(Video, SequenceBeatsIndependentStills)
+{
+    const auto frames = slowPan(8);
+    const EncodedVideo video = encodeVideo(frames);
+    std::size_t stills = 0;
+    for (const Image &frame : frames)
+        stills += encode(frame).sizeBytes();
+    EXPECT_LT(video.totalBytes(), stills);
+}
+
+TEST(Video, NoDriftAcrossLongGop)
+{
+    // Reconstructed references prevent quantisation-error accumulation:
+    // the last P-frame of a long GOP is as faithful as the first.
+    VideoParams params;
+    params.gopLength = 16;
+    const auto frames = slowPan(16);
+    const auto decoded = decodeVideo(encodeVideo(frames, params));
+    const double first = ssim(frames[1], decoded[1]);
+    const double last = ssim(frames[15], decoded[15]);
+    EXPECT_NEAR(first, last, 0.06);
+}
+
+TEST(Video, SingleFrameSequence)
+{
+    const std::vector<Image> one{texturedFrame(32, 32, 0, 1)};
+    const auto decoded = decodeVideo(encodeVideo(one));
+    ASSERT_EQ(decoded.size(), 1u);
+    EXPECT_GT(ssim(one[0], decoded[0]), 0.85);
+}
+
+TEST(Video, StaticSceneCompressesExtremely)
+{
+    std::vector<Image> frames(6, texturedFrame(96, 64, 0, 3));
+    const EncodedVideo video = encodeVideo(frames);
+    // Identical frames: P-frames shrink to the structural floor (one
+    // DC delta + end-of-block marker per 8x8 block).
+    for (std::size_t i = 1; i < video.frames.size(); ++i) {
+        EXPECT_LT(video.frames[i].sizeBytes(),
+                  video.frames[0].sizeBytes() / 4);
+    }
+}
+
+TEST(VideoDeath, EmptySequencePanics)
+{
+    EXPECT_DEATH(encodeVideo({}), "empty");
+}
+
+} // namespace
+} // namespace coterie::image

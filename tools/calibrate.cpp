@@ -1,0 +1,48 @@
+// Calibration probe: prints the key model quantities per game for tuning.
+#include <cstdio>
+#include "core/session.hh"
+#include "core/cutoff.hh"
+#include "render/cost_model.hh"
+#include "support/rng.hh"
+
+using namespace coterie;
+using namespace coterie::core;
+using namespace coterie::world::gen;
+
+int main() {
+    for (GameId id : {GameId::Viking, GameId::CTS, GameId::Racing,
+                      GameId::DS, GameId::FPS, GameId::Soccer,
+                      GameId::Pool, GameId::Bowling, GameId::Corridor}) {
+        const GameInfo &info = gameInfo(id);
+        auto world = makeWorld(id, 42);
+        auto grid = makeGrid(info);
+        auto profile = device::pixel2();
+        Rng rng(7);
+        // whole-scene render time at 12 random points
+        RunningStats whole, cut;
+        for (int i=0;i<12;i++) {
+            geom::Vec2 p{rng.uniform(world.bounds().lo.x, world.bounds().hi.x),
+                         rng.uniform(world.bounds().lo.y, world.bounds().hi.y)};
+            whole.add(render::renderTimeMs(world, p, 0, profile.cost.cullDistance, profile.cost));
+            cut.add(maxCutoffRadius(world, p, profile));
+        }
+        // also near activity center
+        geom::Vec2 c = world.bounds().center();
+        double whole_c = render::renderTimeMs(world, c, 0, profile.cost.cullDistance, profile.cost);
+        double cut_c = maxCutoffRadius(world, c, profile);
+        std::printf("%-9s objs=%5zu grid=%.1fM  RTwhole mean=%.1f ctr=%.1f ms  cutoff mean=%.1f [%.1f..%.1f] ctr=%.1f m\n",
+            info.name.c_str(), world.objects().size(), grid.pointCount()/1e6,
+            whole.mean(), whole_c, cut.mean(), cut.min(), cut.max(), cut_c);
+    }
+    // partition stats for 3 eval games
+    for (GameId id : {GameId::Viking, GameId::CTS, GameId::Racing}) {
+        auto world = makeWorld(id, 42);
+        PartitionParams pp;
+        pp.reachable = makeReachability(gameInfo(id), world);
+        auto res = partitionWorld(world, device::pixel2(), pp);
+        std::printf("%-9s leaves=%zu depth=%.2f/%d calcs=%llu wall=%.1fs modeled=%.2fh\n",
+            world.name().c_str(), res.leaves.size(), res.avgLeafDepth, res.maxLeafDepth,
+            (unsigned long long)res.cutoffCalculations, res.wallClockSeconds, res.modeledHours);
+    }
+    return 0;
+}

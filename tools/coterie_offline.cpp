@@ -1,0 +1,139 @@
+/**
+ * @file
+ * coterie_offline — the install-time preprocessing tool.
+ *
+ * Runs the adaptive cutoff scheme and the reuse-distance derivation for
+ * a game on the target device profile and writes the artifact bundle an
+ * online client loads at startup (paper §6, "Offline preprocessing").
+ *
+ *   coterie_offline <game> <output-file>
+ *   coterie_offline --inspect <artifact-file>
+ *
+ * Games: racing ds viking cts fps soccer pool bowling corridor
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/dist_thresh.hh"
+#include "core/offline_io.hh"
+#include "support/stats.hh"
+#include "world/gen/generators.hh"
+
+using namespace coterie;
+using namespace coterie::core;
+
+namespace {
+
+std::optional<world::gen::GameId>
+parseGame(const std::string &name)
+{
+    for (const auto &info : world::gen::allGames()) {
+        std::string lower = info.name;
+        for (char &c : lower)
+            c = static_cast<char>(std::tolower(c));
+        if (lower == name)
+            return info.id;
+    }
+    return std::nullopt;
+}
+
+int
+inspect(const char *path)
+{
+    const auto artifacts = loadArtifacts(path);
+    if (!artifacts) {
+        std::fprintf(stderr, "cannot load artifacts from %s\n", path);
+        return 1;
+    }
+    coterie::RunningStats cutoffs, thresholds;
+    int reachable = 0;
+    for (std::size_t i = 0; i < artifacts->leaves.size(); ++i) {
+        if (!artifacts->leaves[i].reachable)
+            continue;
+        ++reachable;
+        cutoffs.add(artifacts->leaves[i].cutoffRadius);
+        thresholds.add(artifacts->distThresholds[i]);
+    }
+    std::printf("artifact bundle: %s on %s\n", artifacts->game.c_str(),
+                artifacts->device.c_str());
+    std::printf("  world bounds : %.0f x %.0f m\n",
+                artifacts->worldBounds.width(),
+                artifacts->worldBounds.height());
+    std::printf("  leaf regions : %zu (%d reachable)\n",
+                artifacts->leaves.size(), reachable);
+    std::printf("  cutoff radius: %.1f .. %.1f m (mean %.1f)\n",
+                cutoffs.min(), cutoffs.max(), cutoffs.mean());
+    std::printf("  reuse dist   : %.3f .. %.3f m (mean %.3f)\n",
+                thresholds.min(), thresholds.max(), thresholds.mean());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 3 && std::strcmp(argv[1], "--inspect") == 0)
+        return inspect(argv[2]);
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: %s <game> <output-file>\n"
+                     "       %s --inspect <artifact-file>\n",
+                     argv[0], argv[0]);
+        return 2;
+    }
+
+    const auto game = parseGame(argv[1]);
+    if (!game) {
+        std::fprintf(stderr, "unknown game '%s'\n", argv[1]);
+        return 2;
+    }
+    const auto &info = world::gen::gameInfo(*game);
+    const auto &profile = device::pixel2();
+
+    std::printf("building %s...\n", info.name.c_str());
+    const auto world = world::gen::makeWorld(*game, 42);
+
+    std::printf("adaptive cutoff partitioning (K=10)...\n");
+    PartitionParams params;
+    params.reachable = world::gen::makeReachability(info, world);
+    const auto partition = partitionWorld(world, profile, params);
+    std::printf("  %zu leaf regions, %llu cutoff calculations, %.2f s\n",
+                partition.leaves.size(),
+                static_cast<unsigned long long>(
+                    partition.cutoffCalculations),
+                partition.wallClockSeconds);
+
+    std::printf("calibrating similarity against rendered SSIM...\n");
+    std::vector<double> cutoffs;
+    for (std::size_t i = 0; i < partition.leaves.size();
+         i += std::max<std::size_t>(1, partition.leaves.size() / 4)) {
+        if (partition.leaves[i].reachable)
+            cutoffs.push_back(
+                std::max(1.0, partition.leaves[i].cutoffRadius));
+    }
+    if (cutoffs.empty())
+        cutoffs.push_back(8.0);
+    const AnalyticSimilarity similarity(
+        calibrateAnalytic(world, cutoffs, 5, 5, params.reachable));
+
+    std::printf("deriving per-region reuse distances...\n");
+    const RegionIndex regions(world.bounds(), partition.leaves);
+    const auto thresholds =
+        deriveDistThresholds(regions, similarity, {});
+
+    OfflineArtifacts artifacts;
+    artifacts.game = info.name;
+    artifacts.device = profile.name;
+    artifacts.worldBounds = world.bounds();
+    artifacts.leaves = partition.leaves;
+    artifacts.distThresholds = thresholds;
+    if (!saveArtifacts(artifacts, argv[2])) {
+        std::fprintf(stderr, "cannot write %s\n", argv[2]);
+        return 1;
+    }
+    std::printf("wrote %s\n", argv[2]);
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include <cstdio>
+#include <chrono>
+#include "core/session.hh"
+using namespace coterie;
+using namespace coterie::core;
+using namespace coterie::world::gen;
+static double tick() {
+    static auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::steady_clock::now();
+    double d = std::chrono::duration<double>(t1-t0).count();
+    t0 = t1; return d;
+}
+static void show(const SystemResult &r) {
+    std::printf("[%6.1fs] %-18s", tick(), r.systemName.c_str());
+    for (const auto &m : r.players)
+        std::printf(" | fps=%.0f if=%.1f resp=%.1f cpu=%.0f gpu=%.0f fr=%.0fKB nd=%.1f be=%.1fMb hit=%.2f",
+            m.fps, m.interFrameMs, m.responsivenessMs, m.cpuPct, m.gpuPct,
+            m.frameKb, m.netDelayMs, m.beMbps, m.cacheHitRatio);
+    for (const auto &m : r.players)
+        std::printf("  [cache lk=%llu hit=%llu exact=%llu ins=%llu evict=%llu rejR=%llu rejS=%llu rejD=%llu | fetched=%llu trans=%llu]",
+            (unsigned long long)m.cacheStats.lookups,(unsigned long long)m.cacheStats.hits,
+            (unsigned long long)m.cacheStats.exactHits,(unsigned long long)m.cacheStats.insertions,
+            (unsigned long long)m.cacheStats.evictions,
+            (unsigned long long)m.cacheStats.rejectedRegion,
+            (unsigned long long)m.cacheStats.rejectedSignature,
+            (unsigned long long)m.cacheStats.rejectedDistance,
+            (unsigned long long)m.framesFetched,
+            (unsigned long long)m.gridTransitions);
+    std::printf("\n"); std::fflush(stdout);
+}
+int main() {
+  for (GameId game : {GameId::Viking, GameId::CTS, GameId::Racing}) {
+   for (int np : {1, 2}) {
+    SessionParams sp; sp.players = np; sp.durationS = 60.0;
+    tick();
+    auto s = Session::create(game, sp);
+    std::printf("===== %s %dP =====\n", s->info().name.c_str(), np);
+    {
+        const auto &th = s->distThresholds();
+        double mn=1e9, mx=0, sum=0; int nr=0;
+        for (size_t i=0;i<th.size();++i){ if(!s->partition().leaves[i].reachable) continue; mn=std::min(mn,th[i]); mx=std::max(mx,th[i]); sum+=th[i]; nr++; }
+        std::printf("[%6.1fs] session created; decay=%.2f thresh min/mean/max = %.3f/%.3f/%.3f (%d leaves)\n",
+               tick(), s->similarityParams().decay, mn, sum/nr, mx, nr);
+        std::fflush(stdout);
+    }
+    show(s->runMobileSystem());
+    show(s->runThinClientSystem());
+    show(s->runMultiFurionSystem());
+    show(s->runCoterieSystem());
+   }
+  }
+  return 0;
+}
