@@ -8,6 +8,8 @@
  * Paper example: 0.67 before, 0.96 after removing near objects.
  */
 
+#include <sys/stat.h>
+
 #include "bench_util.hh"
 
 #include "core/similarity.hh"
@@ -38,11 +40,13 @@ main()
     std::printf("\n  delta (after - before): %+0.3f (paper: +0.29)\n",
                 after - before);
 
-    // Dump the frames for visual inspection.
-    rendered.renderWholeBe(a).writePpm("fig3_whole_a.ppm");
-    rendered.renderWholeBe(b).writePpm("fig3_whole_b.ppm");
-    rendered.renderFarBe(a, cutoff).writePpm("fig3_far_a.ppm");
-    rendered.renderFarBe(b, cutoff).writePpm("fig3_far_b.ppm");
-    std::printf("  frames written to fig3_{whole,far}_{a,b}.ppm\n");
+    // Dump the frames for visual inspection (into results/, like the
+    // figure CSVs — keep the repo root free of artifacts).
+    ::mkdir("results", 0755);
+    rendered.renderWholeBe(a).writePpm("results/fig3_whole_a.ppm");
+    rendered.renderWholeBe(b).writePpm("results/fig3_whole_b.ppm");
+    rendered.renderFarBe(a, cutoff).writePpm("results/fig3_far_a.ppm");
+    rendered.renderFarBe(b, cutoff).writePpm("results/fig3_far_b.ppm");
+    std::printf("  frames written to results/fig3_{whole,far}_{a,b}.ppm\n");
     return 0;
 }

@@ -14,6 +14,7 @@
 #include "image/ssim.hh"
 #include "render/cost_model.hh"
 #include "render/renderer.hh"
+#include "support/parallel.hh"
 #include "support/rng.hh"
 #include "world/bvh.hh"
 #include "world/gen/generators.hh"
@@ -53,6 +54,48 @@ BM_Ssim(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Ssim)->Arg(128)->Arg(256);
+
+/** New fast kernel (tiled at the default 8x8/stride-4 geometry) on the
+ *  acceptance geometry (512x256). */
+void
+BM_SsimKernelFast(benchmark::State &state)
+{
+    const auto la = noiseImage(512, 256, 1).lumaPlane();
+    const auto lb = noiseImage(512, 256, 2).lumaPlane();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(image::ssimLuma(la, lb, 512, 256));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsimKernelFast)->Unit(benchmark::kMillisecond);
+
+/** Old naive O(win^2)-per-window formulation, same geometry. */
+void
+BM_SsimKernelNaive(benchmark::State &state)
+{
+    const auto la = noiseImage(512, 256, 1).lumaPlane();
+    const auto lb = noiseImage(512, 256, 2).lumaPlane();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            image::ssimLumaReference(la, lb, 512, 256));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsimKernelNaive)->Unit(benchmark::kMillisecond);
+
+/** Dispatch + join overhead of one pooled parallelFor (trivial body). */
+void
+BM_PoolDispatch(benchmark::State &state)
+{
+    support::ThreadPool::instance(); // warm the pool outside the loop
+    for (auto _ : state) {
+        support::parallelFor(0, 1024, 16,
+                             [](std::int64_t b, std::int64_t) {
+                                 benchmark::DoNotOptimize(b);
+                             });
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolDispatch);
 
 void
 BM_CodecEncode(benchmark::State &state)
@@ -156,17 +199,21 @@ BM_CacheLookup(benchmark::State &state)
 }
 BENCHMARK(BM_CacheLookup);
 
+/** Quadtree partition wall time; arg 1 = serial, 0 = shared pool. */
 void
 BM_PartitionWorld(benchmark::State &state)
 {
     const auto world =
         world::gen::makeWorld(world::gen::GameId::Pool, 42);
+    core::PartitionParams params;
+    params.threads = static_cast<int>(state.range(0));
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            core::partitionWorld(world, device::pixel2(), {}));
+            core::partitionWorld(world, device::pixel2(), params));
     }
 }
-BENCHMARK(BM_PartitionWorld)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PartitionWorld)->Arg(1)->Arg(0)->Unit(
+    benchmark::kMillisecond);
 
 void
 BM_MaxCutoffRadius(benchmark::State &state)

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Serial-vs-pooled wall-clock baseline for the parallel frame pipeline.
+ *
+ * Runs the two workloads the perf trajectory is tracked on — a Viking
+ * adaptive-cutoff partition and a 64-frame panorama trace sweep
+ * (render + encode-path SSIM between consecutive frames) — once with
+ * every stage forced serial and once through the shared thread pool,
+ * plus the SSIM kernel old-vs-new microcomparison, and drops the
+ * numbers into results/BENCH_parallel.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <sys/stat.h>
+#include <thread>
+#include <vector>
+
+#include "core/partitioner.hh"
+#include "image/ssim.hh"
+#include "render/renderer.hh"
+#include "support/parallel.hh"
+#include "support/rng.hh"
+#include "world/gen/generators.hh"
+
+namespace {
+
+using namespace coterie;
+
+double
+seconds(const std::function<void()> &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/** Viking adaptive-cutoff partition (threads: 1 = serial, 0 = pool). */
+double
+partitionSeconds(const world::VirtualWorld &world, int threads)
+{
+    core::PartitionParams params;
+    params.threads = threads;
+    return seconds([&] {
+        const auto result =
+            core::partitionWorld(world, device::pixel2(), params);
+        if (result.leaves.empty())
+            std::abort(); // keep the optimizer honest
+    });
+}
+
+/**
+ * 64-frame trace sweep: walk a straight line through the world,
+ * rendering a far-BE-style panorama per step and scoring SSIM between
+ * consecutive frames — the hot loop of every similarity experiment.
+ */
+double
+traceSweepSeconds(const world::VirtualWorld &world, int threads)
+{
+    constexpr int kFrames = 64;
+    constexpr int kWidth = 256, kHeight = 128;
+    const render::Renderer renderer(world);
+    render::RenderOptions opts;
+    opts.threads = threads;
+    image::SsimParams ssimParams;
+    ssimParams.threads = threads;
+    const geom::Rect &b = world.bounds();
+    return seconds([&] {
+        image::Image prev;
+        double acc = 0.0;
+        for (int i = 0; i < kFrames; ++i) {
+            const double t = (i + 0.5) / kFrames;
+            const geom::Vec2 p{b.lo.x + t * b.width(),
+                               b.lo.y + 0.5 * b.height()};
+            image::Image frame = renderer.renderPanorama(
+                world.eyePosition(p), kWidth, kHeight, opts);
+            if (i > 0)
+                acc += image::ssim(prev, frame, ssimParams);
+            prev = std::move(frame);
+        }
+        if (acc < 0.0)
+            std::abort();
+    });
+}
+
+image::Image
+noiseImage(int w, int h, std::uint64_t seed)
+{
+    image::Image img(w, h);
+    Rng rng(seed);
+    for (auto &p : img.pixels())
+        p = {static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+             static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+             static_cast<std::uint8_t>(rng.uniformInt(0, 255))};
+    return img;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto world = world::gen::makeWorld(world::gen::GameId::Viking, 42);
+
+    std::printf("BENCH_parallel: serial vs pooled wall-clock "
+                "(pool lanes: %d, hardware: %u)\n",
+                support::ThreadPool::instance().concurrency(),
+                std::thread::hardware_concurrency());
+
+    const double partSerial = partitionSeconds(world, 1);
+    const double partPooled = partitionSeconds(world, 0);
+    std::printf("  viking_partition   serial %.3fs  pooled %.3fs  "
+                "speedup %.2fx\n",
+                partSerial, partPooled, partSerial / partPooled);
+
+    const double sweepSerial = traceSweepSeconds(world, 1);
+    const double sweepPooled = traceSweepSeconds(world, 0);
+    std::printf("  trace_sweep_64f    serial %.3fs  pooled %.3fs  "
+                "speedup %.2fx\n",
+                sweepSerial, sweepPooled, sweepSerial / sweepPooled);
+
+    // SSIM kernel, old (naive windows) vs new (fast), 512x256 luma.
+    const image::Image a = noiseImage(512, 256, 1);
+    const image::Image b = noiseImage(512, 256, 2);
+    const auto la = a.lumaPlane();
+    const auto lb = b.lumaPlane();
+    constexpr int kSsimReps = 20;
+    const double ssimNaive = seconds([&] {
+        for (int i = 0; i < kSsimReps; ++i)
+            image::ssimLumaReference(la, lb, 512, 256);
+    });
+    const double ssimFast = seconds([&] {
+        for (int i = 0; i < kSsimReps; ++i)
+            image::ssimLuma(la, lb, 512, 256);
+    });
+    std::printf("  ssim_512x256 (x%d) naive %.3fs  fast %.3fs  "
+                "speedup %.2fx\n",
+                kSsimReps, ssimNaive, ssimFast,
+                ssimNaive / ssimFast);
+
+    ::mkdir("results", 0755);
+    if (std::FILE *f = std::fopen("results/BENCH_parallel.json", "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"pool_lanes\": %d,\n"
+            "  \"hardware_concurrency\": %u,\n"
+            "  \"workloads\": {\n"
+            "    \"viking_partition\": {\"serial_s\": %.6f, "
+            "\"pooled_s\": %.6f, \"speedup\": %.3f},\n"
+            "    \"trace_sweep_64_frames\": {\"serial_s\": %.6f, "
+            "\"pooled_s\": %.6f, \"speedup\": %.3f},\n"
+            "    \"ssim_512x256_x%d\": {\"naive_s\": %.6f, "
+            "\"fast_s\": %.6f, \"speedup\": %.3f}\n"
+            "  }\n"
+            "}\n",
+            support::ThreadPool::instance().concurrency(),
+            std::thread::hardware_concurrency(), partSerial, partPooled,
+            partSerial / partPooled, sweepSerial, sweepPooled,
+            sweepSerial / sweepPooled, kSsimReps, ssimNaive, ssimFast,
+            ssimNaive / ssimFast);
+        std::fclose(f);
+        std::printf("  wrote results/BENCH_parallel.json\n");
+    }
+    return 0;
+}

@@ -27,18 +27,26 @@ maxCutoffRadius(const world::VirtualWorld &world, geom::Vec2 location,
                                    world.bounds().height());
     const double hi_limit = std::min(constraint.maxRadius, diag);
 
-    if (nearBeRenderTimeMs(world, location, constraint.minRadius, profile) >=
-        budget) {
+    // Fetch the object set once for the whole search: every probe below
+    // replays the cached per-object terms instead of re-running the BVH
+    // disc query (the dominant cost of a probe), bit-identical to the
+    // uncached nearBeRenderTimeMs.
+    const render::LocationCostCache cost(world, location, hi_limit,
+                                         profile.cost);
+    const auto timeAtMs = [&](double cutoff) {
+        return cost.renderTimeMs(0.0, cutoff);
+    };
+
+    if (timeAtMs(constraint.minRadius) >= budget)
         return constraint.minRadius;
-    }
-    if (nearBeRenderTimeMs(world, location, hi_limit, profile) < budget)
+    if (timeAtMs(hi_limit) < budget)
         return hi_limit;
 
     double lo = constraint.minRadius; // satisfies the constraint
     double hi = hi_limit;             // violates the constraint
     while (hi - lo > tolerance) {
         const double mid = 0.5 * (lo + hi);
-        if (nearBeRenderTimeMs(world, location, mid, profile) < budget)
+        if (timeAtMs(mid) < budget)
             lo = mid;
         else
             hi = mid;

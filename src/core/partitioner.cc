@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "support/logging.hh"
+#include "support/parallel.hh"
 
 namespace coterie::core {
 
@@ -61,10 +62,27 @@ partitionRecursive(BuildContext &ctx, const Rect &rect, int depth)
                                    ctx.rng.uniform(rect.lo.y, rect.hi.y)});
         }
     }
-    for (const Vec2 &p : samples) {
-        radii.push_back(maxCutoffRadius(ctx.world, p, ctx.profile,
-                                        params.constraint));
-        density_acc += ctx.world.triangleDensity(p, 12.0);
+    // The K sampled cutoff searches are independent pure queries; fan
+    // them out over the shared pool. Only the RNG draws above stay on
+    // the caller thread, so leaf output is seed-for-seed identical at
+    // any thread count (results are reduced in sample order).
+    struct SampleEval
+    {
+        double radius = 0.0;
+        double density = 0.0;
+    };
+    const auto evals = support::parallelMap<SampleEval>(
+        static_cast<std::int64_t>(samples.size()), 1,
+        [&](std::int64_t i) -> SampleEval {
+            const Vec2 p = samples[static_cast<std::size_t>(i)];
+            return {maxCutoffRadius(ctx.world, p, ctx.profile,
+                                    params.constraint),
+                    ctx.world.triangleDensity(p, 12.0)};
+        },
+        params.threads);
+    for (const SampleEval &eval : evals) {
+        radii.push_back(eval.radius);
+        density_acc += eval.density;
         ++ctx.calculations;
     }
     const auto [min_it, max_it] =

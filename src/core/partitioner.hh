@@ -59,6 +59,12 @@ struct PartitionParams
     std::function<bool(geom::Vec2)> reachable;
     std::uint64_t seed = 99;
     CutoffConstraint constraint{};
+    /**
+     * Threading for the per-region cutoff searches: 0 = shared pool,
+     * 1 = serial. Leaf output is identical either way (sample
+     * locations are always drawn on the caller thread).
+     */
+    int threads = 0;
 };
 
 /** One undivided ("leaf") region of the quadtree. */

@@ -1,8 +1,10 @@
 #include "core/server.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "support/parallel.hh"
 #include "support/rng.hh"
 
 namespace coterie::core {
@@ -93,6 +95,47 @@ FrameStore::fovFrameBytes(world::GridPoint g) const
     spec.content = FrameContent::FovFrame;
     spec.complexity = wholeComplexity(p);
     return image::modelFrameBytes(spec);
+}
+
+PrerenderResult
+FrameStore::prerenderFarBe(std::int64_t cellStride, int width, int height,
+                           int threads) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    cellStride = std::max<std::int64_t>(1, cellStride);
+
+    // Row-major list of the grid points this pass covers; the ordered
+    // result vector below makes the byte total scheduling-independent.
+    std::vector<world::GridPoint> points;
+    for (std::int64_t iy = 0; iy < grid_.rows(); iy += cellStride)
+        for (std::int64_t ix = 0; ix < grid_.cols(); ix += cellStride)
+            points.push_back({ix, iy});
+
+    const render::Renderer renderer(world_);
+    const auto sizes = support::parallelMap<std::uint64_t>(
+        static_cast<std::int64_t>(points.size()), 1,
+        [&](std::int64_t i) -> std::uint64_t {
+            const Vec2 p = grid_.position(points[static_cast<std::size_t>(i)]);
+            render::RenderOptions opts;
+            opts.layer =
+                render::DepthLayer::farBe(regions_.cutoffAt(p));
+            // Nested render parallelism collapses inline on the pool,
+            // so each grid point is one task end to end.
+            const image::Image pano = renderer.renderPanorama(
+                world_.eyePosition(p), width, height, opts);
+            return image::encode(pano).sizeBytes();
+        },
+        threads);
+
+    PrerenderResult result;
+    result.frames = sizes.size();
+    for (std::uint64_t bytes : sizes)
+        result.encodedBytes += bytes;
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
 }
 
 double

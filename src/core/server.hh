@@ -34,6 +34,14 @@ struct FrameStoreParams
     double complexitySaturationDensity = 2500.0;
 };
 
+/** Aggregate result of an offline pre-render + encode pass. */
+struct PrerenderResult
+{
+    std::uint64_t frames = 0;       ///< panoramas rendered + encoded
+    std::uint64_t encodedBytes = 0; ///< total encoded payload
+    double wallSeconds = 0.0;
+};
+
 /**
  * Pre-rendered frame catalogue over one world + grid + partition.
  * Sizes are deterministic per grid point.
@@ -43,6 +51,19 @@ class FrameStore
   public:
     FrameStore(const world::VirtualWorld &world, const world::GridMap &grid,
                const RegionIndex &regions, FrameStoreParams params = {});
+
+    /**
+     * The install-time offline pass: render the far-BE panorama at
+     * every @p cellStride-th grid point (cutoff taken from the point's
+     * leaf region) and encode it, with grid points fanned out over the
+     * shared thread pool. @p width/@p height size the panoramas (the
+     * real server renders at panoWidth x panoHeight; callers pick a
+     * reduced resolution for experiments). Deterministic: per-point
+     * encoded sizes are reduced in row-major grid order regardless of
+     * thread count (@p threads: 0 = pool, 1 = serial).
+     */
+    PrerenderResult prerenderFarBe(std::int64_t cellStride, int width,
+                                   int height, int threads = 0) const;
 
     /** Encoded far-BE frame size at a grid point (bytes). */
     std::uint64_t farBeBytes(world::GridPoint g) const;

@@ -1,12 +1,323 @@
 #include "image/ssim.hh"
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "support/logging.hh"
+#include "support/parallel.hh"
 
 namespace coterie::image {
 
+namespace {
+
+/** Bands per pool chunk. Fixed (thread-count-independent) so the
+ *  chunk-local column-sum recurrences are deterministic at any
+ *  COTERIE_THREADS value. */
+constexpr std::int64_t kBandsPerChunk = 8;
+
+/** Row-groups per pool chunk in the tiled kernel's build stage. */
+constexpr std::int64_t kGroupsPerChunk = 8;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define COTERIE_SSIM_V2D 1
+// The wide-vector helpers are internal and always inlined; the ABI of
+// their V4d return type is irrelevant.
+#pragma GCC diagnostic ignored "-Wpsabi"
+/** Two-lane double vector (SSE2/NEON width) for the tile build. */
+typedef double V2d __attribute__((vector_size(16)));
+/** Four-lane double vector; lowered to two 2-lane ops on pre-AVX
+ *  targets with identical per-lane arithmetic, so results do not
+ *  depend on the instruction set. */
+typedef double V4d __attribute__((vector_size(32)));
+
+inline V2d
+loadu2(const double *p)
+{
+    V2d v;
+    __builtin_memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline V4d
+loadu4(const double *p)
+{
+    V4d v;
+    __builtin_memcpy(&v, p, sizeof(v));
+    return v;
+}
+#endif
+
+// The clone dispatch runs through an ifunc resolver that executes
+// before sanitizer runtimes initialise, so keep instrumented builds on
+// the plain symbol.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define COTERIE_SSIM_NO_CLONES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define COTERIE_SSIM_NO_CLONES 1
+#endif
+#endif
+
+#if defined(COTERIE_SSIM_V2D) && defined(__x86_64__) &&                  \
+    defined(__gnu_linux__) && defined(__has_attribute) &&                \
+    !defined(COTERIE_SSIM_NO_CLONES)
+#if __has_attribute(target_clones)
+/** Emit an AVX2 clone of the tile build next to the baseline one and
+ *  pick at load time; the arithmetic (and thus the result) is the
+ *  same either way, only the vector width of the instructions varies. */
+#define COTERIE_SSIM_CLONES                                              \
+    __attribute__((target_clones("avx2", "default")))
+#endif
+#endif
+#ifndef COTERIE_SSIM_CLONES
+#define COTERIE_SSIM_CLONES
+#endif
+
+/** Horizontal running window sums are recomputed from the column sums
+ *  every this many window positions, bounding floating-point drift of
+ *  the add/subtract recurrence (keeps the kernel within 1e-12 of the
+ *  naive formulation). */
+constexpr int kRefreshInterval = 64;
+
 double
-ssimLuma(const std::vector<double> &a, const std::vector<double> &b,
-         int width, int height, const SsimParams &params)
+ssimWindow(double sa, double sb, double saa, double sbb, double sab,
+           double inv_n, double C1, double C2)
+{
+    const double ma = sa * inv_n;
+    const double mb = sb * inv_n;
+    const double va = saa * inv_n - ma * ma;
+    const double vb = sbb * inv_n - mb * mb;
+    const double cov = sab * inv_n - ma * mb;
+    return ((2 * ma * mb + C1) * (2 * cov + C2)) /
+           ((ma * ma + mb * mb + C1) * (va + vb + C2));
+}
+
+/** Moments tracked per tile: Σa, Σb, Σa², Σb², Σab. */
+constexpr int kMoments = 5;
+
+/**
+ * One row-group of the tiled kernel's moment table: for each
+ * column-group j, the five moment sums over the stride x stride pixel
+ * tile whose top-left corner is (j*stride, g*stride). Every pixel is
+ * loaded exactly once; the inner accumulation runs on two-lane vectors
+ * where the compiler supports them (scalar tail for odd strides).
+ */
+COTERIE_SSIM_CLONES void
+buildTileRow(const double *a, const double *b, int width, int g,
+             int xGroups, int stride, double *tg)
+{
+    const double *baseA = a + static_cast<std::size_t>(g) * stride * width;
+    const double *baseB = b + static_cast<std::size_t>(g) * stride * width;
+#ifdef COTERIE_SSIM_V2D
+    if (stride == 4) {
+        // The default geometry (8x8 windows, stride 4) fully unrolled:
+        // one 4-lane vector per tile row, no inner-loop branches.
+        const double *ra0 = baseA, *ra1 = baseA + width,
+                     *ra2 = baseA + 2 * static_cast<std::size_t>(width),
+                     *ra3 = baseA + 3 * static_cast<std::size_t>(width);
+        const double *rb0 = baseB, *rb1 = baseB + width,
+                     *rb2 = baseB + 2 * static_cast<std::size_t>(width),
+                     *rb3 = baseB + 3 * static_cast<std::size_t>(width);
+        for (int j = 0; j < xGroups; ++j) {
+            const int x0 = j * 4;
+            const V4d pa0 = loadu4(ra0 + x0), pb0 = loadu4(rb0 + x0);
+            const V4d pa1 = loadu4(ra1 + x0), pb1 = loadu4(rb1 + x0);
+            const V4d pa2 = loadu4(ra2 + x0), pb2 = loadu4(rb2 + x0);
+            const V4d pa3 = loadu4(ra3 + x0), pb3 = loadu4(rb3 + x0);
+            const V4d sa = (pa0 + pa1) + (pa2 + pa3);
+            const V4d sb = (pb0 + pb1) + (pb2 + pb3);
+            const V4d saa = (pa0 * pa0 + pa1 * pa1) + (pa2 * pa2 + pa3 * pa3);
+            const V4d sbb = (pb0 * pb0 + pb1 * pb1) + (pb2 * pb2 + pb3 * pb3);
+            const V4d sab = (pa0 * pb0 + pa1 * pb1) + (pa2 * pb2 + pa3 * pb3);
+            double *t = tg + static_cast<std::size_t>(j) * kMoments;
+            t[0] = sa[0] + sa[1] + sa[2] + sa[3];
+            t[1] = sb[0] + sb[1] + sb[2] + sb[3];
+            t[2] = saa[0] + saa[1] + saa[2] + saa[3];
+            t[3] = sbb[0] + sbb[1] + sbb[2] + sbb[3];
+            t[4] = sab[0] + sab[1] + sab[2] + sab[3];
+        }
+        return;
+    }
+    const int quads = stride / 4;
+    const int pairs = (stride % 4) / 2;
+    const bool odd = (stride & 1) != 0;
+    for (int j = 0; j < xGroups; ++j) {
+        const int x0 = j * stride;
+        V4d qa{}, qb{}, qaa{}, qbb{}, qab{};
+        V2d sa{}, sb{}, saa{}, sbb{}, sab{};
+        double ta = 0, tb = 0, taa = 0, tbb = 0, tab = 0;
+        for (int r = 0; r < stride; ++r) {
+            const double *ra = baseA + static_cast<std::size_t>(r) * width + x0;
+            const double *rb = baseB + static_cast<std::size_t>(r) * width + x0;
+            for (int v = 0; v < quads; ++v) {
+                const V4d pa = loadu4(ra + 4 * v);
+                const V4d pb = loadu4(rb + 4 * v);
+                qa += pa;
+                qb += pb;
+                qaa += pa * pa;
+                qbb += pb * pb;
+                qab += pa * pb;
+            }
+            for (int v = 0; v < pairs; ++v) {
+                const V2d pa = loadu2(ra + 4 * quads + 2 * v);
+                const V2d pb = loadu2(rb + 4 * quads + 2 * v);
+                sa += pa;
+                sb += pb;
+                saa += pa * pa;
+                sbb += pb * pb;
+                sab += pa * pb;
+            }
+            if (odd) {
+                const double pa = ra[stride - 1], pb = rb[stride - 1];
+                ta += pa;
+                tb += pb;
+                taa += pa * pa;
+                tbb += pb * pb;
+                tab += pa * pb;
+            }
+        }
+        double *t = tg + static_cast<std::size_t>(j) * kMoments;
+        t[0] = qa[0] + qa[1] + qa[2] + qa[3] + sa[0] + sa[1] + ta;
+        t[1] = qb[0] + qb[1] + qb[2] + qb[3] + sb[0] + sb[1] + tb;
+        t[2] = qaa[0] + qaa[1] + qaa[2] + qaa[3] + saa[0] + saa[1] + taa;
+        t[3] = qbb[0] + qbb[1] + qbb[2] + qbb[3] + sbb[0] + sbb[1] + tbb;
+        t[4] = qab[0] + qab[1] + qab[2] + qab[3] + sab[0] + sab[1] + tab;
+    }
+#else
+    for (int j = 0; j < xGroups; ++j) {
+        const int x0 = j * stride;
+        double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+        for (int r = 0; r < stride; ++r) {
+            const double *ra = baseA + static_cast<std::size_t>(r) * width + x0;
+            const double *rb = baseB + static_cast<std::size_t>(r) * width + x0;
+            for (int c = 0; c < stride; ++c) {
+                const double pa = ra[c], pb = rb[c];
+                sa += pa;
+                sb += pb;
+                saa += pa * pa;
+                sbb += pb * pb;
+                sab += pa * pb;
+            }
+        }
+        double *t = tg + static_cast<std::size_t>(j) * kMoments;
+        t[0] = sa;
+        t[1] = sb;
+        t[2] = saa;
+        t[3] = sbb;
+        t[4] = sab;
+    }
+#endif
+}
+
+/**
+ * Tiled kernel for window grids whose stride divides the window size:
+ * windows start on stride-aligned coordinates, so a window's moments
+ * are the sum of q*q tile moments (q = win/stride). Each pixel is
+ * touched once (vs (win/stride)^2 times in the naive pass). Both
+ * stages parallelise over the shared pool with fixed chunk grids and
+ * per-slot accumulation, so the result is identical at any thread
+ * count.
+ */
+double
+ssimLumaTiled(const std::vector<double> &a, const std::vector<double> &b,
+              int width, int height, int win, int stride, double C1,
+              double C2, int threads)
+{
+    const double inv_n = 1.0 / (static_cast<double>(win) * win);
+    const int q = win / stride;
+    const std::int64_t bands = (height - win) / stride + 1;
+    const int xCount = (width - win) / stride + 1;
+    const int xGroups = xCount - 1 + q;
+    const std::int64_t rowGroups = bands - 1 + q;
+
+    // Stage 1: for each row-group, tile moments (chunk-local scratch —
+    // a tile is only ever combined within its own row-group) reduced
+    // straight into horizontal window sums: H[g][i] = moments of the
+    // win-wide, stride-tall slab at (i*stride, g*stride). Chunks write
+    // disjoint rows of H and every slot is written, so the table skips
+    // the zero-fill and the result is chunking-independent.
+    const auto H = std::make_unique_for_overwrite<double[]>(
+        static_cast<std::size_t>(rowGroups) * xCount * kMoments);
+    support::parallelFor(
+        0, rowGroups, kGroupsPerChunk,
+        [&](std::int64_t gBegin, std::int64_t gEnd) {
+            std::vector<double> tileRow(
+                static_cast<std::size_t>(xGroups) * kMoments);
+            for (std::int64_t g = gBegin; g < gEnd; ++g) {
+                buildTileRow(a.data(), b.data(), width,
+                             static_cast<int>(g), xGroups, stride,
+                             tileRow.data());
+                double *h =
+                    &H[static_cast<std::size_t>(g) * xCount * kMoments];
+                for (int i = 0; i < xCount; ++i) {
+                    double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+                    for (int j = 0; j < q; ++j) {
+                        const double *t =
+                            &tileRow[static_cast<std::size_t>(i + j) *
+                                     kMoments];
+                        sa += t[0];
+                        sb += t[1];
+                        saa += t[2];
+                        sbb += t[3];
+                        sab += t[4];
+                    }
+                    double *hi = h + static_cast<std::size_t>(i) * kMoments;
+                    hi[0] = sa;
+                    hi[1] = sb;
+                    hi[2] = saa;
+                    hi[3] = sbb;
+                    hi[4] = sab;
+                }
+            }
+        },
+        threads);
+
+    // Stage 2: a window is q vertically adjacent slabs; one
+    // accumulation slot per band (always written), ordered reduction.
+    const auto bandAcc = std::make_unique_for_overwrite<double[]>(
+        static_cast<std::size_t>(bands));
+    support::parallelFor(
+        0, bands, kBandsPerChunk,
+        [&](std::int64_t bandBegin, std::int64_t bandEnd) {
+            for (std::int64_t band = bandBegin; band < bandEnd; ++band) {
+                double acc = 0.0;
+                for (int i = 0; i < xCount; ++i) {
+                    double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+                    for (int k = 0; k < q; ++k) {
+                        const double *hi =
+                            &H[(static_cast<std::size_t>(band + k) *
+                                    xCount +
+                                static_cast<std::size_t>(i)) *
+                               kMoments];
+                        sa += hi[0];
+                        sb += hi[1];
+                        saa += hi[2];
+                        sbb += hi[3];
+                        sab += hi[4];
+                    }
+                    acc += ssimWindow(sa, sb, saa, sbb, sab, inv_n, C1,
+                                      C2);
+                }
+                bandAcc[static_cast<std::size_t>(band)] = acc;
+            }
+        },
+        threads);
+
+    double total = 0.0;
+    for (std::int64_t band = 0; band < bands; ++band)
+        total += bandAcc[static_cast<std::size_t>(band)];
+    const double windows =
+        static_cast<double>(bands) * static_cast<double>(xCount);
+    return windows > 0 ? total / windows : 1.0;
+}
+
+} // namespace
+
+double
+ssimLumaReference(const std::vector<double> &a,
+                  const std::vector<double> &b, int width, int height,
+                  const SsimParams &params)
 {
     COTERIE_ASSERT(a.size() == b.size() &&
                    a.size() ==
@@ -56,17 +367,146 @@ ssimLuma(const std::vector<double> &a, const std::vector<double> &b,
                     sab += pa * pb;
                 }
             }
-            const double ma = sa * inv_n;
-            const double mb = sb * inv_n;
-            const double va = saa * inv_n - ma * ma;
-            const double vb = sbb * inv_n - mb * mb;
-            const double cov = sab * inv_n - ma * mb;
-            acc += ((2 * ma * mb + C1) * (2 * cov + C2)) /
-                   ((ma * ma + mb * mb + C1) * (va + vb + C2));
+            acc += ssimWindow(sa, sb, saa, sbb, sab, inv_n, C1, C2);
             ++windows;
         }
     }
     return windows ? acc / static_cast<double>(windows) : 1.0;
+}
+
+double
+ssimLuma(const std::vector<double> &a, const std::vector<double> &b,
+         int width, int height, const SsimParams &params)
+{
+    COTERIE_ASSERT(a.size() == b.size() &&
+                   a.size() ==
+                       static_cast<std::size_t>(width) * height,
+                   "ssim plane size mismatch");
+    const int win = params.windowSize;
+    const int stride = params.stride > 0 ? params.stride : win;
+    // Disjoint windows (stride >= win) have no overlap to exploit; the
+    // naive pass is optimal there and stays bit-identical to the
+    // historical implementation. Degenerate images share its one-window
+    // path.
+    if (width < win || height < win || stride >= win)
+        return ssimLumaReference(a, b, width, height, params);
+
+    const double c1 = params.k1 * params.dynamicRange;
+    const double c2 = params.k2 * params.dynamicRange;
+    const double C1 = c1 * c1;
+    const double C2 = c2 * c2;
+
+    // Stride-aligned grids with modest overlap (q = win/stride) are
+    // fastest as tile sums: each pixel is read once and a window costs
+    // q*q small loads. Beyond q = 4 the per-window tile traffic
+    // overtakes the sliding kernel's O(stride) incremental updates.
+    if (win % stride == 0 && win / stride <= 4) {
+        return ssimLumaTiled(a, b, width, height, win, stride, C1, C2,
+                             params.threads);
+    }
+
+    const double inv_n = 1.0 / (static_cast<double>(win) * win);
+    const std::int64_t bands = (height - win) / stride + 1;
+    const int xCount = (width - win) / stride + 1;
+
+    // Per-band accumulation slots + ordered reduction: the mean never
+    // depends on which worker ran which chunk.
+    std::vector<double> bandAcc(static_cast<std::size_t>(bands), 0.0);
+
+    support::parallelFor(
+        0, bands, kBandsPerChunk,
+        [&](std::int64_t bandBegin, std::int64_t bandEnd) {
+            // Sliding-window state for this chunk: per-column running
+            // sums over the current band's rows [y0, y0 + win).
+            std::vector<double> colA(width, 0.0), colB(width, 0.0);
+            std::vector<double> colAA(width, 0.0), colBB(width, 0.0);
+            std::vector<double> colAB(width, 0.0);
+
+            auto addRow = [&](int y, double sign) {
+                const double *ra =
+                    &a[static_cast<std::size_t>(y) * width];
+                const double *rb =
+                    &b[static_cast<std::size_t>(y) * width];
+                for (int x = 0; x < width; ++x) {
+                    const double pa = ra[x];
+                    const double pb = rb[x];
+                    colA[x] += sign * pa;
+                    colB[x] += sign * pb;
+                    colAA[x] += sign * pa * pa;
+                    colBB[x] += sign * pb * pb;
+                    colAB[x] += sign * pa * pb;
+                }
+            };
+
+            for (std::int64_t band = bandBegin; band < bandEnd; ++band) {
+                const int y0 = static_cast<int>(band) * stride;
+                if (band == bandBegin) {
+                    // Fresh column sums at the chunk boundary.
+                    std::fill(colA.begin(), colA.end(), 0.0);
+                    std::fill(colB.begin(), colB.end(), 0.0);
+                    std::fill(colAA.begin(), colAA.end(), 0.0);
+                    std::fill(colBB.begin(), colBB.end(), 0.0);
+                    std::fill(colAB.begin(), colAB.end(), 0.0);
+                    for (int y = y0; y < y0 + win; ++y)
+                        addRow(y, 1.0);
+                } else {
+                    // O(stride) vertical slide: retire the rows that
+                    // left the band, admit the rows that entered.
+                    for (int y = y0 - stride; y < y0; ++y)
+                        addRow(y, -1.0);
+                    for (int y = y0 + win - stride; y < y0 + win; ++y)
+                        addRow(y, 1.0);
+                }
+
+                // Horizontal pass: O(stride) window update from the
+                // column sums instead of re-summing win^2 pixels.
+                double acc = 0.0;
+                double wa = 0, wb = 0, waa = 0, wbb = 0, wab = 0;
+                int sinceRefresh = kRefreshInterval;
+                for (int i = 0; i < xCount; ++i) {
+                    const int x0 = i * stride;
+                    if (sinceRefresh >= kRefreshInterval) {
+                        wa = wb = waa = wbb = wab = 0.0;
+                        for (int x = x0; x < x0 + win; ++x) {
+                            wa += colA[x];
+                            wb += colB[x];
+                            waa += colAA[x];
+                            wbb += colBB[x];
+                            wab += colAB[x];
+                        }
+                        sinceRefresh = 0;
+                    } else {
+                        for (int x = x0 - stride; x < x0; ++x) {
+                            wa -= colA[x];
+                            wb -= colB[x];
+                            waa -= colAA[x];
+                            wbb -= colBB[x];
+                            wab -= colAB[x];
+                        }
+                        for (int x = x0 + win - stride; x < x0 + win;
+                             ++x) {
+                            wa += colA[x];
+                            wb += colB[x];
+                            waa += colAA[x];
+                            wbb += colBB[x];
+                            wab += colAB[x];
+                        }
+                    }
+                    ++sinceRefresh;
+                    acc += ssimWindow(wa, wb, waa, wbb, wab, inv_n, C1,
+                                      C2);
+                }
+                bandAcc[static_cast<std::size_t>(band)] = acc;
+            }
+        },
+        params.threads);
+
+    double total = 0.0;
+    for (double band : bandAcc)
+        total += band;
+    const std::size_t windows =
+        static_cast<std::size_t>(bands) * static_cast<std::size_t>(xCount);
+    return windows ? total / static_cast<double>(windows) : 1.0;
 }
 
 double

@@ -20,6 +20,8 @@ struct SsimParams
     double k1 = 0.01;      ///< stabilisation constant C1 = (k1*L)^2
     double k2 = 0.03;      ///< stabilisation constant C2 = (k2*L)^2
     double dynamicRange = 255.0;
+    /** Threading: 0 = shared pool, 1 = serial (results identical). */
+    int threads = 0;
 };
 
 /** The paper's similarity threshold for reusable / "good" frames. */
@@ -31,9 +33,30 @@ inline constexpr double kGoodSsim = 0.90;
  */
 double ssim(const Image &a, const Image &b, const SsimParams &params = {});
 
-/** SSIM on raw luma planes (width*height doubles each). */
+/**
+ * SSIM on raw luma planes (width*height doubles each). Overlapping
+ * window grids run one of two fast kernels, both fanned out over the
+ * shared thread pool with thread-count-independent results:
+ *
+ * - stride divides windowSize (small overlap factor): a tiled kernel
+ *   reads every pixel exactly once into stride x stride tile moments
+ *   and assembles each window from q*q tile sums (q = win/stride);
+ * - otherwise: a sliding-window kernel whose per-column running sums
+ *   give O(stride) window updates instead of re-summing win^2 pixels.
+ *
+ * Bit-identical to `ssimLumaReference` when stride >= windowSize;
+ * within 1e-12 for overlapping windows.
+ */
 double ssimLuma(const std::vector<double> &a, const std::vector<double> &b,
                 int width, int height, const SsimParams &params = {});
+
+/**
+ * The naive O(win^2)-per-window serial formulation, kept as the
+ * regression/benchmark reference for the fast kernels.
+ */
+double ssimLumaReference(const std::vector<double> &a,
+                         const std::vector<double> &b, int width,
+                         int height, const SsimParams &params = {});
 
 } // namespace coterie::image
 

@@ -85,4 +85,57 @@ renderTimeMs(const world::VirtualWorld &world, Vec2 eye, double rMin,
     return params.baseMs + tris * params.nsPerTriangle * 1e-6;
 }
 
+LocationCostCache::LocationCostCache(const world::VirtualWorld &world,
+                                     Vec2 eye, double maxRadius,
+                                     const CostModelParams &params)
+    : world_(world), eye_(eye), params_(params)
+{
+    const double maxReach = std::min(maxRadius, params.cullDistance);
+    if (maxReach <= 0.0)
+        return;
+    const auto ids = world.objectsWithin(eye, maxReach);
+    objects_.reserve(ids.size());
+    for (std::uint32_t id : ids) {
+        const world::WorldObject &obj = world.object(id);
+        // queryDisc's membership metric: squared distance from the eye
+        // to the object's AABB footprint in the ground plane.
+        const geom::Aabb box = obj.bounds();
+        const double dx =
+            std::max({box.lo.x - eye.x, 0.0, eye.x - box.hi.x});
+        const double dz =
+            std::max({box.lo.z - eye.y, 0.0, eye.y - box.hi.z});
+        objects_.push_back({dx * dx + dz * dz,
+                            obj.footprint().distance(eye),
+                            static_cast<double>(obj.triangles)});
+    }
+}
+
+double
+LocationCostCache::effectiveTriangles(double rMin, double rMax) const
+{
+    const double reach = std::min(rMax, params_.cullDistance);
+    double total =
+        terrainEffectiveTriangles(world_, eye_, rMin, rMax, params_);
+    if (reach > rMin) {
+        const double r2 = reach * reach;
+        for (const CachedObject &obj : objects_) {
+            if (obj.footprintDistSq > r2)
+                continue; // outside this query's disc
+            if (obj.centerDist < rMin)
+                continue; // belongs to the inner layer
+            total += obj.triangles * lodWeight(obj.centerDist, params_);
+        }
+    }
+    if (params_.saturationTriangles > 0.0)
+        total = total / (1.0 + total / params_.saturationTriangles);
+    return total;
+}
+
+double
+LocationCostCache::renderTimeMs(double rMin, double rMax) const
+{
+    const double tris = effectiveTriangles(rMin, rMax);
+    return params_.baseMs + tris * params_.nsPerTriangle * 1e-6;
+}
+
 } // namespace coterie::render

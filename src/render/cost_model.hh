@@ -15,6 +15,8 @@
 #ifndef COTERIE_RENDER_COST_MODEL_HH
 #define COTERIE_RENDER_COST_MODEL_HH
 
+#include <vector>
+
 #include "world/world.hh"
 
 namespace coterie::render {
@@ -52,6 +54,44 @@ double effectiveTriangles(const world::VirtualWorld &world, geom::Vec2 eye,
 double renderTimeMs(const world::VirtualWorld &world, geom::Vec2 eye,
                     double rMin, double rMax,
                     const CostModelParams &params = {});
+
+/**
+ * Memoized cost queries for one eye location.
+ *
+ * The cutoff binary search evaluates `renderTimeMs` at the same
+ * location a dozen times with different radii; the free function
+ * re-runs the BVH disc query from scratch on every call. This cache
+ * fetches the object set once (at the largest radius the search can
+ * reach) and replays the same per-object terms, bit-identical to the
+ * uncached path for any rMax <= maxRadius: membership uses the exact
+ * footprint-distance test of `Bvh::queryDisc`, and summation keeps the
+ * BVH traversal order.
+ */
+class LocationCostCache
+{
+  public:
+    LocationCostCache(const world::VirtualWorld &world, geom::Vec2 eye,
+                      double maxRadius, const CostModelParams &params = {});
+
+    /** Same value as the free `effectiveTriangles` (rMax <= maxRadius). */
+    double effectiveTriangles(double rMin, double rMax) const;
+
+    /** Same value as the free `renderTimeMs` (rMax <= maxRadius). */
+    double renderTimeMs(double rMin, double rMax) const;
+
+  private:
+    struct CachedObject
+    {
+        double footprintDistSq; ///< queryDisc's AABB-footprint metric
+        double centerDist;      ///< distance used by the LOD falloff
+        double triangles;
+    };
+
+    const world::VirtualWorld &world_;
+    geom::Vec2 eye_;
+    CostModelParams params_;
+    std::vector<CachedObject> objects_; ///< in BVH traversal order
+};
 
 } // namespace coterie::render
 

@@ -2,11 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <atomic>
-#include <thread>
-#include <vector>
 
 #include "support/logging.hh"
+#include "support/parallel.hh"
 #include "support/rng.hh"
 #include "world/bvh.hh"
 
@@ -69,33 +67,22 @@ textureFactor(Vec3 point, double hitDist, const RenderOptions &opts)
     return 1.0 - opts.textureStrength + 2.0 * opts.textureStrength * noise;
 }
 
-/** Run @p fn(row) over [0, rows) on worker threads. */
+/**
+ * Run @p fn(row) over [0, rows) via the shared thread pool. Rows write
+ * disjoint pixels, so any chunking is deterministic. A small fixed
+ * grain keeps the BVH-heavy rows load-balanced.
+ */
 template <typename Fn>
 void
 parallelRows(int rows, int threads, Fn &&fn)
 {
-    int n = threads > 0 ? threads
-                        : static_cast<int>(
-                              std::thread::hardware_concurrency());
-    n = std::clamp(n, 1, 64);
-    if (n == 1 || rows < 4) {
-        for (int y = 0; y < rows; ++y)
-            fn(y);
-        return;
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(n));
-    std::atomic<int> next{0};
-    for (int t = 0; t < n; ++t) {
-        pool.emplace_back([&] {
-            for (int y = next.fetch_add(1); y < rows;
-                 y = next.fetch_add(1)) {
-                fn(y);
-            }
-        });
-    }
-    for (std::thread &th : pool)
-        th.join();
+    support::parallelFor(
+        0, rows, 4,
+        [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t y = b; y < e; ++y)
+                fn(static_cast<int>(y));
+        },
+        threads);
 }
 
 } // namespace

@@ -73,7 +73,11 @@ struct RenderOptions
      * renderPerspective from the output resolution.
      */
     double pixelAngleRad = 0.01;
-    /** Worker threads (0 = hardware concurrency). */
+    /**
+     * Threading: 0 = the shared `support::ThreadPool` (sized by
+     * `COTERIE_THREADS`, else hardware concurrency), 1 = serial on the
+     * calling thread. Frames are byte-identical either way.
+     */
     int threads = 0;
 };
 

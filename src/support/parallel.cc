@@ -1,0 +1,206 @@
+#include "support/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace coterie::support {
+
+namespace {
+
+/** True while this thread is executing inside a pool task — on worker
+ *  threads always, on the calling thread while it participates in a
+ *  job. Nested parallelFor calls check it and run inline. */
+thread_local bool tlsInPoolTask = false;
+
+int
+envThreadCount()
+{
+    if (const char *env = std::getenv("COTERIE_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<int>(std::min(v, 256L));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::clamp(static_cast<int>(hw), 1, 256);
+}
+
+} // namespace
+
+/** One parallelFor invocation: fixed chunk grid + completion tracking. */
+struct ThreadPool::Job
+{
+    std::int64_t begin = 0;
+    std::int64_t grain = 1;
+    std::int64_t chunkCount = 0;
+    std::int64_t end = 0;
+    const ChunkFn *fn = nullptr;
+    std::atomic<std::int64_t> nextChunk{0};
+    std::atomic<std::int64_t> doneChunks{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex errorMutex;
+    std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int threads)
+{
+    workerCount_ = std::max(0, threads - 1);
+    workers_.reserve(static_cast<std::size_t>(workerCount_));
+    for (int i = 0; i < workerCount_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+ThreadPool &
+ThreadPool::instance()
+{
+    static ThreadPool pool(envThreadCount());
+    return pool;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tlsInPoolTask;
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    for (;;) {
+        const std::int64_t chunk = job.nextChunk.fetch_add(1);
+        if (chunk >= job.chunkCount)
+            return;
+        if (!job.cancelled.load(std::memory_order_relaxed)) {
+            try {
+                const std::int64_t b = job.begin + chunk * job.grain;
+                const std::int64_t e = std::min(job.end, b + job.grain);
+                (*job.fn)(b, e);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job.errorMutex);
+                if (!job.error)
+                    job.error = std::current_exception();
+                job.cancelled.store(true, std::memory_order_relaxed);
+            }
+        }
+        job.doneChunks.fetch_add(1);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlsInPoolTask = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+            if (!job)
+                continue; // late wake-up: the job already finished
+            ++activeWorkers_;
+        }
+        runChunks(*job);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --activeWorkers_;
+        }
+        doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
+                        std::int64_t grain, const ChunkFn &fn)
+{
+    if (end <= begin)
+        return;
+    const std::int64_t n = end - begin;
+    if (grain <= 0) {
+        // Thread-count-independent default: ~64 chunks regardless of
+        // pool size, so chunk boundaries (and therefore chunk-local
+        // accumulation) never depend on COTERIE_THREADS.
+        grain = std::max<std::int64_t>(1, (n + 63) / 64);
+    }
+    const std::int64_t chunks = (n + grain - 1) / grain;
+
+    // Serial paths: no workers, a single chunk, or a nested call from
+    // inside a pool task (running it inline avoids deadlock and keeps
+    // kernels composable).
+    if (workerCount_ == 0 || chunks == 1 || tlsInPoolTask) {
+        for (std::int64_t c = 0; c < chunks; ++c) {
+            const std::int64_t b = begin + c * grain;
+            fn(b, std::min(end, b + grain));
+        }
+        return;
+    }
+
+    Job job;
+    job.begin = begin;
+    job.end = end;
+    job.grain = grain;
+    job.chunkCount = chunks;
+    job.fn = &fn;
+
+    // One job at a time; concurrent top-level callers queue here.
+    std::lock_guard<std::mutex> submitLock(submitMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &job;
+        ++generation_;
+    }
+    workCv_.notify_all();
+
+    tlsInPoolTask = true; // caller-lane nested calls must run inline
+    runChunks(job);
+    tlsInPoolTask = false;
+
+    {
+        // Wait until every chunk has run *and* every worker has left
+        // runChunks (a worker may still hold a reference to the job
+        // after the final chunk completes).
+        std::unique_lock<std::mutex> lock(mutex_);
+        doneCv_.wait(lock, [&] {
+            return job.doneChunks.load() >= job.chunkCount &&
+                   activeWorkers_ == 0;
+        });
+        job_ = nullptr;
+    }
+
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+void
+parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+            const ChunkFn &fn, int threads)
+{
+    if (threads == 1) {
+        if (end <= begin)
+            return;
+        if (grain <= 0)
+            grain = std::max<std::int64_t>(1, (end - begin + 63) / 64);
+        for (std::int64_t b = begin; b < end; b += grain)
+            fn(b, std::min(end, b + grain));
+        return;
+    }
+    ThreadPool::instance().parallelFor(begin, end, grain, fn);
+}
+
+} // namespace coterie::support

@@ -121,6 +121,52 @@ TEST(Ssim, StrideParameterKeepsResultClose)
     EXPECT_NEAR(ssim(a, b, dense), ssim(a, b, sparse), 0.05);
 }
 
+TEST(Ssim, SlidingKernelMatchesNaiveReferenceOnRandomImages)
+{
+    // The production kernel (per-column running sums, pool-parallel
+    // bands) must agree with the naive O(win^2)-per-window formulation
+    // to within 1e-12 across overlap factors and odd geometries.
+    struct Case { int w, h, win, stride; };
+    for (const Case &c : {Case{64, 64, 8, 4}, Case{128, 64, 8, 1},
+                          Case{512, 256, 8, 4}, Case{96, 48, 11, 3},
+                          Case{70, 130, 16, 5}}) {
+        const Image a = noiseImage(c.w, c.h, 21);
+        const Image b = addNoise(a, 18.0, 22);
+        SsimParams params;
+        params.windowSize = c.win;
+        params.stride = c.stride;
+        const double fast = ssim(a, b, params);
+        const double naive = ssimLumaReference(
+            a.lumaPlane(), b.lumaPlane(), c.w, c.h, params);
+        EXPECT_NEAR(fast, naive, 1e-12)
+            << c.w << "x" << c.h << " win=" << c.win
+            << " stride=" << c.stride;
+    }
+}
+
+TEST(Ssim, BitIdenticalToReferenceAtStrideEqualsWindow)
+{
+    const Image a = noiseImage(128, 96, 31);
+    const Image b = addNoise(a, 25.0, 32);
+    SsimParams params;
+    params.windowSize = 8;
+    params.stride = 8; // disjoint windows: the kernels must agree exactly
+    EXPECT_EQ(ssim(a, b, params),
+              ssimLumaReference(a.lumaPlane(), b.lumaPlane(), 128, 96,
+                                params));
+}
+
+TEST(Ssim, SerialAndPooledKernelsBitIdentical)
+{
+    const Image a = noiseImage(256, 128, 41);
+    const Image b = addNoise(a, 12.0, 42);
+    SsimParams serial;
+    serial.threads = 1;
+    SsimParams pooled;
+    pooled.threads = 0;
+    EXPECT_EQ(ssim(a, b, serial), ssim(a, b, pooled));
+}
+
 TEST(SsimDeath, MismatchedSizesPanic)
 {
     const Image a(8, 8), b(9, 8);
