@@ -7,8 +7,7 @@
  * ones; EXPERIMENTS.md summarises the comparisons.
  */
 
-#ifndef COTERIE_BENCH_BENCH_UTIL_HH
-#define COTERIE_BENCH_BENCH_UTIL_HH
+#pragma once
 
 #include <cstdio>
 #include <memory>
@@ -68,4 +67,3 @@ printCdf(const char *label, const SampleSet &samples)
 
 } // namespace coterie::bench
 
-#endif // COTERIE_BENCH_BENCH_UTIL_HH

@@ -5,8 +5,7 @@
  * curves can be regenerated with any plotting tool.
  */
 
-#ifndef COTERIE_BENCH_CSV_HH
-#define COTERIE_BENCH_CSV_HH
+#pragma once
 
 #include <cstdio>
 #include <initializer_list>
@@ -93,4 +92,3 @@ class CsvWriter
 
 } // namespace coterie::bench
 
-#endif // COTERIE_BENCH_CSV_HH

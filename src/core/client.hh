@@ -15,8 +15,7 @@
  * Coterie prefetches far-BE panoramas only on frame-cache misses.
  */
 
-#ifndef COTERIE_CORE_CLIENT_HH
-#define COTERIE_CORE_CLIENT_HH
+#pragma once
 
 #include <memory>
 
@@ -91,4 +90,3 @@ SystemResult runSplitSystem(const SystemConfig &config,
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_CLIENT_HH

@@ -8,8 +8,7 @@
  * monotone in the radius, so a bracketed binary search suffices.
  */
 
-#ifndef COTERIE_CORE_CUTOFF_HH
-#define COTERIE_CORE_CUTOFF_HH
+#pragma once
 
 #include "device/phone.hh"
 #include "world/world.hh"
@@ -62,4 +61,3 @@ double maxCutoffRadius(const world::VirtualWorld &world, geom::Vec2 location,
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_CUTOFF_HH

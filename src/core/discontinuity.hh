@@ -11,8 +11,7 @@
  * proxy — mapping similarity at each frame switch to the 5-point scale.
  */
 
-#ifndef COTERIE_CORE_DISCONTINUITY_HH
-#define COTERIE_CORE_DISCONTINUITY_HH
+#pragma once
 
 #include <array>
 #include <vector>
@@ -53,4 +52,3 @@ ScoreDistribution scoreTraceReplay(const trace::PlayerTrace &trace,
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_DISCONTINUITY_HH

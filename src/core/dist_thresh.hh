@@ -10,8 +10,7 @@
  * separation reach the SSIM threshold, and keep the region minimum.
  */
 
-#ifndef COTERIE_CORE_DIST_THRESH_HH
-#define COTERIE_CORE_DIST_THRESH_HH
+#pragma once
 
 #include <vector>
 
@@ -48,4 +47,3 @@ std::vector<double> deriveDistThresholds(const RegionIndex &index,
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_DIST_THRESH_HH

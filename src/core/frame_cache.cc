@@ -96,6 +96,7 @@ FrameCache::findBest(const Key &key, double distThresh,
 std::optional<std::uint64_t>
 FrameCache::lookup(const Key &key, double distThresh)
 {
+    support::MutexLock lock(mutex_);
     ++clock_;
     ++stats_.lookups;
     const CachedFrame *best = findBest(key, distThresh, &stats_);
@@ -113,6 +114,7 @@ FrameCache::lookup(const Key &key, double distThresh)
 std::optional<std::uint64_t>
 FrameCache::peek(const Key &key, double distThresh) const
 {
+    support::MutexLock lock(mutex_);
     const CachedFrame *best = findBest(key, distThresh, nullptr);
     if (!best)
         return std::nullopt;
@@ -122,12 +124,14 @@ FrameCache::peek(const Key &key, double distThresh) const
 bool
 FrameCache::containsExact(std::uint64_t gridKey) const
 {
+    support::MutexLock lock(mutex_);
     return entries_.count(gridKey) > 0;
 }
 
 void
 FrameCache::insert(const Key &key, std::uint32_t sizeBytes)
 {
+    support::MutexLock lock(mutex_);
     ++clock_;
     if (entries_.count(key.gridKey))
         return; // already resident

@@ -15,8 +15,7 @@
  * (Figure 11) and cache Versions 1/2 (Table 4).
  */
 
-#ifndef COTERIE_CORE_FRAME_CACHE_HH
-#define COTERIE_CORE_FRAME_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -25,6 +24,7 @@
 
 #include "geom/vec.hh"
 #include "support/logging.hh"
+#include "support/thread_annotations.hh"
 
 namespace coterie::core {
 
@@ -86,6 +86,12 @@ struct CacheStats
  * The frame cache. Stores metadata only — actual frame bytes live in
  * the decoder path; all cache decisions depend on metadata alone (the
  * paper makes the same observation for its caching study, §4.6).
+ *
+ * Thread-safe: every public method locks the internal mutex, so a
+ * shared cache (the Table 5 overheard-frame versions run one cache per
+ * coterie) can be queried from pool tasks. Determinism is preserved
+ * because callers in `src/` only drive it from the single simulation
+ * thread or behind an ordered reduction.
  */
 class FrameCache
 {
@@ -119,31 +125,60 @@ class FrameCache
     bool containsExact(std::uint64_t gridKey) const;
 
     /** Player position feed (FLF evicts furthest from here). */
-    void setPlayerPosition(geom::Vec2 p) { playerPos_ = p; }
+    void setPlayerPosition(geom::Vec2 p)
+    {
+        support::MutexLock lock(mutex_);
+        playerPos_ = p;
+    }
 
-    const CacheStats &stats() const { return stats_; }
-    void resetStats() { stats_ = {}; }
-    std::size_t entryCount() const { return entries_.size(); }
-    std::size_t bytesUsed() const { return bytesUsed_; }
+    /** Snapshot of the counters (by value: stats_ is lock-guarded). */
+    CacheStats stats() const
+    {
+        support::MutexLock lock(mutex_);
+        return stats_;
+    }
+
+    void resetStats()
+    {
+        support::MutexLock lock(mutex_);
+        stats_ = {};
+    }
+
+    std::size_t entryCount() const
+    {
+        support::MutexLock lock(mutex_);
+        return entries_.size();
+    }
+
+    std::size_t bytesUsed() const
+    {
+        support::MutexLock lock(mutex_);
+        return bytesUsed_;
+    }
+
     const FrameCacheParams &params() const { return params_; }
 
   private:
     std::int64_t bucketOf(geom::Vec2 p) const;
     const CachedFrame *findBest(const Key &key, double distThresh,
-                                CacheStats *stats) const;
-    void evictOne();
+                                CacheStats *stats) const
+        COTERIE_REQUIRES(mutex_);
+    void evictOne() COTERIE_REQUIRES(mutex_);
 
-    FrameCacheParams params_;
-    std::unordered_map<std::uint64_t, CachedFrame> entries_; // by gridKey
-    // Spatial hash: bucket id -> grid keys in bucket.
-    std::unordered_map<std::int64_t, std::vector<std::uint64_t>> buckets_;
-    std::size_t bytesUsed_ = 0;
-    std::uint64_t clock_ = 0;
-    geom::Vec2 playerPos_;
-    CacheStats stats_;
-    std::uint64_t rngState_;
+    FrameCacheParams params_; ///< immutable after the constructor
+    mutable support::Mutex mutex_;
+    /** Entries by gridKey. */
+    std::unordered_map<std::uint64_t, CachedFrame>
+        entries_ COTERIE_GUARDED_BY(mutex_);
+    /** Spatial hash: bucket id -> grid keys in bucket. */
+    std::unordered_map<std::int64_t, std::vector<std::uint64_t>>
+        buckets_ COTERIE_GUARDED_BY(mutex_);
+    std::size_t bytesUsed_ COTERIE_GUARDED_BY(mutex_) = 0;
+    std::uint64_t clock_ COTERIE_GUARDED_BY(mutex_) = 0;
+    geom::Vec2 playerPos_ COTERIE_GUARDED_BY(mutex_);
+    CacheStats stats_ COTERIE_GUARDED_BY(mutex_);
+    std::uint64_t rngState_ COTERIE_GUARDED_BY(mutex_);
 };
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_FRAME_CACHE_HH

@@ -8,8 +8,7 @@
  * its distance thresholds to a versioned text file and loads them back.
  */
 
-#ifndef COTERIE_CORE_OFFLINE_IO_HH
-#define COTERIE_CORE_OFFLINE_IO_HH
+#pragma once
 
 #include <optional>
 #include <string>
@@ -42,4 +41,3 @@ std::optional<OfflineArtifacts> loadArtifacts(const std::string &path);
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_OFFLINE_IO_HH

@@ -8,8 +8,7 @@
  * regions (Table 3).
  */
 
-#ifndef COTERIE_CORE_PARTITIONER_HH
-#define COTERIE_CORE_PARTITIONER_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -140,4 +139,3 @@ double constraintViolationRate(const world::VirtualWorld &world,
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_PARTITIONER_HH

@@ -10,8 +10,7 @@
  * fetch frequency and widens the fetch deadline window.
  */
 
-#ifndef COTERIE_CORE_PREFETCHER_HH
-#define COTERIE_CORE_PREFETCHER_HH
+#pragma once
 
 #include <vector>
 
@@ -89,4 +88,3 @@ class Prefetcher
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_PREFETCHER_HH

@@ -24,9 +24,12 @@ double
 FrameStore::wholeComplexity(Vec2 p) const
 {
     const LeafRegion &leaf = regions_.leafAt(p);
-    const auto it = wholeCplx_.find(leaf.id);
-    if (it != wholeCplx_.end())
-        return it->second;
+    {
+        support::MutexLock lock(cplxMutex_);
+        const auto it = wholeCplx_.find(leaf.id);
+        if (it != wholeCplx_.end())
+            return it->second;
+    }
     // Whole-BE complexity: content density near the viewer dominates
     // the frame (perspective projection).
     // Object density plus terrain ruggedness (mountainous worlds carry
@@ -37,6 +40,7 @@ FrameStore::wholeComplexity(Vec2 p) const
         0.14 + 0.6 * density / params_.complexitySaturationDensity +
             0.012 * rugged,
         0.05, 1.0);
+    support::MutexLock lock(cplxMutex_);
     wholeCplx_.emplace(leaf.id, cplx);
     return cplx;
 }
@@ -45,9 +49,12 @@ double
 FrameStore::farComplexity(Vec2 p) const
 {
     const LeafRegion &leaf = regions_.leafAt(p);
-    const auto it = farCplx_.find(leaf.id);
-    if (it != farCplx_.end())
-        return it->second;
+    {
+        support::MutexLock lock(cplxMutex_);
+        const auto it = farCplx_.find(leaf.id);
+        if (it != farCplx_.end())
+            return it->second;
+    }
     // Far-BE complexity: only content beyond the cutoff contributes,
     // and it projects smaller — flatter, more compressible frames.
     const double cutoff = leaf.cutoffRadius;
@@ -56,6 +63,7 @@ FrameStore::farComplexity(Vec2 p) const
     const double cplx = std::clamp(
         0.25 + 0.9 * far_density / params_.complexitySaturationDensity,
         0.05, 1.0);
+    support::MutexLock lock(cplxMutex_);
     farCplx_.emplace(leaf.id, cplx);
     return cplx;
 }

@@ -11,8 +11,7 @@
  * visual-quality experiments.
  */
 
-#ifndef COTERIE_CORE_SERVER_HH
-#define COTERIE_CORE_SERVER_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -21,6 +20,7 @@
 #include "image/codec.hh"
 #include "image/size_model.hh"
 #include "render/renderer.hh"
+#include "support/thread_annotations.hh"
 #include "world/grid.hh"
 
 namespace coterie::core {
@@ -92,11 +92,17 @@ class FrameStore
     const world::GridMap &grid_;
     const RegionIndex &regions_;
     FrameStoreParams params_;
-    /** Complexity cached per leaf region (cheap, stable). */
-    mutable std::unordered_map<std::uint32_t, double> farCplx_;
-    mutable std::unordered_map<std::uint32_t, double> wholeCplx_;
+    /**
+     * Complexity cached per leaf region (cheap, stable, deterministic —
+     * the cached value never depends on which thread computed it).
+     * Guarded so size queries may run from pool tasks.
+     */
+    mutable support::Mutex cplxMutex_;
+    mutable std::unordered_map<std::uint32_t, double>
+        farCplx_ COTERIE_GUARDED_BY(cplxMutex_);
+    mutable std::unordered_map<std::uint32_t, double>
+        wholeCplx_ COTERIE_GUARDED_BY(cplxMutex_);
 };
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_SERVER_HH

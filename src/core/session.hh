@@ -6,8 +6,7 @@
  * multi-player traces, and run any of the four systems on it.
  */
 
-#ifndef COTERIE_CORE_SESSION_HH
-#define COTERIE_CORE_SESSION_HH
+#pragma once
 
 #include <memory>
 
@@ -104,4 +103,3 @@ class Session
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_SESSION_HH

@@ -13,8 +13,7 @@
  * RenderedSimilarity (see calibrateAnalytic and the similarity tests).
  */
 
-#ifndef COTERIE_CORE_SIMILARITY_HH
-#define COTERIE_CORE_SIMILARITY_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -116,4 +115,3 @@ calibrateAnalytic(const world::VirtualWorld &world,
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_SIMILARITY_HH

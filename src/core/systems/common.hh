@@ -4,8 +4,7 @@
  * models (Mobile, Thin-client, Multi-Furion, Coterie).
  */
 
-#ifndef COTERIE_CORE_SYSTEMS_COMMON_HH
-#define COTERIE_CORE_SYSTEMS_COMMON_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -81,4 +80,3 @@ struct SystemResult
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_SYSTEMS_COMMON_HH

@@ -11,8 +11,7 @@
  *    disabled for the Figure 11 "Coterie w/o cache" variant).
  */
 
-#ifndef COTERIE_CORE_SYSTEMS_SYSTEMS_HH
-#define COTERIE_CORE_SYSTEMS_SYSTEMS_HH
+#pragma once
 
 #include "core/client.hh"
 #include "core/systems/common.hh"
@@ -45,4 +44,3 @@ SystemResult runCoterie(const SystemConfig &config,
 
 } // namespace coterie::core
 
-#endif // COTERIE_CORE_SYSTEMS_SYSTEMS_HH

@@ -9,8 +9,7 @@
  * GPU-utilisation mapping. See DESIGN.md §4 for the calibration rule.
  */
 
-#ifndef COTERIE_DEVICE_PHONE_HH
-#define COTERIE_DEVICE_PHONE_HH
+#pragma once
 
 #include "render/cost_model.hh"
 
@@ -71,4 +70,3 @@ double cpuLoadPct(const PhoneProfile &profile, const CpuLoadInputs &in);
 
 } // namespace coterie::device
 
-#endif // COTERIE_DEVICE_PHONE_HH

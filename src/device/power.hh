@@ -5,8 +5,7 @@
  * steady draw on Pixel 2 under Coterie (Figure 12).
  */
 
-#ifndef COTERIE_DEVICE_POWER_HH
-#define COTERIE_DEVICE_POWER_HH
+#pragma once
 
 #include "device/phone.hh"
 
@@ -40,4 +39,3 @@ double batteryLifeHours(const PhoneProfile &profile, double watts);
 
 } // namespace coterie::device
 
-#endif // COTERIE_DEVICE_POWER_HH

@@ -6,8 +6,7 @@
  * the Pixel 2 thermal-engine limit of 52 C).
  */
 
-#ifndef COTERIE_DEVICE_THERMAL_HH
-#define COTERIE_DEVICE_THERMAL_HH
+#pragma once
 
 namespace coterie::device {
 
@@ -73,4 +72,3 @@ struct ThermalGovernor
 
 } // namespace coterie::device
 
-#endif // COTERIE_DEVICE_THERMAL_HH

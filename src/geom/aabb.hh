@@ -3,8 +3,7 @@
  * Axis-aligned bounding boxes in 3D, used for world objects and the BVH.
  */
 
-#ifndef COTERIE_GEOM_AABB_HH
-#define COTERIE_GEOM_AABB_HH
+#pragma once
 
 #include <algorithm>
 #include <limits>
@@ -89,4 +88,3 @@ struct Aabb
 
 } // namespace coterie::geom
 
-#endif // COTERIE_GEOM_AABB_HH

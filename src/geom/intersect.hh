@@ -4,8 +4,7 @@
  * cylinder) plus the slab test used by the BVH traversal.
  */
 
-#ifndef COTERIE_GEOM_INTERSECT_HH
-#define COTERIE_GEOM_INTERSECT_HH
+#pragma once
 
 #include <optional>
 
@@ -42,4 +41,3 @@ bool rayHitsAabb(const Ray &ray, const Aabb &box, double tMax);
 
 } // namespace coterie::geom
 
-#endif // COTERIE_GEOM_INTERSECT_HH

@@ -3,8 +3,7 @@
  * Ray type and hit record for the ray-casting renderer.
  */
 
-#ifndef COTERIE_GEOM_RAY_HH
-#define COTERIE_GEOM_RAY_HH
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -37,4 +36,3 @@ struct Hit
 
 } // namespace coterie::geom
 
-#endif // COTERIE_GEOM_RAY_HH

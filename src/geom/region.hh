@@ -4,8 +4,7 @@
  * quadtree-subdivision math used by the adaptive cutoff partitioner.
  */
 
-#ifndef COTERIE_GEOM_REGION_HH
-#define COTERIE_GEOM_REGION_HH
+#pragma once
 
 #include <array>
 
@@ -56,4 +55,3 @@ struct Rect
 
 } // namespace coterie::geom
 
-#endif // COTERIE_GEOM_REGION_HH

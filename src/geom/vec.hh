@@ -4,8 +4,7 @@
  * Header-only for inlining in the ray-casting hot path.
  */
 
-#ifndef COTERIE_GEOM_VEC_HH
-#define COTERIE_GEOM_VEC_HH
+#pragma once
 
 #include <cmath>
 
@@ -117,4 +116,3 @@ lift(Vec2 ground, double y)
 
 } // namespace coterie::geom
 
-#endif // COTERIE_GEOM_VEC_HH

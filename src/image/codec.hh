@@ -12,8 +12,7 @@
  * bandwidth experiments rely on.
  */
 
-#ifndef COTERIE_IMAGE_CODEC_HH
-#define COTERIE_IMAGE_CODEC_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -54,4 +53,3 @@ Image decode(const EncodedFrame &encoded);
 
 } // namespace coterie::image
 
-#endif // COTERIE_IMAGE_CODEC_HH

@@ -6,8 +6,7 @@
  * chroma resampling. Not part of the public API.
  */
 
-#ifndef COTERIE_IMAGE_CODEC_INTERNAL_HH
-#define COTERIE_IMAGE_CODEC_INTERNAL_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -40,4 +39,3 @@ std::vector<double> upsample2(const std::vector<double> &plane, int sw,
 
 } // namespace coterie::image::detail
 
-#endif // COTERIE_IMAGE_CODEC_INTERNAL_HH

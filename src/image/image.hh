@@ -4,8 +4,7 @@
  * similarity experiments need (luma extraction, downsampling, PPM io).
  */
 
-#ifndef COTERIE_IMAGE_IMAGE_HH
-#define COTERIE_IMAGE_IMAGE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -72,4 +71,3 @@ class Image
 
 } // namespace coterie::image
 
-#endif // COTERIE_IMAGE_IMAGE_HH

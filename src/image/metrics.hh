@@ -5,8 +5,7 @@
  * inspecting where two frames diverge (e.g. near the cutoff boundary).
  */
 
-#ifndef COTERIE_IMAGE_METRICS_HH
-#define COTERIE_IMAGE_METRICS_HH
+#pragma once
 
 #include <vector>
 
@@ -46,4 +45,3 @@ Image readPpm(const std::string &path);
 
 } // namespace coterie::image
 
-#endif // COTERIE_IMAGE_METRICS_HH

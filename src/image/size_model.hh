@@ -9,8 +9,7 @@
  * benches use the real codec on real frames.
  */
 
-#ifndef COTERIE_IMAGE_SIZE_MODEL_HH
-#define COTERIE_IMAGE_SIZE_MODEL_HH
+#pragma once
 
 #include <cstddef>
 
@@ -48,4 +47,3 @@ std::size_t modelFrameBytes(const FrameSizeSpec &spec);
 
 } // namespace coterie::image
 
-#endif // COTERIE_IMAGE_SIZE_MODEL_HH

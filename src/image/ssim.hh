@@ -5,8 +5,7 @@
  * An SSIM above 0.90 is the paper's threshold for "good" visual quality.
  */
 
-#ifndef COTERIE_IMAGE_SSIM_HH
-#define COTERIE_IMAGE_SSIM_HH
+#pragma once
 
 #include "image/image.hh"
 
@@ -60,4 +59,3 @@ double ssimLumaReference(const std::vector<double> &a,
 
 } // namespace coterie::image
 
-#endif // COTERIE_IMAGE_SSIM_HH

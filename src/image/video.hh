@@ -10,8 +10,7 @@
  * plane-level Haar/quantisation pipeline as the still codec.
  */
 
-#ifndef COTERIE_IMAGE_VIDEO_HH
-#define COTERIE_IMAGE_VIDEO_HH
+#pragma once
 
 #include <vector>
 
@@ -59,4 +58,3 @@ std::vector<Image> decodeVideo(const EncodedVideo &video);
 
 } // namespace coterie::image
 
-#endif // COTERIE_IMAGE_VIDEO_HH

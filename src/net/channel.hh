@@ -9,8 +9,7 @@
  * plus a fixed per-transfer latency floor (TCP/WiFi RTT).
  */
 
-#ifndef COTERIE_NET_CHANNEL_HH
-#define COTERIE_NET_CHANNEL_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -99,4 +98,3 @@ class SharedChannel
 
 } // namespace coterie::net
 
-#endif // COTERIE_NET_CHANNEL_HH

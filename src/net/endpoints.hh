@@ -5,8 +5,7 @@
  * a grid point; server replies with the encoded frame bytes over TCP).
  */
 
-#ifndef COTERIE_NET_ENDPOINTS_HH
-#define COTERIE_NET_ENDPOINTS_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -54,4 +53,3 @@ class FrameServer
 
 } // namespace coterie::net
 
-#endif // COTERIE_NET_ENDPOINTS_HH

@@ -9,8 +9,7 @@
  * of magnitude below BE traffic (Table 9).
  */
 
-#ifndef COTERIE_NET_FI_SYNC_HH
-#define COTERIE_NET_FI_SYNC_HH
+#pragma once
 
 #include <cstdint>
 
@@ -63,4 +62,3 @@ class FiSync
 
 } // namespace coterie::net
 
-#endif // COTERIE_NET_FI_SYNC_HH

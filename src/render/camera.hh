@@ -6,8 +6,7 @@
  * any head orientation at no cost — the Furion/Coterie trick).
  */
 
-#ifndef COTERIE_RENDER_CAMERA_HH
-#define COTERIE_RENDER_CAMERA_HH
+#pragma once
 
 #include "geom/vec.hh"
 
@@ -34,4 +33,3 @@ void directionToPanoramaUv(geom::Vec3 dir, double &u, double &v);
 
 } // namespace coterie::render
 
-#endif // COTERIE_RENDER_CAMERA_HH

@@ -12,8 +12,7 @@
  * and reused for every experiment.
  */
 
-#ifndef COTERIE_RENDER_COST_MODEL_HH
-#define COTERIE_RENDER_COST_MODEL_HH
+#pragma once
 
 #include <vector>
 
@@ -66,6 +65,13 @@ double renderTimeMs(const world::VirtualWorld &world, geom::Vec2 eye,
  * uncached path for any rMax <= maxRadius: membership uses the exact
  * footprint-distance test of `Bvh::queryDisc`, and summation keeps the
  * BVH traversal order.
+ *
+ * Thread-compatibility contract (checked by the clang thread-safety
+ * build, see support/thread_annotations.hh): all state is written in
+ * the constructor and immutable afterwards, so no member needs a
+ * COTERIE_GUARDED_BY — the partitioner constructs one instance per
+ * pool task and never shares it across tasks. Any future mutable
+ * memoization added here must bring its own annotated Mutex.
  */
 class LocationCostCache
 {
@@ -95,4 +101,3 @@ class LocationCostCache
 
 } // namespace coterie::render
 
-#endif // COTERIE_RENDER_COST_MODEL_HH

@@ -10,8 +10,7 @@
  * core observation of the paper — emerges from perspective projection.
  */
 
-#ifndef COTERIE_RENDER_RENDERER_HH
-#define COTERIE_RENDER_RENDERER_HH
+#pragma once
 
 #include <limits>
 
@@ -124,4 +123,3 @@ image::Image cropPanoramaToView(const image::Image &panorama,
 
 } // namespace coterie::render
 
-#endif // COTERIE_RENDER_RENDERER_HH

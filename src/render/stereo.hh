@@ -5,8 +5,7 @@
  * left/right with a ~64 mm interpupillary offset and converged optics).
  */
 
-#ifndef COTERIE_RENDER_STEREO_HH
-#define COTERIE_RENDER_STEREO_HH
+#pragma once
 
 #include <utility>
 
@@ -54,4 +53,3 @@ StereoFrame stereoFromPanorama(const Renderer &renderer,
 
 } // namespace coterie::render
 
-#endif // COTERIE_RENDER_STEREO_HH

@@ -7,8 +7,7 @@
  * milliseconds, matching the paper's reporting unit.
  */
 
-#ifndef COTERIE_SIM_EVENT_QUEUE_HH
-#define COTERIE_SIM_EVENT_QUEUE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -79,4 +78,3 @@ class EventQueue
 
 } // namespace coterie::sim
 
-#endif // COTERIE_SIM_EVENT_QUEUE_HH

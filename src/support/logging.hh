@@ -7,8 +7,7 @@
  * warn()/inform() for non-fatal status messages.
  */
 
-#ifndef COTERIE_SUPPORT_LOGGING_HH
-#define COTERIE_SUPPORT_LOGGING_HH
+#pragma once
 
 #include <cstdlib>
 #include <sstream>
@@ -74,4 +73,3 @@ bool verbose();
         }                                                                    \
     } while (0)
 
-#endif // COTERIE_SUPPORT_LOGGING_HH

@@ -37,8 +37,8 @@ struct ThreadPool::Job
     std::atomic<std::int64_t> nextChunk{0};
     std::atomic<std::int64_t> doneChunks{0};
     std::atomic<bool> cancelled{false};
-    std::mutex errorMutex;
-    std::exception_ptr error;
+    Mutex errorMutex;
+    std::exception_ptr error COTERIE_GUARDED_BY(errorMutex);
 };
 
 ThreadPool::ThreadPool(int threads)
@@ -52,10 +52,10 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
-    workCv_.notify_all();
+    workCv_.notifyAll();
     for (std::thread &worker : workers_)
         worker.join();
 }
@@ -86,7 +86,7 @@ ThreadPool::runChunks(Job &job)
                 const std::int64_t e = std::min(job.end, b + job.grain);
                 (*job.fn)(b, e);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(job.errorMutex);
+                MutexLock lock(job.errorMutex);
                 if (!job.error)
                     job.error = std::current_exception();
                 job.cancelled.store(true, std::memory_order_relaxed);
@@ -104,10 +104,9 @@ ThreadPool::workerLoop()
     for (;;) {
         Job *job = nullptr;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workCv_.wait(lock, [&] {
-                return stop_ || generation_ != seen;
-            });
+            MutexLock lock(mutex_);
+            while (!stop_ && generation_ == seen)
+                workCv_.wait(lock);
             if (stop_)
                 return;
             seen = generation_;
@@ -118,10 +117,10 @@ ThreadPool::workerLoop()
         }
         runChunks(*job);
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --activeWorkers_;
         }
-        doneCv_.notify_all();
+        doneCv_.notifyAll();
     }
 }
 
@@ -159,13 +158,13 @@ ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
     job.fn = &fn;
 
     // One job at a time; concurrent top-level callers queue here.
-    std::lock_guard<std::mutex> submitLock(submitMutex_);
+    MutexLock submitLock(submitMutex_);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         job_ = &job;
         ++generation_;
     }
-    workCv_.notify_all();
+    workCv_.notifyAll();
 
     tlsInPoolTask = true; // caller-lane nested calls must run inline
     runChunks(job);
@@ -175,16 +174,20 @@ ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
         // Wait until every chunk has run *and* every worker has left
         // runChunks (a worker may still hold a reference to the job
         // after the final chunk completes).
-        std::unique_lock<std::mutex> lock(mutex_);
-        doneCv_.wait(lock, [&] {
-            return job.doneChunks.load() >= job.chunkCount &&
-                   activeWorkers_ == 0;
-        });
+        MutexLock lock(mutex_);
+        while (job.doneChunks.load() < job.chunkCount ||
+               activeWorkers_ != 0)
+            doneCv_.wait(lock);
         job_ = nullptr;
     }
 
-    if (job.error)
-        std::rethrow_exception(job.error);
+    std::exception_ptr error;
+    {
+        MutexLock lock(job.errorMutex);
+        error = job.error;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void

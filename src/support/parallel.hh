@@ -21,17 +21,16 @@
  * compose freely without deadlock.
  */
 
-#ifndef COTERIE_SUPPORT_PARALLEL_HH
-#define COTERIE_SUPPORT_PARALLEL_HH
+#pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.hh"
 
 namespace coterie::support {
 
@@ -82,15 +81,15 @@ class ThreadPool
     void workerLoop();
     static void runChunks(Job &job);
 
-    std::mutex mutex_;
-    std::condition_variable workCv_;
-    std::condition_variable doneCv_;
-    std::mutex submitMutex_; ///< serializes concurrent top-level jobs
-    Job *job_ = nullptr;
-    std::uint64_t generation_ = 0;
-    int activeWorkers_ = 0;
-    bool stop_ = false;
-    int workerCount_ = 0;
+    Mutex mutex_;
+    CondVar workCv_;
+    CondVar doneCv_;
+    Mutex submitMutex_; ///< serializes concurrent top-level jobs
+    Job *job_ COTERIE_GUARDED_BY(mutex_) = nullptr;
+    std::uint64_t generation_ COTERIE_GUARDED_BY(mutex_) = 0;
+    int activeWorkers_ COTERIE_GUARDED_BY(mutex_) = 0;
+    bool stop_ COTERIE_GUARDED_BY(mutex_) = false;
+    int workerCount_ = 0; ///< immutable after the constructor
     std::vector<std::thread> workers_;
 };
 
@@ -122,5 +121,3 @@ parallelMap(std::int64_t n, std::int64_t grain, Fn &&fn, int threads = 0)
 }
 
 } // namespace coterie::support
-
-#endif // COTERIE_SUPPORT_PARALLEL_HH

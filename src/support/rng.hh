@@ -7,8 +7,7 @@
  * seeded via SplitMix64 (the construction recommended by its authors).
  */
 
-#ifndef COTERIE_SUPPORT_RNG_HH
-#define COTERIE_SUPPORT_RNG_HH
+#pragma once
 
 #include <cstdint>
 
@@ -68,4 +67,3 @@ class Rng
 
 } // namespace coterie
 
-#endif // COTERIE_SUPPORT_RNG_HH

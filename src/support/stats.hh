@@ -5,8 +5,7 @@
  * and CDF extraction (figures 1, 2, 7 are CDFs).
  */
 
-#ifndef COTERIE_SUPPORT_STATS_HH
-#define COTERIE_SUPPORT_STATS_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -111,4 +110,3 @@ class Histogram
 
 } // namespace coterie
 
-#endif // COTERIE_SUPPORT_STATS_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Clang thread-safety annotations and annotated locking primitives.
+ *
+ * Coterie's headline invariant — bit-identical Far-BE frames shared
+ * across players — only holds if pool-shared state is race-free. These
+ * macros make the locking discipline machine-checked: build with clang
+ * and `-DCOTERIE_THREAD_SAFETY=ON` (adds `-Wthread-safety -Werror`) and
+ * any access to a `COTERIE_GUARDED_BY` member outside its mutex is a
+ * compile error. Under gcc (or clang without the attribute support) the
+ * macros expand to nothing, so the annotations are free documentation.
+ *
+ * libstdc++'s std::mutex/std::lock_guard carry no annotations, so the
+ * analysis cannot see through them. `Mutex`, `MutexLock`, and `CondVar`
+ * below are thin annotated wrappers (the abseil pattern); all
+ * pool-shared state in `src/` must use them — `coterie-lint`'s
+ * `mutex-guarded-by` rule enforces that every mutex member lives in a
+ * file that actually uses GUARDED_BY.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define COTERIE_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef COTERIE_TSA
+#define COTERIE_TSA(x) // no-op outside clang
+#endif
+
+#define COTERIE_CAPABILITY(x) COTERIE_TSA(capability(x))
+#define COTERIE_SCOPED_CAPABILITY COTERIE_TSA(scoped_lockable)
+#define COTERIE_GUARDED_BY(x) COTERIE_TSA(guarded_by(x))
+#define COTERIE_PT_GUARDED_BY(x) COTERIE_TSA(pt_guarded_by(x))
+#define COTERIE_REQUIRES(...) COTERIE_TSA(requires_capability(__VA_ARGS__))
+#define COTERIE_ACQUIRE(...) COTERIE_TSA(acquire_capability(__VA_ARGS__))
+#define COTERIE_RELEASE(...) COTERIE_TSA(release_capability(__VA_ARGS__))
+#define COTERIE_TRY_ACQUIRE(...)                                             \
+    COTERIE_TSA(try_acquire_capability(__VA_ARGS__))
+#define COTERIE_EXCLUDES(...) COTERIE_TSA(locks_excluded(__VA_ARGS__))
+#define COTERIE_ASSERT_CAPABILITY(x) COTERIE_TSA(assert_capability(x))
+#define COTERIE_RETURN_CAPABILITY(x) COTERIE_TSA(lock_returned(x))
+#define COTERIE_NO_THREAD_SAFETY_ANALYSIS                                    \
+    COTERIE_TSA(no_thread_safety_analysis)
+
+namespace coterie::support {
+
+/** Annotated std::mutex wrapper the analysis can track. */
+class COTERIE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() COTERIE_ACQUIRE() { m_.lock(); }
+    void unlock() COTERIE_RELEASE() { m_.unlock(); }
+    bool tryLock() COTERIE_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /** The wrapped mutex, for interop (CondVar). */
+    std::mutex &native() { return m_; }
+
+  private:
+    std::mutex m_;
+};
+
+/**
+ * Scoped lock over `Mutex` (RAII, like std::unique_lock). Holds the
+ * capability for its lifetime; `CondVar::wait` may release/reacquire
+ * internally, which is invisible to (and sound for) the analysis as
+ * long as guarded reads stay inside the scope.
+ */
+class COTERIE_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) COTERIE_ACQUIRE(m) : lock_(m.native()) {}
+    ~MutexLock() COTERIE_RELEASE() = default;
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** For CondVar interop only. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Condition variable paired with `Mutex`. No predicate overloads on
+ * purpose: the analysis cannot see a mutex held inside a predicate
+ * lambda, so callers write the standard `while (!cond) cv.wait(lock);`
+ * loop with the condition read in the annotated scope.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void wait(MutexLock &lock) { cv_.wait(lock.native()); }
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace coterie::support

@@ -6,8 +6,7 @@
  * trajectories it recorded on the testbed.
  */
 
-#ifndef COTERIE_TRACE_TRACE_HH
-#define COTERIE_TRACE_TRACE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -91,4 +90,3 @@ double meanPlayerSeparation(const SessionTrace &trace);
 
 } // namespace coterie::trace
 
-#endif // COTERIE_TRACE_TRACE_HH

@@ -13,8 +13,7 @@
  * follower offsets and per-player jitter guarantee that here too.
  */
 
-#ifndef COTERIE_TRACE_TRAJECTORY_HH
-#define COTERIE_TRACE_TRAJECTORY_HH
+#pragma once
 
 #include <cstdint>
 
@@ -49,4 +48,3 @@ SessionTrace generateTrace(const world::gen::GameInfo &info,
 
 } // namespace coterie::trace
 
-#endif // COTERIE_TRACE_TRAJECTORY_HH

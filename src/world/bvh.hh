@@ -5,8 +5,7 @@
  * iterative stack traversal.
  */
 
-#ifndef COTERIE_WORLD_BVH_HH
-#define COTERIE_WORLD_BVH_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -65,4 +64,3 @@ class Bvh
 
 } // namespace coterie::world
 
-#endif // COTERIE_WORLD_BVH_HH

@@ -5,8 +5,7 @@
  * budgets representative of high-quality Unity store assets.
  */
 
-#ifndef COTERIE_WORLD_GEN_ASSETS_HH
-#define COTERIE_WORLD_GEN_ASSETS_HH
+#pragma once
 
 #include "support/rng.hh"
 #include "world/object.hh"
@@ -32,4 +31,3 @@ WorldObject makeFurniture(Rng &rng, geom::Vec2 at, double footprint,
 
 } // namespace coterie::world::gen
 
-#endif // COTERIE_WORLD_GEN_ASSETS_HH

@@ -7,8 +7,7 @@
  * small indoor rooms, ...). Deterministic in the seed.
  */
 
-#ifndef COTERIE_WORLD_GEN_GENERATORS_HH
-#define COTERIE_WORLD_GEN_GENERATORS_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -83,4 +82,3 @@ std::function<bool(geom::Vec2)> makeReachability(const GameInfo &info,
 
 } // namespace coterie::world::gen
 
-#endif // COTERIE_WORLD_GEN_GENERATORS_HH

@@ -4,8 +4,7 @@
  * generators and the track-following trajectory model.
  */
 
-#ifndef COTERIE_WORLD_GEN_TRACK_HH
-#define COTERIE_WORLD_GEN_TRACK_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -53,4 +52,3 @@ class Track
 
 } // namespace coterie::world::gen
 
-#endif // COTERIE_WORLD_GEN_TRACK_HH

@@ -8,8 +8,7 @@
  * Points" counts via a per-game spacing.
  */
 
-#ifndef COTERIE_WORLD_GRID_HH
-#define COTERIE_WORLD_GRID_HH
+#pragma once
 
 #include <cstdint>
 
@@ -71,4 +70,3 @@ class GridMap
 
 } // namespace coterie::world
 
-#endif // COTERIE_WORLD_GRID_HH

@@ -5,8 +5,7 @@
  * object-density queries behind the adaptive cutoff scheme.
  */
 
-#ifndef COTERIE_WORLD_OBJECT_HH
-#define COTERIE_WORLD_OBJECT_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -73,4 +72,3 @@ struct WorldObject
 
 } // namespace coterie::world
 
-#endif // COTERIE_WORLD_OBJECT_HH

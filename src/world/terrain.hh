@@ -9,8 +9,7 @@
  * toward near-BE render cost).
  */
 
-#ifndef COTERIE_WORLD_TERRAIN_HH
-#define COTERIE_WORLD_TERRAIN_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -80,4 +79,3 @@ class Terrain
 
 } // namespace coterie::world
 
-#endif // COTERIE_WORLD_TERRAIN_HH

@@ -5,8 +5,7 @@
  * a radius, near-BE object-set signatures, density sampling).
  */
 
-#ifndef COTERIE_WORLD_WORLD_HH
-#define COTERIE_WORLD_WORLD_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -110,4 +109,3 @@ class VirtualWorld
 
 } // namespace coterie::world
 
-#endif // COTERIE_WORLD_WORLD_HH

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the coterie-lint rule engine (tools/lint).
+ *
+ * Fixture snippets live in raw string literals; the engine strips
+ * string literals before matching, so scanning this file with
+ * coterie-lint itself stays clean — the fixtures are inert by
+ * construction. One passing and one violating case per rule, plus
+ * suppression-comment handling and the comment/string stripper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lint.hh"
+
+namespace {
+
+using coterie::lint::checkSource;
+using coterie::lint::Finding;
+using coterie::lint::stripCommentsAndStrings;
+
+std::vector<Finding>
+run(const std::string &path, const std::string &src)
+{
+    return checkSource(path, src);
+}
+
+bool
+fired(const std::vector<Finding> &findings, const std::string &rule)
+{
+    for (const Finding &f : findings)
+        if (f.rule == rule)
+            return true;
+    return false;
+}
+
+TEST(LintStrip, CommentsAndStringsAreBlanked)
+{
+    const std::string src = R"fx(int a; // trailing time(now)
+/* block rand( */ int b;
+const char *s = "getenv(inside)";
+)fx";
+    const std::string stripped = stripCommentsAndStrings(src);
+    EXPECT_EQ(stripped.find("time("), std::string::npos);
+    EXPECT_EQ(stripped.find("rand("), std::string::npos);
+    EXPECT_EQ(stripped.find("getenv"), std::string::npos);
+    EXPECT_NE(stripped.find("int a;"), std::string::npos);
+    EXPECT_NE(stripped.find("int b;"), std::string::npos);
+    // Line structure is preserved for diagnostics.
+    EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+              std::count(src.begin(), src.end(), '\n'));
+}
+
+TEST(LintStrip, RawStringsAndCharLiterals)
+{
+    const std::string src =
+        "auto r = R\"x(std::thread inside)x\";\n"
+        "char c = '\\'';\n"
+        "int sep = 1'000'000;\n";
+    const std::string stripped = stripCommentsAndStrings(src);
+    EXPECT_EQ(stripped.find("std::thread"), std::string::npos);
+    // Digit separators survive (not char literals).
+    EXPECT_NE(stripped.find("1'000'000"), std::string::npos);
+}
+
+TEST(LintWallclockRng, ViolationInCore)
+{
+    const auto findings = run("src/core/bad.cc", R"(
+#include <cstdlib>
+int f() { return rand(); }
+double g() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+const char *h() { return getenv("HOME"); }
+)");
+    ASSERT_TRUE(fired(findings, "no-wallclock-rng"));
+    // file:line diagnostics point at the offending lines.
+    EXPECT_EQ(findings[0].file, "src/core/bad.cc");
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintWallclockRng, SupportAndTestsAreExempt)
+{
+    const std::string src = "int f() { return rand(); }\n";
+    EXPECT_FALSE(fired(run("src/support/rng.cc", src),
+                       "no-wallclock-rng"));
+    EXPECT_FALSE(fired(run("tests/foo_test.cc", src),
+                       "no-wallclock-rng"));
+}
+
+TEST(LintWallclockRng, IdentifiersContainingTimeDoNotFire)
+{
+    const auto findings = run("src/render/ok.cc", R"(
+double renderTimeMs(double x) { return x; }
+double t = renderTimeMs(3.0);
+)");
+    EXPECT_FALSE(fired(findings, "no-wallclock-rng"));
+}
+
+TEST(LintRawThread, ViolationAnywhere)
+{
+    const std::string src = "#include <thread>\n"
+                            "void f() { std::thread t; t.detach(); }\n";
+    EXPECT_TRUE(fired(run("src/core/bad.cc", src), "no-raw-thread"));
+    EXPECT_TRUE(fired(run("tests/bad_test.cc", src), "no-raw-thread"));
+    EXPECT_TRUE(fired(run("bench/bad.cc", src), "no-raw-thread"));
+}
+
+TEST(LintRawThread, PoolAndHardwareConcurrencyAllowed)
+{
+    EXPECT_FALSE(fired(run("src/support/parallel.cc",
+                           "std::thread t;\n"),
+                       "no-raw-thread"));
+    EXPECT_FALSE(fired(run("bench/ok.cc",
+                           "unsigned n = "
+                           "std::thread::hardware_concurrency();\n"),
+                       "no-raw-thread"));
+}
+
+TEST(LintUsingNamespace, HeaderViolatesSourceDoesNot)
+{
+    const std::string src = "#pragma once\nusing namespace std;\n";
+    EXPECT_TRUE(fired(run("src/geom/bad.hh", src),
+                      "no-using-namespace-header"));
+    EXPECT_FALSE(fired(run("src/geom/ok.cc", "using namespace std;\n"),
+                       "no-using-namespace-header"));
+}
+
+TEST(LintPragmaOnce, MissingAndPresent)
+{
+    const auto bad = run("src/geom/bad.hh", "struct X {};\n");
+    ASSERT_TRUE(fired(bad, "pragma-once"));
+    EXPECT_EQ(bad[0].line, 1);
+    EXPECT_FALSE(fired(run("src/geom/ok.hh",
+                           "#pragma once\nstruct X {};\n"),
+                       "pragma-once"));
+    // Sources never need it.
+    EXPECT_FALSE(fired(run("src/geom/ok.cc", "struct X {};\n"),
+                       "pragma-once"));
+}
+
+TEST(LintConsoleIo, ViolationAndLoggingExemption)
+{
+    const std::string src = "#include <iostream>\n"
+                            "void f() { std::cout << 1; }\n";
+    EXPECT_TRUE(fired(run("src/core/bad.cc", src),
+                      "no-direct-console-io"));
+    EXPECT_FALSE(fired(run("src/support/logging.cc", src),
+                       "no-direct-console-io"));
+    // printf to a FILE* (serialization) is fine; stderr is not.
+    EXPECT_FALSE(fired(run("src/trace/ok.cc",
+                           "void f(FILE *fp) { fprintf(fp, \"x\"); }\n"),
+                       "no-direct-console-io"));
+    EXPECT_TRUE(fired(run("src/trace/bad.cc",
+                          "void f() { fprintf(stderr, \"x\"); }\n"),
+                      "no-direct-console-io"));
+    // Tests and benches may print.
+    EXPECT_FALSE(fired(run("bench/ok.cc", src),
+                       "no-direct-console-io"));
+}
+
+TEST(LintMutexGuardedBy, UnannotatedMemberFires)
+{
+    const std::string bad = "#pragma once\n"
+                            "#include <mutex>\n"
+                            "class C { std::mutex m_; };\n";
+    const auto findings = run("src/net/bad.hh", bad);
+    ASSERT_TRUE(fired(findings, "mutex-guarded-by"));
+    EXPECT_EQ(findings[0].line, 3);
+
+    const std::string good =
+        "#pragma once\n"
+        "#include \"support/thread_annotations.hh\"\n"
+        "class C {\n"
+        "    coterie::support::Mutex m_;\n"
+        "    int v_ COTERIE_GUARDED_BY(m_);\n"
+        "};\n";
+    EXPECT_FALSE(fired(run("src/net/ok.hh", good), "mutex-guarded-by"));
+    // Outside src/ the annotation discipline is not enforced.
+    EXPECT_FALSE(fired(run("tests/ok_test.cc",
+                           "std::mutex m_;\n"),
+                       "mutex-guarded-by"));
+}
+
+TEST(LintSuppression, SameLineAndLineAbove)
+{
+    const std::string sameLine =
+        "int f() { return rand(); } // lint:allow(no-wallclock-rng)\n";
+    EXPECT_TRUE(run("src/core/x.cc", sameLine).empty());
+
+    const std::string lineAbove =
+        "// lint:allow(no-wallclock-rng)\n"
+        "int f() { return rand(); }\n";
+    EXPECT_TRUE(run("src/core/x.cc", lineAbove).empty());
+
+    std::size_t suppressed = 0;
+    checkSource("src/core/x.cc", sameLine, &suppressed);
+    EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(LintSuppression, WrongRuleNameDoesNotSuppress)
+{
+    const std::string src =
+        "int f() { return rand(); } // lint:allow(no-raw-thread)\n";
+    EXPECT_TRUE(fired(run("src/core/x.cc", src), "no-wallclock-rng"));
+}
+
+TEST(LintSuppression, AllAndLists)
+{
+    EXPECT_TRUE(run("src/core/x.cc",
+                    "int f() { return rand(); } // lint:allow(all)\n")
+                    .empty());
+    EXPECT_TRUE(
+        run("src/core/x.cc",
+            "int f() { return rand(); } "
+            "// lint:allow(no-direct-console-io, no-wallclock-rng)\n")
+            .empty());
+}
+
+TEST(LintEngine, RulesAreRegisteredAndNamed)
+{
+    const auto &rules = coterie::lint::rules();
+    ASSERT_EQ(rules.size(), 6u);
+    for (const auto &rule : rules) {
+        EXPECT_FALSE(rule.name.empty());
+        EXPECT_FALSE(rule.description.empty());
+        EXPECT_TRUE(static_cast<bool>(rule.check));
+    }
+}
+
+} // namespace

@@ -1,39 +1,8 @@
 #!/usr/bin/env bash
 #
-# Build the parallel-pipeline tests under ThreadSanitizer and run them
-# with a multi-worker pool. Usage: tools/check_tsan.sh [build-dir]
-#
-# COTERIE_SANITIZE=address works the same way via:
-#   cmake -B build-asan -DCOTERIE_SANITIZE=address ...
+# Back-compat shim: the TSan check now lives in the full sanitizer
+# matrix. Equivalent to tools/check_sanitizers.sh --only thread. The
+# optional positional argument is the build-dir *prefix* (the tree is
+# created at <prefix>-thread; default build-thread).
 set -euo pipefail
-
-REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
-JOBS="$(nproc 2>/dev/null || echo 2)"
-
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
-    -DCOTERIE_SANITIZE=thread \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-
-cmake --build "$BUILD_DIR" -j"$JOBS" \
-    --target parallel_test renderer_test ssim_test
-
-# Force worker threads even on small hosts so TSan actually sees the
-# pool's cross-thread traffic.
-export COTERIE_THREADS="${COTERIE_THREADS:-4}"
-export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
-
-status=0
-for test_bin in parallel_test renderer_test ssim_test; do
-    echo "== TSan: $test_bin (COTERIE_THREADS=$COTERIE_THREADS) =="
-    if ! "$BUILD_DIR/tests/$test_bin"; then
-        status=1
-    fi
-done
-
-if [ "$status" -eq 0 ]; then
-    echo "TSan check passed."
-else
-    echo "TSan check FAILED." >&2
-fi
-exit "$status"
+exec "$(dirname "$0")/check_sanitizers.sh" --only thread "${1:-}"

@@ -1,0 +1,399 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace coterie::lint {
+
+namespace {
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/** True when the identifier ending right before @p i is a raw-string
+ *  prefix (R, u8R, uR, UR, LR). */
+bool
+isRawStringPrefix(const std::string &s, std::size_t i)
+{
+    if (i == 0 || s[i - 1] != 'R')
+        return false;
+    // The char before the R must not extend an identifier (so `FooR"`
+    // is not a raw string) unless it is one of the encoding prefixes.
+    if (i >= 2) {
+        const char p = s[i - 2];
+        if (isWordChar(p)) {
+            const bool encoding =
+                p == 'u' || p == 'U' || p == 'L' ||
+                (p == '8' && i >= 3 && s[i - 3] == 'u');
+            if (!encoding)
+                return false;
+            if (i >= 3 && isWordChar(s[i - 3]) &&
+                !(p == '8' && s[i - 3] == 'u'))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+stripCommentsAndStrings(const std::string &src)
+{
+    enum class State { Code, LineComment, BlockComment, Str, Chr, Raw };
+    std::string out = src;
+    State state = State::Code;
+    std::string rawDelim; // raw-string closer: )delim
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto blank = [&](std::size_t at) {
+        if (out[at] != '\n')
+            out[at] = ' ';
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        switch (state) {
+          case State::Code:
+            if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+                state = State::LineComment;
+                blank(i);
+            } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+                state = State::BlockComment;
+                blank(i);
+            } else if (c == '"') {
+                if (isRawStringPrefix(src, i)) {
+                    rawDelim = ")";
+                    std::size_t j = i + 1;
+                    while (j < n && src[j] != '(')
+                        rawDelim += src[j++];
+                    rawDelim += '"';
+                    state = State::Raw;
+                } else {
+                    state = State::Str;
+                }
+            } else if (c == '\'') {
+                // `'` between two digits is a numeric separator
+                // (1'000), not a character literal.
+                const bool separator =
+                    i > 0 && i + 1 < n &&
+                    std::isdigit(static_cast<unsigned char>(src[i - 1])) &&
+                    std::isdigit(static_cast<unsigned char>(src[i + 1]));
+                if (!separator)
+                    state = State::Chr;
+            }
+            break;
+          case State::LineComment:
+            if (c == '\n')
+                state = State::Code;
+            else
+                blank(i);
+            break;
+          case State::BlockComment:
+            if (c == '*' && i + 1 < n && src[i + 1] == '/') {
+                blank(i);
+                blank(i + 1);
+                ++i;
+                state = State::Code;
+            } else {
+                blank(i);
+            }
+            break;
+          case State::Str:
+            if (c == '\\' && i + 1 < n) {
+                blank(i);
+                blank(i + 1);
+                ++i;
+            } else if (c == '"' || c == '\n') {
+                state = State::Code;
+            } else {
+                blank(i);
+            }
+            break;
+          case State::Chr:
+            if (c == '\\' && i + 1 < n) {
+                blank(i);
+                blank(i + 1);
+                ++i;
+            } else if (c == '\'' || c == '\n') {
+                state = State::Code;
+            } else {
+                blank(i);
+            }
+            break;
+          case State::Raw:
+            if (c == ')' && src.compare(i, rawDelim.size(), rawDelim) == 0) {
+                i += rawDelim.size() - 1; // land on the closing quote
+                state = State::Code;
+            } else {
+                blank(i);
+            }
+            break;
+        }
+        ++i;
+    }
+    return out;
+}
+
+bool
+lineAllowsRule(const std::string &rawLine, const std::string &rule)
+{
+    static const std::regex kAllow(R"(lint\s*:\s*allow\s*\(([^)]*)\))");
+    auto begin = std::sregex_iterator(rawLine.begin(), rawLine.end(),
+                                      kAllow);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        std::string list = (*it)[1].str();
+        std::string token;
+        for (std::size_t i = 0; i <= list.size(); ++i) {
+            const char c = i < list.size() ? list[i] : ',';
+            if (c == ',' || c == ' ' || c == '\t') {
+                if (token == rule || token == "all")
+                    return true;
+                token.clear();
+            } else {
+                token += c;
+            }
+        }
+    }
+    return false;
+}
+
+SourceFile
+SourceFile::parse(std::string path, std::string content)
+{
+    SourceFile f;
+    std::replace(path.begin(), path.end(), '\\', '/');
+    f.path = std::move(path);
+    f.raw = std::move(content);
+    f.stripped = stripCommentsAndStrings(f.raw);
+    auto split = [](const std::string &s) {
+        std::vector<std::string> lines;
+        std::size_t start = 0;
+        while (start <= s.size()) {
+            const std::size_t nl = s.find('\n', start);
+            if (nl == std::string::npos) {
+                lines.push_back(s.substr(start));
+                break;
+            }
+            lines.push_back(s.substr(start, nl - start));
+            start = nl + 1;
+        }
+        return lines;
+    };
+    f.rawLines = split(f.raw);
+    f.strippedLines = split(f.stripped);
+    const auto dot = f.path.rfind('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : f.path.substr(dot);
+    f.isHeader = ext == ".hh" || ext == ".hpp" || ext == ".h";
+    return f;
+}
+
+bool
+SourceFile::under(const std::string &dir) const
+{
+    return path.compare(0, dir.size(), dir) == 0;
+}
+
+bool
+SourceFile::isAnyOf(std::initializer_list<const char *> paths) const
+{
+    for (const char *p : paths)
+        if (path == p)
+            return true;
+    return false;
+}
+
+namespace {
+
+/** Helper: report every match of @p re in the stripped lines. */
+void
+forEachMatch(const SourceFile &f, const std::regex &re,
+             const std::function<void(int line, const std::string &match)>
+                 &emit)
+{
+    for (std::size_t li = 0; li < f.strippedLines.size(); ++li) {
+        const std::string &line = f.strippedLines[li];
+        auto begin = std::sregex_iterator(line.begin(), line.end(), re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            emit(static_cast<int>(li) + 1, it->str());
+    }
+}
+
+void
+checkWallclockRng(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.under("src/") || f.under("src/support/"))
+        return;
+    static const std::regex kBad(
+        R"(std\s*::\s*random_device|\bs?rand\s*\(|\btime\s*\(|\bclock\s*\()"
+        R"(|\bsystem_clock\b|\bgetenv\b|\bgettimeofday\b)");
+    forEachMatch(f, kBad, [&](int line, const std::string &m) {
+        out.push_back({f.path, line, "no-wallclock-rng",
+                       "'" + m +
+                           "' breaks bit-identical Far-BE reuse; use "
+                           "support/rng (seeded) or move it under "
+                           "src/support/"});
+    });
+}
+
+void
+checkRawThread(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (f.isAnyOf({"src/support/parallel.hh", "src/support/parallel.cc"}))
+        return;
+    static const std::regex kBad(
+        R"(std\s*::\s*thread\b(?!\s*::)|std\s*::\s*jthread\b)"
+        R"(|std\s*::\s*async\b|\.detach\s*\(|\bpthread_create\b)");
+    forEachMatch(f, kBad, [&](int line, const std::string &m) {
+        out.push_back({f.path, line, "no-raw-thread",
+                       "'" + m +
+                           "' bypasses the shared pool; all parallelism "
+                           "must go through support/parallel "
+                           "(deterministic chunking, no thread leaks)"});
+    });
+}
+
+void
+checkUsingNamespaceHeader(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.isHeader)
+        return;
+    static const std::regex kBad(R"(^\s*using\s+namespace\b)");
+    forEachMatch(f, kBad, [&](int line, const std::string &) {
+        out.push_back({f.path, line, "no-using-namespace-header",
+                       "'using namespace' in a header leaks into every "
+                       "includer; qualify or alias instead"});
+    });
+}
+
+void
+checkPragmaOnce(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.isHeader)
+        return;
+    static const std::regex kPragma(R"(^\s*#\s*pragma\s+once\b)");
+    for (const std::string &line : f.strippedLines)
+        if (std::regex_search(line, kPragma))
+            return;
+    out.push_back({f.path, 1, "pragma-once",
+                   "header is missing '#pragma once' (project headers "
+                   "use it instead of include guards)"});
+}
+
+void
+checkConsoleIo(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.under("src/"))
+        return;
+    if (f.isAnyOf({"src/support/logging.hh", "src/support/logging.cc"}))
+        return;
+    static const std::regex kBad(
+        R"(std\s*::\s*(cout|cerr|clog)\b|\b(printf|puts|putchar)\s*\()"
+        R"(|\bfprintf\s*\(\s*(stdout|stderr)\b)");
+    forEachMatch(f, kBad, [&](int line, const std::string &m) {
+        out.push_back({f.path, line, "no-direct-console-io",
+                       "'" + m +
+                           "' writes to the console directly; use the "
+                           "support/logging macros (COTERIE_INFORM/"
+                           "WARN/...) so verbosity stays controllable"});
+    });
+}
+
+void
+checkMutexGuardedBy(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.under("src/"))
+        return;
+    static const std::regex kDecl(
+        R"(\b(?:std\s*::\s*(?:recursive_|shared_|timed_|recursive_timed_)?mutex|(?:support\s*::\s*)?Mutex)\s+(\w+)\s*;)");
+    const bool hasAnnotations =
+        f.stripped.find("GUARDED_BY") != std::string::npos;
+    if (hasAnnotations)
+        return;
+    for (std::size_t li = 0; li < f.strippedLines.size(); ++li) {
+        const std::string &line = f.strippedLines[li];
+        std::smatch m;
+        if (std::regex_search(line, m, kDecl)) {
+            out.push_back(
+                {f.path, static_cast<int>(li) + 1, "mutex-guarded-by",
+                 "mutex member '" + m[1].str() +
+                     "' with no GUARDED_BY annotation in this file; "
+                     "annotate the data it protects "
+                     "(support/thread_annotations.hh)"});
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<Rule> &
+rules()
+{
+    static const std::vector<Rule> kRules = {
+        {"no-wallclock-rng",
+         "src/ outside support/ must not read wall clocks, ambient "
+         "randomness, or the environment (std::random_device, rand, "
+         "time, clock, system_clock, getenv)",
+         checkWallclockRng},
+        {"no-raw-thread",
+         "no raw std::thread/std::jthread/std::async/.detach()/"
+         "pthread_create outside support/parallel",
+         checkRawThread},
+        {"no-using-namespace-header",
+         "headers must not contain 'using namespace'", //
+         checkUsingNamespaceHeader},
+        {"pragma-once",
+         "every header starts with #pragma once", //
+         checkPragmaOnce},
+        {"no-direct-console-io",
+         "src/ must log through support/logging, never printf/cout "
+         "directly",
+         checkConsoleIo},
+        {"mutex-guarded-by",
+         "every mutex member in src/ lives in a file that annotates "
+         "the data it guards with GUARDED_BY",
+         checkMutexGuardedBy},
+    };
+    return kRules;
+}
+
+std::vector<Finding>
+checkSource(const std::string &path, const std::string &content,
+            std::size_t *suppressed)
+{
+    const SourceFile f = SourceFile::parse(path, content);
+    std::vector<Finding> all;
+    for (const Rule &rule : rules())
+        rule.check(f, all);
+
+    std::vector<Finding> kept;
+    std::size_t dropped = 0;
+    for (Finding &finding : all) {
+        const std::size_t li = static_cast<std::size_t>(finding.line) - 1;
+        const bool allowed =
+            (li < f.rawLines.size() &&
+             lineAllowsRule(f.rawLines[li], finding.rule)) ||
+            (li >= 1 && li - 1 < f.rawLines.size() &&
+             lineAllowsRule(f.rawLines[li - 1], finding.rule));
+        if (allowed)
+            ++dropped;
+        else
+            kept.push_back(std::move(finding));
+    }
+    if (suppressed)
+        *suppressed = dropped;
+
+    std::stable_sort(kept.begin(), kept.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.line < b.line;
+                     });
+    return kept;
+}
+
+} // namespace coterie::lint

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * coterie-lint — project-invariant static analysis.
+ *
+ * Coterie's correctness story rests on invariants a compiler cannot
+ * check: bit-identical Far-BE frames require that nothing in `src/`
+ * reads wall clocks, ambient randomness, or the environment outside
+ * `support/`; the shared-thread-pool contract requires that all
+ * parallelism flows through `support/parallel`; and the thread-safety
+ * annotation discipline requires every mutex member to guard something.
+ * This library is a file-scoped token/regex rule engine over those
+ * invariants; the `coterie-lint` binary (main.cc) walks the tree and is
+ * registered as the `lint` CTest test, so tier-1 fails on a violation.
+ *
+ * Analyses run on a *stripped* view of each file — comments, string,
+ * and character literals blanked out, line structure preserved — so
+ * prose like "service time (lookup...)" never trips the `time(` rule
+ * and fixture snippets embedded in test string literals stay inert.
+ *
+ * Suppression: `// lint:allow(rule-a, rule-b)` on the offending line or
+ * the line directly above silences those rules for that line.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace coterie::lint {
+
+/** One rule violation at a file:line. */
+struct Finding
+{
+    std::string file; ///< repo-relative path, '/'-separated
+    int line = 0;     ///< 1-based
+    std::string rule;
+    std::string message;
+};
+
+/** A source file prepared for analysis. */
+struct SourceFile
+{
+    std::string path; ///< repo-relative, '/'-separated
+    std::string raw;
+    std::string stripped; ///< comments + string/char literals blanked
+    std::vector<std::string> rawLines;
+    std::vector<std::string> strippedLines;
+    bool isHeader = false;
+
+    static SourceFile parse(std::string path, std::string content);
+
+    /** True if `path` is under the '/'-terminated prefix @p dir. */
+    bool under(const std::string &dir) const;
+    /** True if `path` equals any of the given paths. */
+    bool isAnyOf(std::initializer_list<const char *> paths) const;
+};
+
+/** One invariant check. `check` appends findings (pre-suppression). */
+struct Rule
+{
+    std::string name;
+    std::string description;
+    std::function<void(const SourceFile &, std::vector<Finding> &)> check;
+};
+
+/** The registered rule set, in diagnostic order. */
+const std::vector<Rule> &rules();
+
+/**
+ * Run every rule over one in-memory source and apply `lint:allow`
+ * suppressions. @p suppressed (optional) receives the number of
+ * findings dropped by suppression comments.
+ */
+std::vector<Finding> checkSource(const std::string &path,
+                                 const std::string &content,
+                                 std::size_t *suppressed = nullptr);
+
+/**
+ * Blank comments and string/character literals (raw strings included)
+ * with spaces, preserving newlines so line/column arithmetic holds.
+ */
+std::string stripCommentsAndStrings(const std::string &src);
+
+/** True if @p rawLine carries `lint:allow(...)` naming @p rule. */
+bool lineAllowsRule(const std::string &rawLine, const std::string &rule);
+
+} // namespace coterie::lint

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * coterie-lint CLI: walk source trees, run the rule engine, report.
+ *
+ *   coterie-lint [--root DIR] [--report FILE] [--list-rules] PATH...
+ *
+ * PATHs are files or directories, resolved against --root (default:
+ * the current directory). Reported paths are root-relative, so the
+ * CTest registration `coterie-lint --root ${CMAKE_SOURCE_DIR} src
+ * tests bench tools` produces stable diagnostics. Exit status is 1
+ * iff any unsuppressed finding was produced. --report writes a
+ * machine-readable JSON summary.
+ */
+
+#include "lint.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using coterie::lint::Finding;
+
+namespace {
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h" || ext == ".cxx";
+}
+
+/** Directories never worth scanning (build trees, VCS, outputs). */
+bool
+isSkippedDir(const fs::path &p)
+{
+    const std::string name = p.filename().string();
+    return name == ".git" || name == "results" ||
+           name.rfind("build", 0) == 0 || name == "fixtures";
+}
+
+void
+collectFiles(const fs::path &path, std::vector<fs::path> &out)
+{
+    if (fs::is_regular_file(path)) {
+        if (isSourceFile(path))
+            out.push_back(path);
+        return;
+    }
+    if (!fs::is_directory(path))
+        return;
+    for (auto it = fs::recursive_directory_iterator(path);
+         it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && isSkippedDir(it->path())) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file() && isSourceFile(it->path()))
+            out.push_back(it->path());
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeReport(const std::string &path, const std::vector<Finding> &findings,
+            std::size_t filesScanned, std::size_t suppressed)
+{
+    std::ofstream out(path);
+    out << "{\n  \"filesScanned\": " << filesScanned
+        << ",\n  \"suppressed\": " << suppressed
+        << ",\n  \"findings\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out << "    {\"file\": \"" << jsonEscape(f.file)
+            << "\", \"line\": " << f.line << ", \"rule\": \""
+            << jsonEscape(f.rule) << "\", \"message\": \""
+            << jsonEscape(f.message) << "\"}"
+            << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    std::string reportPath;
+    std::vector<std::string> targets;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--report" && i + 1 < argc) {
+            reportPath = argv[++i];
+        } else if (arg == "--list-rules") {
+            for (const auto &rule : coterie::lint::rules())
+                std::cout << rule.name << "\n    " << rule.description
+                          << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: coterie-lint [--root DIR] "
+                         "[--report FILE] [--list-rules] PATH...\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "coterie-lint: unknown option '" << arg << "'\n";
+            return 2;
+        } else {
+            targets.push_back(arg);
+        }
+    }
+    if (targets.empty()) {
+        std::cerr << "coterie-lint: no paths given (try --help)\n";
+        return 2;
+    }
+
+    root = fs::absolute(root).lexically_normal();
+    std::vector<fs::path> files;
+    for (const std::string &t : targets) {
+        const fs::path p = fs::path(t).is_absolute()
+                               ? fs::path(t)
+                               : root / t;
+        if (!fs::exists(p)) {
+            std::cerr << "coterie-lint: no such path: " << p << "\n";
+            return 2;
+        }
+        collectFiles(p, files);
+    }
+
+    std::vector<Finding> findings;
+    std::size_t suppressed = 0;
+    for (const fs::path &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        std::ostringstream content;
+        content << in.rdbuf();
+        const std::string rel =
+            fs::relative(file, root).generic_string();
+        std::size_t fileSuppressed = 0;
+        auto fileFindings =
+            coterie::lint::checkSource(rel, content.str(),
+                                       &fileSuppressed);
+        suppressed += fileSuppressed;
+        findings.insert(findings.end(), fileFindings.begin(),
+                        fileFindings.end());
+    }
+
+    for (const Finding &f : findings)
+        std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message << "\n";
+
+    if (!reportPath.empty())
+        writeReport(reportPath, findings, files.size(), suppressed);
+
+    std::cout << "coterie-lint: " << files.size() << " files, "
+              << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " (" << suppressed
+              << " suppressed)\n";
+    return findings.empty() ? 0 : 1;
+}
