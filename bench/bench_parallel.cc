@@ -12,10 +12,10 @@
 
 #include <chrono>
 #include <cstdio>
-#include <sys/stat.h>
 #include <thread>
 #include <vector>
 
+#include "bench_util.hh"
 #include "core/partitioner.hh"
 #include "image/ssim.hh"
 #include "render/renderer.hh"
@@ -140,29 +140,29 @@ main()
                 kSsimReps, ssimNaive, ssimFast,
                 ssimNaive / ssimFast);
 
-    ::mkdir("results", 0755);
-    if (std::FILE *f = std::fopen("results/BENCH_parallel.json", "w")) {
-        std::fprintf(
-            f,
-            "{\n"
-            "  \"pool_lanes\": %d,\n"
-            "  \"hardware_concurrency\": %u,\n"
-            "  \"workloads\": {\n"
-            "    \"viking_partition\": {\"serial_s\": %.6f, "
-            "\"pooled_s\": %.6f, \"speedup\": %.3f},\n"
-            "    \"trace_sweep_64_frames\": {\"serial_s\": %.6f, "
-            "\"pooled_s\": %.6f, \"speedup\": %.3f},\n"
-            "    \"ssim_512x256_x%d\": {\"naive_s\": %.6f, "
-            "\"fast_s\": %.6f, \"speedup\": %.3f}\n"
-            "  }\n"
-            "}\n",
-            support::ThreadPool::instance().concurrency(),
-            std::thread::hardware_concurrency(), partSerial, partPooled,
-            partSerial / partPooled, sweepSerial, sweepPooled,
-            sweepSerial / sweepPooled, kSsimReps, ssimNaive, ssimFast,
-            ssimNaive / ssimFast);
-        std::fclose(f);
-        std::printf("  wrote results/BENCH_parallel.json\n");
-    }
+    const auto workload = [](double baselineS, const char *baselineKey,
+                             double fastS, const char *fastKey) {
+        obs::Json w = obs::Json::object();
+        w.set(baselineKey, obs::Json(baselineS));
+        w.set(fastKey, obs::Json(fastS));
+        w.set("speedup", obs::Json(baselineS / fastS));
+        return w;
+    };
+    obs::Json workloads = obs::Json::object();
+    workloads.set("viking_partition",
+                  workload(partSerial, "serial_s", partPooled, "pooled_s"));
+    workloads.set("trace_sweep_64_frames",
+                  workload(sweepSerial, "serial_s", sweepPooled,
+                           "pooled_s"));
+    workloads.set("ssim_512x256_x" + std::to_string(kSsimReps),
+                  workload(ssimNaive, "naive_s", ssimFast, "fast_s"));
+    obs::Json doc = obs::Json::object();
+    doc.set("pool_lanes",
+            obs::Json(support::ThreadPool::instance().concurrency()));
+    doc.set("hardware_concurrency",
+            obs::Json(static_cast<std::uint64_t>(
+                std::thread::hardware_concurrency())));
+    doc.set("workloads", std::move(workloads));
+    bench::writeBenchJson("parallel", doc);
     return 0;
 }

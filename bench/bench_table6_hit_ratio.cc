@@ -21,6 +21,7 @@ main()
     std::printf("\n  %-9s | hit ratio (paper/ours) | prefetch reduction "
                 "(paper/ours)\n",
                 "game");
+    obs::Json games = obs::Json::object();
     int i = 0;
     for (auto game : world::gen::evaluationGames()) {
         auto session = makeSession(game, 4, 60.0);
@@ -33,7 +34,18 @@ main()
                     session->info().name.c_str(), 100.0 * paper_ratio[i],
                     100.0 * ratio, paper_red, reduction);
         std::fflush(stdout);
+        obs::Json row = obs::Json::object();
+        row.set("hit_ratio", obs::Json(ratio));
+        row.set("hit_ratio_paper", obs::Json(paper_ratio[i]));
+        row.set("prefetch_reduction", obs::Json(reduction));
+        row.set("prefetch_reduction_paper", obs::Json(paper_red));
+        games.set(session->info().name, std::move(row));
         ++i;
     }
+    obs::Json doc = obs::Json::object();
+    doc.set("players", obs::Json(4));
+    doc.set("duration_s", obs::Json(60.0));
+    doc.set("games", std::move(games));
+    writeBenchJson("table6_hit_ratio", doc);
     return 0;
 }

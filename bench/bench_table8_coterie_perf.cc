@@ -55,6 +55,7 @@ main()
                 "%5s %5s | %5s %5s\n",
                 "", "ppr", "ours", "ppr", "ours", "ppr", "ours", "ppr",
                 "ours", "ppr", "ours", "ppr", "ours");
+    obs::Json rows = obs::Json::object();
     for (auto game : world::gen::evaluationGames()) {
         for (int players : {1, 2}) {
             auto session = makeSession(game, players);
@@ -70,7 +71,20 @@ main()
                         paper.gpu, m.gpuPct, paper.frameKb, m.frameKb,
                         paper.netDelay, result.avgNetDelayMs());
             std::fflush(stdout);
+            obs::Json row = obs::Json::object();
+            row.set("fps", obs::Json(result.avgFps()));
+            row.set("inter_frame_ms", obs::Json(result.avgInterFrameMs()));
+            row.set("cpu_pct", obs::Json(m.cpuPct));
+            row.set("gpu_pct", obs::Json(m.gpuPct));
+            row.set("frame_kb", obs::Json(m.frameKb));
+            row.set("net_delay_ms", obs::Json(result.avgNetDelayMs()));
+            rows.set(session->info().name + "_" +
+                         std::to_string(players) + "p",
+                     std::move(row));
         }
     }
+    obs::Json doc = obs::Json::object();
+    doc.set("rows", std::move(rows));
+    writeBenchJson("table8_coterie_perf", doc);
     return 0;
 }

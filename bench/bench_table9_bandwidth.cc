@@ -40,6 +40,7 @@ main()
     banner("Table 9 — network bandwidth: BE (Mbps) and FI (Kbps)",
            "Table 9, Section 7.3");
 
+    obs::Json games = obs::Json::object();
     for (auto game : world::gen::evaluationGames()) {
         const PaperRow paper = paperRow(game);
         std::printf("\n-- %s --\n",
@@ -51,6 +52,9 @@ main()
                     "%.1f Kbps\n",
                     mf_total, paper.furion1p, furion.players[0].fiKbps);
 
+        obs::Json gameRow = obs::Json::object();
+        gameRow.set("multi_furion_1p_be_mbps", obs::Json(mf_total));
+        obs::Json coterieRows = obs::Json::object();
         double coterie_1p = 0.0;
         for (int players = 1; players <= 4; ++players) {
             auto session = makeSession(game, players);
@@ -67,12 +71,25 @@ main()
                         players, be_total, paper.coterie[players - 1],
                         fi_total);
             std::fflush(stdout);
+            obs::Json row = obs::Json::object();
+            row.set("be_mbps", obs::Json(be_total));
+            row.set("be_mbps_paper",
+                    obs::Json(paper.coterie[players - 1]));
+            row.set("fi_kbps", obs::Json(fi_total));
+            coterieRows.set(std::to_string(players) + "p",
+                            std::move(row));
         }
         const double reduction =
             coterie_1p > 0.0 ? mf_total / coterie_1p : 0.0;
         std::printf("  per-player load reduction: %.1fx (paper "
                     "10.6x-25.7x across games)\n",
                     reduction);
+        gameRow.set("coterie", std::move(coterieRows));
+        gameRow.set("per_player_load_reduction", obs::Json(reduction));
+        games.set(world::gen::gameInfo(game).name, std::move(gameRow));
     }
+    obs::Json doc = obs::Json::object();
+    doc.set("games", std::move(games));
+    writeBenchJson("table9_bandwidth", doc);
     return 0;
 }

@@ -12,9 +12,11 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <sys/stat.h>
 #include <vector>
 
 #include "core/session.hh"
+#include "obs/json.hh"
 
 namespace coterie::bench {
 
@@ -51,6 +53,30 @@ compare(const char *label, double paper, double measured,
 {
     std::printf("  %-38s paper %8.2f   measured %8.2f %s\n", label, paper,
                 measured, unit);
+}
+
+/**
+ * Write a bench's result document to `results/BENCH_<name>.json` AND
+ * the working-directory `BENCH_<name>.json`. Every bench that emits
+ * machine-readable numbers goes through here so the two locations
+ * (archival under results/, driver pickup at the root) never drift.
+ */
+inline void
+writeBenchJson(const std::string &name, const obs::Json &doc)
+{
+    ::mkdir("results", 0755);
+    const std::string text = doc.dump(2) + "\n";
+    const std::string paths[] = {"results/BENCH_" + name + ".json",
+                                 "BENCH_" + name + ".json"};
+    for (const std::string &path : paths) {
+        if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+            std::fwrite(text.data(), 1, text.size(), f);
+            std::fclose(f);
+            std::printf("  wrote %s\n", path.c_str());
+        } else {
+            std::printf("  could not write %s\n", path.c_str());
+        }
+    }
 }
 
 /** Print a CDF as decile rows. */

@@ -8,12 +8,20 @@
  * baseline on frame rate, responsiveness, and network load.
  *
  *   $ ./quickstart [players] [seconds]
+ *
+ * With COTERIE_TRACE=<basename> in the environment, records the whole
+ * run through coterie-scope and writes `<basename>.trace.json` (Chrome
+ * trace_event — open in Perfetto or feed to trace_report) plus
+ * `<basename>.metrics.json` (the metrics-registry snapshot).
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "core/session.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 using namespace coterie;
 using namespace coterie::core;
@@ -23,6 +31,11 @@ main(int argc, char **argv)
 {
     const int players = argc > 1 ? std::atoi(argv[1]) : 2;
     const double seconds = argc > 2 ? std::atof(argv[2]) : 30.0;
+
+    const char *traceEnv = std::getenv("COTERIE_TRACE");
+    const std::string traceBase = traceEnv ? traceEnv : "";
+    if (!traceBase.empty())
+        obs::TraceRecorder::global().start();
 
     std::printf("Coterie quickstart: Viking Village, %d player(s), "
                 "%.0f s of play\n\n",
@@ -72,5 +85,22 @@ main(int argc, char **argv)
     std::printf("\nCoterie reduces the per-player network load %.1fx "
                 "while holding 60 FPS.\n",
                 reduction);
+
+    if (!traceBase.empty()) {
+        obs::TraceRecorder::global().stop();
+        const std::string tracePath = traceBase + ".trace.json";
+        const std::string metricsPath = traceBase + ".metrics.json";
+        if (obs::TraceRecorder::global().exportToFile(tracePath))
+            std::printf("\nwrote %s (%zu events; open in Perfetto or "
+                        "run trace_report)\n",
+                        tracePath.c_str(),
+                        obs::TraceRecorder::global().eventCount());
+        else
+            std::printf("\ncould not write %s\n", tracePath.c_str());
+        if (obs::MetricsRegistry::global().writeJson(metricsPath))
+            std::printf("wrote %s\n", metricsPath.c_str());
+        else
+            std::printf("could not write %s\n", metricsPath.c_str());
+    }
     return 0;
 }

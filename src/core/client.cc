@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "net/endpoints.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "render/cost_model.hh"
 #include "support/logging.hh"
 
@@ -73,6 +75,7 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
     COTERIE_ASSERT(config.world && config.grid && config.regions &&
                    config.frames && config.traces,
                    "incomplete system config");
+    COTERIE_NAMED_SPAN(runSpan, "client.run_split_system", "core");
     const auto &world = *config.world;
     const auto &grid = *config.grid;
     const auto &regions = *config.regions;
@@ -283,6 +286,10 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
                 cc.renderMs.add(render);
                 cc.lastDisplay = done;
                 ++cc.framesDisplayed;
+                COTERIE_COUNT("client.frames_displayed");
+                // Simulated per-frame latency, comparable against the
+                // 16.7 ms QoE budget (Equation 2 / Table 6).
+                COTERIE_OBSERVE("client.frame_latency_sim_ms", latency);
                 schedule_frame(pid);
             });
         } else {
@@ -292,6 +299,7 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
                 c.stalled = true;
                 c.stallStart = now;
                 c.stallBaseline = c.deliveries;
+                COTERIE_COUNT("client.stalls");
             }
             request_frame(c, key, /*urgent=*/true);
             queue.scheduleIn(1.0, [&, pid] { schedule_frame(pid); });
@@ -350,6 +358,25 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
         // near-BE draw submission for Coterie (calibrated to Table 8).
         m.cpuPct += variant.farBeMode ? 13.0 : 4.0;
         result.players.push_back(m);
+    }
+    runSpan.simTimeMs(duration);
+
+    // Session-level QoE gauges: last-run means across players, read
+    // against the paper's targets (60 FPS / 16.7 ms budget, Table 6's
+    // >= 95% hit ratio). Gauges are observe-only; exporting them never
+    // alters the result computed above.
+    if (!result.players.empty()) {
+        double fps = 0.0, latency = 0.0, hit = 0.0;
+        for (const PlayerMetrics &m : result.players) {
+            fps += m.fps;
+            latency += m.responsivenessMs;
+            hit += m.cacheHitRatio;
+        }
+        const double n = static_cast<double>(result.players.size());
+        COTERIE_GAUGE_SET("qoe.fps", fps / n);
+        COTERIE_GAUGE_SET("qoe.frame_latency_ms", latency / n);
+        COTERIE_GAUGE_SET("qoe.frame_budget_ms", 16.7);
+        COTERIE_GAUGE_SET("qoe.cache_hit_ratio", hit / n);
     }
     return result;
 }

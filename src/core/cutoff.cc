@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "render/cost_model.hh"
 #include "support/logging.hh"
 
@@ -44,13 +45,17 @@ maxCutoffRadius(const world::VirtualWorld &world, geom::Vec2 location,
 
     double lo = constraint.minRadius; // satisfies the constraint
     double hi = hi_limit;             // violates the constraint
+    int iterations = 0;
     while (hi - lo > tolerance) {
         const double mid = 0.5 * (lo + hi);
         if (timeAtMs(mid) < budget)
             lo = mid;
         else
             hi = mid;
+        ++iterations;
     }
+    COTERIE_COUNT("cutoff.searches");
+    COTERIE_OBSERVE("cutoff.search_iterations", iterations);
     return lo;
 }
 

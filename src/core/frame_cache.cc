@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hh"
 #include "support/rng.hh"
 
 namespace coterie::core {
@@ -99,11 +100,14 @@ FrameCache::lookup(const Key &key, double distThresh)
     support::MutexLock lock(mutex_);
     ++clock_;
     ++stats_.lookups;
+    COTERIE_COUNT("cache.lookups");
     const CachedFrame *best = findBest(key, distThresh, &stats_);
     if (!best) {
+        COTERIE_COUNT("cache.misses");
         return std::nullopt;
     }
     ++stats_.hits;
+    COTERIE_COUNT("cache.hits");
     if (best->gridKey == key.gridKey)
         ++stats_.exactHits;
     // Touch for LRU.
@@ -151,6 +155,8 @@ FrameCache::insert(const Key &key, std::uint32_t sizeBytes)
     buckets_[bucketOf(key.position)].push_back(key.gridKey);
     bytesUsed_ += sizeBytes;
     ++stats_.insertions;
+    COTERIE_COUNT("cache.insertions");
+    COTERIE_GAUGE_SET("cache.bytes_used", bytesUsed_);
 }
 
 void
@@ -198,6 +204,7 @@ FrameCache::evictOne()
     bytesUsed_ -= it->second.sizeBytes;
     entries_.erase(it);
     ++stats_.evictions;
+    COTERIE_COUNT("cache.evictions");
 }
 
 } // namespace coterie::core

@@ -1,9 +1,11 @@
 #include "core/partitioner.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
 
@@ -126,7 +128,8 @@ partitionWorld(const world::VirtualWorld &world,
                const device::PhoneProfile &profile,
                const PartitionParams &params)
 {
-    const auto start = std::chrono::steady_clock::now();
+    COTERIE_SPAN("core.partition", "core");
+    const obs::Stopwatch watch;
     PartitionParams effective = params;
     if (effective.minRegionEdge <= 0.0) {
         effective.minRegionEdge =
@@ -148,12 +151,11 @@ partitionWorld(const world::VirtualWorld &world,
         result.leaves.empty()
             ? 0.0
             : depth_acc / static_cast<double>(result.leaves.size());
-    result.wallClockSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    result.wallClockSeconds = watch.elapsedSeconds();
     result.modeledHours = static_cast<double>(result.cutoffCalculations) *
                           kModeledSecondsPerSample / 3600.0;
+    COTERIE_COUNT_N("core.partition_leaves", result.leaves.size());
+    COTERIE_OBSERVE("core.partition_ms", watch.elapsedMillis());
     return result;
 }
 

@@ -1,9 +1,11 @@
 #include "core/server.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/parallel.hh"
 #include "support/rng.hh"
 
@@ -109,7 +111,8 @@ PrerenderResult
 FrameStore::prerenderFarBe(std::int64_t cellStride, int width, int height,
                            int threads) const
 {
-    const auto start = std::chrono::steady_clock::now();
+    COTERIE_SPAN("server.prerender_far_be", "core");
+    const obs::Stopwatch watch;
     cellStride = std::max<std::int64_t>(1, cellStride);
 
     // Row-major list of the grid points this pass covers; the ordered
@@ -139,10 +142,12 @@ FrameStore::prerenderFarBe(std::int64_t cellStride, int width, int height,
     result.frames = sizes.size();
     for (std::uint64_t bytes : sizes)
         result.encodedBytes += bytes;
-    result.wallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    result.wallSeconds = watch.elapsedSeconds();
+    // Fan-out accounting for the offline pre-render pass (Table 3's
+    // server-side budget): frames dispatched and bytes produced.
+    COTERIE_COUNT_N("server.prerender_frames", result.frames);
+    COTERIE_COUNT_N("server.prerender_bytes", result.encodedBytes);
+    COTERIE_OBSERVE("server.prerender_ms", watch.elapsedMillis());
     return result;
 }
 

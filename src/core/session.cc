@@ -1,5 +1,6 @@
 #include "core/session.hh"
 
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace coterie::core {
@@ -10,6 +11,7 @@ Session::Session(world::gen::GameId game, const SessionParams &params,
       world_(world::gen::makeWorld(game, params.seed)),
       grid_(world::gen::makeGrid(info_))
 {
+    COTERIE_SPAN("session.setup", "core");
     if (artifacts) {
         COTERIE_ASSERT(artifacts->game == info_.name,
                        "artifacts belong to ", artifacts->game,
@@ -47,28 +49,32 @@ Session::Session(world::gen::GameId game, const SessionParams &params,
                                              partition_.leaves);
 
     // Offline step 2: per-region reuse distance thresholds (§5.3).
-    similarityParams_ = params.similarity;
-    if (params.calibrateSimilarity) {
-        // Fit against rendered SSIM at representative cutoffs.
-        std::vector<double> cutoffs;
-        const auto &leaves = partition_.leaves;
-        for (std::size_t i = 0; i < leaves.size();
-             i += std::max<std::size_t>(1, leaves.size() / 4)) {
-            if (leaves[i].reachable)
-                cutoffs.push_back(std::max(1.0, leaves[i].cutoffRadius));
+    {
+        COTERIE_SPAN("session.dist_thresholds", "core");
+        similarityParams_ = params.similarity;
+        if (params.calibrateSimilarity) {
+            // Fit against rendered SSIM at representative cutoffs.
+            std::vector<double> cutoffs;
+            const auto &leaves = partition_.leaves;
+            for (std::size_t i = 0; i < leaves.size();
+                 i += std::max<std::size_t>(1, leaves.size() / 4)) {
+                if (leaves[i].reachable)
+                    cutoffs.push_back(
+                        std::max(1.0, leaves[i].cutoffRadius));
+            }
+            if (cutoffs.empty())
+                cutoffs.push_back(8.0);
+            similarityParams_ = calibrateAnalytic(
+                world_, cutoffs, 5, hashCombine(params.seed, 0xca1),
+                part.reachable);
+            similarityParams_.alpha = params.similarity.alpha;
+            similarityParams_.floor = params.similarity.floor;
         }
-        if (cutoffs.empty())
-            cutoffs.push_back(8.0);
-        similarityParams_ = calibrateAnalytic(
-            world_, cutoffs, 5, hashCombine(params.seed, 0xca1),
-            part.reachable);
-        similarityParams_.alpha = params.similarity.alpha;
-        similarityParams_.floor = params.similarity.floor;
+        AnalyticSimilarity similarity(similarityParams_);
+        DistThreshParams dt = params.distThresh;
+        dt.seed = hashCombine(params.seed, 0xd157);
+        distThresholds_ = deriveDistThresholds(*regions_, similarity, dt);
     }
-    AnalyticSimilarity similarity(similarityParams_);
-    DistThreshParams dt = params.distThresh;
-    dt.seed = hashCombine(params.seed, 0xd157);
-    distThresholds_ = deriveDistThresholds(*regions_, similarity, dt);
 
     // Offline step 3: the pre-rendered frame catalogue.
     frames_ = std::make_unique<FrameStore>(world_, grid_, *regions_);

@@ -1,6 +1,8 @@
 #include "image/codec.hh"
 
 #include "image/codec_internal.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace coterie::image {
@@ -16,6 +18,9 @@ EncodedFrame
 encode(const Image &frame, const CodecParams &params)
 {
     COTERIE_ASSERT(!frame.empty(), "encoding empty frame");
+    COTERIE_SPAN("codec.encode", "image");
+    COTERIE_TIMER_SCOPE("codec.encode_ms");
+    COTERIE_COUNT("codec.encodes");
     EncodedFrame out;
     out.width = frame.width();
     out.height = frame.height();
@@ -40,6 +45,7 @@ encode(const Image &frame, const CodecParams &params)
         encodePlane(cg, frame.width(), frame.height(), params.quality, true,
                     out.bytes);
     }
+    COTERIE_COUNT_N("codec.encoded_bytes", out.bytes.size());
     return out;
 }
 
@@ -49,6 +55,9 @@ decode(const EncodedFrame &encoded)
     const int w = encoded.width;
     const int h = encoded.height;
     COTERIE_ASSERT(w > 0 && h > 0, "decoding empty frame");
+    COTERIE_SPAN("codec.decode", "image");
+    COTERIE_TIMER_SCOPE("codec.decode_ms");
+    COTERIE_COUNT("codec.decodes");
     std::size_t pos = 0;
     std::vector<double> yp, co, cg;
     decodePlane(encoded.bytes, pos, w, h, encoded.params.quality, false, yp);

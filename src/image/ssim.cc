@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
 
@@ -382,14 +384,18 @@ ssimLuma(const std::vector<double> &a, const std::vector<double> &b,
                    a.size() ==
                        static_cast<std::size_t>(width) * height,
                    "ssim plane size mismatch");
+    COTERIE_SPAN("image.ssim", "image");
+    COTERIE_TIMER_SCOPE("image.ssim_ms");
     const int win = params.windowSize;
     const int stride = params.stride > 0 ? params.stride : win;
     // Disjoint windows (stride >= win) have no overlap to exploit; the
     // naive pass is optimal there and stays bit-identical to the
     // historical implementation. Degenerate images share its one-window
     // path.
-    if (width < win || height < win || stride >= win)
+    if (width < win || height < win || stride >= win) {
+        COTERIE_COUNT("image.ssim_reference");
         return ssimLumaReference(a, b, width, height, params);
+    }
 
     const double c1 = params.k1 * params.dynamicRange;
     const double c2 = params.k2 * params.dynamicRange;
@@ -401,9 +407,11 @@ ssimLuma(const std::vector<double> &a, const std::vector<double> &b,
     // q*q small loads. Beyond q = 4 the per-window tile traffic
     // overtakes the sliding kernel's O(stride) incremental updates.
     if (win % stride == 0 && win / stride <= 4) {
+        COTERIE_COUNT("image.ssim_tiled");
         return ssimLumaTiled(a, b, width, height, win, stride, C1, C2,
                              params.threads);
     }
+    COTERIE_COUNT("image.ssim_sliding");
 
     const double inv_n = 1.0 / (static_cast<double>(win) * win);
     const std::int64_t bands = (height - win) / stride + 1;

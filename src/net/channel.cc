@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace coterie::net {
@@ -43,6 +45,13 @@ SharedChannel::progressAndReschedule()
         if (it->second.remainingBits <= 1e-3) {
             TransferDone done = std::move(it->second.done);
             bytesDelivered_ += it->second.totalBytes;
+            COTERIE_COUNT("net.frames_delivered");
+            COTERIE_COUNT_N("net.bytes_delivered",
+                            it->second.totalBytes);
+            // Simulated request-to-delivery latency (includes the
+            // pre-transfer latency floor and any contention slowdown).
+            COTERIE_OBSERVE("net.transfer_sim_ms",
+                            now - it->second.requestedAt);
             it = transfers_.erase(it);
             if (done)
                 done(now);
@@ -85,14 +94,21 @@ SharedChannel::startTransfer(std::uint64_t bytes, TransferDone done)
         delay += params_.retransmitPenaltyMs;
         effective_bytes *= 1.0 + params_.retransmitFraction;
     }
-    queue_.scheduleIn(delay, [this, bytes, effective_bytes,
+    COTERIE_COUNT("net.transfers");
+    COTERIE_COUNT_N("net.bytes_requested", bytes);
+    const sim::TimeMs requestedAt = queue_.now();
+    queue_.scheduleIn(delay, [this, bytes, effective_bytes, requestedAt,
                               done = std::move(done)]() {
         progressAndReschedule(); // bring existing transfers up to now
         Transfer tr;
         tr.remainingBits = effective_bytes * 8.0;
         tr.totalBytes = bytes;
+        tr.requestedAt = requestedAt;
         tr.done = done;
         transfers_.emplace(nextId_++, std::move(tr));
+        obs::TraceRecorder::global().counter(
+            "net.active_transfers",
+            static_cast<double>(transfers_.size()));
         progressAndReschedule(); // recompute with the new membership
     });
 }

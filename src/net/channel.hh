@@ -77,6 +77,7 @@ class SharedChannel
     {
         double remainingBits = 0.0;
         std::uint64_t totalBytes = 0;
+        sim::TimeMs requestedAt = 0.0; ///< sim time startTransfer ran
         TransferDone done;
     };
 

@@ -1,0 +1,17 @@
+#include "obs/clock.hh"
+
+// The determinism lint (`ambient-clock`) exempts exactly this file and
+// its header: every other file in src/ must come here for wall time.
+#include <chrono>
+
+namespace coterie::obs {
+
+std::uint64_t
+monotonicNowNs()
+{
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+} // namespace coterie::obs

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The ONLY wall-clock access point in `src/`.
+ *
+ * Coterie's determinism contract (bit-identical Far-BE frames, seeded
+ * experiments) means simulation logic must never read ambient time —
+ * the `ambient-clock` coterie-lint rule bans `std::chrono::*_clock`
+ * and `time(` everywhere in `src/` except this pair of files. Code
+ * that legitimately needs wall time (telemetry spans, offline
+ * preprocessing wall-clock reporting) funnels through here, which
+ * keeps every such site greppable and reviewable.
+ *
+ * Everything here is observe-only: readings may feed logs, metrics,
+ * and trace exports, never simulation state.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace coterie::obs {
+
+/**
+ * Monotonic wall-clock nanoseconds since an arbitrary process-local
+ * epoch. Never decreases; unrelated to civil time.
+ */
+std::uint64_t monotonicNowNs();
+
+/** Seconds elapsed between two `monotonicNowNs` readings. */
+inline double
+secondsBetweenNs(std::uint64_t beginNs, std::uint64_t endNs)
+{
+    return static_cast<double>(endNs - beginNs) * 1e-9;
+}
+
+/** Milliseconds elapsed between two `monotonicNowNs` readings. */
+inline double
+millisBetweenNs(std::uint64_t beginNs, std::uint64_t endNs)
+{
+    return static_cast<double>(endNs - beginNs) * 1e-6;
+}
+
+/** Wall-clock stopwatch for coarse phase timing (observe-only). */
+class Stopwatch
+{
+  public:
+    Stopwatch() : begin_(monotonicNowNs()) {}
+
+    /** Seconds since construction (or the last restart). */
+    double elapsedSeconds() const
+    {
+        return secondsBetweenNs(begin_, monotonicNowNs());
+    }
+
+    /** Milliseconds since construction (or the last restart). */
+    double elapsedMillis() const
+    {
+        return millisBetweenNs(begin_, monotonicNowNs());
+    }
+
+    void restart() { begin_ = monotonicNowNs(); }
+
+  private:
+    std::uint64_t begin_;
+};
+
+} // namespace coterie::obs

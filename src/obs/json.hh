@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal JSON value type: parse, build, serialize.
+ *
+ * The telemetry layer needs three things no other module provided:
+ * emitting Chrome `trace_event` files and metrics snapshots with
+ * correct escaping, re-reading those files in `tools/trace_report`,
+ * and round-trip testing the exported format. This is a deliberately
+ * small, dependency-free implementation — objects preserve insertion
+ * order (so serialization is deterministic and diffs are stable), and
+ * numbers are doubles printed with enough digits to round-trip.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coterie::obs {
+
+/** A JSON value (null / bool / number / string / array / object). */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double n) : type_(Type::Number), num_(n) {}
+    Json(int n) : type_(Type::Number), num_(n) {}
+    Json(std::int64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n))
+    {
+    }
+    Json(std::uint64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n))
+    {
+    }
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static Json array() { return Json(Type::Array); }
+    static Json object() { return Json(Type::Object); }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool(bool fallback = false) const
+    {
+        return type_ == Type::Bool ? bool_ : fallback;
+    }
+    double asNumber(double fallback = 0.0) const
+    {
+        return type_ == Type::Number ? num_ : fallback;
+    }
+    const std::string &asString() const { return str_; }
+
+    /** Array elements (empty unless isArray). */
+    const std::vector<Json> &items() const { return items_; }
+    /** Object members in insertion order (empty unless isObject). */
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return members_;
+    }
+
+    /** Object lookup; returns a shared null value when absent. */
+    const Json &at(const std::string &key) const;
+    bool contains(const std::string &key) const;
+
+    /** Append to an array (converts a Null value into an array). */
+    Json &push(Json value);
+    /** Set an object member (converts a Null value into an object). */
+    Json &set(const std::string &key, Json value);
+
+    /**
+     * Serialize. @p indent < 0 -> compact single line; otherwise
+     * pretty-print with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parse a JSON document. On failure returns Null and, when
+     * @p error is given, stores a position-annotated message.
+     */
+    static Json parse(const std::string &text,
+                      std::string *error = nullptr);
+
+  private:
+    explicit Json(Type t) : type_(t) {}
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace coterie::obs

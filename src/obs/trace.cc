@@ -1,0 +1,268 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "support/parallel.hh"
+
+namespace coterie::obs {
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+void
+TraceRecorder::start()
+{
+    installPoolTelemetry();
+    {
+        support::MutexLock lock(mutex_);
+        events_.clear();
+        epochNs_ = monotonicNowNs();
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceRecorder::stop()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+void
+TraceRecorder::clear()
+{
+    support::MutexLock lock(mutex_);
+    events_.clear();
+}
+
+void
+TraceRecorder::push(Event event)
+{
+    support::MutexLock lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceRecorder::complete(const char *name, const char *category,
+                        std::uint64_t beginNs, std::uint64_t endNs,
+                        double simMs)
+{
+    if (!enabled())
+        return;
+    Event e;
+    e.phase = Phase::Complete;
+    e.tid = threadSlot();
+    e.name = name;
+    e.category = category;
+    e.beginNs = beginNs;
+    e.durNs = endNs >= beginNs ? endNs - beginNs : 0;
+    e.value = 0.0;
+    e.simMs = simMs;
+    push(std::move(e));
+}
+
+void
+TraceRecorder::counter(const char *name, double value)
+{
+    if (!enabled())
+        return;
+    Event e;
+    e.phase = Phase::Counter;
+    e.tid = threadSlot();
+    e.name = name;
+    e.category = "counter";
+    e.beginNs = monotonicNowNs();
+    e.durNs = 0;
+    e.value = value;
+    e.simMs = -1.0;
+    push(std::move(e));
+}
+
+void
+TraceRecorder::instant(const char *name, const char *category)
+{
+    if (!enabled())
+        return;
+    Event e;
+    e.phase = Phase::Instant;
+    e.tid = threadSlot();
+    e.name = name;
+    e.category = category;
+    e.beginNs = monotonicNowNs();
+    e.durNs = 0;
+    e.value = 0.0;
+    e.simMs = -1.0;
+    push(std::move(e));
+}
+
+std::size_t
+TraceRecorder::eventCount() const
+{
+    support::MutexLock lock(mutex_);
+    return events_.size();
+}
+
+Json
+TraceRecorder::toJson() const
+{
+    std::vector<Event> events;
+    std::uint64_t epochNs = 0;
+    {
+        support::MutexLock lock(mutex_);
+        events = events_;
+        epochNs = epochNs_;
+    }
+
+    Json traceEvents = Json::array();
+
+    // Thread-name metadata so Perfetto labels tracks by obs slot.
+    int maxTid = -1;
+    for (const Event &e : events)
+        maxTid = std::max(maxTid, e.tid);
+    for (int tid = 0; tid <= maxTid; ++tid) {
+        Json args = Json::object();
+        args.set("name", Json(tid == 0 ? std::string("main/slot0")
+                                       : "slot" + std::to_string(tid)));
+        Json m = Json::object();
+        m.set("ph", Json("M"));
+        m.set("name", Json("thread_name"));
+        m.set("pid", Json(1));
+        m.set("tid", Json(tid));
+        m.set("args", std::move(args));
+        traceEvents.push(std::move(m));
+    }
+
+    const auto relUs = [epochNs](std::uint64_t ns) {
+        return ns >= epochNs
+                   ? static_cast<double>(ns - epochNs) / 1000.0
+                   : 0.0;
+    };
+
+    for (const Event &e : events) {
+        Json j = Json::object();
+        switch (e.phase) {
+        case Phase::Complete: {
+            j.set("ph", Json("X"));
+            j.set("name", Json(e.name));
+            j.set("cat", Json(e.category));
+            j.set("pid", Json(1));
+            j.set("tid", Json(e.tid));
+            j.set("ts", Json(relUs(e.beginNs)));
+            j.set("dur", Json(static_cast<double>(e.durNs) / 1000.0));
+            if (e.simMs >= 0.0) {
+                Json args = Json::object();
+                args.set("sim_ms", Json(e.simMs));
+                j.set("args", std::move(args));
+            }
+            break;
+        }
+        case Phase::Counter: {
+            j.set("ph", Json("C"));
+            j.set("name", Json(e.name));
+            j.set("pid", Json(1));
+            j.set("tid", Json(e.tid));
+            j.set("ts", Json(relUs(e.beginNs)));
+            Json args = Json::object();
+            args.set("value", Json(e.value));
+            j.set("args", std::move(args));
+            break;
+        }
+        case Phase::Instant: {
+            j.set("ph", Json("i"));
+            j.set("name", Json(e.name));
+            j.set("cat", Json(e.category));
+            j.set("pid", Json(1));
+            j.set("tid", Json(e.tid));
+            j.set("ts", Json(relUs(e.beginNs)));
+            j.set("s", Json("t"));
+            break;
+        }
+        }
+        traceEvents.push(std::move(j));
+    }
+
+    Json out = Json::object();
+    out.set("displayTimeUnit", Json("ms"));
+    out.set("traceEvents", std::move(traceEvents));
+    return out;
+}
+
+bool
+TraceRecorder::exportToFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string text = exportJson();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    return ok;
+}
+
+namespace {
+
+/**
+ * Bridges support::ThreadPool's observer hooks into counter tracks and
+ * `pool.*` metrics. Observe-only: it records and never touches pool
+ * state. Installed once for the process lifetime (the pool requires
+ * the observer to outlive all pool use).
+ */
+class PoolTracer final : public support::PoolObserver
+{
+  public:
+    void onJobBegin(std::int64_t chunkCount) override
+    {
+        const int depth =
+            queueDepth_.fetch_add(1, std::memory_order_relaxed) + 1;
+        COTERIE_COUNT("pool.jobs");
+        COTERIE_COUNT_N("pool.chunks", chunkCount);
+        TraceRecorder::global().counter(
+            "pool.queue_depth", static_cast<double>(depth));
+    }
+
+    void onJobEnd(std::int64_t /*chunkCount*/) override
+    {
+        const int depth =
+            queueDepth_.fetch_sub(1, std::memory_order_relaxed) - 1;
+        TraceRecorder::global().counter(
+            "pool.queue_depth", static_cast<double>(depth));
+    }
+
+    void onWorkerActivity(int activeWorkers, int workerCount) override
+    {
+        TraceRecorder::global().counter(
+            "pool.active_workers", static_cast<double>(activeWorkers));
+        if (workerCount > 0) {
+            COTERIE_GAUGE_SET("pool.worker_utilization",
+                              static_cast<double>(activeWorkers) /
+                                  static_cast<double>(workerCount));
+        }
+    }
+
+  private:
+    std::atomic<int> queueDepth_{0};
+};
+
+} // namespace
+
+void
+installPoolTelemetry()
+{
+    // Leaked singleton: the pool observer contract requires the
+    // observer to outlive every pool job, including ones racing with
+    // static destruction.
+    static PoolTracer *tracer = [] {
+        auto *t = new PoolTracer();
+        support::setPoolObserver(t);
+        return t;
+    }();
+    (void)tracer;
+}
+
+} // namespace coterie::obs

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * coterie-scope trace spans: Chrome `trace_event` export of the frame
+ * pipeline, loadable in Perfetto / chrome://tracing.
+ *
+ * `COTERIE_SPAN("render.panorama", "render")` opens an RAII span that
+ * records a complete ("ph":"X") event with wall-clock begin/duration
+ * (read only through obs/clock), the recording thread's slot as `tid`,
+ * and — when the call site attaches it — the simulation time as a
+ * `sim_ms` arg, so wall-time spans can be correlated with sim-time
+ * behaviour. `TraceRecorder::counter` emits "ph":"C" counter tracks;
+ * the pool telemetry hooks (installed by `installPoolTelemetry`) use
+ * them for thread-pool queue depth and worker utilisation.
+ *
+ * Recording is opt-in: spans are dropped (two relaxed atomic loads)
+ * until `TraceRecorder::global().start()`. With
+ * `-DCOTERIE_TELEMETRY=OFF` the span macros compile away entirely;
+ * the recorder API itself stays linkable so tools and tests build in
+ * both configurations.
+ *
+ * Span taxonomy (see DESIGN.md §8): span names reuse the metric naming
+ * scheme minus the unit suffix (`render.panorama`, `codec.encode`);
+ * the category is the owning layer (`render`, `image`, `core`, `net`,
+ * `support`).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "support/thread_annotations.hh"
+
+namespace coterie::obs {
+
+/** Collects trace events and exports Chrome trace_event JSON. */
+class TraceRecorder
+{
+  public:
+    TraceRecorder() = default;
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** The process-wide recorder the span macros feed. */
+    static TraceRecorder &global();
+
+    /** Clear any previous events and begin recording. */
+    void start();
+    /** Stop recording (events are kept for export). */
+    void stop();
+    /** Drop all recorded events. */
+    void clear();
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Record a complete span. @p simMs attaches simulated time as an
+     * arg when non-negative (wall and sim time share no epoch; the
+     * arg is attribution, not an axis).
+     */
+    void complete(const char *name, const char *category,
+                  std::uint64_t beginNs, std::uint64_t endNs,
+                  double simMs = -1.0);
+
+    /** Record a counter-track sample ("ph":"C"). */
+    void counter(const char *name, double value);
+
+    /** Record an instant event ("ph":"i", thread scope). */
+    void instant(const char *name, const char *category);
+
+    std::size_t eventCount() const;
+
+    /**
+     * Export everything recorded so far as a Chrome trace_event
+     * document: `{"displayTimeUnit": "ms", "traceEvents": [...]}` with
+     * per-thread `thread_name` metadata. Timestamps are microseconds
+     * relative to the first `start()`.
+     */
+    Json toJson() const;
+    std::string exportJson() const { return toJson().dump(1); }
+    bool exportToFile(const std::string &path) const;
+
+  private:
+    enum class Phase : std::uint8_t { Complete, Counter, Instant };
+
+    struct Event
+    {
+        Phase phase;
+        int tid;
+        std::string name;
+        std::string category;
+        std::uint64_t beginNs;
+        std::uint64_t durNs;
+        double value;  ///< counter sample
+        double simMs;  ///< < 0 -> absent
+    };
+
+    void push(Event event);
+
+    std::atomic<bool> enabled_{false};
+    mutable support::Mutex mutex_;
+    std::vector<Event> events_ COTERIE_GUARDED_BY(mutex_);
+    std::uint64_t epochNs_ COTERIE_GUARDED_BY(mutex_) = 0;
+};
+
+/**
+ * Install the thread-pool telemetry bridge (queue-depth and
+ * worker-utilisation counter tracks + `pool.*` metrics). Idempotent;
+ * called automatically by `TraceRecorder::start()`.
+ */
+void installPoolTelemetry();
+
+#if COTERIE_TELEMETRY_ENABLED
+
+/** RAII span; records on destruction iff recording was on at entry. */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char *name, const char *category)
+    {
+        if (TraceRecorder::global().enabled()) {
+            name_ = name;
+            category_ = category;
+            beginNs_ = monotonicNowNs();
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (name_ != nullptr) {
+            TraceRecorder::global().complete(
+                name_, category_, beginNs_, monotonicNowNs(), simMs_);
+        }
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Attach simulated-time attribution to this span. */
+    void simTimeMs(double ms) { simMs_ = ms; }
+
+  private:
+    const char *name_ = nullptr;
+    const char *category_ = nullptr;
+    std::uint64_t beginNs_ = 0;
+    double simMs_ = -1.0;
+};
+
+#else // telemetry compiled out: spans are empty objects
+
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char *, const char *) {}
+    void simTimeMs(double) {}
+};
+
+#endif // COTERIE_TELEMETRY_ENABLED
+
+/** Anonymous span covering the enclosing scope. */
+#define COTERIE_SPAN(name, category)                                         \
+    [[maybe_unused]] ::coterie::obs::ScopedSpan COTERIE_OBS_CAT(             \
+        coterieObsSpan_, __LINE__)(name, category)
+
+/** Named span, for call sites that attach simTimeMs() or end early. */
+#define COTERIE_NAMED_SPAN(var, name, category)                              \
+    ::coterie::obs::ScopedSpan var(name, category)
+
+} // namespace coterie::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "world/bvh.hh"
 
 namespace coterie::render {
@@ -90,6 +91,7 @@ LocationCostCache::LocationCostCache(const world::VirtualWorld &world,
                                      const CostModelParams &params)
     : world_(world), eye_(eye), params_(params)
 {
+    COTERIE_COUNT("cost.location_cache_builds");
     const double maxReach = std::min(maxRadius, params.cullDistance);
     if (maxReach <= 0.0)
         return;
@@ -113,6 +115,9 @@ LocationCostCache::LocationCostCache(const world::VirtualWorld &world,
 double
 LocationCostCache::effectiveTriangles(double rMin, double rMax) const
 {
+    // Every query here is a BVH disc query saved relative to the
+    // uncached effectiveTriangles() path.
+    COTERIE_COUNT("cost.location_cache_queries");
     const double reach = std::min(rMax, params_.cullDistance);
     double total =
         terrainEffectiveTriangles(world_, eye_, rMin, rMax, params_);

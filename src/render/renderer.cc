@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
 #include "support/rng.hh"
@@ -79,6 +81,8 @@ parallelRows(int rows, int threads, Fn &&fn)
     support::parallelFor(
         0, rows, 4,
         [&](std::int64_t b, std::int64_t e) {
+            COTERIE_SPAN("render.rows", "render");
+            COTERIE_COUNT_N("render.rows", e - b);
             for (std::int64_t y = b; y < e; ++y)
                 fn(static_cast<int>(y));
         },
@@ -152,6 +156,9 @@ Image
 Renderer::renderPerspective(const Camera &camera, int width, int height,
                             const RenderOptions &opts) const
 {
+    COTERIE_SPAN("render.perspective", "render");
+    COTERIE_TIMER_SCOPE("render.perspective_ms");
+    COTERIE_COUNT("render.perspective_frames");
     Image frame(width, height);
     const double aspect =
         static_cast<double>(width) / static_cast<double>(height);
@@ -174,6 +181,9 @@ Image
 Renderer::renderPanorama(Vec3 eye, int width, int height,
                          const RenderOptions &opts) const
 {
+    COTERIE_SPAN("render.panorama", "render");
+    COTERIE_TIMER_SCOPE("render.panorama_ms");
+    COTERIE_COUNT("render.panorama_frames");
     Image frame(width, height);
     RenderOptions local = opts;
     local.pixelAngleRad = M_PI / static_cast<double>(height);

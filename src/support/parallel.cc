@@ -24,7 +24,22 @@ envThreadCount()
     return std::clamp(static_cast<int>(hw), 1, 256);
 }
 
+/** The installed telemetry observer (nullptr when none). */
+std::atomic<PoolObserver *> gPoolObserver{nullptr};
+
+PoolObserver *
+poolObserver()
+{
+    return gPoolObserver.load(std::memory_order_acquire);
+}
+
 } // namespace
+
+void
+setPoolObserver(PoolObserver *observer)
+{
+    gPoolObserver.store(observer, std::memory_order_release);
+}
 
 /** One parallelFor invocation: fixed chunk grid + completion tracking. */
 struct ThreadPool::Job
@@ -103,6 +118,7 @@ ThreadPool::workerLoop()
     std::uint64_t seen = 0;
     for (;;) {
         Job *job = nullptr;
+        int active = 0;
         {
             MutexLock lock(mutex_);
             while (!stop_ && generation_ == seen)
@@ -113,13 +129,17 @@ ThreadPool::workerLoop()
             job = job_;
             if (!job)
                 continue; // late wake-up: the job already finished
-            ++activeWorkers_;
+            active = ++activeWorkers_;
         }
+        if (PoolObserver *obs = poolObserver())
+            obs->onWorkerActivity(active, workerCount_);
         runChunks(*job);
         {
             MutexLock lock(mutex_);
-            --activeWorkers_;
+            active = --activeWorkers_;
         }
+        if (PoolObserver *obs = poolObserver())
+            obs->onWorkerActivity(active, workerCount_);
         doneCv_.notifyAll();
     }
 }
@@ -159,6 +179,8 @@ ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
 
     // One job at a time; concurrent top-level callers queue here.
     MutexLock submitLock(submitMutex_);
+    if (PoolObserver *obs = poolObserver())
+        obs->onJobBegin(chunks);
     {
         MutexLock lock(mutex_);
         job_ = &job;
@@ -180,6 +202,9 @@ ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
             doneCv_.wait(lock);
         job_ = nullptr;
     }
+
+    if (PoolObserver *obs = poolObserver())
+        obs->onJobEnd(chunks);
 
     std::exception_ptr error;
     {

@@ -38,6 +38,30 @@ namespace coterie::support {
 using ChunkFn = std::function<void(std::int64_t, std::int64_t)>;
 
 /**
+ * Observe-only telemetry hooks into the pool (queue depth and worker
+ * utilisation tracks for the trace exporter). `support` must not
+ * depend on `obs`, so the observability layer registers itself here
+ * instead of the pool calling it directly. Callbacks may fire from
+ * any worker thread and must be thread-safe; they must never block on
+ * pool progress or mutate pool state. The installed observer must
+ * outlive all pool use (obs installs a process-lifetime singleton).
+ */
+class PoolObserver
+{
+  public:
+    virtual ~PoolObserver() = default;
+    /** A pooled job with @p chunkCount chunks was submitted. */
+    virtual void onJobBegin(std::int64_t chunkCount) = 0;
+    /** That job completed (all chunks done). */
+    virtual void onJobEnd(std::int64_t chunkCount) = 0;
+    /** A worker started/stopped running chunks. */
+    virtual void onWorkerActivity(int activeWorkers, int workerCount) = 0;
+};
+
+/** Install (or clear, with nullptr) the process-wide pool observer. */
+void setPoolObserver(PoolObserver *observer);
+
+/**
  * Persistent worker pool. Use the process-wide `instance()` (what the
  * free helpers below dispatch to); standalone instances are
  * constructible for tests that need a specific worker count.

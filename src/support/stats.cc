@@ -67,6 +67,16 @@ SampleSet::add(double x)
     sorted_ = false;
 }
 
+void
+SampleSet::merge(const SampleSet &other)
+{
+    if (other.samples_.empty())
+        return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+}
+
 double
 SampleSet::mean() const
 {
@@ -183,6 +193,19 @@ double
 Histogram::binHigh(std::size_t i) const
 {
     return binLow(i + 1);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    COTERIE_ASSERT(lo_ == other.lo_ && hi_ == other.hi_ &&
+                       counts_.size() == other.counts_.size(),
+                   "merging histograms with different specs: [", lo_, ", ",
+                   hi_, ")x", counts_.size(), " vs [", other.lo_, ", ",
+                   other.hi_, ")x", other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
 }
 
 std::string

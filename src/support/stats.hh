@@ -56,6 +56,9 @@ class SampleSet
     void add(double x);
     void reserve(std::size_t n) { samples_.reserve(n); }
 
+    /** Append every sample of another set (per-thread shard folding). */
+    void merge(const SampleSet &other);
+
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
     double mean() const;
@@ -101,6 +104,17 @@ class Histogram
 
     /** Render a terminal-friendly bar chart (for bench output). */
     std::string render(std::size_t width = 50) const;
+
+    /**
+     * Fold another histogram's counts into this one. Panics unless the
+     * two histograms share the same [lo, hi) range and bin count (the
+     * per-thread telemetry shards are constructed from one spec, so a
+     * mismatch is a programming error, not data).
+     */
+    void merge(const Histogram &other);
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
 
   private:
     double lo_, hi_;

@@ -180,6 +180,46 @@ TEST(LintMutexGuardedBy, UnannotatedMemberFires)
                        "mutex-guarded-by"));
 }
 
+TEST(LintAmbientClock, ViolationInSrc)
+{
+    const auto findings = run("src/core/bad.cc", R"(
+#include <chrono>
+auto t0 = std::chrono::steady_clock::now();
+)");
+    ASSERT_TRUE(fired(findings, "ambient-clock"));
+    EXPECT_EQ(findings[0].file, "src/core/bad.cc");
+}
+
+TEST(LintAmbientClock, TimeCallAndBareClockNamesFire)
+{
+    EXPECT_TRUE(fired(run("src/render/bad.cc",
+                          "long t = time(nullptr);\n"),
+                      "ambient-clock"));
+    EXPECT_TRUE(fired(run("src/net/bad.cc",
+                          "using clock = high_resolution_clock;\n"),
+                      "ambient-clock"));
+}
+
+TEST(LintAmbientClock, ObsClockAndNonSrcAreExempt)
+{
+    const std::string src =
+        "auto t0 = std::chrono::steady_clock::now();\n";
+    EXPECT_FALSE(fired(run("src/obs/clock.cc", src), "ambient-clock"));
+    EXPECT_FALSE(fired(run("src/obs/clock.hh", src), "ambient-clock"));
+    // Tests, benches, and tools may read wall clocks freely.
+    EXPECT_FALSE(fired(run("tests/foo_test.cc", src), "ambient-clock"));
+    EXPECT_FALSE(fired(run("bench/foo.cc", src), "ambient-clock"));
+}
+
+TEST(LintAmbientClock, IdentifiersContainingClockDoNotFire)
+{
+    const auto findings = run("src/obs/metrics.cc", R"(
+double wallClockSeconds = 0.0;
+void observeClockDrift(double ms);
+)");
+    EXPECT_FALSE(fired(findings, "ambient-clock"));
+}
+
 TEST(LintSuppression, SameLineAndLineAbove)
 {
     const std::string sameLine =
@@ -218,7 +258,7 @@ TEST(LintSuppression, AllAndLists)
 TEST(LintEngine, RulesAreRegisteredAndNamed)
 {
     const auto &rules = coterie::lint::rules();
-    ASSERT_EQ(rules.size(), 6u);
+    ASSERT_EQ(rules.size(), 7u);
     for (const auto &rule : rules) {
         EXPECT_FALSE(rule.name.empty());
         EXPECT_FALSE(rule.description.empty());

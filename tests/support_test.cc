@@ -146,6 +146,38 @@ TEST(RunningStats, MergeMatchesCombinedStream)
     EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(SampleSet, MergeAppendsAllSamples)
+{
+    SampleSet a, b, all;
+    Rng rng(17);
+    for (int i = 0; i < 400; ++i) {
+        const double v = rng.normal();
+        (i % 3 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    // Percentiles over the merged set match the combined stream: merge
+    // must re-sort, not just concatenate.
+    for (double p : {10.0, 50.0, 90.0, 99.0})
+        EXPECT_NEAR(a.percentile(p), all.percentile(p), 1e-12) << p;
+}
+
+TEST(SampleSet, MergeWithEmptySets)
+{
+    SampleSet a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.median(), 1.5);
+}
+
 TEST(SampleSet, ExactPercentiles)
 {
     SampleSet s;
@@ -199,6 +231,37 @@ TEST(Histogram, BinningAndClamping)
     EXPECT_DOUBLE_EQ(h.binLow(5), 5.0);
     EXPECT_DOUBLE_EQ(h.binHigh(5), 6.0);
     EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Histogram, MergeFoldsCounts)
+{
+    Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+    a.add(0.5);
+    a.add(5.5);
+    b.add(5.5);
+    b.add(9.5);
+    b.add(42.0); // clamps to bin 9
+    a.merge(b);
+    EXPECT_EQ(a.total(), 5u);
+    EXPECT_EQ(a.bin(0), 1u);
+    EXPECT_EQ(a.bin(5), 2u);
+    EXPECT_EQ(a.bin(9), 2u);
+}
+
+TEST(Histogram, MergeMatchesCombinedStream)
+{
+    Histogram shardA(-3.0, 3.0, 24), shardB(-3.0, 3.0, 24);
+    Histogram all(-3.0, 3.0, 24);
+    Rng rng(23);
+    for (int i = 0; i < 2000; ++i) {
+        const double v = rng.normal();
+        (i % 2 ? shardA : shardB).add(v);
+        all.add(v);
+    }
+    shardA.merge(shardB);
+    EXPECT_EQ(shardA.total(), all.total());
+    for (std::size_t i = 0; i < all.bins(); ++i)
+        EXPECT_EQ(shardA.bin(i), all.bin(i)) << "bin " << i;
 }
 
 } // namespace

@@ -16,7 +16,7 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 SANITIZERS=(thread address undefined)
-TEST_BINS=(parallel_test renderer_test ssim_test codec_test)
+TEST_BINS=(parallel_test renderer_test ssim_test codec_test obs_test)
 PREFIX=""
 
 while [ $# -gt 0 ]; do

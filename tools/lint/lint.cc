@@ -306,6 +306,27 @@ checkConsoleIo(const SourceFile &f, std::vector<Finding> &out)
 }
 
 void
+checkAmbientClock(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.under("src/"))
+        return;
+    // The one sanctioned wall-clock access point (see obs/clock.hh).
+    if (f.isAnyOf({"src/obs/clock.hh", "src/obs/clock.cc"}))
+        return;
+    static const std::regex kBad(
+        R"(\bchrono\s*::\s*\w+_clock\b|\bsteady_clock\b)"
+        R"(|\bhigh_resolution_clock\b|\bsystem_clock\b|\btime\s*\()");
+    forEachMatch(f, kBad, [&](int line, const std::string &m) {
+        out.push_back({f.path, line, "ambient-clock",
+                       "'" + m +
+                           "' reads ambient time outside obs/clock; "
+                           "wall-clock access in src/ is confined to "
+                           "src/obs/clock.{hh,cc} (telemetry is "
+                           "observe-only, simulation uses sim time)"});
+    });
+}
+
+void
 checkMutexGuardedBy(const SourceFile &f, std::vector<Finding> &out)
 {
     if (!f.under("src/"))
@@ -359,6 +380,10 @@ rules()
          "every mutex member in src/ lives in a file that annotates "
          "the data it guards with GUARDED_BY",
          checkMutexGuardedBy},
+        {"ambient-clock",
+         "src/ must not read std::chrono clocks or time() outside "
+         "src/obs/clock.{hh,cc} — the single wall-clock access point",
+         checkAmbientClock},
     };
     return kRules;
 }

@@ -1,0 +1,155 @@
+// trace_report: fold a coterie-scope Chrome trace_event JSON into a
+// per-stage latency/throughput table.
+//
+// Usage: trace_report <trace.json>
+//
+// Reads the "X" (complete) events, groups them by span name (merging
+// the per-thread streams with SampleSet::merge), and prints one row
+// per stage sorted by total wall time. The top three stages by total
+// time are flagged HOT — those are where optimisation effort pays.
+// Exits nonzero on unreadable or malformed input.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "support/stats.hh"
+
+namespace {
+
+using coterie::obs::Json;
+using coterie::SampleSet;
+
+std::string
+readFile(const char *path, bool &ok)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f) {
+        ok = false;
+        return {};
+    }
+    std::string text;
+    char buf[1 << 16];
+    for (;;) {
+        const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+        if (n == 0)
+            break;
+        text.append(buf, n);
+    }
+    ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return text;
+}
+
+struct Stage
+{
+    std::string name;
+    std::string category;
+    SampleSet durationsMs; // merged across all tids
+    double totalMs = 0.0;
+    double spanEndUs = 0.0; // latest event end, for throughput
+    double spanBeginUs = 1e300;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: trace_report <trace.json>\n");
+        return 2;
+    }
+
+    bool readOk = true;
+    const std::string text = readFile(argv[1], readOk);
+    if (!readOk) {
+        std::fprintf(stderr, "trace_report: cannot read '%s'\n",
+                     argv[1]);
+        return 1;
+    }
+
+    std::string error;
+    const Json doc = Json::parse(text, &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "trace_report: parse error in '%s': %s\n",
+                     argv[1], error.c_str());
+        return 1;
+    }
+    const Json &events = doc.at("traceEvents");
+    if (!events.isArray()) {
+        std::fprintf(stderr,
+                     "trace_report: '%s' has no traceEvents array\n",
+                     argv[1]);
+        return 1;
+    }
+
+    // Fold "X" events into per-(name, tid) sample sets first, then
+    // merge the per-thread streams per stage — the same shard-fold the
+    // Timer metrics do at snapshot time.
+    std::map<std::pair<std::string, int>, SampleSet> perThread;
+    std::map<std::string, Stage> stages;
+    std::size_t spanCount = 0;
+    for (const Json &e : events.items()) {
+        if (!e.isObject() || e.at("ph").asString() != "X")
+            continue;
+        const std::string name = e.at("name").asString();
+        const int tid = static_cast<int>(e.at("tid").asNumber());
+        const double tsUs = e.at("ts").asNumber();
+        const double durUs = e.at("dur").asNumber();
+        const double durMs = durUs / 1000.0;
+        perThread[{name, tid}].add(durMs);
+        Stage &stage = stages[name];
+        stage.name = name;
+        if (stage.category.empty() && e.contains("cat"))
+            stage.category = e.at("cat").asString();
+        stage.totalMs += durMs;
+        stage.spanBeginUs = std::min(stage.spanBeginUs, tsUs);
+        stage.spanEndUs = std::max(stage.spanEndUs, tsUs + durUs);
+        ++spanCount;
+    }
+    for (auto &[key, samples] : perThread)
+        stages[key.first].durationsMs.merge(samples);
+
+    if (stages.empty()) {
+        std::printf("trace_report: no complete (\"X\") spans in %s\n",
+                    argv[1]);
+        return 0;
+    }
+
+    std::vector<const Stage *> rows;
+    rows.reserve(stages.size());
+    for (const auto &[name, stage] : stages)
+        rows.push_back(&stage);
+    std::sort(rows.begin(), rows.end(),
+              [](const Stage *a, const Stage *b) {
+                  return a->totalMs > b->totalMs;
+              });
+
+    std::printf("%-32s %-8s %8s %10s %10s %10s %10s %10s  %s\n",
+                "stage", "cat", "count", "total_ms", "mean_ms",
+                "p50_ms", "p99_ms", "ev_per_s", "");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Stage &s = *rows[i];
+        SampleSet samples = s.durationsMs; // percentile() sorts
+        const double windowS =
+            (s.spanEndUs - s.spanBeginUs) / 1e6;
+        const double throughput =
+            windowS > 0.0
+                ? static_cast<double>(samples.count()) / windowS
+                : 0.0;
+        std::printf(
+            "%-32s %-8s %8zu %10.3f %10.4f %10.4f %10.4f %10.1f  %s\n",
+            s.name.c_str(), s.category.c_str(), samples.count(),
+            s.totalMs, samples.mean(), samples.percentile(50.0),
+            samples.percentile(99.0), throughput,
+            i < 3 ? "HOT" : "");
+    }
+    std::printf("\n%zu spans across %zu stages\n", spanCount,
+                stages.size());
+    return 0;
+}
