@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Chaos bench: QoE versus fault severity, with and without the client
+ * resilience layer.
+ *
+ * A reference fault plan (loss burst + latency spike + bandwidth
+ * collapse + outage + server stall) is swept through severities 0..1
+ * via FaultPlan::scaled. For each severity the same session runs twice
+ * — bare client vs ResilientFetcher + graceful degradation — and the
+ * QoE aggregates (total frozen time, degraded frames, FPS) are
+ * reported. Severity 0 is the strict no-op point: both runs reproduce
+ * the clean Coterie system bit for bit.
+ *
+ * `--smoke` runs the endpoints of the sweep only (CI).
+ */
+
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hh"
+#include "net/resilience.hh"
+#include "sim/faults.hh"
+
+using namespace coterie;
+using namespace coterie::bench;
+using namespace coterie::core;
+
+namespace {
+
+/** The reference chaos script (severity 1) over a 30 s session. */
+sim::FaultPlan
+referencePlan()
+{
+    sim::FaultPlan plan;
+    plan.lossBurst(5000.0, 15000.0, 0.4)
+        .latencySpike(5000.0, 15000.0, 6.0)
+        .bandwidthCollapse(8000.0, 18000.0, 0.05)
+        .outage(20000.0, 21000.0)
+        .serverStall(24000.0, 24500.0);
+    return plan;
+}
+
+/** QoE aggregates of one run, summed across players. */
+struct Qoe
+{
+    double stallMs = 0.0;
+    std::uint64_t stalls = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t giveups = 0;
+    double avgFps = 0.0;
+    double hitRatio = 0.0;
+
+    /**
+     * QoE loss in display-time terms: frozen milliseconds plus one
+     * tick of degraded (stale-panorama) display per degraded frame.
+     * This is the quantity that grows monotonically with severity —
+     * resilience trades frozen time for degraded time, it cannot
+     * conjure the missing megaframes.
+     */
+    double qoeLossMs() const
+    {
+        return stallMs + (1000.0 / 60.0) * static_cast<double>(degraded);
+    }
+};
+
+Qoe
+aggregate(const SystemResult &result)
+{
+    Qoe q;
+    for (const PlayerMetrics &m : result.players) {
+        q.stallMs += m.stallMs;
+        q.stalls += m.stalls;
+        q.degraded += m.framesDegraded;
+        q.retries += m.netRetries;
+        q.timeouts += m.netTimeouts;
+        q.giveups += m.fetchGiveups;
+    }
+    q.avgFps = result.avgFps();
+    q.hitRatio = result.avgCacheHitRatio();
+    return q;
+}
+
+obs::Json
+toJson(const Qoe &q)
+{
+    obs::Json row = obs::Json::object();
+    row.set("stall_ms", obs::Json(q.stallMs));
+    row.set("stalls", obs::Json(static_cast<double>(q.stalls)));
+    row.set("degraded_frames",
+            obs::Json(static_cast<double>(q.degraded)));
+    row.set("retries", obs::Json(static_cast<double>(q.retries)));
+    row.set("timeouts", obs::Json(static_cast<double>(q.timeouts)));
+    row.set("giveups", obs::Json(static_cast<double>(q.giveups)));
+    row.set("avg_fps", obs::Json(q.avgFps));
+    row.set("cache_hit_ratio", obs::Json(q.hitRatio));
+    row.set("qoe_loss_ms", obs::Json(q.qoeLossMs()));
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke =
+        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    banner("Chaos — QoE vs fault severity, resilience on/off",
+           "robustness harness; see DESIGN.md §9");
+
+    const std::vector<double> severities =
+        smoke ? std::vector<double>{0.0, 1.0}
+              : std::vector<double>{0.0, 0.25, 0.5, 0.75, 1.0};
+
+    auto session = makeSession(world::gen::GameId::Viking, 2, 30.0);
+    const sim::FaultPlan reference = referencePlan();
+    net::ResilienceParams off; // bare client
+    net::ResilienceParams on;
+    on.enabled = true;
+
+    std::printf("\n  %-8s | %-21s | %-40s\n", "", "bare client",
+                "resilient client");
+    std::printf("  %-8s | %10s %10s | %10s %10s %7s %7s %10s\n",
+                "severity", "stall_ms", "fps", "stall_ms", "fps", "degr",
+                "retry", "qoe_loss");
+
+    obs::Json points = obs::Json::array();
+    for (const double severity : severities) {
+        const sim::FaultPlan plan = reference.scaled(severity);
+        const Qoe bare =
+            aggregate(session->runCoterieChaos(plan, off));
+        const Qoe resilient =
+            aggregate(session->runCoterieChaos(plan, on));
+        std::printf("  %8.2f | %10.1f %10.2f | %10.1f %10.2f %7llu "
+                    "%7llu %10.1f\n",
+                    severity, bare.stallMs, bare.avgFps,
+                    resilient.stallMs, resilient.avgFps,
+                    static_cast<unsigned long long>(resilient.degraded),
+                    static_cast<unsigned long long>(resilient.retries),
+                    resilient.qoeLossMs());
+        std::fflush(stdout);
+
+        obs::Json point = obs::Json::object();
+        point.set("severity", obs::Json(severity));
+        point.set("bare", toJson(bare));
+        point.set("resilient", toJson(resilient));
+        points.push(std::move(point));
+    }
+
+    obs::Json doc = obs::Json::object();
+    doc.set("game", obs::Json(std::string("viking")));
+    doc.set("players", obs::Json(2));
+    doc.set("duration_s", obs::Json(30.0));
+    doc.set("smoke", obs::Json(smoke));
+    doc.set("points", std::move(points));
+    writeBenchJson("chaos", doc);
+    return 0;
+}

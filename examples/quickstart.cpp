@@ -13,6 +13,11 @@
  * run through coterie-scope and writes `<basename>.trace.json` (Chrome
  * trace_event — open in Perfetto or feed to trace_report) plus
  * `<basename>.metrics.json` (the metrics-registry snapshot).
+ *
+ * With COTERIE_CHAOS=1 an extra chaos pass runs Coterie under a
+ * scripted fault plan (loss burst, bandwidth collapse, outage) with
+ * the resilience layer on — combine with COTERIE_TRACE and feed the
+ * trace to trace_report for the fault-timeline section.
  */
 
 #include <cstdio>
@@ -20,8 +25,10 @@
 #include <string>
 
 #include "core/session.hh"
+#include "net/resilience.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/faults.hh"
 
 using namespace coterie;
 using namespace coterie::core;
@@ -85,6 +92,34 @@ main(int argc, char **argv)
     std::printf("\nCoterie reduces the per-player network load %.1fx "
                 "while holding 60 FPS.\n",
                 reduction);
+
+    // 3. Optional chaos pass: the same session under a scripted fault
+    //    plan with the resilience layer on (see DESIGN.md §9).
+    if (std::getenv("COTERIE_CHAOS") != nullptr) {
+        const double ms = seconds * 1000.0;
+        sim::FaultPlan plan;
+        plan.lossBurst(0.15 * ms, 0.45 * ms, 0.35)
+            .latencySpike(0.15 * ms, 0.45 * ms, 4.0)
+            .bandwidthCollapse(0.50 * ms, 0.75 * ms, 0.08)
+            .outage(0.80 * ms, 0.84 * ms);
+        net::ResilienceParams rp;
+        rp.enabled = true;
+        const SystemResult chaos = session->runCoterieChaos(plan, rp);
+        double stallMs = 0.0;
+        std::uint64_t degraded = 0, retries = 0;
+        for (const PlayerMetrics &m : chaos.players) {
+            stallMs += m.stallMs;
+            degraded += m.framesDegraded;
+            retries += m.netRetries;
+        }
+        std::printf("\nchaos pass (scripted loss burst + bandwidth "
+                    "collapse + outage):\n");
+        std::printf("  %-14s %8.1f FPS, %.0f ms frozen, %llu degraded "
+                    "frames, %llu retries\n",
+                    chaos.systemName.c_str(), chaos.avgFps(), stallMs,
+                    static_cast<unsigned long long>(degraded),
+                    static_cast<unsigned long long>(retries));
+    }
 
     if (!traceBase.empty()) {
         obs::TraceRecorder::global().stop();

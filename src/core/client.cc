@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "net/endpoints.hh"
+#include "net/resilience.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "render/cost_model.hh"
@@ -44,6 +46,20 @@ struct ClientState
     TimeMs stallStart = 0.0;
     std::uint64_t deliveries = 0;      // total frames delivered
     std::uint64_t stallBaseline = 0;   // deliveries when stall began
+
+    // Resilience / chaos state (inert on a clean run: fetcher null,
+    // connected always true, every counter stays zero).
+    std::unique_ptr<net::ResilientFetcher> fetcher;
+    bool connected = true;
+    std::uint64_t stallCount = 0;
+    double stallMs = 0.0; // total frozen time across stalls
+    std::uint64_t framesDegraded = 0;
+    TimeMs lastDegradeAt = -1e18; // streak: consecutive degraded ticks
+    std::uint64_t disconnects = 0;
+    std::uint64_t rejoins = 0;
+    TimeMs rejoinAt = -1.0;        // last rejoin instant (-1 = never)
+    std::uint64_t probeFrames = 0; // displays inside the probe window
+    std::uint64_t probeHits = 0;   // of those, clean (no stall/degrade)
 
     // Accumulators.
     RunningStats interFrame;
@@ -84,19 +100,34 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
     const int players = traces.playerCount();
     const double duration = traces.durationMs();
 
+    // A null or empty fault plan collapses every chaos hook to the
+    // pre-chaos code path (the strict no-op contract).
+    const sim::FaultPlan *faults =
+        (config.faults != nullptr && !config.faults->empty())
+            ? config.faults
+            : nullptr;
+
     sim::EventQueue queue;
-    net::SharedChannel channel(queue, config.channel);
-    net::FrameServer server(queue, channel, [&](std::uint64_t key) {
-        const GridPoint g{
-            static_cast<std::int64_t>(key %
-                                      static_cast<std::uint64_t>(
-                                          grid.cols())),
-            static_cast<std::int64_t>(key /
-                                      static_cast<std::uint64_t>(
-                                          grid.cols()))};
-        return variant.farBeMode ? frames.farBeBytes(g)
-                                 : frames.wholeBeBytes(g);
-    });
+    net::SharedChannel channel(queue, config.channel, faults);
+    net::FrameServer server(
+        queue, channel,
+        [&](std::uint64_t key) {
+            const GridPoint g{
+                static_cast<std::int64_t>(key %
+                                          static_cast<std::uint64_t>(
+                                              grid.cols())),
+                static_cast<std::int64_t>(key /
+                                          static_cast<std::uint64_t>(
+                                              grid.cols()))};
+            return variant.farBeMode ? frames.farBeBytes(g)
+                                     : frames.wholeBeBytes(g);
+        },
+        config.serverNet, faults);
+    std::optional<sim::FaultDriver> fault_driver;
+    if (faults) {
+        fault_driver.emplace(queue, *faults);
+        fault_driver->arm();
+    }
     net::FiSync fi_sync(config.fiSync, 11);
     Prefetcher prefetcher(world, grid, regions, variant.prefetch);
 
@@ -120,6 +151,14 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
             cp.bucketEdge = std::max(1.0, max_thresh);
             clients[p].cache = std::make_unique<FrameCache>(cp);
         }
+        if (config.resilience.enabled) {
+            net::ResilienceParams rp = config.resilience;
+            // Independent jitter substream per client.
+            rp.seed = hashCombine(config.resilience.seed,
+                                  static_cast<std::uint64_t>(p) + 1);
+            clients[p].fetcher = std::make_unique<net::ResilientFetcher>(
+                queue, server, rp);
+        }
     }
 
     auto thresh_for = [&](std::uint32_t leaf_id) {
@@ -137,16 +176,15 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
 
     // Put the next queued request of client c on the wire.
     std::function<void(ClientState &)> pump = [&](ClientState &c) {
-        if (c.wireBusy || c.pipe.empty())
+        if (c.wireBusy || c.pipe.empty() || !c.connected)
             return;
         const FrameCache::Key key = c.pipe.front();
         c.pipe.pop_front();
         c.wireBusy = true;
         const TimeMs issued = queue.now();
-        server.request(key.gridKey, [&c, key, issued, &frames, &grid,
-                                     &variant, &pump, &clients](
-                                        std::uint64_t delivered_key,
-                                        TimeMs at) {
+        auto on_delivered = [&c, key, issued, &frames, &grid, &variant,
+                             &pump, &clients](std::uint64_t delivered_key,
+                                              TimeMs at) {
             c.requested.erase(delivered_key);
             c.wireBusy = false;
             const GridPoint g{
@@ -179,7 +217,22 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
                 }
             }
             pump(c);
-        });
+        };
+        if (c.fetcher) {
+            c.fetcher->fetch(
+                key.gridKey, std::move(on_delivered),
+                [&c, &pump](std::uint64_t failed_key, TimeMs) {
+                    // Give-up after maxAttempts: free the request pipe
+                    // and move on — the stall path degrades to the
+                    // newest stale panorama and re-requests later.
+                    c.requested.erase(failed_key);
+                    c.wireBusy = false;
+                    COTERIE_COUNT("client.fetch_giveups");
+                    pump(c);
+                });
+        } else {
+            server.request(key.gridKey, std::move(on_delivered));
+        }
     };
 
     // Enqueue a frame request; @p urgent puts it at the head of the
@@ -202,11 +255,71 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
     };
 
     // Per-client frame loop; defined recursively through the queue.
-    std::function<void(int)> schedule_frame = [&](int pid) {
+    std::function<void(int)> schedule_frame;
+
+    // Shared display epilogue: commit a frame after @p frame_time,
+    // record its latency, fold rejoin-probe accounting (@p hit = the
+    // frame was served without stall or degradation), then loop.
+    std::uint64_t degraded_total = 0;
+    auto display = [&](int pid, double frame_time, double latency,
+                       double render, bool hit) {
+        queue.scheduleIn(frame_time, [&, pid, latency, render, hit] {
+            ClientState &cc = clients[pid];
+            const TimeMs done = queue.now();
+            cc.interFrame.add(done - cc.lastDisplay);
+            cc.responsiveness.add(config.sensorMs + latency);
+            cc.renderMs.add(render);
+            cc.lastDisplay = done;
+            ++cc.framesDisplayed;
+            COTERIE_COUNT("client.frames_displayed");
+            // Simulated per-frame latency, comparable against the
+            // 16.7 ms QoE budget (Equation 2 / Table 6).
+            COTERIE_OBSERVE("client.frame_latency_sim_ms", latency);
+            if (cc.rejoinAt >= 0.0) {
+                const double lo =
+                    cc.rejoinAt + config.resilience.rejoinSettleMs;
+                if (done >= lo &&
+                    done < lo + config.resilience.rejoinProbeMs) {
+                    ++cc.probeFrames;
+                    if (hit)
+                        ++cc.probeHits;
+                }
+            }
+            schedule_frame(pid);
+        });
+    };
+
+    schedule_frame = [&](int pid) {
         ClientState &c = clients[pid];
         const TimeMs now = queue.now();
         if (now >= duration)
             return;
+
+        if (faults != nullptr && faults->disconnected(pid, now)) {
+            if (c.connected) {
+                // Scripted WLAN drop: the association resets — every
+                // in-flight fetch aborts, the request pipe clears, a
+                // stall in progress is abandoned.
+                c.connected = false;
+                ++c.disconnects;
+                COTERIE_COUNT("client.disconnects");
+                if (c.fetcher)
+                    c.fetcher->cancelAll();
+                c.pipe.clear();
+                c.requested.clear();
+                c.wireBusy = false;
+                if (c.stalled) {
+                    // The abandoned stall's frozen time still counts.
+                    c.stallMs += now - c.stallStart;
+                    c.stalled = false;
+                }
+            }
+            const TimeMs rejoin = faults->reconnectsAt(pid, now);
+            if (rejoin < duration)
+                queue.scheduleAt(rejoin,
+                                 [&, pid] { schedule_frame(pid); });
+            return;
+        }
 
         const trace::TracePoint &pose =
             poseAt(*c.trace, now, traces.tickMs);
@@ -214,6 +327,24 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
         const FrameCache::Key key = prefetcher.keyFor(g);
         if (c.cache)
             c.cache->setPlayerPosition(pose.position);
+
+        if (!c.connected) {
+            // Back on the WLAN: before resuming the frame loop,
+            // re-sync the cover set through the prefetcher (the
+            // movement heading went stale while offline, so cover all
+            // directions in one burst).
+            c.connected = true;
+            ++c.rejoins;
+            c.rejoinAt = now;
+            COTERIE_COUNT("client.rejoins");
+            obs::TraceRecorder::global().instant("client.rejoin",
+                                                 "fault", now);
+            c.lastGrid = GridPoint{-1, -1};
+            for (const PrefetchTarget &t : prefetcher.resyncTargets(
+                     g, pose.position, c.cache.get(), distThresholds)) {
+                request_frame(c, prefetcher.keyFor(t.point));
+            }
+        }
 
         // New grid point: issue prefetches for the upcoming cover set.
         // The prefetch direction follows the player's *movement* (which
@@ -246,8 +377,18 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
                                       world, pose.position, 0.0, cutoff,
                                       config.profile.cost)
                 : config.rtFiMs;
+        // FI sync rides the same WLAN: scripted loss bursts hit it too,
+        // and an outage (bandwidth factor 0) loses every tick. With no
+        // faults the 0-loss overload draws the identical rng stream.
+        const double fi_loss =
+            faults != nullptr
+                ? (faults->bandwidthFactor(now) <= 0.0
+                       ? 1.0
+                       : std::min(1.0,
+                                  faults->extraLossProbability(now)))
+                : 0.0;
         const double sync =
-            players > 1 ? fi_sync.syncLatencyMs(players) : 0.0;
+            players > 1 ? fi_sync.syncLatencyMs(players, fi_loss) : 0.0;
         const double core = std::max({render, decode_ms, sync});
 
         // A stalled frame unblocks either when the exact BE arrives or
@@ -256,6 +397,7 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
         // what lets the real Multi-Furion degrade to ~45 FPS instead of
         // freezing. The slight BE staleness is why its measured SSIM
         // trails Coterie's (Table 7).
+        const bool was_stalled = c.stalled;
         const bool unblocked =
             c.stalled && c.deliveries > c.stallBaseline;
         if (unblocked || frame_available(c, key)) {
@@ -269,6 +411,7 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
                 // Pad to the display refresh: a short stall still
                 // cannot beat vsync.
                 const double waited = now - c.stallStart;
+                c.stallMs += waited;
                 frame_time =
                     std::max(config.mergeMs, config.tickMs - waited);
                 latency = waited + config.mergeMs;
@@ -278,20 +421,7 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
                 frame_time = std::max(config.tickMs, pipeline);
                 latency = pipeline;
             }
-            queue.scheduleIn(frame_time, [&, pid, latency, render] {
-                ClientState &cc = clients[pid];
-                const TimeMs done = queue.now();
-                cc.interFrame.add(done - cc.lastDisplay);
-                cc.responsiveness.add(config.sensorMs + latency);
-                cc.renderMs.add(render);
-                cc.lastDisplay = done;
-                ++cc.framesDisplayed;
-                COTERIE_COUNT("client.frames_displayed");
-                // Simulated per-frame latency, comparable against the
-                // 16.7 ms QoE budget (Equation 2 / Table 6).
-                COTERIE_OBSERVE("client.frame_latency_sim_ms", latency);
-                schedule_frame(pid);
-            });
+            display(pid, frame_time, latency, render, !was_stalled);
         } else {
             // Stall: the needed frame is missing. Ensure it is on the
             // wire, then poll for its arrival (cheap 1 ms poll).
@@ -299,7 +429,43 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
                 c.stalled = true;
                 c.stallStart = now;
                 c.stallBaseline = c.deliveries;
+                ++c.stallCount;
                 COTERIE_COUNT("client.stalls");
+            }
+            const double waited = now - c.stallStart;
+            // Reprojection-style streak: the degradeAfterMs threshold
+            // is paid once per miss, not per frame — while the urgent
+            // fetch stays outstanding, subsequent ticks keep re-showing
+            // the stale panorama at display cadence instead of
+            // re-freezing for another threshold.
+            const bool degrade_streak =
+                now - c.lastDegradeAt <= config.tickMs * 1.5;
+            if (c.fetcher != nullptr && c.cache != nullptr &&
+                (waited >= config.resilience.degradeAfterMs ||
+                 degrade_streak) &&
+                c.cache->entryCount() > 0) {
+                // Graceful degradation: rather than freezing on the
+                // missing megaframe, re-display the newest cached
+                // panorama (frame similarity makes the stale far BE
+                // perceptually close) and account a *degraded* frame.
+                // The urgent fetch stays in flight and repairs the
+                // cache when it lands.
+                ++c.framesDegraded;
+                ++degraded_total;
+                c.stallMs += waited;
+                c.lastDegradeAt = now;
+                COTERIE_COUNT("qoe.degraded_frames");
+                obs::TraceRecorder::global().counter(
+                    "qoe.degraded_frames",
+                    static_cast<double>(degraded_total));
+                c.stalled = false;
+                const double frame_time =
+                    std::max(config.mergeMs, config.tickMs - waited);
+                const double latency = waited + config.mergeMs;
+                request_frame(c, key, /*urgent=*/true);
+                display(pid, frame_time, latency, render,
+                        /*hit=*/false);
+                return;
             }
             request_frame(c, key, /*urgent=*/true);
             queue.scheduleIn(1.0, [&, pid] { schedule_frame(pid); });
@@ -345,6 +511,21 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
                 : 0.0;
         if (c.cache)
             m.cacheStats = c.cache->stats();
+        m.stalls = c.stallCount;
+        m.stallMs = c.stallMs;
+        m.framesDegraded = c.framesDegraded;
+        m.disconnects = c.disconnects;
+        m.rejoins = c.rejoins;
+        if (c.fetcher) {
+            m.netRetries = c.fetcher->stats().retries;
+            m.netTimeouts = c.fetcher->stats().timeouts;
+            m.fetchGiveups = c.fetcher->stats().failures;
+        }
+        m.rejoinHitRatio =
+            c.probeFrames > 0
+                ? static_cast<double>(c.probeHits) /
+                      static_cast<double>(c.probeFrames)
+                : -1.0;
         m.gpuPct = device::gpuLoadPct(config.profile, m.renderMsPerFrame,
                                       std::min(m.fps, 60.0));
         device::CpuLoadInputs cpu_in;

@@ -60,6 +60,39 @@ Prefetcher::keyFor(GridPoint g) const
 }
 
 std::vector<PrefetchTarget>
+Prefetcher::resyncTargets(GridPoint at, Vec2 exactPos, FrameCache *cache,
+                          const std::vector<double> &thresholds) const
+{
+    std::vector<GridPoint> pts;
+    pts.push_back(at); // the current frame is the most urgent
+    constexpr double kPi = 3.14159265358979323846;
+    for (int k = 0; k < 8; ++k) {
+        for (const GridPoint g :
+             coverSet(at, exactPos, k * (kPi / 4.0))) {
+            if (std::find_if(pts.begin(), pts.end(), [&](GridPoint q) {
+                    return q == g;
+                }) == pts.end()) {
+                pts.push_back(g);
+            }
+        }
+    }
+    std::vector<PrefetchTarget> out;
+    for (const GridPoint g : pts) {
+        const FrameCache::Key key = keyFor(g);
+        if (cache) {
+            const double thresh =
+                key.leafRegionId < thresholds.size()
+                    ? thresholds[key.leafRegionId]
+                    : 0.0;
+            if (cache->lookup(key, thresh))
+                continue;
+        }
+        out.push_back(PrefetchTarget{g, key.gridKey});
+    }
+    return out;
+}
+
+std::vector<PrefetchTarget>
 Prefetcher::misses(GridPoint at, Vec2 exactPos, double dirRadians,
                    FrameCache *cache,
                    const std::vector<double> &thresholds) const

@@ -76,6 +76,17 @@ class Prefetcher
                                        const std::vector<double> &thresholds)
         const;
 
+    /**
+     * Rejoin re-sync set: after a disconnect the movement heading is
+     * stale, so cover *all* directions — the union of cover sets over
+     * eight headings around @p at (the current point first), filtered
+     * by what the cache can still serve. This is what restores a
+     * rejoining client's frame-cache cover set in one burst.
+     */
+    std::vector<PrefetchTarget> resyncTargets(
+        world::GridPoint at, geom::Vec2 exactPos, FrameCache *cache,
+        const std::vector<double> &thresholds) const;
+
     /** Build a cache key for a grid point (near-set signature etc). */
     FrameCache::Key keyFor(world::GridPoint g) const;
 

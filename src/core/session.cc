@@ -140,4 +140,18 @@ Session::runCoterieSystem(bool withCache, ReplacementPolicy policy) const
     return runCoterie(systemConfig(), distThresholds_, withCache, policy);
 }
 
+SystemResult
+Session::runCoterieChaos(const sim::FaultPlan &faults,
+                         const net::ResilienceParams &resilience,
+                         net::FrameServerParams serverNet,
+                         bool withCache) const
+{
+    SystemConfig config = systemConfig();
+    config.faults = &faults;
+    config.resilience = resilience;
+    config.serverNet = serverNet;
+    return runCoterie(config, distThresholds_, withCache,
+                      ReplacementPolicy::Lru);
+}
+
 } // namespace coterie::core

@@ -85,6 +85,18 @@ class Session
                                   ReplacementPolicy policy =
                                       ReplacementPolicy::Lru) const;
 
+    /**
+     * Coterie under a scripted fault plan (the chaos harness): the
+     * channel/server degrade per @p faults, the clients apply
+     * @p resilience, and the server honours @p serverNet fan-out
+     * limits. With an empty plan, disabled resilience, and default
+     * server params this is bit-identical to runCoterieSystem().
+     */
+    SystemResult runCoterieChaos(const sim::FaultPlan &faults,
+                                 const net::ResilienceParams &resilience,
+                                 net::FrameServerParams serverNet = {},
+                                 bool withCache = true) const;
+
   private:
     Session(world::gen::GameId game, const SessionParams &params,
             const OfflineArtifacts *artifacts);

@@ -13,7 +13,10 @@
 #include "core/server.hh"
 #include "device/phone.hh"
 #include "net/channel.hh"
+#include "net/endpoints.hh"
 #include "net/fi_sync.hh"
+#include "net/resilience.hh"
+#include "sim/faults.hh"
 #include "support/stats.hh"
 #include "trace/trace.hh"
 
@@ -40,6 +43,16 @@ struct SystemConfig
     double sensorMs = 1.0;
     /** Display refresh budget (60 Hz). */
     double tickMs = 1000.0 / 60.0;
+
+    /**
+     * Optional scripted fault plan (chaos harness, sim/faults.hh).
+     * Null or empty = the clean pre-chaos run, bit for bit.
+     */
+    const sim::FaultPlan *faults = nullptr;
+    /** Client-side resilience policy; disabled = pre-chaos client. */
+    net::ResilienceParams resilience{};
+    /** Server fan-out guard; default (unbounded) = pre-chaos server. */
+    net::FrameServerParams serverNet{};
 };
 
 /** Per-player outcome of a run. */
@@ -61,6 +74,22 @@ struct PlayerMetrics
     std::uint64_t gridTransitions = 0;
     double cacheHitRatio = 0.0; ///< 1 - fetches/transitions (see docs)
     CacheStats cacheStats{};
+
+    // Resilience / chaos accounting (all zero on a clean run).
+    std::uint64_t stalls = 0;         ///< display stalls entered
+    double stallMs = 0.0;             ///< total frozen time across stalls
+    std::uint64_t framesDegraded = 0; ///< stale-panorama substitutions
+    std::uint64_t netRetries = 0;     ///< fetch attempts after a timeout
+    std::uint64_t netTimeouts = 0;    ///< per-attempt deadline misses
+    std::uint64_t fetchGiveups = 0;   ///< fetches failed after maxAttempts
+    std::uint64_t disconnects = 0;    ///< scripted WLAN drops entered
+    std::uint64_t rejoins = 0;        ///< reconnects completed
+    /**
+     * Frame-level hit ratio inside the post-rejoin probe window: the
+     * fraction of displayed frames (after the settle period) served
+     * without a stall or degradation. -1 when no window was observed.
+     */
+    double rejoinHitRatio = -1.0;
 };
 
 /** Whole-session outcome. */

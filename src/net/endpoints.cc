@@ -1,28 +1,164 @@
 #include "net/endpoints.hh"
 
+#include <algorithm>
 #include <utility>
+
+#include "obs/metrics.hh"
 
 namespace coterie::net {
 
 FrameServer::FrameServer(sim::EventQueue &queue, SharedChannel &channel,
-                         FrameSizeFn frameSize)
-    : queue_(queue), channel_(channel), frameSize_(std::move(frameSize))
+                         FrameSizeFn frameSize, FrameServerParams params,
+                         const sim::FaultPlan *faults)
+    : queue_(queue), channel_(channel), frameSize_(std::move(frameSize)),
+      params_(params), faults_(faults)
 {
 }
 
-void
+bool
+FrameServer::stalledNow() const
+{
+    return faults_ != nullptr && faults_->serverStalled(queue_.now());
+}
+
+RequestId
 FrameServer::request(std::uint64_t frameKey, FrameDelivered onDelivery)
 {
-    const std::uint64_t bytes = frameSize_(frameKey);
-    const sim::TimeMs issued = queue_.now();
-    channel_.startTransfer(
-        bytes, [this, frameKey, issued,
-                onDelivery = std::move(onDelivery)](sim::TimeMs at) {
+    return request(frameKey, std::move(onDelivery), RequestOptions{});
+}
+
+RequestId
+FrameServer::request(std::uint64_t frameKey, FrameDelivered onDelivery,
+                     RequestOptions options)
+{
+    const RequestId id = ++nextId_;
+    Waiting w;
+    w.frameKey = frameKey;
+    w.issuedAt = queue_.now();
+    w.deadlineMs = options.deadlineMs;
+    w.onDelivery = std::move(onDelivery);
+    w.onExpired = std::move(options.onExpired);
+
+    const bool capacity =
+        params_.maxInFlight <= 0 ||
+        inflight_.size() < static_cast<std::size_t>(params_.maxInFlight);
+    if (capacity && !stalledNow()) {
+        startRequest(id, std::move(w));
+        return id;
+    }
+
+    // Fan-out guard / scripted stall: the request joins the FIFO
+    // backlog and is re-served when a slot frees or the stall ends.
+    if (stalledNow()) {
+        ++stallDeferrals_;
+        COTERIE_COUNT("server.stall_deferrals");
+    } else {
+        COTERIE_COUNT("server.backlogged");
+    }
+    fifo_.push_back(id);
+    waiting_.emplace(id, std::move(w));
+    pumpPending();
+    return id;
+}
+
+void
+FrameServer::startRequest(RequestId id, Waiting w)
+{
+    const std::uint64_t bytes = frameSize_(w.frameKey);
+    const sim::TimeMs now = queue_.now();
+    const std::uint64_t frameKey = w.frameKey;
+    const sim::TimeMs issued = w.issuedAt;
+
+    TransferOptions topts;
+    if (w.deadlineMs > 0.0) {
+        // The deadline was issued at request time; a backlogged wait
+        // consumes part of it.
+        const double remaining = w.issuedAt + w.deadlineMs - now;
+        if (remaining <= 0.0) {
+            COTERIE_COUNT("server.expired_in_backlog");
+            if (w.onExpired)
+                w.onExpired(frameKey, now);
+            return;
+        }
+        topts.deadlineMs = remaining;
+        topts.onExpired = [this, id, frameKey,
+                           onExpired = std::move(w.onExpired)](
+                              sim::TimeMs at) {
+            inflight_.erase(id);
+            if (onExpired)
+                onExpired(frameKey, at);
+            pumpPending();
+        };
+    }
+
+    const TransferId tid = channel_.startTransfer(
+        bytes,
+        [this, id, frameKey, issued,
+         onDelivery = std::move(w.onDelivery)](sim::TimeMs at) {
             ++served_;
             latency_.add(at - issued);
+            inflight_.erase(id);
             if (onDelivery)
                 onDelivery(frameKey, at);
-        });
+            pumpPending();
+        },
+        std::move(topts));
+    inflight_.emplace(id, tid);
+}
+
+void
+FrameServer::pumpPending()
+{
+    while (!fifo_.empty()) {
+        if (params_.maxInFlight > 0 &&
+            inflight_.size() >=
+                static_cast<std::size_t>(params_.maxInFlight))
+            return;
+        if (stalledNow())
+            break;
+        const RequestId id = fifo_.front();
+        fifo_.pop_front();
+        const auto it = waiting_.find(id);
+        if (it == waiting_.end())
+            continue; // cancelled while backlogged
+        Waiting w = std::move(it->second);
+        waiting_.erase(it);
+        startRequest(id, std::move(w));
+    }
+
+    // Stalled with work queued: wake up exactly at the scripted stall
+    // end (drop-and-requeue — the backlog survives, service restarts).
+    if (!fifo_.empty() && stalledNow()) {
+        const sim::TimeMs end =
+            faults_->serverStallEndsAt(queue_.now());
+        if (stallPumpAt_ != end) {
+            stallPumpAt_ = end;
+            // The wake-up revalidates via pumpPending's own stall and
+            // capacity checks (and stallPumpAt_), so a stale event is
+            // harmless.
+            queue_.scheduleAt(end, [this, end] {
+                if (stallPumpAt_ == end) {
+                    stallPumpAt_ = -1.0;
+                    pumpPending();
+                }
+            });
+        }
+    }
+}
+
+bool
+FrameServer::cancel(RequestId id)
+{
+    if (waiting_.erase(id) > 0)
+        return true; // lazy fifo entry is skipped at pump time
+    const auto it = inflight_.find(id);
+    if (it == inflight_.end())
+        return false;
+    const TransferId tid = it->second;
+    inflight_.erase(it);
+    channel_.cancel(tid);
+    pumpPending(); // the slot is free again
+    return true;
 }
 
 } // namespace coterie::net

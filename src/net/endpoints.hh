@@ -3,12 +3,23 @@
  * Server / client network endpoints over the shared channel: the
  * frame-request protocol (client asks for the pre-rendered panorama of
  * a grid point; server replies with the encoded frame bytes over TCP).
+ *
+ * Resilience hooks: requests are addressable (`RequestId`) so a client
+ * can cancel or deadline an outstanding fetch; the server enforces a
+ * fan-out guard (bounded concurrent transfers, FIFO backlog beyond the
+ * bound) and honours scripted `ServerStall` fault episodes by deferring
+ * new service starts until the stall ends (drop-and-requeue: stalled
+ * work returns to the backlog instead of blocking the event loop).
+ * With default parameters and no fault plan the server is bit-for-bit
+ * the pre-chaos pass-through.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 
 #include "net/channel.hh"
 #include "support/stats.hh"
@@ -22,6 +33,31 @@ using FrameSizeFn = std::function<std::uint64_t(std::uint64_t frameKey)>;
 using FrameDelivered =
     std::function<void(std::uint64_t frameKey, sim::TimeMs at)>;
 
+/** Handle for an issued request; 0 is never a valid id. */
+using RequestId = std::uint64_t;
+inline constexpr RequestId kInvalidRequest = 0;
+
+/** Server-side fan-out guard configuration. */
+struct FrameServerParams
+{
+    /**
+     * Maximum transfers the server keeps on the wire concurrently;
+     * further requests wait in a FIFO backlog. 0 = unbounded (the
+     * pre-chaos behaviour).
+     */
+    int maxInFlight = 0;
+};
+
+/** Per-request delivery constraints (all optional). */
+struct RequestOptions
+{
+    /** Hard deadline from the request call (ms); the request is
+     *  dropped (wherever it is: backlog or wire) and @p onExpired
+     *  fires when it lapses. <= 0 disables. */
+    double deadlineMs = 0.0;
+    FrameDelivered onExpired;
+};
+
 /**
  * The rendering server's network face: accepts requests, serves the
  * encoded pre-rendered frame over the shared channel. Per-request
@@ -32,24 +68,72 @@ class FrameServer
 {
   public:
     FrameServer(sim::EventQueue &queue, SharedChannel &channel,
-                FrameSizeFn frameSize);
+                FrameSizeFn frameSize, FrameServerParams params = {},
+                const sim::FaultPlan *faults = nullptr);
 
     /** A client requests @p frameKey; @p onDelivery fires at arrival. */
-    void request(std::uint64_t frameKey, FrameDelivered onDelivery);
+    RequestId request(std::uint64_t frameKey, FrameDelivered onDelivery);
+
+    /** As above with per-request options (deadline, expiry). */
+    RequestId request(std::uint64_t frameKey, FrameDelivered onDelivery,
+                      RequestOptions options);
+
+    /**
+     * Abort a backlogged or in-flight request; its callbacks never
+     * fire. Returns false when the id is unknown (delivered, expired,
+     * or already cancelled).
+     */
+    bool cancel(RequestId id);
 
     /** Number of requests served so far. */
     std::uint64_t requestsServed() const { return served_; }
+
+    /** Requests waiting in the fan-out backlog right now. */
+    std::size_t backlog() const { return waiting_.size(); }
+
+    /** Requests currently on the wire. */
+    std::size_t inFlight() const { return inflight_.size(); }
+
+    /** Requests deferred by a scripted server stall so far. */
+    std::uint64_t stallDeferrals() const { return stallDeferrals_; }
 
     /** Distribution of transfer latencies (ms). */
     const RunningStats &transferLatency() const { return latency_; }
 
   private:
+    struct Waiting
+    {
+        std::uint64_t frameKey = 0;
+        sim::TimeMs issuedAt = 0.0;
+        double deadlineMs = 0.0; ///< original request deadline (0 = none)
+        FrameDelivered onDelivery;
+        FrameDelivered onExpired;
+    };
+
+    /** True while a scripted ServerStall episode is in force. */
+    bool stalledNow() const;
+
+    /** Put request @p id on the wire (translating its deadline to the
+     *  time remaining). */
+    void startRequest(RequestId id, Waiting w);
+
+    /** Drain the backlog while capacity allows and no stall is in
+     *  force; schedules its own wake-up at the stall end otherwise. */
+    void pumpPending();
+
     sim::EventQueue &queue_;
     SharedChannel &channel_;
     FrameSizeFn frameSize_;
+    FrameServerParams params_;
+    const sim::FaultPlan *faults_ = nullptr;
+    RequestId nextId_ = 0;
+    std::deque<RequestId> fifo_;          ///< backlog order
+    std::map<RequestId, Waiting> waiting_; ///< backlog bodies
+    std::map<RequestId, TransferId> inflight_;
+    sim::TimeMs stallPumpAt_ = -1.0; ///< pending stall-end wake-up
     std::uint64_t served_ = 0;
+    std::uint64_t stallDeferrals_ = 0;
     RunningStats latency_;
 };
 
 } // namespace coterie::net
-

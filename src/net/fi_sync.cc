@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
+
 namespace coterie::net {
 
 FiSync::FiSync(FiSyncParams params, std::uint64_t seed)
@@ -13,13 +15,37 @@ FiSync::FiSync(FiSyncParams params, std::uint64_t seed)
 double
 FiSync::syncLatencyMs(int players)
 {
+    return syncLatencyMs(players, 0.0);
+}
+
+double
+FiSync::syncLatencyMs(int players, double lossProbability)
+{
     // Round trip: upload own FI, download combined FI. Slightly more
     // serialization work with more players.
     const double base = 2.0 * params_.meanLatencyMs;
     const double per_player = 0.08 * std::max(0, players - 1);
     const double jitter =
         std::abs(rng_.normal(0.0, params_.latencyJitterMs));
-    return base + per_player + jitter;
+    const double clean = base + per_player + jitter;
+    // The loss draw happens only under a lossy channel, so the clean
+    // path consumes exactly the historical random stream.
+    if (lossProbability <= 0.0 || !rng_.chance(lossProbability)) {
+        consecutiveDrops_ = 0;
+        return clean;
+    }
+    if (++consecutiveDrops_ <= params_.dropToleranceTicks) {
+        // Tolerated drop: dead-reckon remote players from their last
+        // velocity instead of waiting for the lost update.
+        ++dropsTolerated_;
+        COTERIE_COUNT("fi.drops_tolerated");
+        return clean + params_.deadReckonPenaltyMs;
+    }
+    // Tolerance exhausted: block until a retransmitted update lands.
+    consecutiveDrops_ = 0;
+    ++syncStalls_;
+    COTERIE_COUNT("fi.sync_stalls");
+    return clean + params_.retransmitWaitMs;
 }
 
 double

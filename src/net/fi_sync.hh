@@ -7,6 +7,13 @@
  * the combined state for the next render interval. The paper measures
  * this at 2-3 ms per sync and 1 Kbps - 275 Kbps of traffic, 2-4 orders
  * of magnitude below BE traffic (Table 9).
+ *
+ * Drop tolerance: FI updates are tiny and frequent, so a lost tick is
+ * cheap to hide — the client dead-reckons remote players from their
+ * last velocity for up to `dropToleranceTicks` consecutive losses
+ * (paying only a small extrapolation cost) before it must block a full
+ * retransmit round trip. This is what keeps scripted loss bursts from
+ * turning every FI tick into a stall.
  */
 
 #pragma once
@@ -28,6 +35,15 @@ struct FiSyncParams
     /** Mean one-way latency (ms); paper: 2-3 ms round trip. */
     double meanLatencyMs = 1.1;
     double latencyJitterMs = 0.35;
+    /** Consecutive lost sync ticks the client papers over with dead
+     *  reckoning before blocking on a retransmit. */
+    int dropToleranceTicks = 3;
+    /** Extrapolation cost per dead-reckoned tick (ms): recomputing
+     *  remote transforms from the last known velocities. */
+    double deadReckonPenaltyMs = 0.4;
+    /** Blocking retransmit wait once tolerance is exhausted (ms) —
+     *  roughly one display tick. */
+    double retransmitWaitMs = 1000.0 / 60.0;
 };
 
 /**
@@ -46,6 +62,21 @@ class FiSync
     double syncLatencyMs(int players);
 
     /**
+     * As above under a lossy channel: each tick is lost with
+     * @p lossProbability. Tolerated losses cost only the dead-reckoning
+     * penalty; beyond `dropToleranceTicks` consecutive losses the sync
+     * blocks a retransmit wait. With lossProbability == 0 this draws
+     * exactly the same random stream as the 1-arg overload.
+     */
+    double syncLatencyMs(int players, double lossProbability);
+
+    /** Lost ticks hidden by dead reckoning so far. */
+    std::uint64_t dropsTolerated() const { return dropsTolerated_; }
+
+    /** Sync stalls after exhausting the drop tolerance. */
+    std::uint64_t syncStalls() const { return syncStalls_; }
+
+    /**
      * Aggregate FI bandwidth with @p players active, in Kbps: each
      * player uploads its state and downloads the other players' states
      * each tick. With one player there are no remote duplicates to
@@ -58,6 +89,9 @@ class FiSync
   private:
     FiSyncParams params_;
     Rng rng_;
+    int consecutiveDrops_ = 0;
+    std::uint64_t dropsTolerated_ = 0;
+    std::uint64_t syncStalls_ = 0;
 };
 
 } // namespace coterie::net

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Client-side fetch resilience: deadline-aware timeouts, capped
+ * exponential backoff with deterministic jitter, duplicate-request
+ * suppression, and give-up signalling.
+ *
+ * The split-rendering client's QoE rests on far-BE megaframes arriving
+ * inside the prefetch window; when the WLAN misbehaves (see
+ * sim/faults.hh) a naive client parks a TCP stream behind a dead
+ * transfer and stalls. `ResilientFetcher` wraps `FrameServer::request`
+ * with a per-attempt deadline: an attempt that misses it is cancelled
+ * at the channel (releasing its share of the link — the TCP-reset
+ * analogue) and re-issued after backoff. Retry jitter is drawn from a
+ * seeded generator in event order, so chaos runs stay bit-identical at
+ * any `COTERIE_THREADS`.
+ *
+ * Give-up is explicit: after `maxAttempts` the fetch fails and the
+ * caller decides — the Coterie client substitutes the newest stale
+ * panorama (the paper's own frame-similarity argument makes this
+ * QoE-sound) and accounts a *degraded* frame rather than a stall.
+ *
+ * With `timeoutMs <= 0` (or when no attempt ever times out) the
+ * fetcher is a transparent pass-through: it issues exactly the
+ * requests the bare client would, in the same order, with no extra
+ * randomness — the strict no-op the empty-FaultPlan acceptance check
+ * relies on.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/endpoints.hh"
+#include "support/rng.hh"
+
+namespace coterie::net {
+
+/** Client resilience policy knobs. */
+struct ResilienceParams
+{
+    /** Master switch; off = the pre-chaos client code path. */
+    bool enabled = false;
+    /**
+     * Per-attempt deadline (ms). Chosen against the prefetch window,
+     * not the 16.7 ms frame budget: a megaframe transfer legitimately
+     * takes a few ms under contention, so the timeout only fires when
+     * the link is genuinely degraded. <= 0 disables timeouts (fetches
+     * then behave exactly like bare requests).
+     */
+    double timeoutMs = 60.0;
+    /** Exponential backoff: base * 2^(attempt-1), capped. */
+    double backoffBaseMs = 8.0;
+    double backoffCapMs = 160.0;
+    /** Deterministic jitter: each backoff is scaled by a uniform
+     *  factor in [1 - frac, 1 + frac] drawn from the fetcher seed. */
+    double backoffJitterFrac = 0.25;
+    /** Total attempts (first try included) before giving up. */
+    int maxAttempts = 5;
+    /**
+     * Stall age (ms) after which the client substitutes the newest
+     * stale cached panorama and accounts a degraded frame instead of
+     * stalling further. One display tick by default: a resilient
+     * client never freezes longer than a vsync when it has anything
+     * plausible to show. The threshold is paid once per miss —
+     * while the repair fetch stays outstanding, consecutive ticks
+     * keep re-displaying at cadence (reprojection-style) rather than
+     * re-freezing for another threshold.
+     */
+    double degradeAfterMs = 1000.0 / 60.0;
+    /** Rejoin probe: hit-ratio measurement window after a disconnect
+     *  ends, preceded by a settle period for the cover-set re-sync. */
+    double rejoinSettleMs = 3000.0;
+    double rejoinProbeMs = 8000.0;
+    /** Seed for the backoff jitter draws (forked per client). */
+    std::uint64_t seed = 4242;
+};
+
+/** Cumulative fetcher accounting (per client). */
+struct FetchStats
+{
+    std::uint64_t delivered = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t failures = 0;   ///< give-ups after maxAttempts
+    std::uint64_t duplicates = 0; ///< suppressed concurrent fetches
+    std::uint64_t cancelled = 0;  ///< dropped by cancelAll()
+    std::uint64_t recoveries = 0; ///< deliveries that needed a retry
+};
+
+/**
+ * Retry/timeout wrapper around one client's view of the FrameServer.
+ * Not thread-safe; lives on the simulation thread like everything
+ * else in the event-driven session.
+ */
+class ResilientFetcher
+{
+  public:
+    /** Delivery / give-up callbacks (sim-time stamped). */
+    using Delivered =
+        std::function<void(std::uint64_t key, sim::TimeMs at)>;
+    using Failed = std::function<void(std::uint64_t key, sim::TimeMs at)>;
+
+    ResilientFetcher(sim::EventQueue &queue, FrameServer &server,
+                     ResilienceParams params);
+
+    /**
+     * Fetch @p key. A concurrent fetch of the same key attaches to the
+     * outstanding attempt (duplicate suppression) instead of issuing a
+     * second request. @p onFailed (optional) fires after the final
+     * attempt times out.
+     */
+    void fetch(std::uint64_t key, Delivered onDelivered,
+               Failed onFailed = {});
+
+    /** Whether @p key has an outstanding fetch (attempt or backoff). */
+    bool inFlight(std::uint64_t key) const
+    {
+        return pending_.count(key) > 0;
+    }
+
+    /**
+     * Abandon every outstanding fetch without firing callbacks (the
+     * disconnect path: a client that drops off the WLAN resets its
+     * streams). Returns how many fetches were dropped.
+     */
+    std::size_t cancelAll();
+
+    const FetchStats &stats() const { return stats_; }
+    const ResilienceParams &params() const { return params_; }
+
+  private:
+    struct PendingFetch
+    {
+        int attempt = 1;
+        sim::TimeMs firstIssuedAt = 0.0;
+        RequestId requestId = kInvalidRequest; ///< 0 while backing off
+        std::uint64_t generation = 0; ///< guards backoff wake-ups
+        std::vector<Delivered> onDelivered;
+        std::vector<Failed> onFailed;
+    };
+
+    void issueAttempt(std::uint64_t key);
+    void onAttemptExpired(std::uint64_t key, sim::TimeMs at);
+    void onDelivered(std::uint64_t key, sim::TimeMs at);
+    double backoffDelayMs(int attempt);
+
+    sim::EventQueue &queue_;
+    FrameServer &server_;
+    ResilienceParams params_;
+    std::map<std::uint64_t, PendingFetch> pending_;
+    FetchStats stats_;
+    Rng rng_;
+};
+
+} // namespace coterie::net

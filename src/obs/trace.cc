@@ -84,7 +84,8 @@ TraceRecorder::counter(const char *name, double value)
 }
 
 void
-TraceRecorder::instant(const char *name, const char *category)
+TraceRecorder::instant(const char *name, const char *category,
+                       double simMs)
 {
     if (!enabled())
         return;
@@ -96,7 +97,7 @@ TraceRecorder::instant(const char *name, const char *category)
     e.beginNs = monotonicNowNs();
     e.durNs = 0;
     e.value = 0.0;
-    e.simMs = -1.0;
+    e.simMs = simMs;
     push(std::move(e));
 }
 
@@ -180,6 +181,11 @@ TraceRecorder::toJson() const
             j.set("tid", Json(e.tid));
             j.set("ts", Json(relUs(e.beginNs)));
             j.set("s", Json("t"));
+            if (e.simMs >= 0.0) {
+                Json args = Json::object();
+                args.set("sim_ms", Json(e.simMs));
+                j.set("args", std::move(args));
+            }
             break;
         }
         }

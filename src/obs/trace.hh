@@ -73,8 +73,11 @@ class TraceRecorder
     /** Record a counter-track sample ("ph":"C"). */
     void counter(const char *name, double value);
 
-    /** Record an instant event ("ph":"i", thread scope). */
-    void instant(const char *name, const char *category);
+    /** Record an instant event ("ph":"i", thread scope). @p simMs
+     *  attaches simulated time as an arg when non-negative (used by
+     *  the fault-injection driver's episode boundary markers). */
+    void instant(const char *name, const char *category,
+                 double simMs = -1.0);
 
     std::size_t eventCount() const;
 

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Deterministic, sim-time-scripted fault injection (the chaos harness).
+ *
+ * Coterie's QoE argument (Tables 6/7, the 16.7 ms frame budget) assumes
+ * the 802.11ac WLAN mostly delivers far-BE megaframes on time. A
+ * FaultPlan scripts *when it does not*: composable episodes — loss
+ * bursts, latency spikes, bandwidth collapse, full channel outage,
+ * server prerender stalls, per-client disconnect/rejoin — each active
+ * over a half-open sim-time window [startMs, endMs).
+ *
+ * The plan is a pure function of simulation time: every query
+ * (`extraLossProbability(t)`, `bandwidthFactor(t)`, ...) depends only
+ * on the scripted episodes and @p t, never on wall clocks or call
+ * order, so chaos runs are bit-identical at any `COTERIE_THREADS`.
+ * Consumers (SharedChannel, FrameServer, the split-rendering client)
+ * hold a `const FaultPlan *`; a null or empty plan must be a strict
+ * no-op — the degradation hooks all collapse to the pre-chaos code
+ * path.
+ *
+ * `FaultDriver` is the observe-only companion: it schedules one event
+ * per episode boundary that emits trace instants, counter tracks, and
+ * the `fault.episodes` counter, so chaos runs are diagnosable from a
+ * single `tools/trace_report` invocation. It never mutates simulation
+ * state.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace coterie::sim {
+
+/** The degradation modes a plan can script. */
+enum class FaultKind : std::uint8_t
+{
+    LossBurst,         ///< added TCP loss-episode probability
+    LatencySpike,      ///< added per-transfer latency (ms)
+    BandwidthCollapse, ///< goodput multiplied by a factor < 1
+    Outage,            ///< channel delivers nothing
+    ServerStall,       ///< server cannot start serving new requests
+    Disconnect,        ///< a client drops off the WLAN entirely
+};
+
+/** Stable lowercase name for a fault kind (trace/report labels). */
+const char *faultKindName(FaultKind kind);
+
+/** One scripted degradation episode, active over [startMs, endMs). */
+struct FaultEpisode
+{
+    FaultKind kind = FaultKind::LossBurst;
+    TimeMs startMs = 0.0;
+    TimeMs endMs = 0.0;
+    /**
+     * Kind-specific magnitude:
+     *  - LossBurst: added loss-episode probability in [0, 1]
+     *  - LatencySpike: added per-transfer latency, ms
+     *  - BandwidthCollapse: remaining-capacity factor in (0, 1]
+     *  - Outage / ServerStall / Disconnect: unused (0)
+     */
+    double magnitude = 0.0;
+    /** Disconnect only: affected client id; -1 means every client. */
+    int clientId = -1;
+};
+
+/**
+ * An ordered script of fault episodes plus the time-varying queries the
+ * degradation hooks evaluate. Copyable value type; episodes may overlap
+ * freely (effects compose: losses and latencies add, bandwidth factors
+ * multiply).
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Append an episode (episodes need not be sorted). */
+    FaultPlan &add(const FaultEpisode &episode);
+
+    // Chainable episode builders.
+    FaultPlan &lossBurst(TimeMs start, TimeMs end, double addedProbability);
+    FaultPlan &latencySpike(TimeMs start, TimeMs end, double extraMs);
+    FaultPlan &bandwidthCollapse(TimeMs start, TimeMs end, double factor);
+    FaultPlan &outage(TimeMs start, TimeMs end);
+    FaultPlan &serverStall(TimeMs start, TimeMs end);
+    FaultPlan &disconnect(TimeMs start, TimeMs end, int clientId);
+
+    bool empty() const { return episodes_.empty(); }
+    std::size_t size() const { return episodes_.size(); }
+    const std::vector<FaultEpisode> &episodes() const { return episodes_; }
+
+    /** Sum of active LossBurst magnitudes at @p t, clamped to [0, 1]. */
+    double extraLossProbability(TimeMs t) const;
+
+    /** Sum of active LatencySpike magnitudes at @p t (ms). */
+    double extraLatencyMs(TimeMs t) const;
+
+    /**
+     * Product of active BandwidthCollapse factors at @p t, 0 during an
+     * Outage. 1 when nothing is active.
+     */
+    double bandwidthFactor(TimeMs t) const;
+
+    /** True while any ServerStall episode is active. */
+    bool serverStalled(TimeMs t) const;
+
+    /**
+     * End of the stall in force at @p t, following chained/overlapping
+     * ServerStall episodes; @p t itself when no stall is active.
+     */
+    TimeMs serverStallEndsAt(TimeMs t) const;
+
+    /** True while @p clientId (or everyone) is scripted offline. */
+    bool disconnected(int clientId, TimeMs t) const;
+
+    /** End of the disconnect in force for @p clientId at @p t
+     *  (chained episodes followed); @p t when connected. */
+    TimeMs reconnectsAt(int clientId, TimeMs t) const;
+
+    /** Number of episodes active at @p t (trace counter track). */
+    int activeEpisodes(TimeMs t) const;
+
+    /**
+     * The next episode start or end strictly after @p t, or +infinity
+     * when the script has run out. Lets the channel bound its
+     * progress-integration steps to piecewise-constant fault windows.
+     */
+    TimeMs nextBoundaryAfter(TimeMs t) const;
+
+    /**
+     * The plan rescaled to @p severity in [0, 1]: loss/latency
+     * magnitudes scale linearly, a bandwidth factor f becomes
+     * 1 - (1 - f) * severity, and the binary episodes (outage, stall,
+     * disconnect) keep their start but scale their duration. Severity 0
+     * therefore degrades nothing; severity 1 is the plan as written.
+     * The bench_chaos QoE-vs-severity sweep is built on this.
+     */
+    FaultPlan scaled(double severity) const;
+
+  private:
+    std::vector<FaultEpisode> episodes_;
+};
+
+/**
+ * Observe-only chaos narrator: walks a plan's episode boundaries on the
+ * event queue, emitting `fault.<kind>` begin/end trace instants (with
+ * sim-time args), a `fault.active_episodes` counter track, and the
+ * `fault.episodes` metric — nothing else. Arm once before running the
+ * queue; the driver must outlive the run.
+ */
+class FaultDriver
+{
+  public:
+    FaultDriver(EventQueue &queue, const FaultPlan &plan);
+
+    /** Schedule the boundary events (idempotent per driver). */
+    void arm();
+
+  private:
+    void emitBoundary(const FaultEpisode &episode, bool begin);
+
+    EventQueue &queue_;
+    const FaultPlan &plan_;
+    bool armed_ = false;
+};
+
+} // namespace coterie::sim

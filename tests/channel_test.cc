@@ -124,6 +124,170 @@ TEST(SharedChannel, ChainedTransfersDoNotLivelock)
     EXPECT_EQ(count, 50);
 }
 
+TEST(SharedChannel, RetransmitPenaltyAndFractionAccounting)
+{
+    // lossProbability = 1 makes the loss episode deterministic: the
+    // transfer pays the retransmit penalty up front and re-serves the
+    // scripted fraction of the payload.
+    ChannelParams clean;
+    clean.goodputMbps = 100.0;
+    clean.baseLatencyMs = 1.0;
+    clean.contentionPenalty = 0.0;
+    ChannelParams lossy = clean;
+    lossy.lossProbability = 1.0;
+    lossy.retransmitPenaltyMs = 8.0;
+    lossy.retransmitFraction = 0.25;
+
+    sim::EventQueue q1, q2;
+    SharedChannel a(q1, clean), b(q2, lossy);
+    double t_clean = -1.0, t_lossy = -1.0;
+    // 125000 bytes = 1 Mb: 10 ms at 100 Mbps.
+    a.startTransfer(125000, [&](sim::TimeMs t) { t_clean = t; });
+    b.startTransfer(125000, [&](sim::TimeMs t) { t_lossy = t; });
+    q1.runToCompletion();
+    q2.runToCompletion();
+
+    EXPECT_NEAR(t_clean, 11.0, 0.01);
+    // 1 ms base + 8 ms penalty + 12.5 ms for the 1.25x payload.
+    EXPECT_NEAR(t_lossy, 21.5, 0.01);
+    // Accounting stays in application bytes: the re-served fraction
+    // is link overhead, not delivered payload.
+    EXPECT_EQ(b.bytesDelivered(), 125000u);
+}
+
+TEST(SharedChannel, ContentionEfficiencyFloorsAtThirtyPercent)
+{
+    // With 20 stations and a 5% per-extra-station penalty the raw
+    // efficiency would be 0.05; the MAC floor clamps it at 0.3.
+    sim::EventQueue queue;
+    ChannelParams params;
+    params.goodputMbps = 100.0;
+    params.baseLatencyMs = 0.0;
+    params.contentionPenalty = 0.05;
+    SharedChannel channel(queue, params);
+
+    std::vector<double> done;
+    for (int i = 0; i < 20; ++i)
+        channel.startTransfer(125000,
+                              [&](sim::TimeMs t) { done.push_back(t); });
+    queue.runToCompletion();
+    ASSERT_EQ(done.size(), 20u);
+    // 20 Mb aggregate at 100 Mbps * 0.3 = 30 Mbps -> 666.7 ms; without
+    // the floor (efficiency 0.05) it would take 4000 ms.
+    for (const double t : done)
+        EXPECT_NEAR(t, 20.0 * 1e6 / 30e3, 1.0);
+}
+
+TEST(SharedChannel, CancelDuringLatencyPhaseIsSilent)
+{
+    sim::EventQueue queue;
+    ChannelParams params;
+    params.baseLatencyMs = 5.0;
+    SharedChannel channel(queue, params);
+
+    bool completed = false;
+    const TransferId id = channel.startTransfer(
+        125000, [&](sim::TimeMs) { completed = true; });
+    EXPECT_EQ(channel.pendingStarts(), 1u);
+    EXPECT_TRUE(channel.cancel(id));
+    EXPECT_EQ(channel.pendingStarts(), 0u);
+    queue.runToCompletion();
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(channel.cancelledCount(), 1u);
+    EXPECT_EQ(channel.bytesDelivered(), 0u);
+    // A second cancel of the same id reports failure.
+    EXPECT_FALSE(channel.cancel(id));
+}
+
+TEST(SharedChannel, CancelMidFlightReleasesTheLinkShare)
+{
+    sim::EventQueue queue;
+    ChannelParams params;
+    params.goodputMbps = 100.0;
+    params.baseLatencyMs = 0.0;
+    params.contentionPenalty = 0.0;
+    SharedChannel channel(queue, params);
+
+    double t_a = -1.0;
+    bool b_completed = false;
+    channel.startTransfer(250000, [&](sim::TimeMs t) { t_a = t; });
+    const TransferId b = channel.startTransfer(
+        250000, [&](sim::TimeMs) { b_completed = true; });
+    queue.scheduleAt(10.0, [&] { EXPECT_TRUE(channel.cancel(b)); });
+    queue.runToCompletion();
+    // Shared 50/50 for 10 ms (0.5 Mb each served), then A runs alone:
+    // 1.5 Mb at 100 Mbps -> done at 25 ms (40 ms if B had stayed).
+    EXPECT_NEAR(t_a, 25.0, 0.2);
+    EXPECT_FALSE(b_completed);
+    EXPECT_EQ(channel.cancelledCount(), 1u);
+}
+
+TEST(SharedChannel, DeadlineExpiryDropsTheTransfer)
+{
+    sim::EventQueue queue;
+    ChannelParams params;
+    params.goodputMbps = 500.0;
+    params.baseLatencyMs = 1.0;
+    params.contentionPenalty = 0.0;
+    SharedChannel channel(queue, params);
+
+    bool completed = false;
+    double expired_at = -1.0;
+    TransferOptions opts;
+    opts.deadlineMs = 6.0; // the transfer needs 11 ms
+    opts.onExpired = [&](sim::TimeMs t) { expired_at = t; };
+    channel.startTransfer(625000, [&](sim::TimeMs) { completed = true; },
+                          opts);
+    queue.runToCompletion();
+    EXPECT_FALSE(completed);
+    EXPECT_NEAR(expired_at, 6.0, 1e-9);
+    EXPECT_EQ(channel.expiredCount(), 1u);
+    EXPECT_EQ(channel.active(), 0u);
+}
+
+TEST(SharedChannel, DeadlineExpiryDuringLatencyPhase)
+{
+    sim::EventQueue queue;
+    ChannelParams params;
+    params.baseLatencyMs = 5.0;
+    SharedChannel channel(queue, params);
+
+    bool completed = false;
+    double expired_at = -1.0;
+    TransferOptions opts;
+    opts.deadlineMs = 2.0; // lapses before the transfer hits the wire
+    opts.onExpired = [&](sim::TimeMs t) { expired_at = t; };
+    channel.startTransfer(1000, [&](sim::TimeMs) { completed = true; },
+                          opts);
+    queue.runToCompletion();
+    EXPECT_FALSE(completed);
+    EXPECT_NEAR(expired_at, 2.0, 1e-9);
+    EXPECT_EQ(channel.expiredCount(), 1u);
+}
+
+TEST(SharedChannel, GenerousDeadlineDoesNotFire)
+{
+    sim::EventQueue queue;
+    ChannelParams params;
+    params.goodputMbps = 500.0;
+    params.baseLatencyMs = 1.0;
+    params.contentionPenalty = 0.0;
+    SharedChannel channel(queue, params);
+
+    double completed_at = -1.0;
+    bool expired = false;
+    TransferOptions opts;
+    opts.deadlineMs = 30.0;
+    opts.onExpired = [&](sim::TimeMs) { expired = true; };
+    channel.startTransfer(
+        625000, [&](sim::TimeMs t) { completed_at = t; }, opts);
+    queue.runToCompletion();
+    EXPECT_NEAR(completed_at, 11.0, 0.01);
+    EXPECT_FALSE(expired);
+    EXPECT_EQ(channel.expiredCount(), 0u);
+    EXPECT_EQ(channel.bytesDelivered(), 625000u);
+}
+
 TEST(SharedChannel, MeanThroughputAccounting)
 {
     sim::EventQueue queue;

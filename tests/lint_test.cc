@@ -255,10 +255,99 @@ TEST(LintSuppression, AllAndLists)
             .empty());
 }
 
+TEST(LintEpochGuardedSchedule, UnguardedThisCaptureFires)
+{
+    // A scheduled callback that captures `this` and touches members
+    // with no revalidation: the classic stale-event bug.
+    const auto findings = run("src/net/bad.cc", R"fx(
+void Channel::rearm()
+{
+    queue_.scheduleIn(eta_, [this] { progressAndReschedule(); });
+}
+)fx");
+    ASSERT_TRUE(fired(findings, "epoch-guarded-schedule"));
+    EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintEpochGuardedSchedule, EpochComparisonPasses)
+{
+    // The reference pattern from net/channel.cc: stamp an epoch,
+    // compare it on wake.
+    const auto findings = run("src/net/good.cc", R"fx(
+void Channel::rearm()
+{
+    const std::uint64_t epoch = ++epoch_;
+    queue_.scheduleIn(eta_, [this, epoch] {
+        if (epoch == epoch_)
+            progressAndReschedule();
+    });
+}
+)fx");
+    EXPECT_FALSE(fired(findings, "epoch-guarded-schedule"));
+}
+
+TEST(LintEpochGuardedSchedule, MembershipLookupPasses)
+{
+    // Generation/membership revalidation (net/resilience.cc): a
+    // cancelled fetch makes the wake-up a no-op.
+    const auto findings = run("src/net/good2.cc", R"fx(
+void Fetcher::backoff(std::uint64_t key, std::uint64_t gen)
+{
+    queue_.scheduleIn(delay, [this, key, gen] {
+        const auto it = pending_.find(key);
+        if (it == pending_.end())
+            return;
+        issueAttempt(key);
+    });
+}
+)fx");
+    EXPECT_FALSE(fired(findings, "epoch-guarded-schedule"));
+}
+
+TEST(LintEpochGuardedSchedule, NonThisCapturesAreOutOfScope)
+{
+    // Free-function session loops capture locals by reference, not
+    // `this`; their lifetime is the enclosing run, not an object.
+    const auto findings = run("src/core/loop.cc", R"fx(
+void run()
+{
+    queue.scheduleIn(1.0, [&, pid] { schedule_frame(pid); });
+}
+)fx");
+    EXPECT_FALSE(fired(findings, "epoch-guarded-schedule"));
+}
+
+TEST(LintEpochGuardedSchedule, AllowCommentSuppresses)
+{
+    // The callee-revalidates pattern (channel.cc beginPending) is
+    // justified with an allow on the call line.
+    const auto findings = run("src/net/fwd.cc", R"fx(
+void Channel::arm(TransferId id)
+{
+    queue_.scheduleIn(delay, // lint:allow(epoch-guarded-schedule)
+                      [this, id] { beginPending(id); });
+}
+)fx");
+    EXPECT_FALSE(fired(findings, "epoch-guarded-schedule"));
+}
+
+TEST(LintEpochGuardedSchedule, DeclarationsDoNotFire)
+{
+    const auto findings = run("src/sim/queue.hh", R"fx(
+#pragma once
+struct EventQueue
+{
+    void scheduleAt(TimeMs when, EventFn fn);
+    void scheduleIn(TimeMs delay, EventFn fn);
+};
+)fx");
+    EXPECT_FALSE(fired(findings, "epoch-guarded-schedule"));
+}
+
 TEST(LintEngine, RulesAreRegisteredAndNamed)
 {
     const auto &rules = coterie::lint::rules();
-    ASSERT_EQ(rules.size(), 7u);
+    ASSERT_EQ(rules.size(), 8u);
     for (const auto &rule : rules) {
         EXPECT_FALSE(rule.name.empty());
         EXPECT_FALSE(rule.description.empty());

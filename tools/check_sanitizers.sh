@@ -4,8 +4,11 @@
 # pool/codec/SSIM tests under ThreadSanitizer, AddressSanitizer, and
 # UndefinedBehaviorSanitizer from one entry point.
 #
-# Usage: tools/check_sanitizers.sh [--only thread|address|undefined]
+# Usage: tools/check_sanitizers.sh [--only thread,address,undefined]
 #                                  [--tests "bin1 bin2 ..."] [build-dir-prefix]
+#
+# --only takes one sanitizer or a comma-separated subset, e.g.
+# `--only thread,undefined`.
 #
 # Each sanitizer gets its own build tree (<prefix>-<sanitizer>, default
 # build-<sanitizer>). COTERIE_THREADS is forced >= 4 so the pool's
@@ -22,7 +25,7 @@ PREFIX=""
 while [ $# -gt 0 ]; do
     case "$1" in
       --only)
-        SANITIZERS=("$2")
+        IFS=',' read -r -a SANITIZERS <<<"$2"
         shift 2
         ;;
       --tests)

@@ -327,6 +327,76 @@ checkAmbientClock(const SourceFile &f, std::vector<Finding> &out)
 }
 
 void
+checkEpochGuardedSchedule(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.under("src/"))
+        return;
+    const std::string &s = f.stripped;
+    static const std::regex kCall(R"(\bschedule(?:In|At)\s*\()");
+    static const std::regex kThis(R"(\bthis\b)");
+    static const std::regex kGuard(
+        R"(==|!=|\.\s*find\s*\(|\.\s*count\s*\(|->\s*find\s*\(|->\s*count\s*\()");
+    for (auto it = std::sregex_iterator(s.begin(), s.end(), kCall);
+         it != std::sregex_iterator(); ++it) {
+        const auto callPos = static_cast<std::size_t>(it->position());
+        // The lambda's capture list must open inside this call's
+        // argument list; a ';' first means we matched a declaration.
+        std::size_t open = std::string::npos;
+        for (std::size_t i = callPos; i < s.size(); ++i) {
+            if (s[i] == '[') {
+                open = i;
+                break;
+            }
+            if (s[i] == ';')
+                break;
+        }
+        if (open == std::string::npos)
+            continue;
+        const std::size_t close = s.find(']', open);
+        if (close == std::string::npos)
+            continue;
+        // Only explicit `this` captures are in scope: the scheduled
+        // callback outlives the current turn, so the object may be
+        // torn down or repointed before it fires.
+        const std::string captures =
+            s.substr(open + 1, close - open - 1);
+        if (!std::regex_search(captures, kThis))
+            continue;
+        // Extract the balanced-brace lambda body and look for the
+        // revalidation the epoch-guard pattern requires: an epoch or
+        // generation comparison, or a membership lookup that makes a
+        // stale wake-up a no-op (channel.cc is the reference).
+        const std::size_t bodyOpen = s.find('{', close);
+        if (bodyOpen == std::string::npos)
+            continue;
+        int depth = 0;
+        std::size_t bodyEnd = bodyOpen;
+        for (; bodyEnd < s.size(); ++bodyEnd) {
+            if (s[bodyEnd] == '{')
+                ++depth;
+            else if (s[bodyEnd] == '}' && --depth == 0)
+                break;
+        }
+        const std::string body =
+            s.substr(bodyOpen, bodyEnd - bodyOpen + 1);
+        if (std::regex_search(body, kGuard))
+            continue;
+        const int line =
+            1 + static_cast<int>(std::count(
+                    s.begin(),
+                    s.begin() + static_cast<std::ptrdiff_t>(callPos),
+                    '\n'));
+        out.push_back(
+            {f.path, line, "epoch-guarded-schedule",
+             "scheduleIn/scheduleAt lambda captures `this` without "
+             "revalidating on wake; compare an epoch/generation or "
+             "re-look-up membership before touching members (the "
+             "epoch-guard pattern in net/channel.cc), or justify with "
+             "a lint:allow if the callee revalidates"});
+    }
+}
+
+void
 checkMutexGuardedBy(const SourceFile &f, std::vector<Finding> &out)
 {
     if (!f.under("src/"))
@@ -384,6 +454,11 @@ rules()
          "src/ must not read std::chrono clocks or time() outside "
          "src/obs/clock.{hh,cc} — the single wall-clock access point",
          checkAmbientClock},
+        {"epoch-guarded-schedule",
+         "a scheduleIn/scheduleAt lambda capturing `this` must "
+         "revalidate on wake (epoch/generation compare or membership "
+         "lookup) so stale events are no-ops",
+         checkEpochGuardedSchedule},
     };
     return kRules;
 }

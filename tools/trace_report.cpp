@@ -7,7 +7,13 @@
 // the per-thread streams with SampleSet::merge), and prints one row
 // per stage sorted by total wall time. The top three stages by total
 // time are flagged HOT — those are where optimisation effort pays.
-// Exits nonzero on unreadable or malformed input.
+//
+// When the trace carries chaos-harness instants ("fault.<kind>.begin"
+// / ".end", emitted by sim::FaultDriver with sim-time args) an extra
+// fault-timeline section pairs them into episodes and folds the
+// "net.retries" and "qoe.degraded_frames" counter tracks into
+// per-episode deltas — how much resilience work each scripted fault
+// caused. Exits nonzero on unreadable or malformed input.
 
 #include <algorithm>
 #include <cstdio>
@@ -55,6 +61,40 @@ struct Stage
     double spanBeginUs = 1e300;
 };
 
+/** One fault.<kind>.begin / .end instant from a chaos run. */
+struct FaultMark
+{
+    std::string kind;
+    bool begin = false;
+    double tsUs = 0.0;
+    double simMs = -1.0; // args.sim_ms when present
+};
+
+/** A paired episode on the fault timeline. */
+struct FaultEpisodeRow
+{
+    std::string kind;
+    double beginSimMs = -1.0;
+    double endSimMs = -1.0; // -1 = trace ended mid-episode
+    double beginTsUs = 0.0;
+    double endTsUs = 1e300;
+};
+
+/** Last cumulative counter value at or before @p tsUs (0 before the
+ *  first sample — the tracks are cumulative and start at zero). */
+double
+counterValueAt(const std::vector<std::pair<double, double>> &series,
+               double tsUs)
+{
+    double value = 0.0;
+    for (const auto &[ts, v] : series) {
+        if (ts > tsUs)
+            break;
+        value = v;
+    }
+    return value;
+}
+
 } // namespace
 
 int
@@ -93,13 +133,45 @@ main(int argc, char **argv)
     // Timer metrics do at snapshot time.
     std::map<std::pair<std::string, int>, SampleSet> perThread;
     std::map<std::string, Stage> stages;
+    std::vector<FaultMark> faultMarks;
+    std::map<std::string, std::vector<std::pair<double, double>>>
+        counters; // cumulative (ts, value) tracks
     std::size_t spanCount = 0;
+    double lastTsUs = 0.0;
     for (const Json &e : events.items()) {
-        if (!e.isObject() || e.at("ph").asString() != "X")
+        if (!e.isObject())
             continue;
+        const std::string ph = e.at("ph").asString();
         const std::string name = e.at("name").asString();
-        const int tid = static_cast<int>(e.at("tid").asNumber());
         const double tsUs = e.at("ts").asNumber();
+        if (ph == "i" || ph == "C" || ph == "X")
+            lastTsUs = std::max(lastTsUs, tsUs);
+        if (ph == "i" && name.rfind("fault.", 0) == 0) {
+            FaultMark mark;
+            mark.tsUs = tsUs;
+            mark.simMs = e.at("args").at("sim_ms").asNumber(-1.0);
+            const std::string tail = name.substr(6);
+            if (tail.size() > 6 &&
+                tail.compare(tail.size() - 6, 6, ".begin") == 0) {
+                mark.kind = tail.substr(0, tail.size() - 6);
+                mark.begin = true;
+            } else if (tail.size() > 4 &&
+                       tail.compare(tail.size() - 4, 4, ".end") == 0) {
+                mark.kind = tail.substr(0, tail.size() - 4);
+            } else {
+                continue;
+            }
+            faultMarks.push_back(std::move(mark));
+            continue;
+        }
+        if (ph == "C") {
+            counters[name].emplace_back(
+                tsUs, e.at("args").at("value").asNumber());
+            continue;
+        }
+        if (ph != "X")
+            continue;
+        const int tid = static_cast<int>(e.at("tid").asNumber());
         const double durUs = e.at("dur").asNumber();
         const double durMs = durUs / 1000.0;
         perThread[{name, tid}].add(durMs);
@@ -118,38 +190,93 @@ main(int argc, char **argv)
     if (stages.empty()) {
         std::printf("trace_report: no complete (\"X\") spans in %s\n",
                     argv[1]);
-        return 0;
+    } else {
+        std::vector<const Stage *> rows;
+        rows.reserve(stages.size());
+        for (const auto &[name, stage] : stages)
+            rows.push_back(&stage);
+        std::sort(rows.begin(), rows.end(),
+                  [](const Stage *a, const Stage *b) {
+                      return a->totalMs > b->totalMs;
+                  });
+
+        std::printf("%-32s %-8s %8s %10s %10s %10s %10s %10s  %s\n",
+                    "stage", "cat", "count", "total_ms", "mean_ms",
+                    "p50_ms", "p99_ms", "ev_per_s", "");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Stage &s = *rows[i];
+            SampleSet samples = s.durationsMs; // percentile() sorts
+            const double windowS = (s.spanEndUs - s.spanBeginUs) / 1e6;
+            const double throughput =
+                windowS > 0.0
+                    ? static_cast<double>(samples.count()) / windowS
+                    : 0.0;
+            std::printf("%-32s %-8s %8zu %10.3f %10.4f %10.4f %10.4f "
+                        "%10.1f  %s\n",
+                        s.name.c_str(), s.category.c_str(),
+                        samples.count(), s.totalMs, samples.mean(),
+                        samples.percentile(50.0),
+                        samples.percentile(99.0), throughput,
+                        i < 3 ? "HOT" : "");
+        }
+        std::printf("\n%zu spans across %zu stages\n", spanCount,
+                    stages.size());
     }
 
-    std::vector<const Stage *> rows;
-    rows.reserve(stages.size());
-    for (const auto &[name, stage] : stages)
-        rows.push_back(&stage);
-    std::sort(rows.begin(), rows.end(),
-              [](const Stage *a, const Stage *b) {
-                  return a->totalMs > b->totalMs;
-              });
+    // ---- Fault timeline (chaos runs only) -------------------------
+    if (!faultMarks.empty()) {
+        std::sort(faultMarks.begin(), faultMarks.end(),
+                  [](const FaultMark &a, const FaultMark &b) {
+                      return a.tsUs < b.tsUs;
+                  });
+        for (auto &[name, series] : counters)
+            std::sort(series.begin(), series.end());
 
-    std::printf("%-32s %-8s %8s %10s %10s %10s %10s %10s  %s\n",
-                "stage", "cat", "count", "total_ms", "mean_ms",
-                "p50_ms", "p99_ms", "ev_per_s", "");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const Stage &s = *rows[i];
-        SampleSet samples = s.durationsMs; // percentile() sorts
-        const double windowS =
-            (s.spanEndUs - s.spanBeginUs) / 1e6;
-        const double throughput =
-            windowS > 0.0
-                ? static_cast<double>(samples.count()) / windowS
-                : 0.0;
-        std::printf(
-            "%-32s %-8s %8zu %10.3f %10.4f %10.4f %10.4f %10.1f  %s\n",
-            s.name.c_str(), s.category.c_str(), samples.count(),
-            s.totalMs, samples.mean(), samples.percentile(50.0),
-            samples.percentile(99.0), throughput,
-            i < 3 ? "HOT" : "");
+        // Pair begin/end marks per kind, FIFO in timestamp order.
+        std::vector<FaultEpisodeRow> episodes;
+        std::map<std::string, std::vector<std::size_t>> open;
+        for (const FaultMark &mark : faultMarks) {
+            if (mark.begin) {
+                FaultEpisodeRow row;
+                row.kind = mark.kind;
+                row.beginSimMs = mark.simMs;
+                row.beginTsUs = mark.tsUs;
+                row.endTsUs = lastTsUs; // until matched
+                open[mark.kind].push_back(episodes.size());
+                episodes.push_back(std::move(row));
+            } else if (auto &queue = open[mark.kind]; !queue.empty()) {
+                FaultEpisodeRow &row = episodes[queue.front()];
+                queue.erase(queue.begin());
+                row.endSimMs = mark.simMs;
+                row.endTsUs = mark.tsUs;
+            }
+        }
+
+        const auto &retries = counters["net.retries"];
+        const auto &degraded = counters["qoe.degraded_frames"];
+        std::printf("\nFault timeline (%zu episodes)\n",
+                    episodes.size());
+        std::printf("%-20s %12s %12s %10s %10s  %s\n", "fault",
+                    "begin_ms", "end_ms", "retries", "degraded", "");
+        for (const FaultEpisodeRow &row : episodes) {
+            const double retryDelta =
+                counterValueAt(retries, row.endTsUs) -
+                counterValueAt(retries, row.beginTsUs);
+            const double degradedDelta =
+                counterValueAt(degraded, row.endTsUs) -
+                counterValueAt(degraded, row.beginTsUs);
+            char endBuf[32];
+            if (row.endSimMs >= 0.0)
+                std::snprintf(endBuf, sizeof endBuf, "%12.1f",
+                              row.endSimMs);
+            else
+                std::snprintf(endBuf, sizeof endBuf, "%12s", "(open)");
+            std::printf("%-20s %12.1f %s %10.0f %10.0f  %s\n",
+                        row.kind.c_str(), row.beginSimMs, endBuf,
+                        retryDelta, degradedDelta,
+                        row.endSimMs < 0.0 ? "trace ended mid-episode"
+                                           : "");
+        }
     }
-    std::printf("\n%zu spans across %zu stages\n", spanCount,
-                stages.size());
     return 0;
 }
