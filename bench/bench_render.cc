@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Render hot-path benchmark: median-split vs binned-SAH BVH A/B over
+ * worlds of different object densities (panorama + perspective
+ * ms/frame and rays/s), plus the coterie-wide far-BE render de-dup
+ * scenario (8 clients, pano-cache hit ratio and renders per frame).
+ *
+ * Flags:
+ *   --smoke   tiny resolutions / single rep (CI perf-smoke job)
+ *   --check   exit non-zero if SAH panorama time regresses above the
+ *             median-split baseline (summed over worlds)
+ *
+ * Writes results/BENCH_render.json (and ./BENCH_render.json).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/partitioner.hh"
+#include "core/server.hh"
+#include "render/renderer.hh"
+#include "support/parallel.hh"
+#include "world/gen/generators.hh"
+
+namespace {
+
+using namespace coterie;
+using world::gen::GameId;
+
+double
+seconds(const std::function<void()> &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+struct AbTimes
+{
+    double panoMs = 0.0; ///< per panorama frame
+    double perspMs = 0.0; ///< per perspective frame
+    double panoRaysPerSec = 0.0;
+};
+
+/** Time panorama + perspective frames with the world's current BVH. */
+AbTimes
+timeRenders(const world::VirtualWorld &world, int panoW, int panoH,
+            int perspW, int perspH, int reps)
+{
+    const render::Renderer renderer(world);
+    const geom::Vec2 center = world.bounds().center();
+    const geom::Vec3 eye = world.eyePosition(center);
+    render::Camera camera;
+    camera.position = eye;
+
+    // Warm the pool and touch the tree once before timing.
+    volatile std::uint8_t sink =
+        renderer.renderPanorama(eye, 64, 32).pixels()[0].r;
+    (void)sink;
+
+    AbTimes out;
+    const double pano_s = seconds([&] {
+        for (int i = 0; i < reps; ++i) {
+            const auto frame = renderer.renderPanorama(eye, panoW, panoH);
+            if (frame.empty())
+                std::abort(); // keep the optimizer honest
+        }
+    });
+    const double persp_s = seconds([&] {
+        for (int i = 0; i < reps; ++i) {
+            const auto frame =
+                renderer.renderPerspective(camera, perspW, perspH);
+            if (frame.empty())
+                std::abort();
+        }
+    });
+    out.panoMs = pano_s * 1000.0 / reps;
+    out.perspMs = persp_s * 1000.0 / reps;
+    out.panoRaysPerSec =
+        static_cast<double>(panoW) * panoH * reps / pano_s;
+    return out;
+}
+
+/**
+ * Cast the full panorama ray set through the BVH alone (no shading, no
+ * terrain, serial): isolates the hot path the overhaul targets. With
+ * @p seedBaseline the rays go through the preserved pre-overhaul
+ * traversal — Median build + seedBaseline reproduces the seed renderer.
+ */
+double
+raycastSeconds(const world::VirtualWorld &world, geom::Vec3 eye, int w,
+               int h, int reps, bool seedBaseline)
+{
+    const world::Bvh &bvh = world.bvh();
+    double sink = 0.0;
+    const double s = seconds([&] {
+        for (int r = 0; r < reps; ++r) {
+            for (int y = 0; y < h; ++y) {
+                const double v = (y + 0.5) / h;
+                for (int x = 0; x < w; ++x) {
+                    const double u = (x + 0.5) / w;
+                    geom::Ray ray;
+                    ray.origin = eye;
+                    ray.dir = render::panoramaDirection(u, v);
+                    const geom::Hit hit =
+                        seedBaseline ? bvh.closestHitSeedBaseline(ray)
+                                     : bvh.closestHit(ray);
+                    if (hit.valid())
+                        sink += hit.t;
+                }
+            }
+        }
+    });
+    if (sink < 0.0)
+        std::abort(); // keep the optimizer honest
+    return s;
+}
+
+/**
+ * 8-client far-BE scenario: four position pairs, each pair inside one
+ * quantization cell, fanned out over the pool — measures how many
+ * actual renders the pano cache performs and its hit ratio.
+ */
+obs::Json
+panoCacheScenario(const world::VirtualWorld &world, int width, int height)
+{
+    const world::GridMap grid =
+        world::gen::makeGrid(world::gen::gameInfo(GameId::Viking));
+    const auto partition = core::partitionWorld(world, device::pixel2(), {});
+    const core::RegionIndex regions(world.bounds(), partition.leaves);
+    const core::FrameStore frames(world, grid, regions);
+
+    const double thresh = 8.0;
+    const double pitch = std::max(thresh, grid.spacing());
+    const geom::Rect &b = world.bounds();
+    std::vector<geom::Vec2> clients;
+    for (int pair = 0; pair < 4; ++pair) {
+        const double cx = b.lo.x + (2.0 * pair + 2.25) * pitch;
+        const double cy = b.lo.y + 2.25 * pitch;
+        clients.push_back({cx, cy});
+        clients.push_back({cx + 0.4 * pitch, cy + 0.4 * pitch});
+    }
+
+    const double wall_s = seconds([&] {
+        support::parallelFor(
+            0, static_cast<std::int64_t>(clients.size()), 1,
+            [&](std::int64_t s, std::int64_t e) {
+                for (std::int64_t i = s; i < e; ++i)
+                    frames.farBePanorama(
+                        clients[static_cast<std::size_t>(i)], thresh,
+                        width, height);
+            },
+            4);
+    });
+
+    const core::PanoCacheStats stats = frames.panoCacheStats();
+    const double served =
+        static_cast<double>(stats.hits + stats.misses + stats.inflightJoins);
+    obs::Json out = obs::Json::object();
+    out.set("clients",
+            obs::Json(static_cast<std::uint64_t>(clients.size())));
+    out.set("renders", obs::Json(stats.misses));
+    out.set("hits", obs::Json(stats.hits));
+    out.set("inflight_joins", obs::Json(stats.inflightJoins));
+    out.set("hit_ratio",
+            obs::Json(served > 0.0
+                          ? (served - stats.misses) / served
+                          : 0.0));
+    out.set("renders_per_frame",
+            obs::Json(static_cast<double>(stats.misses) /
+                      static_cast<double>(clients.size())));
+    out.set("wall_s", obs::Json(wall_s));
+    std::printf("  pano-cache: %zu clients -> %llu renders "
+                "(%.0f%% cache-served), %.2f renders/frame\n",
+                clients.size(),
+                static_cast<unsigned long long>(stats.misses),
+                100.0 * (served - stats.misses) / served,
+                static_cast<double>(stats.misses) / clients.size());
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+    }
+
+    bench::banner("Render hot path: SAH vs median BVH + far-BE de-dup",
+                  "the renderer behind Tables 6-8");
+
+    const int pano_w = smoke ? 160 : 512;
+    const int pano_h = smoke ? 80 : 256;
+    const int persp_w = smoke ? 128 : 320;
+    const int persp_h = smoke ? 96 : 240;
+    const int reps = smoke ? 1 : 3;
+
+    const struct
+    {
+        GameId id;
+        const char *name;
+    } games[] = {{GameId::Racing, "racing"},
+                 {GameId::CTS, "cts"},
+                 {GameId::Viking, "viking"}};
+
+    obs::Json worlds = obs::Json::object();
+    double total_median_ms = 0.0;
+    double total_sah_ms = 0.0;
+    double total_seed_ray_s = 0.0;
+    double total_new_ray_s = 0.0;
+    for (const auto &game : games) {
+        world::VirtualWorld world = world::gen::makeWorld(game.id, 42);
+        std::printf("\n  %s (%zu objects)\n", game.name,
+                    world.objects().size());
+
+        const geom::Vec3 eye = world.eyePosition(world.bounds().center());
+        world.rebuildIndex(world::BvhBuildPolicy::Median);
+        const AbTimes median = timeRenders(world, pano_w, pano_h,
+                                           persp_w, persp_h, reps);
+        // Seed-equivalent hot path: median tree + pre-overhaul traversal.
+        const double seed_ray_s = raycastSeconds(world, eye, pano_w,
+                                                 pano_h, reps, true);
+        world.rebuildIndex(world::BvhBuildPolicy::BinnedSah);
+        const AbTimes sah = timeRenders(world, pano_w, pano_h, persp_w,
+                                        persp_h, reps);
+        const double new_ray_s = raycastSeconds(world, eye, pano_w,
+                                                pano_h, reps, false);
+        const double ray_speedup = seed_ray_s / new_ray_s;
+
+        std::printf("    pano   %7.2f ms (median)  %7.2f ms (sah)  "
+                    "%.2fx\n",
+                    median.panoMs, sah.panoMs,
+                    median.panoMs / sah.panoMs);
+        std::printf("    persp  %7.2f ms (median)  %7.2f ms (sah)  "
+                    "%.2fx\n",
+                    median.perspMs, sah.perspMs,
+                    median.perspMs / sah.perspMs);
+        std::printf("    rays/s %.2fM (median)  %.2fM (sah)\n",
+                    median.panoRaysPerSec / 1e6,
+                    sah.panoRaysPerSec / 1e6);
+        std::printf("    pano raycast vs seed traversal: %7.2f ms -> "
+                    "%7.2f ms  %.2fx\n",
+                    seed_ray_s * 1000.0 / reps, new_ray_s * 1000.0 / reps,
+                    ray_speedup);
+
+        obs::Json w = obs::Json::object();
+        w.set("objects", obs::Json(static_cast<std::uint64_t>(
+                             world.objects().size())));
+        w.set("pano_ms_median", obs::Json(median.panoMs));
+        w.set("pano_ms_sah", obs::Json(sah.panoMs));
+        w.set("pano_speedup", obs::Json(median.panoMs / sah.panoMs));
+        w.set("persp_ms_median", obs::Json(median.perspMs));
+        w.set("persp_ms_sah", obs::Json(sah.perspMs));
+        w.set("persp_speedup", obs::Json(median.perspMs / sah.perspMs));
+        w.set("pano_rays_per_s_median", obs::Json(median.panoRaysPerSec));
+        w.set("pano_rays_per_s_sah", obs::Json(sah.panoRaysPerSec));
+        w.set("pano_raycast_ms_seed",
+              obs::Json(seed_ray_s * 1000.0 / reps));
+        w.set("pano_raycast_ms_new", obs::Json(new_ray_s * 1000.0 / reps));
+        w.set("pano_raycast_speedup_vs_seed", obs::Json(ray_speedup));
+        worlds.set(game.name, std::move(w));
+        total_median_ms += median.panoMs;
+        total_sah_ms += sah.panoMs;
+        total_seed_ray_s += seed_ray_s;
+        total_new_ray_s += new_ray_s;
+    }
+
+    std::printf("\n  8-client far-BE de-dup (viking)\n");
+    world::VirtualWorld viking = world::gen::makeWorld(GameId::Viking, 42);
+    obs::Json cache = panoCacheScenario(viking, smoke ? 64 : 192,
+                                        smoke ? 32 : 96);
+
+    obs::Json doc = obs::Json::object();
+    doc.set("smoke", obs::Json(smoke));
+    doc.set("pano_w", obs::Json(static_cast<std::uint64_t>(pano_w)));
+    doc.set("pano_h", obs::Json(static_cast<std::uint64_t>(pano_h)));
+    doc.set("reps", obs::Json(static_cast<std::uint64_t>(reps)));
+    doc.set("worlds", std::move(worlds));
+    doc.set("pano_cache", std::move(cache));
+    doc.set("total_pano_ms_median", obs::Json(total_median_ms));
+    doc.set("total_pano_ms_sah", obs::Json(total_sah_ms));
+    doc.set("total_pano_speedup",
+            obs::Json(total_median_ms / total_sah_ms));
+    const double total_ray_speedup = total_seed_ray_s / total_new_ray_s;
+    doc.set("total_pano_raycast_speedup_vs_seed",
+            obs::Json(total_ray_speedup));
+    bench::writeBenchJson("render", doc);
+
+    std::printf("\n  total pano: %.2f ms (median) vs %.2f ms (sah) -> "
+                "%.2fx frame, %.2fx raycast vs seed traversal\n",
+                total_median_ms, total_sah_ms,
+                total_median_ms / total_sah_ms, total_ray_speedup);
+
+    if (check) {
+        // The raycast A/B is deterministic and serial — a solid CI
+        // signal. Frame times run on the pool, so allow 10% noise.
+        if (total_ray_speedup < 1.0) {
+            std::printf("  CHECK FAILED: overhauled traversal slower "
+                        "than seed baseline\n");
+            return 1;
+        }
+        if (total_sah_ms > 1.10 * total_median_ms) {
+            std::printf("  CHECK FAILED: SAH frame time regressed above "
+                        "median split\n");
+            return 1;
+        }
+    }
+    return 0;
+}

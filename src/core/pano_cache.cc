@@ -1,0 +1,154 @@
+#include "core/pano_cache.hh"
+
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "support/logging.hh"
+
+namespace coterie::core {
+
+namespace {
+
+/**
+ * Emit cumulative hit/miss counter tracks when a trace is recording so
+ * trace_report can chart the hit ratio over a run. Values are read
+ * under the cache lock by the caller.
+ */
+void
+tracePanoCounters(std::uint64_t hits, std::uint64_t misses)
+{
+    obs::TraceRecorder &recorder = obs::TraceRecorder::global();
+    if (!recorder.enabled())
+        return;
+    recorder.counter("server.pano_cache.hits", static_cast<double>(hits));
+    recorder.counter("server.pano_cache.misses",
+                     static_cast<double>(misses));
+}
+
+} // namespace
+
+std::shared_ptr<const image::Image>
+PanoramaRenderCache::getOrRender(const PanoKey &key, const RenderFn &render)
+{
+    bool joined = false;
+    {
+        support::MutexLock lock(mutex_);
+        while (true) {
+            auto it = entries_.find(key);
+            if (it == entries_.end())
+                break; // our miss: claim the render below
+            if (it->second.image) {
+                it->second.lastUse = ++useClock_;
+                if (joined) {
+                    // Already accounted as an inflight_join; the
+                    // completed render we waited for is not a second
+                    // cache event.
+                } else {
+                    ++stats_.hits;
+                    COTERIE_COUNT("server.pano_cache.hit");
+                }
+                tracePanoCounters(stats_.hits, stats_.misses);
+                return it->second.image;
+            }
+            // Someone else is rendering this key: join their flight.
+            if (!joined) {
+                joined = true;
+                ++stats_.inflightJoins;
+                COTERIE_COUNT("server.pano_cache.inflight_join");
+            }
+            readyCv_.wait(lock);
+            // Re-check from scratch: the render may have completed,
+            // failed (entry erased — we take over), or completed and
+            // already been evicted.
+        }
+        entries_.emplace(key, Entry{});
+        ++stats_.misses;
+        COTERIE_COUNT("server.pano_cache.miss");
+    }
+
+    std::shared_ptr<const image::Image> image;
+    try {
+        COTERIE_SPAN("server.pano_cache.render", "core");
+        image = std::make_shared<const image::Image>(render());
+    } catch (...) {
+        // Withdraw the claim so a waiter can take over the render.
+        {
+            support::MutexLock lock(mutex_);
+            entries_.erase(key);
+        }
+        readyCv_.notifyAll();
+        throw;
+    }
+
+    const std::size_t image_bytes =
+        image->pixelCount() * sizeof(image::Rgb);
+    {
+        support::MutexLock lock(mutex_);
+        Entry &entry = entries_[key];
+        COTERIE_ASSERT(!entry.image, "pano cache double render");
+        entry.image = image;
+        entry.lastUse = ++useClock_;
+        entry.bytes = image_bytes;
+        bytes_ += image_bytes;
+        evictLocked();
+        stats_.bytes = bytes_;
+        stats_.entries = entries_.size();
+        COTERIE_GAUGE_SET("server.pano_cache.bytes", bytes_);
+        tracePanoCounters(stats_.hits, stats_.misses);
+    }
+    readyCv_.notifyAll();
+    return image;
+}
+
+void
+PanoramaRenderCache::evictLocked()
+{
+    while (bytes_ > budgetBytes_) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (!it->second.image)
+                continue; // never evict an in-flight render
+            if (victim == entries_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            return; // only in-flight entries remain
+        bytes_ -= victim->second.bytes;
+        ++stats_.evictions;
+        stats_.evictedBytes += victim->second.bytes;
+        COTERIE_COUNT_N("server.pano_cache.evicted_bytes",
+                        victim->second.bytes);
+        entries_.erase(victim);
+    }
+}
+
+PanoCacheStats
+PanoramaRenderCache::stats() const
+{
+    support::MutexLock lock(mutex_);
+    PanoCacheStats out = stats_;
+    out.bytes = bytes_;
+    out.entries = entries_.size();
+    return out;
+}
+
+void
+PanoramaRenderCache::clear()
+{
+    support::MutexLock lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.image) {
+            bytes_ -= it->second.bytes;
+            it = entries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    stats_.bytes = bytes_;
+    stats_.entries = entries_.size();
+    COTERIE_GAUGE_SET("server.pano_cache.bytes", bytes_);
+}
+
+} // namespace coterie::core

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Server-side panorama render de-duplication.
+ *
+ * The Coterie server renders one far-BE panorama per distinct
+ * (world, quantized location, cutoff, resolution) — every client whose
+ * FI location quantizes to the same cell shares the same frame (the
+ * paper's frame-similarity premise applied server-side). This cache
+ * makes that sharing explicit: `getOrRender` returns the cached frame
+ * on a hit, and *single-flights* concurrent misses so N clients asking
+ * for the same panorama at once trigger exactly one render while the
+ * other N-1 block until it lands.
+ *
+ * Memory is bounded by a byte budget with LRU eviction (in-flight
+ * entries are never evicted). Everything is observable:
+ * `server.pano_cache.{hit,miss,inflight_join,evicted_bytes}` counters,
+ * a `server.pano_cache.bytes` gauge, and a `server.pano_cache.render`
+ * trace span around each actual render.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "image/image.hh"
+#include "support/rng.hh"
+#include "support/thread_annotations.hh"
+
+namespace coterie::core {
+
+/**
+ * Identity of one cached panorama. Two key schemes share the map and
+ * must not collide:
+ *  - grid-point keys (offline prerender): `pitchBits == 0` sentinel,
+ *    `qx`/`qy` are grid indices;
+ *  - quantized-location keys (online far-BE lookup): `pitchBits` holds
+ *    the quantization pitch's bit pattern (never zero), `qx`/`qy` are
+ *    cell indices at that pitch.
+ * `cutoffBits` carries the far-BE cutoff radius bit pattern so a
+ * partition change can never alias a stale frame.
+ */
+struct PanoKey
+{
+    std::uint64_t worldTag = 0;   ///< world identity (name + object count)
+    std::int64_t qx = 0;          ///< quantized x (cell or grid index)
+    std::int64_t qy = 0;          ///< quantized y (cell or grid index)
+    std::uint64_t cutoffBits = 0; ///< bit pattern of the cutoff radius
+    std::uint64_t pitchBits = 0;  ///< bit pattern of the pitch (0 = grid)
+    int width = 0;                ///< panorama resolution
+    int height = 0;
+
+    bool operator==(const PanoKey &) const = default;
+};
+
+struct PanoKeyHash
+{
+    std::size_t
+    operator()(const PanoKey &k) const
+    {
+        std::uint64_t h = hashMix(k.worldTag);
+        h = hashCombine(h, hashMix(static_cast<std::uint64_t>(k.qx)));
+        h = hashCombine(h, hashMix(static_cast<std::uint64_t>(k.qy)));
+        h = hashCombine(h, hashMix(k.cutoffBits));
+        h = hashCombine(h, hashMix(k.pitchBits));
+        h = hashCombine(h, hashMix(static_cast<std::uint64_t>(k.width)));
+        h = hashCombine(h, hashMix(static_cast<std::uint64_t>(k.height)));
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/** Snapshot of cache effectiveness (all cumulative except bytes/entries). */
+struct PanoCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;       ///< renders actually performed
+    std::uint64_t inflightJoins = 0; ///< waits on someone else's render
+    std::uint64_t evictions = 0;
+    std::uint64_t evictedBytes = 0;
+    std::uint64_t bytes = 0;   ///< resident pixel bytes right now
+    std::uint64_t entries = 0; ///< resident panoramas right now
+};
+
+/**
+ * Byte-budgeted, single-flight panorama cache. Thread-safe; the render
+ * callback runs outside the lock (and may itself fan out on the shared
+ * pool — waiters block on a condition variable, not on pool slots, so
+ * there is no pool-starvation cycle).
+ */
+class PanoramaRenderCache
+{
+  public:
+    using RenderFn = std::function<image::Image()>;
+
+    explicit PanoramaRenderCache(std::size_t budgetBytes)
+        : budgetBytes_(budgetBytes)
+    {
+    }
+
+    PanoramaRenderCache(const PanoramaRenderCache &) = delete;
+    PanoramaRenderCache &operator=(const PanoramaRenderCache &) = delete;
+
+    /**
+     * Return the panorama for @p key, rendering it via @p render on a
+     * miss. Concurrent misses on the same key share one render
+     * (single-flight). If @p render throws, the in-flight claim is
+     * withdrawn, one waiter takes over the render, and the exception
+     * propagates to the original caller.
+     */
+    std::shared_ptr<const image::Image>
+    getOrRender(const PanoKey &key, const RenderFn &render);
+
+    PanoCacheStats stats() const;
+
+    /** Drop every completed entry (in-flight renders are unaffected). */
+    void clear();
+
+    std::size_t budgetBytes() const { return budgetBytes_; }
+
+  private:
+    struct Entry
+    {
+        /** Null while the owning render is in flight. */
+        std::shared_ptr<const image::Image> image;
+        std::uint64_t lastUse = 0;
+        std::size_t bytes = 0;
+    };
+
+    /** Evict LRU completed entries until within budget. */
+    void evictLocked() COTERIE_REQUIRES(mutex_);
+
+    const std::size_t budgetBytes_;
+    mutable support::Mutex mutex_;
+    support::CondVar readyCv_;
+    std::unordered_map<PanoKey, Entry, PanoKeyHash>
+        entries_ COTERIE_GUARDED_BY(mutex_);
+    std::uint64_t useClock_ COTERIE_GUARDED_BY(mutex_) = 0;
+    std::uint64_t bytes_ COTERIE_GUARDED_BY(mutex_) = 0;
+    PanoCacheStats stats_ COTERIE_GUARDED_BY(mutex_);
+};
+
+} // namespace coterie::core

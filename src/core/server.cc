@@ -1,6 +1,7 @@
 #include "core/server.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "obs/clock.hh"
@@ -15,10 +16,26 @@ using geom::Vec2;
 using image::FrameContent;
 using image::FrameSizeSpec;
 
+namespace {
+
+/** Stable identity of a world for panorama cache keys. */
+std::uint64_t
+worldTagOf(const world::VirtualWorld &world)
+{
+    std::uint64_t tag = hashMix(world.objects().size());
+    for (const char c : world.name())
+        tag = hashCombine(tag, hashMix(static_cast<std::uint64_t>(
+                                   static_cast<unsigned char>(c))));
+    return tag;
+}
+
+} // namespace
+
 FrameStore::FrameStore(const world::VirtualWorld &world,
                        const world::GridMap &grid,
                        const RegionIndex &regions, FrameStoreParams params)
-    : world_(world), grid_(grid), regions_(regions), params_(params)
+    : world_(world), grid_(grid), regions_(regions), params_(params),
+      worldTag_(worldTagOf(world)), panoCache_(params_.panoCacheBytes)
 {
 }
 
@@ -126,15 +143,30 @@ FrameStore::prerenderFarBe(std::int64_t cellStride, int width, int height,
     const auto sizes = support::parallelMap<std::uint64_t>(
         static_cast<std::int64_t>(points.size()), 1,
         [&](std::int64_t i) -> std::uint64_t {
-            const Vec2 p = grid_.position(points[static_cast<std::size_t>(i)]);
-            render::RenderOptions opts;
-            opts.layer =
-                render::DepthLayer::farBe(regions_.cutoffAt(p));
-            // Nested render parallelism collapses inline on the pool,
-            // so each grid point is one task end to end.
-            const image::Image pano = renderer.renderPanorama(
-                world_.eyePosition(p), width, height, opts);
-            return image::encode(pano).sizeBytes();
+            const world::GridPoint g = points[static_cast<std::size_t>(i)];
+            const Vec2 p = grid_.position(g);
+            const double cutoff = regions_.cutoffAt(p);
+            // Route through the render cache (grid-index key scheme:
+            // pitchBits == 0). Within one pass every point is distinct,
+            // so this is a pure de-dup across passes and against online
+            // farBePanorama() requests that land on the same frame.
+            PanoKey key;
+            key.worldTag = worldTag_;
+            key.qx = g.ix;
+            key.qy = g.iy;
+            key.cutoffBits = std::bit_cast<std::uint64_t>(cutoff);
+            key.pitchBits = 0;
+            key.width = width;
+            key.height = height;
+            const auto pano = panoCache_.getOrRender(key, [&] {
+                render::RenderOptions opts;
+                opts.layer = render::DepthLayer::farBe(cutoff);
+                // Nested render parallelism collapses inline on the
+                // pool, so each grid point is one task end to end.
+                return renderer.renderPanorama(world_.eyePosition(p),
+                                               width, height, opts);
+            });
+            return image::encode(*pano).sizeBytes();
         },
         threads);
 
@@ -149,6 +181,44 @@ FrameStore::prerenderFarBe(std::int64_t cellStride, int width, int height,
     COTERIE_COUNT_N("server.prerender_bytes", result.encodedBytes);
     COTERIE_OBSERVE("server.prerender_ms", watch.elapsedMillis());
     return result;
+}
+
+std::shared_ptr<const image::Image>
+FrameStore::farBePanorama(Vec2 pos, double distThresh, int width,
+                          int height, int threads) const
+{
+    // Quantize the FI location: positions within `pitch` of each other
+    // are "similar enough" to share a far-BE frame (the background
+    // changes imperceptibly below the distance threshold). Grid spacing
+    // is the floor so cells are never finer than the prerender grid.
+    const geom::Rect &b = world_.bounds();
+    const double pitch = std::max(distThresh, grid_.spacing());
+    const auto qx =
+        static_cast<std::int64_t>(std::floor((pos.x - b.lo.x) / pitch));
+    const auto qy =
+        static_cast<std::int64_t>(std::floor((pos.y - b.lo.y) / pitch));
+    // Every position in the cell renders from the cell's representative
+    // point, clamped into bounds (edge cells overhang the world).
+    const Vec2 rep{std::clamp(b.lo.x + (qx + 0.5) * pitch, b.lo.x, b.hi.x),
+                   std::clamp(b.lo.y + (qy + 0.5) * pitch, b.lo.y, b.hi.y)};
+    const double cutoff = regions_.cutoffAt(rep);
+
+    PanoKey key;
+    key.worldTag = worldTag_;
+    key.qx = qx;
+    key.qy = qy;
+    key.cutoffBits = std::bit_cast<std::uint64_t>(cutoff);
+    key.pitchBits = std::bit_cast<std::uint64_t>(pitch);
+    key.width = width;
+    key.height = height;
+    return panoCache_.getOrRender(key, [&] {
+        const render::Renderer renderer(world_);
+        render::RenderOptions opts;
+        opts.layer = render::DepthLayer::farBe(cutoff);
+        opts.threads = threads;
+        return renderer.renderPanorama(world_.eyePosition(rep), width,
+                                       height, opts);
+    });
 }
 
 double

@@ -13,9 +13,12 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
+#include "core/pano_cache.hh"
 #include "core/partitioner.hh"
 #include "image/codec.hh"
 #include "image/size_model.hh"
@@ -32,6 +35,8 @@ struct FrameStoreParams
     int panoHeight = 2160;
     /** Density (tri/m^2) that saturates content complexity at 1.0. */
     double complexitySaturationDensity = 2500.0;
+    /** Byte budget for the de-duplicating panorama render cache. */
+    std::size_t panoCacheBytes = 256ull << 20;
 };
 
 /** Aggregate result of an offline pre-render + encode pass. */
@@ -65,6 +70,21 @@ class FrameStore
     PrerenderResult prerenderFarBe(std::int64_t cellStride, int width,
                                    int height, int threads = 0) const;
 
+    /**
+     * The far-BE panorama a client standing at @p pos receives, through
+     * the de-duplicating render cache: positions within the same
+     * quantization cell (pitch = max(@p distThresh, grid spacing) —
+     * the paper's FI-location similarity radius) share one cached
+     * render keyed by the cell's representative point. Concurrent
+     * first requests single-flight; @p threads as in prerenderFarBe.
+     */
+    std::shared_ptr<const image::Image>
+    farBePanorama(geom::Vec2 pos, double distThresh, int width, int height,
+                  int threads = 0) const;
+
+    /** Render-cache effectiveness counters (hits, misses, joins, ...). */
+    PanoCacheStats panoCacheStats() const { return panoCache_.stats(); }
+
     /** Encoded far-BE frame size at a grid point (bytes). */
     std::uint64_t farBeBytes(world::GridPoint g) const;
 
@@ -92,6 +112,10 @@ class FrameStore
     const world::GridMap &grid_;
     const RegionIndex &regions_;
     FrameStoreParams params_;
+    /** World identity folded into every cache key. */
+    std::uint64_t worldTag_;
+    /** De-dups far-BE panorama renders (internally synchronized). */
+    mutable PanoramaRenderCache panoCache_;
     /**
      * Complexity cached per leaf region (cheap, stable, deterministic —
      * the cached value never depends on which thread computed it).

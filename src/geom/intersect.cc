@@ -159,6 +159,32 @@ intersectCylinderY(const Ray &ray, Vec3 base, double radius, double height,
     return best;
 }
 
+SlabRay
+makeSlabRay(const Ray &ray)
+{
+    SlabRay slab;
+    slab.origin = ray.origin;
+    slab.tMin = ray.tMin;
+    slab.tMax = ray.tMax;
+    const double d[3] = {ray.dir.x, ray.dir.y, ray.dir.z};
+    for (int axis = 0; axis < 3; ++axis) {
+        if (d[axis] == 0.0) {
+            // Positive huge inverse regardless of the zero's sign: the
+            // slab order must match neg[] (false), and -0.0 would flip
+            // the interval if copysign were used.
+            slab.invDir[axis] = 1e300;
+            slab.neg[axis] = false;
+            continue;
+        }
+        double inv = 1.0 / d[axis];
+        if (!std::isfinite(inv)) // denormal direction component
+            inv = std::copysign(1e300, d[axis]);
+        slab.invDir[axis] = inv;
+        slab.neg[axis] = d[axis] < 0.0;
+    }
+    return slab;
+}
+
 bool
 rayHitsAabb(const Ray &ray, const Aabb &box, double tMax)
 {

@@ -64,13 +64,16 @@ effectiveTriangles(const world::VirtualWorld &world, Vec2 eye, double rMin,
     double total =
         terrainEffectiveTriangles(world, eye, rMin, rMax, params);
     if (reach > rMin) {
-        for (std::uint32_t id : world.objectsWithin(eye, reach)) {
+        // Callback disc query: BVH traversal order, no id-vector
+        // allocation. LocationCostCache replays the same order, which
+        // is what keeps the two paths bit-identical.
+        world.forEachObjectWithin(eye, reach, [&](std::uint32_t id) {
             const world::WorldObject &obj = world.object(id);
             const double d = obj.footprint().distance(eye);
             if (d < rMin)
-                continue; // belongs to the inner layer
+                return; // belongs to the inner layer
             total += obj.triangles * lodWeight(d, params);
-        }
+        });
     }
     // Global LOD saturation (see CostModelParams::saturationTriangles).
     if (params.saturationTriangles > 0.0)
@@ -95,9 +98,10 @@ LocationCostCache::LocationCostCache(const world::VirtualWorld &world,
     const double maxReach = std::min(maxRadius, params.cullDistance);
     if (maxReach <= 0.0)
         return;
-    const auto ids = world.objectsWithin(eye, maxReach);
-    objects_.reserve(ids.size());
-    for (std::uint32_t id : ids) {
+    // Callback disc query, cached in BVH traversal order — replaying
+    // objects_ in this order keeps effectiveTriangles() bit-identical
+    // to the uncached free function (which sums in the same order).
+    world.forEachObjectWithin(eye, maxReach, [&](std::uint32_t id) {
         const world::WorldObject &obj = world.object(id);
         // queryDisc's membership metric: squared distance from the eye
         // to the object's AABB footprint in the ground plane.
@@ -109,7 +113,7 @@ LocationCostCache::LocationCostCache(const world::VirtualWorld &world,
         objects_.push_back({dx * dx + dz * dz,
                             obj.footprint().distance(eye),
                             static_cast<double>(obj.triangles)});
-    }
+    });
 }
 
 double

@@ -83,10 +83,39 @@ parallelRows(int rows, int threads, Fn &&fn)
         [&](std::int64_t b, std::int64_t e) {
             COTERIE_SPAN("render.rows", "render");
             COTERIE_COUNT_N("render.rows", e - b);
+            // Attribute BVH traversal work to rendering: discard any
+            // counts a previous (non-render) caller left on this
+            // thread, then drain what this chunk's rays accumulated.
+            // One registry add per chunk — nothing per ray.
+            world::Bvh::takeThreadStats();
             for (std::int64_t y = b; y < e; ++y)
                 fn(static_cast<int>(y));
+            const world::Bvh::TraversalStats stats =
+                world::Bvh::takeThreadStats();
+            COTERIE_COUNT_N("bvh.nodes_visited", stats.nodesVisited);
+            COTERIE_COUNT_N("bvh.leaf_tests", stats.leafTests);
         },
         threads);
+}
+
+/**
+ * Emit cumulative `bvh.*` counter tracks after a frame so traces carry
+ * the traversal-cost trajectory (trace_report folds them into its
+ * render section). Cheap no-op unless a trace is recording.
+ */
+void
+traceBvhCounters()
+{
+    obs::TraceRecorder &recorder = obs::TraceRecorder::global();
+    if (!recorder.enabled())
+        return;
+    obs::MetricsRegistry &registry = obs::MetricsRegistry::global();
+    recorder.counter("bvh.nodes_visited",
+                     static_cast<double>(
+                         registry.counter("bvh.nodes_visited").value()));
+    recorder.counter("bvh.leaf_tests",
+                     static_cast<double>(
+                         registry.counter("bvh.leaf_tests").value()));
 }
 
 } // namespace
@@ -174,6 +203,7 @@ Renderer::renderPerspective(const Camera &camera, int width, int height,
             frame.at(x, y) = shadeRay(ray, local);
         }
     });
+    traceBvhCounters();
     return frame;
 }
 
@@ -197,6 +227,7 @@ Renderer::renderPanorama(Vec3 eye, int width, int height,
             frame.at(x, y) = shadeRay(ray, local);
         }
     });
+    traceBvhCounters();
     return frame;
 }
 

@@ -1,7 +1,7 @@
 #include "world/bvh.hh"
 
-#include <algorithm>
-#include <array>
+#include <cmath>
+#include <limits>
 
 #include "support/logging.hh"
 
@@ -10,78 +10,237 @@ namespace coterie::world {
 using geom::Aabb;
 using geom::Hit;
 using geom::Ray;
+using geom::SlabRay;
 using geom::Vec2;
 using geom::Vec3;
 
 namespace {
 
 constexpr std::size_t kLeafSize = 4;
+/** SAH bin count: 16 bins recover nearly all of exact-sweep quality. */
+constexpr int kSahBins = 16;
+/**
+ * Builder depth cap. Degenerate inputs (many coincident centers) can
+ * drive lopsided splits; past this depth the node becomes a leaf, which
+ * also bounds the traversal stacks (one pushed frame per level).
+ */
+constexpr int kMaxDepth = 40;
 
-} // namespace
+/** Thread-local traversal counters; drained by Bvh::takeThreadStats. */
+thread_local Bvh::TraversalStats tlsStats;
 
-Bvh::Bvh(const std::vector<WorldObject> &objects) : objects_(objects)
+double
+axisOf(const Vec3 &v, int axis)
 {
-    std::vector<std::uint32_t> items(objects.size());
-    for (std::size_t i = 0; i < items.size(); ++i)
-        items[i] = static_cast<std::uint32_t>(i);
-    if (!items.empty()) {
-        nodes_.reserve(2 * items.size());
-        build(items, 0, items.size());
-    }
+    if (axis == 0)
+        return v.x;
+    if (axis == 1)
+        return v.y;
+    return v.z;
 }
 
-std::int32_t
-Bvh::build(std::vector<std::uint32_t> &items, std::size_t begin,
-           std::size_t end)
+int
+widestAxis(const Vec3 &extent)
 {
-    const auto node_index = static_cast<std::int32_t>(nodes_.size());
-    nodes_.emplace_back();
-
-    Aabb box;
-    for (std::size_t i = begin; i < end; ++i)
-        box.extend(objects_[items[i]].bounds());
-
-    if (end - begin <= kLeafSize) {
-        Node &leaf = nodes_[node_index];
-        leaf.box = box;
-        leaf.left = static_cast<std::int32_t>(items_.size());
-        leaf.count = static_cast<std::int32_t>(end - begin);
-        for (std::size_t i = begin; i < end; ++i)
-            items_.push_back(items[i]);
-        return node_index;
-    }
-
-    // Split along the widest axis at the median of object centers.
-    const Vec3 extent = box.extent();
     int axis = 0;
     if (extent.y > extent.x)
         axis = 1;
     if (extent.z > (axis == 0 ? extent.x : extent.y))
         axis = 2;
+    return axis;
+}
 
-    const std::size_t mid = (begin + end) / 2;
-    std::nth_element(
-        items.begin() + static_cast<std::ptrdiff_t>(begin),
-        items.begin() + static_cast<std::ptrdiff_t>(mid),
-        items.begin() + static_cast<std::ptrdiff_t>(end),
-        [&](std::uint32_t a, std::uint32_t b) {
-            const Vec3 ca = objects_[a].bounds().center();
-            const Vec3 cb = objects_[b].bounds().center();
-            if (axis == 0)
-                return ca.x < cb.x;
-            if (axis == 1)
-                return ca.y < cb.y;
-            return ca.z < cb.z;
-        });
+} // namespace
 
-    const std::int32_t left = build(items, begin, mid);
-    const std::int32_t right = build(items, mid, end);
-    Node &node = nodes_[node_index];
-    node.box = box;
-    node.left = left;
-    node.right = right;
-    node.count = 0;
+Bvh::Bvh(const std::vector<WorldObject> &objects, BvhBuildPolicy policy)
+    : objects_(objects), policy_(policy)
+{
+    if (objects.empty())
+        return;
+    std::vector<BuildItem> items(objects.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        items[i].box = objects[i].bounds();
+        items[i].center = items[i].box.center();
+        items[i].id = static_cast<std::uint32_t>(i);
+    }
+    nodes_.reserve(2 * items.size());
+    items_.reserve(items.size());
+    build(items, 0, items.size(), 0);
+}
+
+std::int32_t
+Bvh::emitLeaf(const std::vector<BuildItem> &items, std::size_t begin,
+              std::size_t end, const Aabb &box)
+{
+    const auto node_index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    Node &leaf = nodes_.back();
+    leaf.box = box;
+    leaf.rightOrFirst = static_cast<std::int32_t>(items_.size());
+    leaf.count = static_cast<std::int32_t>(end - begin);
+    for (std::size_t i = begin; i < end; ++i)
+        items_.push_back(items[i].id);
     return node_index;
+}
+
+std::int32_t
+Bvh::build(std::vector<BuildItem> &items, std::size_t begin,
+           std::size_t end, int depth)
+{
+    Aabb box;
+    for (std::size_t i = begin; i < end; ++i)
+        box.extend(items[i].box);
+
+    const std::size_t n = end - begin;
+    if (n <= kLeafSize || depth >= kMaxDepth)
+        return emitLeaf(items, begin, end, box);
+
+    // Split selection. Both policies produce (axis, mid); fall through
+    // to a leaf only when no plane separates anything (all centers
+    // coincident).
+    Aabb centroidBox;
+    for (std::size_t i = begin; i < end; ++i)
+        centroidBox.extend(items[i].center);
+    const Vec3 cext = centroidBox.extent();
+
+    int axis;
+    std::size_t mid = begin;
+    if (cext.x <= 0.0 && cext.y <= 0.0 && cext.z <= 0.0) {
+        // Fully degenerate: every center identical. Split down the
+        // middle by current order so the tree stays balanced.
+        axis = 0;
+        mid = begin + n / 2;
+    } else if (policy_ == BvhBuildPolicy::Median) {
+        // Widest axis of the node bounds, median of object centers —
+        // the original build.
+        axis = widestAxis(box.extent());
+        mid = begin + n / 2;
+        std::nth_element(
+            items.begin() + static_cast<std::ptrdiff_t>(begin),
+            items.begin() + static_cast<std::ptrdiff_t>(mid),
+            items.begin() + static_cast<std::ptrdiff_t>(end),
+            [axis](const BuildItem &a, const BuildItem &b) {
+                return axisOf(a.center, axis) < axisOf(b.center, axis);
+            });
+    } else {
+        // Binned SAH over the widest *centroid* axis (width > 0 here:
+        // the fully-degenerate case was handled above).
+        axis = widestAxis(cext);
+        const double lo = axisOf(centroidBox.lo, axis);
+        const double invWidth = kSahBins / axisOf(cext, axis);
+        const auto binOf = [&](const BuildItem &item) {
+            const auto bin = static_cast<int>(
+                (axisOf(item.center, axis) - lo) * invWidth);
+            return std::clamp(bin, 0, kSahBins - 1);
+        };
+        int counts[kSahBins] = {};
+        Aabb bounds[kSahBins];
+        for (std::size_t i = begin; i < end; ++i) {
+            const int b = binOf(items[i]);
+            ++counts[b];
+            bounds[b].extend(items[i].box);
+        }
+        // Suffix sweep: cost of everything right of each plane. Empty
+        // bins are skipped — extending with an invalid Aabb would
+        // poison the accumulator with its infinite corners.
+        double rightArea[kSahBins] = {};
+        int rightCount[kSahBins] = {};
+        {
+            Aabb acc;
+            int cnt = 0;
+            for (int b = kSahBins - 1; b >= 1; --b) {
+                if (counts[b] > 0)
+                    acc.extend(bounds[b]);
+                cnt += counts[b];
+                rightArea[b] = acc.surfaceArea();
+                rightCount[b] = cnt;
+            }
+        }
+        // Prefix sweep: pick the plane minimizing
+        // N_L * SA_L + N_R * SA_R.
+        double bestCost = std::numeric_limits<double>::infinity();
+        int bestPlane = -1;
+        {
+            Aabb acc;
+            int cnt = 0;
+            for (int b = 0; b < kSahBins - 1; ++b) {
+                if (counts[b] > 0)
+                    acc.extend(bounds[b]);
+                cnt += counts[b];
+                if (cnt == 0 || rightCount[b + 1] == 0)
+                    continue;
+                const double cost = cnt * acc.surfaceArea() +
+                                    rightCount[b + 1] * rightArea[b + 1];
+                if (cost < bestCost) {
+                    bestCost = cost;
+                    bestPlane = b;
+                }
+            }
+        }
+        if (bestPlane < 0) {
+            // All occupied bins collapse to one: median fallback.
+            mid = begin + n / 2;
+            std::nth_element(
+                items.begin() + static_cast<std::ptrdiff_t>(begin),
+                items.begin() + static_cast<std::ptrdiff_t>(mid),
+                items.begin() + static_cast<std::ptrdiff_t>(end),
+                [axis](const BuildItem &a, const BuildItem &b) {
+                    return axisOf(a.center, axis) <
+                           axisOf(b.center, axis);
+                });
+        } else {
+            const auto split = std::partition(
+                items.begin() + static_cast<std::ptrdiff_t>(begin),
+                items.begin() + static_cast<std::ptrdiff_t>(end),
+                [&](const BuildItem &item) {
+                    return binOf(item) <= bestPlane;
+                });
+            mid = static_cast<std::size_t>(split - items.begin());
+        }
+    }
+    if (mid <= begin || mid >= end)
+        mid = begin + n / 2; // never recurse on an empty side
+
+    const auto node_index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    build(items, begin, mid, depth + 1); // left child lands at +1
+    const std::int32_t right = build(items, mid, end, depth + 1);
+    Node &node = nodes_[static_cast<std::size_t>(node_index)];
+    node.box = box;
+    node.rightOrFirst = right;
+    node.count = 0;
+    node.axis = static_cast<std::uint8_t>(axis);
+    return node_index;
+}
+
+bool
+Bvh::intersectObjectT(const Ray &ray, const WorldObject &obj,
+                      double &t) const
+{
+    // Distance-only variant for candidate testing: skips all normal
+    // work (the sphere's normalize() sqrt in particular). The winner's
+    // normal is recomputed once after traversal — intersection is a
+    // pure function of (ray, object), so the recomputed t and normal
+    // are bit-identical to what the inline computation produced.
+    std::optional<double> hit;
+    switch (obj.shape) {
+      case Shape::Sphere:
+        hit = geom::intersectSphere(ray, obj.position, obj.dims.x);
+        break;
+      case Shape::Box:
+        hit = geom::intersectBox(ray,
+                                 Aabb{obj.position - obj.dims * 0.5,
+                                      obj.position + obj.dims * 0.5});
+        break;
+      case Shape::CylinderY:
+        hit = geom::intersectCylinderY(ray, obj.position, obj.dims.x,
+                                       obj.dims.y);
+        break;
+    }
+    if (!hit)
+        return false;
+    t = *hit;
+    return true;
 }
 
 bool
@@ -121,20 +280,93 @@ Bvh::closestHit(const Ray &ray) const
     if (nodes_.empty())
         return best;
 
-    std::array<std::int32_t, 64> stack;
+    const SlabRay slab = geom::makeSlabRay(ray);
+    std::uint64_t visited = 0;
+    std::uint64_t leafTests = 0;
+    std::array<std::int32_t, 128> stack;
+    int sp = 0;
+    std::int32_t idx = 0;
+    for (;;) {
+        const Node &node = nodes_[static_cast<std::size_t>(idx)];
+        ++visited;
+        // Strict prune (> not >=): a box entered exactly at best.t may
+        // still hold an equal-t lower-id winner.
+        if (geom::slabRayHitsAabb(slab, node.box, best.t)) {
+            if (node.count > 0) {
+                for (std::int32_t i = 0; i < node.count; ++i) {
+                    const std::uint32_t obj_id = items_[
+                        static_cast<std::size_t>(node.rightOrFirst + i)];
+                    ++leafTests;
+                    double t;
+                    if (!intersectObjectT(ray, objects_[obj_id], t))
+                        continue;
+                    // Deterministic tie-break: equal t resolves to the
+                    // lower object id. best.valid() keeps the legacy
+                    // edge semantics — a hit exactly at ray.tMax (the
+                    // initial best.t) is still rejected.
+                    if (t < best.t ||
+                        (t == best.t && best.valid() &&
+                         obj_id < best.objectId)) {
+                        best.t = t;
+                        best.objectId = obj_id;
+                    }
+                }
+            } else {
+                std::int32_t near = idx + 1;
+                std::int32_t far = node.rightOrFirst;
+                if (slab.neg[node.axis])
+                    std::swap(near, far);
+                COTERIE_ASSERT(sp < static_cast<int>(stack.size()),
+                               "BVH traversal stack overflow");
+                stack[static_cast<std::size_t>(sp++)] = far;
+                idx = near;
+                continue;
+            }
+        }
+        if (sp == 0)
+            break;
+        idx = stack[static_cast<std::size_t>(--sp)];
+    }
+    tlsStats.nodesVisited += visited;
+    tlsStats.leafTests += leafTests;
+    if (best.valid()) {
+        // One full intersection for the winner fills point + normal;
+        // candidates above paid only for distance.
+        double t;
+        Vec3 normal;
+        const bool ok =
+            intersectObject(ray, objects_[best.objectId], t, normal);
+        COTERIE_ASSERT(ok && t == best.t,
+                       "winner re-intersection diverged");
+        best.point = ray.at(t);
+        best.normal = normal;
+    }
+    return best;
+}
+
+Hit
+Bvh::closestHitSeedBaseline(const Ray &ray) const
+{
+    Hit best;
+    best.t = ray.tMax;
+    if (nodes_.empty())
+        return best;
+    std::array<std::int32_t, 128> stack;
     int sp = 0;
     stack[sp++] = 0;
     while (sp > 0) {
-        const Node &node = nodes_[stack[--sp]];
+        const std::int32_t idx = stack[static_cast<std::size_t>(--sp)];
+        const Node &node = nodes_[static_cast<std::size_t>(idx)];
         if (!geom::rayHitsAabb(ray, node.box, best.t))
             continue;
         if (node.count > 0) {
             for (std::int32_t i = 0; i < node.count; ++i) {
-                const std::uint32_t obj_id = items_[node.left + i];
-                const WorldObject &obj = objects_[obj_id];
+                const std::uint32_t obj_id = items_[
+                    static_cast<std::size_t>(node.rightOrFirst + i)];
                 double t;
                 Vec3 normal;
-                if (intersectObject(ray, obj, t, normal) && t < best.t) {
+                if (intersectObject(ray, objects_[obj_id], t, normal) &&
+                    t < best.t) {
                     best.t = t;
                     best.point = ray.at(t);
                     best.normal = normal;
@@ -144,8 +376,8 @@ Bvh::closestHit(const Ray &ray) const
         } else {
             COTERIE_ASSERT(sp + 2 <= static_cast<int>(stack.size()),
                            "BVH traversal stack overflow");
-            stack[sp++] = node.left;
-            stack[sp++] = node.right;
+            stack[static_cast<std::size_t>(sp++)] = idx + 1;
+            stack[static_cast<std::size_t>(sp++)] = node.rightOrFirst;
         }
     }
     return best;
@@ -156,65 +388,67 @@ Bvh::anyHit(const Ray &ray) const
 {
     if (nodes_.empty())
         return false;
-    std::array<std::int32_t, 64> stack;
+    const SlabRay slab = geom::makeSlabRay(ray);
+    std::uint64_t visited = 0;
+    std::uint64_t leafTests = 0;
+    std::array<std::int32_t, 128> stack;
     int sp = 0;
-    stack[sp++] = 0;
-    while (sp > 0) {
-        const Node &node = nodes_[stack[--sp]];
-        if (!geom::rayHitsAabb(ray, node.box, ray.tMax))
-            continue;
-        if (node.count > 0) {
-            for (std::int32_t i = 0; i < node.count; ++i) {
-                const WorldObject &obj = objects_[items_[node.left + i]];
-                double t;
-                Vec3 normal;
-                if (intersectObject(ray, obj, t, normal))
-                    return true;
+    std::int32_t idx = 0;
+    bool found = false;
+    for (;;) {
+        const Node &node = nodes_[static_cast<std::size_t>(idx)];
+        ++visited;
+        if (geom::slabRayHitsAabb(slab, node.box, ray.tMax)) {
+            if (node.count > 0) {
+                for (std::int32_t i = 0; i < node.count; ++i) {
+                    const std::uint32_t obj_id = items_[
+                        static_cast<std::size_t>(node.rightOrFirst + i)];
+                    ++leafTests;
+                    double t;
+                    if (intersectObjectT(ray, objects_[obj_id], t)) {
+                        found = true;
+                        break;
+                    }
+                }
+                if (found)
+                    break;
+            } else {
+                // Near-to-far descent: the first leaf hit terminates.
+                std::int32_t near = idx + 1;
+                std::int32_t far = node.rightOrFirst;
+                if (slab.neg[node.axis])
+                    std::swap(near, far);
+                COTERIE_ASSERT(sp < static_cast<int>(stack.size()),
+                               "BVH traversal stack overflow");
+                stack[static_cast<std::size_t>(sp++)] = far;
+                idx = near;
+                continue;
             }
-        } else {
-            stack[sp++] = node.left;
-            stack[sp++] = node.right;
         }
+        if (sp == 0)
+            break;
+        idx = stack[static_cast<std::size_t>(--sp)];
     }
-    return false;
+    tlsStats.nodesVisited += visited;
+    tlsStats.leafTests += leafTests;
+    return found;
 }
 
 std::vector<std::uint32_t>
 Bvh::queryDisc(Vec2 center, double radius) const
 {
     std::vector<std::uint32_t> out;
-    if (nodes_.empty())
-        return out;
-    const double r2 = radius * radius;
-    std::array<std::int32_t, 64> stack;
-    int sp = 0;
-    stack[sp++] = 0;
-    while (sp > 0) {
-        const Node &node = nodes_[stack[--sp]];
-        // Distance from the disc center to the box footprint in XZ.
-        const double dx = std::max(
-            {node.box.lo.x - center.x, 0.0, center.x - node.box.hi.x});
-        const double dz = std::max(
-            {node.box.lo.z - center.y, 0.0, center.y - node.box.hi.z});
-        if (dx * dx + dz * dz > r2)
-            continue;
-        if (node.count > 0) {
-            for (std::int32_t i = 0; i < node.count; ++i) {
-                const std::uint32_t obj_id = items_[node.left + i];
-                const Aabb b = objects_[obj_id].bounds();
-                const double ox = std::max(
-                    {b.lo.x - center.x, 0.0, center.x - b.hi.x});
-                const double oz = std::max(
-                    {b.lo.z - center.y, 0.0, center.y - b.hi.z});
-                if (ox * ox + oz * oz <= r2)
-                    out.push_back(obj_id);
-            }
-        } else {
-            stack[sp++] = node.left;
-            stack[sp++] = node.right;
-        }
-    }
+    queryDisc(center, radius,
+              [&](std::uint32_t obj_id) { out.push_back(obj_id); });
     return out;
+}
+
+Bvh::TraversalStats
+Bvh::takeThreadStats()
+{
+    const TraversalStats stats = tlsStats;
+    tlsStats = {};
+    return stats;
 }
 
 } // namespace coterie::world

@@ -1,12 +1,28 @@
 /**
  * @file
  * Bounding-volume hierarchy over world objects, used by the renderer
- * (closest-hit ray casts) and by radius queries. Median-split build,
- * iterative stack traversal.
+ * (closest-hit ray casts) and by radius queries.
+ *
+ * Two build policies behind one flattened node layout:
+ *  - `BinnedSah` (default): binned surface-area-heuristic splits — the
+ *    production build, minimizing expected traversal cost.
+ *  - `Median`: the original widest-axis median split, kept for A/B
+ *    benchmarking (bench_render) and equivalence testing.
+ *
+ * Nodes are emitted in depth-first order, so a node's left child is
+ * always the next array slot and only the right-child index is stored;
+ * traversal descends the near child first using the split axis and the
+ * ray-direction sign (front-to-back), pruning with a precomputed
+ * inverse-direction slab test against the best hit so far. Closest-hit
+ * results are *build-policy independent*: acceptance breaks equal-t
+ * ties by lower object id, so SAH and median trees return bit-identical
+ * hits (verified by tests/bvh_test.cc).
  */
 
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -16,51 +32,149 @@
 
 namespace coterie::world {
 
+/** How the BVH chooses split planes. */
+enum class BvhBuildPolicy
+{
+    Median,    ///< widest-axis median of object centers (legacy)
+    BinnedSah, ///< binned surface-area heuristic (default)
+};
+
 /**
  * Static BVH. Leaves hold small runs of object indices; inner nodes are
- * laid out in a flat array (child indices), friendly to iterative
- * traversal.
+ * laid out in a flat depth-first array (left child implicit at +1),
+ * friendly to iterative traversal.
  */
 class Bvh
 {
   public:
     /** Build over the given objects (indices refer into this vector). */
-    explicit Bvh(const std::vector<WorldObject> &objects);
+    explicit Bvh(const std::vector<WorldObject> &objects,
+                 BvhBuildPolicy policy = BvhBuildPolicy::BinnedSah);
 
     /**
      * Closest intersection along the ray within [ray.tMin, ray.tMax],
      * respecting per-ray interval clipping (this is how near/far BE
-     * separation by cutoff radius is implemented).
+     * separation by cutoff radius is implemented). Equal-t ties resolve
+     * to the lower object id, making the result independent of build
+     * policy and traversal order.
      */
     geom::Hit closestHit(const geom::Ray &ray) const;
 
-    /** Any-hit predicate (shadow rays). */
+    /** Any-hit predicate (shadow rays); near-to-far, first hit wins. */
     bool anyHit(const geom::Ray &ray) const;
+
+    /**
+     * The pre-overhaul traversal, preserved verbatim as the honest
+     * baseline: unordered child descent and a per-node division-based
+     * slab test (geom::rayHitsAabb), no front-to-back ordering, no id
+     * tie-break. Combined with a `Median` build this reproduces the
+     * seed renderer's hot path. Only bench_render's A/B and the
+     * equivalence tests call it — the renderer always uses closestHit.
+     */
+    geom::Hit closestHitSeedBaseline(const geom::Ray &ray) const;
+
+    /**
+     * Visit ids of objects whose AABB intersects the XZ disc
+     * (cylinder), in deterministic depth-first traversal order. The
+     * allocation-free path for hot callers (cost model, partitioner).
+     */
+    template <typename Fn>
+    void queryDisc(geom::Vec2 center, double radius, Fn &&fn) const;
 
     /** Ids of objects whose AABB intersects the XZ disc (cylinder). */
     std::vector<std::uint32_t> queryDisc(geom::Vec2 center,
                                          double radius) const;
 
     std::size_t nodeCount() const { return nodes_.size(); }
+    BvhBuildPolicy policy() const { return policy_; }
+
+    /**
+     * Per-thread traversal counters (nodes visited / leaf primitive
+     * tests by closestHit + anyHit on the calling thread). Reading
+     * resets the thread's counters; the renderer drains them per row
+     * chunk into `bvh.nodes_visited` / `bvh.leaf_tests`. Plain
+     * thread-local accumulation — no atomics on the traversal path, no
+     * obs dependency in world/.
+     */
+    struct TraversalStats
+    {
+        std::uint64_t nodesVisited = 0;
+        std::uint64_t leafTests = 0;
+    };
+    static TraversalStats takeThreadStats();
 
   private:
     struct Node
     {
         geom::Aabb box;
-        std::int32_t left = -1;   // inner: child index; leaf: first item
-        std::int32_t right = -1;  // inner: child index; leaf: -1
-        std::int32_t count = 0;   // leaf: number of items; inner: 0
+        std::int32_t rightOrFirst = -1; ///< inner: right child; leaf: first item
+        std::int32_t count = 0;         ///< leaf: item count; inner: 0
+        std::uint8_t axis = 0;          ///< inner: split axis (orders children)
     };
 
-    std::int32_t build(std::vector<std::uint32_t> &items, std::size_t begin,
-                       std::size_t end);
+    /** Per-object build scratch: bounds + center, computed once. */
+    struct BuildItem
+    {
+        geom::Aabb box;
+        geom::Vec3 center;
+        std::uint32_t id = 0;
+    };
+
+    std::int32_t build(std::vector<BuildItem> &items, std::size_t begin,
+                       std::size_t end, int depth);
+    std::int32_t emitLeaf(const std::vector<BuildItem> &items,
+                          std::size_t begin, std::size_t end,
+                          const geom::Aabb &box);
     bool intersectObject(const geom::Ray &ray, const WorldObject &obj,
                          double &t, geom::Vec3 &normal) const;
+    bool intersectObjectT(const geom::Ray &ray, const WorldObject &obj,
+                          double &t) const;
 
     const std::vector<WorldObject> &objects_;
+    BvhBuildPolicy policy_;
     std::vector<Node> nodes_;
     std::vector<std::uint32_t> items_;
 };
 
-} // namespace coterie::world
+template <typename Fn>
+void
+Bvh::queryDisc(geom::Vec2 center, double radius, Fn &&fn) const
+{
+    if (nodes_.empty())
+        return;
+    const double r2 = radius * radius;
+    // Squared distance from the disc center to a box footprint in XZ.
+    const auto footprintDistSq = [&](const geom::Aabb &box) {
+        const double dx =
+            std::max({box.lo.x - center.x, 0.0, center.x - box.hi.x});
+        const double dz =
+            std::max({box.lo.z - center.y, 0.0, center.y - box.hi.z});
+        return dx * dx + dz * dz;
+    };
+    std::array<std::int32_t, 128> stack;
+    int sp = 0;
+    std::int32_t idx = 0;
+    for (;;) {
+        const Node &node = nodes_[idx];
+        if (footprintDistSq(node.box) <= r2) {
+            if (node.count > 0) {
+                for (std::int32_t i = 0; i < node.count; ++i) {
+                    const std::uint32_t obj_id =
+                        items_[static_cast<std::size_t>(node.rightOrFirst +
+                                                        i)];
+                    if (footprintDistSq(objects_[obj_id].bounds()) <= r2)
+                        fn(obj_id);
+                }
+            } else {
+                stack[static_cast<std::size_t>(sp++)] = node.rightOrFirst;
+                idx = idx + 1; // left child is adjacent in DFS order
+                continue;
+            }
+        }
+        if (sp == 0)
+            break;
+        idx = stack[static_cast<std::size_t>(--sp)];
+    }
+}
 
+} // namespace coterie::world

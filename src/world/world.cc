@@ -29,7 +29,7 @@ VirtualWorld::VirtualWorld(VirtualWorld &&other) noexcept
       eyeHeight_(other.eyeHeight_), objects_(std::move(other.objects_))
 {
     if (other.bvh_) {
-        bvh_ = std::make_unique<Bvh>(objects_);
+        bvh_ = std::make_unique<Bvh>(objects_, other.bvh_->policy());
         other.bvh_.reset();
     }
 }
@@ -46,7 +46,7 @@ VirtualWorld::operator=(VirtualWorld &&other) noexcept
         objects_ = std::move(other.objects_);
         bvh_.reset();
         if (other.bvh_) {
-            bvh_ = std::make_unique<Bvh>(objects_);
+            bvh_ = std::make_unique<Bvh>(objects_, other.bvh_->policy());
             other.bvh_.reset();
         }
     }
@@ -63,10 +63,17 @@ VirtualWorld::addObject(WorldObject obj)
 }
 
 void
-VirtualWorld::finalize()
+VirtualWorld::finalize(BvhBuildPolicy policy)
 {
     COTERIE_ASSERT(!finalized(), "double finalize");
-    bvh_ = std::make_unique<Bvh>(objects_);
+    bvh_ = std::make_unique<Bvh>(objects_, policy);
+}
+
+void
+VirtualWorld::rebuildIndex(BvhBuildPolicy policy)
+{
+    COTERIE_ASSERT(finalized(), "rebuildIndex before finalize");
+    bvh_ = std::make_unique<Bvh>(objects_, policy);
 }
 
 const WorldObject &
@@ -124,9 +131,12 @@ VirtualWorld::nearSetSignature(Vec2 center, double radius,
 double
 VirtualWorld::trianglesWithin(Vec2 center, double radius) const
 {
+    // Callback query: no id-vector allocation, summed in traversal
+    // order (the shared order contract of forEachObjectWithin).
     double total = terrain_.trianglesWithin(center, radius);
-    for (std::uint32_t id : objectsWithin(center, radius))
+    forEachObjectWithin(center, radius, [&](std::uint32_t id) {
         total += objects_[id].triangles;
+    });
     return total;
 }
 
@@ -135,8 +145,9 @@ VirtualWorld::triangleDensity(Vec2 center, double radius) const
 {
     const double area = M_PI * radius * radius;
     double object_tris = 0.0;
-    for (std::uint32_t id : objectsWithin(center, radius))
+    forEachObjectWithin(center, radius, [&](std::uint32_t id) {
         object_tris += objects_[id].triangles;
+    });
     return area > 0.0 ? object_tris / area : 0.0;
 }
 

@@ -10,16 +10,16 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "geom/region.hh"
 #include "image/image.hh"
+#include "world/bvh.hh"
 #include "world/object.hh"
 #include "world/terrain.hh"
 
 namespace coterie::world {
-
-class Bvh; // world/bvh.hh
 
 /** Indoor worlds render a ceiling-colored "sky" and flat floors. */
 enum class SceneType { Outdoor, Indoor };
@@ -51,8 +51,16 @@ class VirtualWorld
     std::uint32_t addObject(WorldObject obj);
 
     /** Build the spatial index; no more objects may be added after. */
-    void finalize();
+    void finalize(BvhBuildPolicy policy = BvhBuildPolicy::BinnedSah);
     bool finalized() const { return bvh_ != nullptr; }
+
+    /**
+     * Rebuild the spatial index under a different build policy
+     * (requires a finalized world). Closest-hit results are policy
+     * independent — this exists for A/B benchmarking (bench_render)
+     * and the BVH equivalence tests.
+     */
+    void rebuildIndex(BvhBuildPolicy policy);
 
     const std::vector<WorldObject> &objects() const { return objects_; }
     const WorldObject &object(std::uint32_t id) const;
@@ -67,6 +75,19 @@ class VirtualWorld
      */
     std::vector<std::uint32_t> objectsWithin(geom::Vec2 center,
                                              double radius) const;
+
+    /**
+     * Allocation-free variant: visit the ids in deterministic BVH
+     * traversal order. Floating-point reductions over the visited set
+     * (cost model, density sums) must all use this order so their
+     * results stay mutually bit-identical.
+     */
+    template <typename Fn>
+    void
+    forEachObjectWithin(geom::Vec2 center, double radius, Fn &&fn) const
+    {
+        bvh().queryDisc(center, radius, std::forward<Fn>(fn));
+    }
 
     /**
      * Order-independent signature of the *visually significant* near-BE

@@ -128,8 +128,168 @@ TEST_P(BvhProperty, DiscQueryMatchesBruteForce)
     }
 }
 
+/**
+ * The tentpole invariant: the binned-SAH tree and the median-split tree
+ * return the *same bits* for every ray — same t, same object, same
+ * normal and point — because closest-hit with the deterministic
+ * tie-break (min object id among min-t hits) is a property of the
+ * object set, not of the tree shape or traversal order. Rendering is
+ * therefore build-policy independent, which is what lets the renderer
+ * switch to SAH without perturbing determinism_test.
+ */
+TEST_P(BvhProperty, SahMatchesMedianBitExact)
+{
+    const auto objects = randomObjects(120, GetParam() ^ 0x5a5a);
+    const Bvh sah(objects, BvhBuildPolicy::BinnedSah);
+    const Bvh median(objects, BvhBuildPolicy::Median);
+    Rng rng(GetParam() ^ 0xfeed);
+    for (int i = 0; i < 2000; ++i) {
+        Ray ray;
+        ray.origin = {rng.uniform(-60, 60), rng.uniform(-5, 20),
+                      rng.uniform(-60, 60)};
+        ray.dir = Vec3{rng.normal(), rng.normal() * 0.4, rng.normal()}
+                      .normalized();
+        if (i % 7 == 0)
+            ray.tMax = rng.uniform(5.0, 80.0); // clipped layers too
+        const Hit a = sah.closestHit(ray);
+        const Hit b = median.closestHit(ray);
+        ASSERT_EQ(a.valid(), b.valid());
+        if (a.valid()) {
+            EXPECT_EQ(a.t, b.t);
+            EXPECT_EQ(a.objectId, b.objectId);
+            EXPECT_EQ(a.normal.x, b.normal.x);
+            EXPECT_EQ(a.normal.y, b.normal.y);
+            EXPECT_EQ(a.normal.z, b.normal.z);
+            EXPECT_EQ(a.point.x, b.point.x);
+            EXPECT_EQ(a.point.y, b.point.y);
+            EXPECT_EQ(a.point.z, b.point.z);
+        }
+        EXPECT_EQ(sah.anyHit(ray), median.anyHit(ray));
+    }
+}
+
+/**
+ * The preserved pre-overhaul traversal (bench_render's A/B baseline)
+ * agrees with the ordered traversal on both tree shapes. Exact-t ties
+ * between distinct objects do not occur in these random worlds, so
+ * object ids must match too.
+ */
+TEST_P(BvhProperty, SeedBaselineTraversalAgrees)
+{
+    const auto objects = randomObjects(100, GetParam() ^ 0xbeef);
+    const Bvh sah(objects, BvhBuildPolicy::BinnedSah);
+    const Bvh median(objects, BvhBuildPolicy::Median);
+    Rng rng(GetParam() ^ 0xcafe);
+    for (int i = 0; i < 500; ++i) {
+        Ray ray;
+        ray.origin = {rng.uniform(-60, 60), rng.uniform(-5, 20),
+                      rng.uniform(-60, 60)};
+        ray.dir = Vec3{rng.normal(), rng.normal() * 0.3, rng.normal()}
+                      .normalized();
+        for (const Bvh *bvh : {&sah, &median}) {
+            const Hit fast = bvh->closestHit(ray);
+            const Hit base = bvh->closestHitSeedBaseline(ray);
+            ASSERT_EQ(fast.valid(), base.valid());
+            if (fast.valid()) {
+                EXPECT_EQ(fast.t, base.t);
+                EXPECT_EQ(fast.objectId, base.objectId);
+            }
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BvhProperty,
                          testing::Values(1, 2, 3, 4, 5));
+
+/** SAH binning degenerates to median when every centroid coincides. */
+TEST(Bvh, SahHandlesCoincidentCenters)
+{
+    std::vector<WorldObject> objects;
+    for (int i = 0; i < 37; ++i) {
+        WorldObject obj;
+        obj.id = static_cast<std::uint32_t>(i);
+        obj.shape = Shape::Sphere;
+        obj.position = {3.0, 1.0, -2.0}; // all identical
+        obj.dims = {0.5 + 0.01 * i, 0, 0};
+        objects.push_back(obj);
+    }
+    const Bvh bvh(objects, BvhBuildPolicy::BinnedSah);
+    Ray ray;
+    ray.origin = {-20, 1, -2};
+    ray.dir = {1, 0, 0};
+    const Hit hit = bvh.closestHit(ray);
+    ASSERT_TRUE(hit.valid());
+    // Largest sphere's surface is nearest; ties impossible here.
+    EXPECT_EQ(hit.objectId, 36u);
+    EXPECT_EQ(bvh.queryDisc({3.0, -2.0}, 1.0).size(), objects.size());
+}
+
+TEST(Bvh, SahSingleObjectAndEmpty)
+{
+    const Bvh empty({}, BvhBuildPolicy::BinnedSah);
+    Ray ray;
+    ray.origin = {0, 1, 0};
+    ray.dir = {1, 0, 0};
+    EXPECT_FALSE(empty.closestHit(ray).valid());
+
+    std::vector<WorldObject> one;
+    WorldObject obj;
+    obj.shape = Shape::Sphere;
+    obj.position = {6, 1, 0};
+    obj.dims = {1.0, 0, 0};
+    one.push_back(obj);
+    const Bvh bvh(one, BvhBuildPolicy::BinnedSah);
+    const Hit hit = bvh.closestHit(ray);
+    ASSERT_TRUE(hit.valid());
+    EXPECT_NEAR(hit.t, 5.0, 1e-12);
+}
+
+/**
+ * Overlapping identical shapes: the tie-break must pick the smallest
+ * object id regardless of build policy.
+ */
+TEST(Bvh, TieBreaksOnObjectIdAcrossPolicies)
+{
+    std::vector<WorldObject> objects;
+    for (int i = 0; i < 6; ++i) {
+        WorldObject obj;
+        obj.id = static_cast<std::uint32_t>(i);
+        obj.shape = Shape::Box;
+        obj.position = {10, 1, 0};
+        obj.dims = {2, 2, 2};
+        objects.push_back(obj);
+    }
+    // Shuffle insertion order by reversing ids' positions in the vector
+    // (ids stay attached to the objects).
+    std::reverse(objects.begin(), objects.end());
+    Ray ray;
+    ray.origin = {0, 1, 0};
+    ray.dir = {1, 0, 0};
+    for (const auto policy :
+         {BvhBuildPolicy::Median, BvhBuildPolicy::BinnedSah}) {
+        const Bvh bvh(objects, policy);
+        const Hit hit = bvh.closestHit(ray);
+        ASSERT_TRUE(hit.valid());
+        EXPECT_EQ(hit.objectId, 0u);
+    }
+}
+
+/** The callback overload yields exactly the vector overload's order. */
+TEST(Bvh, QueryDiscCallbackMatchesVector)
+{
+    const auto objects = randomObjects(90, 77);
+    const Bvh bvh(objects);
+    Rng rng(78);
+    for (int i = 0; i < 100; ++i) {
+        const Vec2 center{rng.uniform(-60, 60), rng.uniform(-60, 60)};
+        const double radius = rng.uniform(1.0, 40.0);
+        const auto vec = bvh.queryDisc(center, radius);
+        std::vector<std::uint32_t> cb;
+        bvh.queryDisc(center, radius,
+                      [&](std::uint32_t id) { cb.push_back(id); });
+        EXPECT_EQ(cb, vec);
+    }
+}
 
 TEST(Bvh, EmptyWorld)
 {

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Panorama render cache: hit/miss accounting, single-flight de-dup,
+ * LRU eviction under a byte budget, failure takeover, and end-to-end
+ * transparency through FrameStore (a cached far-BE panorama is the
+ * exact frame the renderer would have produced).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/pano_cache.hh"
+#include "core/server.hh"
+#include "support/parallel.hh"
+#include "world/gen/generators.hh"
+
+namespace coterie::core {
+namespace {
+
+using geom::Vec2;
+using image::Image;
+using world::gen::GameId;
+
+PanoKey
+testKey(std::int64_t qx, std::int64_t qy)
+{
+    PanoKey key;
+    key.worldTag = 0x7e57;
+    key.qx = qx;
+    key.qy = qy;
+    key.width = 4;
+    key.height = 4;
+    return key;
+}
+
+Image
+solidImage(int w, int h, std::uint8_t v)
+{
+    Image img(w, h);
+    for (auto &px : img.pixels())
+        px = {v, v, v};
+    return img;
+}
+
+TEST(PanoCache, HitMissAndStats)
+{
+    PanoramaRenderCache cache(1 << 20);
+    std::atomic<int> renders{0};
+    const auto render = [&] {
+        ++renders;
+        return solidImage(4, 4, 9);
+    };
+
+    const auto a1 = cache.getOrRender(testKey(0, 0), render);
+    const auto a2 = cache.getOrRender(testKey(0, 0), render);
+    EXPECT_EQ(a1.get(), a2.get()); // literally the same frame
+    EXPECT_EQ(renders.load(), 1);
+
+    cache.getOrRender(testKey(1, 0), render);
+    EXPECT_EQ(renders.load(), 2);
+
+    const PanoCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.bytes, 2u * 4 * 4 * 3);
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(PanoCache, KeySchemesDoNotCollide)
+{
+    // Same indices, but one key is grid-scheme (pitchBits == 0) and the
+    // other quantized-location-scheme: they must be distinct entries.
+    PanoramaRenderCache cache(1 << 20);
+    std::atomic<int> renders{0};
+    const auto render = [&] {
+        ++renders;
+        return solidImage(4, 4, 1);
+    };
+    PanoKey grid_key = testKey(5, 5);
+    PanoKey cell_key = testKey(5, 5);
+    cell_key.pitchBits = 0x4010000000000000ull; // 4.0
+    cache.getOrRender(grid_key, render);
+    cache.getOrRender(cell_key, render);
+    EXPECT_EQ(renders.load(), 2);
+}
+
+TEST(PanoCache, SingleFlightConcurrentMisses)
+{
+    // N concurrent requests for one key: exactly one render; every
+    // other request is a hit (arrived after completion) or an
+    // inflight join (arrived during the render) — never a second
+    // render.
+    constexpr int kRequests = 16;
+    PanoramaRenderCache cache(1 << 20);
+    std::atomic<int> renders{0};
+    support::parallelFor(
+        0, kRequests, 1,
+        [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) {
+                const auto img = cache.getOrRender(testKey(7, 7), [&] {
+                    ++renders;
+                    return solidImage(16, 16, 3);
+                });
+                ASSERT_TRUE(img);
+                EXPECT_EQ(img->pixels()[0].r, 3);
+            }
+        },
+        4);
+    EXPECT_EQ(renders.load(), 1);
+    const PanoCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits + stats.inflightJoins,
+              static_cast<std::uint64_t>(kRequests - 1));
+}
+
+TEST(PanoCache, LruEvictionUnderByteBudget)
+{
+    // Budget fits exactly two 4x4 frames (48 bytes each).
+    PanoramaRenderCache cache(96);
+    std::atomic<int> renders{0};
+    const auto render = [&] {
+        ++renders;
+        return solidImage(4, 4, 2);
+    };
+    cache.getOrRender(testKey(0, 0), render); // A
+    cache.getOrRender(testKey(1, 0), render); // B
+    cache.getOrRender(testKey(0, 0), render); // touch A (hit)
+    cache.getOrRender(testKey(2, 0), render); // C -> evicts LRU = B
+    EXPECT_EQ(renders.load(), 3);
+
+    PanoCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.evictedBytes, 48u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_LE(stats.bytes, 96u);
+
+    cache.getOrRender(testKey(0, 0), render); // A still resident
+    EXPECT_EQ(renders.load(), 3);
+    cache.getOrRender(testKey(1, 0), render); // B was evicted
+    EXPECT_EQ(renders.load(), 4);
+}
+
+TEST(PanoCache, FailedRenderReleasesClaim)
+{
+    PanoramaRenderCache cache(1 << 20);
+    EXPECT_THROW(cache.getOrRender(
+                     testKey(9, 9),
+                     []() -> Image { throw std::runtime_error("gpu"); }),
+                 std::runtime_error);
+    // The claim was withdrawn: a retry renders fresh instead of
+    // deadlocking on a forever-in-flight entry.
+    std::atomic<int> renders{0};
+    const auto img = cache.getOrRender(testKey(9, 9), [&] {
+        ++renders;
+        return solidImage(4, 4, 8);
+    });
+    EXPECT_EQ(renders.load(), 1);
+    EXPECT_EQ(img->pixels()[0].g, 8);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(PanoCache, ClearDropsCompletedEntries)
+{
+    PanoramaRenderCache cache(1 << 20);
+    std::atomic<int> renders{0};
+    const auto render = [&] {
+        ++renders;
+        return solidImage(4, 4, 5);
+    };
+    cache.getOrRender(testKey(0, 0), render);
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().bytes, 0u);
+    cache.getOrRender(testKey(0, 0), render);
+    EXPECT_EQ(renders.load(), 2);
+}
+
+/** FrameStore integration over a real world + partition. */
+struct PanoCacheFixture : testing::Test
+{
+    PanoCacheFixture()
+        : world(world::gen::makeWorld(GameId::Viking, 42)),
+          grid(world::gen::makeGrid(
+              world::gen::gameInfo(GameId::Viking))),
+          partition(partitionWorld(world, device::pixel2(), {})),
+          regions(world.bounds(), partition.leaves),
+          frames(world, grid, regions)
+    {
+    }
+
+    world::VirtualWorld world;
+    world::GridMap grid;
+    PartitionResult partition;
+    RegionIndex regions;
+    FrameStore frames;
+};
+
+TEST_F(PanoCacheFixture, SameCellSharesOneRender)
+{
+    const double thresh = 8.0;
+    const double pitch = std::max(thresh, grid.spacing());
+    const geom::Rect &b = world.bounds();
+    // Two distinct positions inside the same quantization cell, and a
+    // third in the neighboring cell.
+    const Vec2 p1{b.lo.x + 2.25 * pitch, b.lo.y + 2.25 * pitch};
+    const Vec2 p2{b.lo.x + 2.75 * pitch, b.lo.y + 2.75 * pitch};
+    const Vec2 p3{b.lo.x + 3.25 * pitch, b.lo.y + 2.25 * pitch};
+
+    const auto f1 = frames.farBePanorama(p1, thresh, 48, 24);
+    const auto f2 = frames.farBePanorama(p2, thresh, 48, 24);
+    const auto f3 = frames.farBePanorama(p3, thresh, 48, 24);
+    EXPECT_EQ(f1.get(), f2.get()); // shared cached frame
+    EXPECT_NE(f1.get(), f3.get());
+
+    const PanoCacheStats stats = frames.panoCacheStats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST_F(PanoCacheFixture, CachedPanoramaMatchesDirectRender)
+{
+    const double thresh = 8.0;
+    const double pitch = std::max(thresh, grid.spacing());
+    const geom::Rect &b = world.bounds();
+    const Vec2 pos{b.lo.x + 5.6 * pitch, b.lo.y + 4.4 * pitch};
+    const auto cached = frames.farBePanorama(pos, thresh, 48, 24);
+
+    // Reconstruct the cell-representative render the cache performs.
+    const auto qx = static_cast<std::int64_t>(
+        std::floor((pos.x - b.lo.x) / pitch));
+    const auto qy = static_cast<std::int64_t>(
+        std::floor((pos.y - b.lo.y) / pitch));
+    const Vec2 rep{
+        std::clamp(b.lo.x + (qx + 0.5) * pitch, b.lo.x, b.hi.x),
+        std::clamp(b.lo.y + (qy + 0.5) * pitch, b.lo.y, b.hi.y)};
+    const render::Renderer renderer(world);
+    render::RenderOptions opts;
+    opts.layer = render::DepthLayer::farBe(regions.cutoffAt(rep));
+    const Image direct =
+        renderer.renderPanorama(world.eyePosition(rep), 48, 24, opts);
+    EXPECT_TRUE(cached->pixels() == direct.pixels());
+}
+
+TEST_F(PanoCacheFixture, PrerenderSecondPassIsAllHits)
+{
+    const auto first = frames.prerenderFarBe(192, 32, 16);
+    const PanoCacheStats after_first = frames.panoCacheStats();
+    EXPECT_EQ(after_first.misses, first.frames);
+
+    const auto second = frames.prerenderFarBe(192, 32, 16);
+    const PanoCacheStats after_second = frames.panoCacheStats();
+    EXPECT_EQ(second.frames, first.frames);
+    EXPECT_EQ(second.encodedBytes, first.encodedBytes);
+    // Every second-pass frame came out of the cache.
+    EXPECT_EQ(after_second.misses, after_first.misses);
+    EXPECT_EQ(after_second.hits, after_first.hits + second.frames);
+}
+
+TEST_F(PanoCacheFixture, EightClientsRenderOncePerDistinctCell)
+{
+    // Four position pairs, each pair within one quantization cell:
+    // eight "clients" cost exactly four renders (ISSUE acceptance:
+    // renders == distinct quantized locations).
+    const double thresh = 8.0;
+    const double pitch = std::max(thresh, grid.spacing());
+    const geom::Rect &b = world.bounds();
+    std::vector<Vec2> clients;
+    for (int pair = 0; pair < 4; ++pair) {
+        const double cx = b.lo.x + (2.0 * pair + 2.25) * pitch;
+        const double cy = b.lo.y + 2.25 * pitch;
+        clients.push_back({cx, cy});
+        clients.push_back({cx + 0.4 * pitch, cy + 0.4 * pitch});
+    }
+    support::parallelFor(
+        0, static_cast<std::int64_t>(clients.size()), 1,
+        [&](std::int64_t s, std::int64_t e) {
+            for (std::int64_t i = s; i < e; ++i)
+                frames.farBePanorama(clients[static_cast<std::size_t>(i)],
+                                     thresh, 32, 16);
+        },
+        4);
+    const PanoCacheStats stats = frames.panoCacheStats();
+    EXPECT_EQ(stats.misses, 4u);
+    EXPECT_EQ(stats.hits + stats.inflightJoins, 4u);
+}
+
+TEST_F(PanoCacheFixture, SerialAndPooledRendersAreBitIdentical)
+{
+    // Two independent stores so both actually render: one serial, one
+    // on the pool. The frames must match bit for bit (the determinism
+    // invariant the cache relies on to share frames across clients).
+    FrameStore serial(world, grid, regions);
+    const Vec2 pos = world.bounds().center();
+    const auto pooled = frames.farBePanorama(pos, 8.0, 64, 32, 0);
+    const auto single = serial.farBePanorama(pos, 8.0, 64, 32, 1);
+    EXPECT_TRUE(pooled->pixels() == single->pixels());
+}
+
+} // namespace
+} // namespace coterie::core

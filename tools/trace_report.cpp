@@ -223,14 +223,68 @@ main(int argc, char **argv)
                     stages.size());
     }
 
+    // Counter tracks are appended in event order; sort once by
+    // timestamp for every section that reads them.
+    for (auto &[name, series] : counters)
+        std::sort(series.begin(), series.end());
+
+    // ---- Render hot path (bvh.* + pano-cache counter tracks) ------
+    const auto lastCounter = [&](const char *name) -> double {
+        const auto it = counters.find(name);
+        if (it == counters.end() || it->second.empty())
+            return -1.0;
+        return it->second.back().second;
+    };
+    const double bvhNodes = lastCounter("bvh.nodes_visited");
+    const double bvhLeafTests = lastCounter("bvh.leaf_tests");
+    const double panoHits = lastCounter("server.pano_cache.hits");
+    const double panoMisses = lastCounter("server.pano_cache.misses");
+    if (bvhNodes >= 0.0 || panoHits >= 0.0 || panoMisses >= 0.0) {
+        std::size_t frames = 0;
+        for (const char *span : {"render.panorama",
+                                 "render.perspective"}) {
+            const auto it = stages.find(span);
+            if (it != stages.end())
+                frames += it->second.durationsMs.count();
+        }
+        std::printf("\nRender hot path\n");
+        if (bvhNodes >= 0.0) {
+            std::printf("  %-28s %14.0f total", "bvh.nodes_visited",
+                        bvhNodes);
+            if (frames > 0)
+                std::printf("  %12.1f / frame",
+                            bvhNodes / static_cast<double>(frames));
+            std::printf("\n");
+        }
+        if (bvhLeafTests >= 0.0) {
+            std::printf("  %-28s %14.0f total", "bvh.leaf_tests",
+                        bvhLeafTests);
+            if (frames > 0)
+                std::printf("  %12.1f / frame",
+                            bvhLeafTests / static_cast<double>(frames));
+            std::printf("\n");
+        }
+        if (panoHits >= 0.0 || panoMisses >= 0.0) {
+            const double hits = std::max(panoHits, 0.0);
+            const double misses = std::max(panoMisses, 0.0);
+            const double lookups = hits + misses;
+            std::printf("  %-28s hits %.0f  misses %.0f",
+                        "server.pano_cache", hits, misses);
+            if (lookups > 0.0)
+                std::printf("  hit ratio %.1f%%",
+                            100.0 * hits / lookups);
+            std::printf("\n");
+        }
+        if (frames > 0)
+            std::printf("  (%zu rendered frames in trace)\n", frames);
+    }
+
     // ---- Fault timeline (chaos runs only) -------------------------
     if (!faultMarks.empty()) {
         std::sort(faultMarks.begin(), faultMarks.end(),
                   [](const FaultMark &a, const FaultMark &b) {
                       return a.tsUs < b.tsUs;
                   });
-        for (auto &[name, series] : counters)
-            std::sort(series.begin(), series.end());
 
         // Pair begin/end marks per kind, FIFO in timestamp order.
         std::vector<FaultEpisodeRow> episodes;
