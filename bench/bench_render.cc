@@ -1,14 +1,24 @@
 /**
  * @file
- * Render hot-path benchmark: median-split vs binned-SAH BVH A/B over
- * worlds of different object densities (panorama + perspective
- * ms/frame and rays/s), plus the coterie-wide far-BE render de-dup
- * scenario (8 clients, pano-cache hit ratio and renders per frame).
+ * Render hot-path benchmark. Three axes:
+ *  - render path A/B: the seed per-pixel renderer (SeedScalar) vs the
+ *    SIMD scalar path vs the packetized row-batched pipeline (Batched)
+ *    on the production SAH tree — the frames are bit-identical, only
+ *    the time moves;
+ *  - BVH build A/B: median split vs binned SAH (both on the batched
+ *    path), plus the raw raycast seed-traversal comparison;
+ *  - the coterie-wide far-BE render de-dup scenario (8 clients,
+ *    pano-cache hit ratio and renders per frame).
+ * Each world also records a per-stage panorama breakdown (direction
+ * gen / raycast / terrain / shade / composite) from the batched
+ * pipeline's stage timers.
  *
  * Flags:
  *   --smoke   tiny resolutions / single rep (CI perf-smoke job)
- *   --check   exit non-zero if SAH panorama time regresses above the
- *             median-split baseline (summed over worlds)
+ *   --check   exit non-zero if a tracked ratio regresses or the
+ *             batched and seed frames differ
+ *   --stages  re-run the stage breakdown with full reps and print a
+ *             per-world table
  *
  * Writes results/BENCH_render.json (and ./BENCH_render.json).
  */
@@ -22,6 +32,7 @@
 #include "bench_util.hh"
 #include "core/partitioner.hh"
 #include "core/server.hh"
+#include "obs/metrics.hh"
 #include "render/renderer.hh"
 #include "support/parallel.hh"
 #include "world/gen/generators.hh"
@@ -48,26 +59,30 @@ struct AbTimes
     double panoRaysPerSec = 0.0;
 };
 
-/** Time panorama + perspective frames with the world's current BVH. */
+/** Time panorama + perspective frames with the world's current BVH
+ *  through the given render path. */
 AbTimes
 timeRenders(const world::VirtualWorld &world, int panoW, int panoH,
-            int perspW, int perspH, int reps)
+            int perspW, int perspH, int reps, render::RenderPath path)
 {
     const render::Renderer renderer(world);
     const geom::Vec2 center = world.bounds().center();
     const geom::Vec3 eye = world.eyePosition(center);
     render::Camera camera;
     camera.position = eye;
+    render::RenderOptions opts;
+    opts.path = path;
 
     // Warm the pool and touch the tree once before timing.
     volatile std::uint8_t sink =
-        renderer.renderPanorama(eye, 64, 32).pixels()[0].r;
+        renderer.renderPanorama(eye, 64, 32, opts).pixels()[0].r;
     (void)sink;
 
     AbTimes out;
     const double pano_s = seconds([&] {
         for (int i = 0; i < reps; ++i) {
-            const auto frame = renderer.renderPanorama(eye, panoW, panoH);
+            const auto frame =
+                renderer.renderPanorama(eye, panoW, panoH, opts);
             if (frame.empty())
                 std::abort(); // keep the optimizer honest
         }
@@ -75,7 +90,7 @@ timeRenders(const world::VirtualWorld &world, int panoW, int panoH,
     const double persp_s = seconds([&] {
         for (int i = 0; i < reps; ++i) {
             const auto frame =
-                renderer.renderPerspective(camera, perspW, perspH);
+                renderer.renderPerspective(camera, perspW, perspH, opts);
             if (frame.empty())
                 std::abort();
         }
@@ -85,6 +100,70 @@ timeRenders(const world::VirtualWorld &world, int panoW, int panoH,
     out.panoRaysPerSec =
         static_cast<double>(panoW) * panoH * reps / pano_s;
     return out;
+}
+
+/** Stage timer metric names, in pipeline order. */
+constexpr const char *kStageNames[] = {
+    "render.stage.dirs_ms", "render.stage.raycast_ms",
+    "render.stage.terrain_ms", "render.stage.shade_ms",
+    "render.stage.sky_ms"};
+constexpr const char *kStageLabels[] = {"dirs", "raycast", "terrain",
+                                        "shade", "composite"};
+constexpr int kStageCount = 5;
+
+/**
+ * Per-stage panorama cost (ms/frame) via the batched pipeline's stage
+ * timers: render @p reps frames with timers on, diff the registry
+ * timer sums. The instrumentation is two clock reads per row per
+ * stage — well under timing noise at bench resolutions.
+ */
+void
+stageBreakdown(const world::VirtualWorld &world, int panoW, int panoH,
+               int reps, double out[kStageCount])
+{
+    const render::Renderer renderer(world);
+    const geom::Vec3 eye = world.eyePosition(world.bounds().center());
+    render::RenderOptions opts;
+    opts.stageTimers = true;
+    obs::MetricsRegistry &registry = obs::MetricsRegistry::global();
+    double before[kStageCount];
+    for (int i = 0; i < kStageCount; ++i)
+        before[i] = registry.timer(kStageNames[i]).snapshot().stats.sum();
+    for (int r = 0; r < reps; ++r) {
+        const auto frame = renderer.renderPanorama(eye, panoW, panoH, opts);
+        if (frame.empty())
+            std::abort();
+    }
+    for (int i = 0; i < kStageCount; ++i)
+        out[i] = (registry.timer(kStageNames[i]).snapshot().stats.sum() -
+                  before[i]) /
+                 reps;
+}
+
+/**
+ * The load-bearing equivalence behind every A/B above: the batched
+ * packet pipeline and the seed per-pixel renderer must produce
+ * byte-identical frames (whole scene and both clip layers).
+ */
+bool
+pathsAgree(const world::VirtualWorld &world)
+{
+    const render::Renderer renderer(world);
+    const geom::Vec3 eye = world.eyePosition(world.bounds().center());
+    for (int layer = 0; layer < 3; ++layer) {
+        render::RenderOptions opts;
+        if (layer == 1)
+            opts.layer = render::DepthLayer::nearBe(25.0);
+        else if (layer == 2)
+            opts.layer = render::DepthLayer::farBe(25.0);
+        opts.path = render::RenderPath::SeedScalar;
+        const auto seed = renderer.renderPanorama(eye, 96, 48, opts);
+        opts.path = render::RenderPath::Batched;
+        const auto packet = renderer.renderPanorama(eye, 96, 48, opts);
+        if (!(seed.pixels() == packet.pixels()))
+            return false;
+    }
+    return true;
 }
 
 /**
@@ -192,14 +271,18 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     bool check = false;
+    bool stages_mode = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
         else if (std::strcmp(argv[i], "--check") == 0)
             check = true;
+        else if (std::strcmp(argv[i], "--stages") == 0)
+            stages_mode = true;
     }
 
-    bench::banner("Render hot path: SAH vs median BVH + far-BE de-dup",
+    bench::banner("Render hot path: packet pipeline vs seed renderer + "
+                  "BVH A/B + far-BE de-dup",
                   "the renderer behind Tables 6-8");
 
     const int pano_w = smoke ? 160 : 512;
@@ -219,8 +302,10 @@ main(int argc, char **argv)
     obs::Json worlds = obs::Json::object();
     double total_median_ms = 0.0;
     double total_sah_ms = 0.0;
+    double total_seed_ms = 0.0;
     double total_seed_ray_s = 0.0;
     double total_new_ray_s = 0.0;
+    bool parity_ok = true;
     for (const auto &game : games) {
         world::VirtualWorld world = world::gen::makeWorld(game.id, 42);
         std::printf("\n  %s (%zu objects)\n", game.name,
@@ -228,33 +313,56 @@ main(int argc, char **argv)
 
         const geom::Vec3 eye = world.eyePosition(world.bounds().center());
         world.rebuildIndex(world::BvhBuildPolicy::Median);
-        const AbTimes median = timeRenders(world, pano_w, pano_h,
-                                           persp_w, persp_h, reps);
+        const AbTimes median =
+            timeRenders(world, pano_w, pano_h, persp_w, persp_h, reps,
+                        render::RenderPath::Batched);
         // Seed-equivalent hot path: median tree + pre-overhaul traversal.
         const double seed_ray_s = raycastSeconds(world, eye, pano_w,
                                                  pano_h, reps, true);
         world.rebuildIndex(world::BvhBuildPolicy::BinnedSah);
-        const AbTimes sah = timeRenders(world, pano_w, pano_h, persp_w,
-                                        persp_h, reps);
+        // Path A/B on the production SAH tree: the frames are
+        // byte-identical across paths (checked below), only time moves.
+        const AbTimes seed_path =
+            timeRenders(world, pano_w, pano_h, persp_w, persp_h, reps,
+                        render::RenderPath::SeedScalar);
+        const AbTimes scalar_path =
+            timeRenders(world, pano_w, pano_h, persp_w, persp_h, reps,
+                        render::RenderPath::Scalar);
+        const AbTimes sah =
+            timeRenders(world, pano_w, pano_h, persp_w, persp_h, reps,
+                        render::RenderPath::Batched);
         const double new_ray_s = raycastSeconds(world, eye, pano_w,
                                                 pano_h, reps, false);
         const double ray_speedup = seed_ray_s / new_ray_s;
+        const double pano_speedup_vs_seed = seed_path.panoMs / sah.panoMs;
+        double stage_ms[kStageCount];
+        stageBreakdown(world, pano_w, pano_h, stages_mode ? reps : 1,
+                       stage_ms);
+        const bool agree = pathsAgree(world);
+        parity_ok = parity_ok && agree;
 
-        std::printf("    pano   %7.2f ms (median)  %7.2f ms (sah)  "
-                    "%.2fx\n",
-                    median.panoMs, sah.panoMs,
-                    median.panoMs / sah.panoMs);
-        std::printf("    persp  %7.2f ms (median)  %7.2f ms (sah)  "
-                    "%.2fx\n",
-                    median.perspMs, sah.perspMs,
-                    median.perspMs / sah.perspMs);
-        std::printf("    rays/s %.2fM (median)  %.2fM (sah)\n",
-                    median.panoRaysPerSec / 1e6,
+        std::printf("    pano   %7.2f ms (seed)  %7.2f ms (scalar)  "
+                    "%7.2f ms (packet)  %.2fx vs seed\n",
+                    seed_path.panoMs, scalar_path.panoMs, sah.panoMs,
+                    pano_speedup_vs_seed);
+        std::printf("    persp  %7.2f ms (seed)  %7.2f ms (packet)  "
+                    "%.2fx vs seed\n",
+                    seed_path.perspMs, sah.perspMs,
+                    seed_path.perspMs / sah.perspMs);
+        std::printf("    pano   %7.2f ms (median tree)  %7.2f ms (sah)  "
+                    "%.2fx,  rays/s %.2fM\n",
+                    median.panoMs, sah.panoMs, median.panoMs / sah.panoMs,
                     sah.panoRaysPerSec / 1e6);
         std::printf("    pano raycast vs seed traversal: %7.2f ms -> "
                     "%7.2f ms  %.2fx\n",
                     seed_ray_s * 1000.0 / reps, new_ray_s * 1000.0 / reps,
                     ray_speedup);
+        std::printf("    stages ");
+        for (int i = 0; i < kStageCount; ++i)
+            std::printf(" %s %.1f ms%s", kStageLabels[i], stage_ms[i],
+                        i + 1 < kStageCount ? "," : "\n");
+        std::printf("    frames: packet %s seed\n",
+                    agree ? "==" : "DIFFER FROM");
 
         obs::Json w = obs::Json::object();
         w.set("objects", obs::Json(static_cast<std::uint64_t>(
@@ -262,18 +370,31 @@ main(int argc, char **argv)
         w.set("pano_ms_median", obs::Json(median.panoMs));
         w.set("pano_ms_sah", obs::Json(sah.panoMs));
         w.set("pano_speedup", obs::Json(median.panoMs / sah.panoMs));
+        w.set("pano_ms_seed", obs::Json(seed_path.panoMs));
+        w.set("pano_ms_scalar", obs::Json(scalar_path.panoMs));
+        w.set("pano_ms_packet", obs::Json(sah.panoMs));
+        w.set("pano_speedup_vs_seed", obs::Json(pano_speedup_vs_seed));
         w.set("persp_ms_median", obs::Json(median.perspMs));
         w.set("persp_ms_sah", obs::Json(sah.perspMs));
+        w.set("persp_ms_seed", obs::Json(seed_path.perspMs));
         w.set("persp_speedup", obs::Json(median.perspMs / sah.perspMs));
+        w.set("persp_speedup_vs_seed",
+              obs::Json(seed_path.perspMs / sah.perspMs));
         w.set("pano_rays_per_s_median", obs::Json(median.panoRaysPerSec));
         w.set("pano_rays_per_s_sah", obs::Json(sah.panoRaysPerSec));
         w.set("pano_raycast_ms_seed",
               obs::Json(seed_ray_s * 1000.0 / reps));
         w.set("pano_raycast_ms_new", obs::Json(new_ray_s * 1000.0 / reps));
         w.set("pano_raycast_speedup_vs_seed", obs::Json(ray_speedup));
+        obs::Json stages = obs::Json::object();
+        for (int i = 0; i < kStageCount; ++i)
+            stages.set(kStageLabels[i], obs::Json(stage_ms[i]));
+        w.set("pano_stage_ms", std::move(stages));
+        w.set("packet_matches_seed", obs::Json(agree));
         worlds.set(game.name, std::move(w));
         total_median_ms += median.panoMs;
         total_sah_ms += sah.panoMs;
+        total_seed_ms += seed_path.panoMs;
         total_seed_ray_s += seed_ray_s;
         total_new_ray_s += new_ray_s;
     }
@@ -292,21 +413,31 @@ main(int argc, char **argv)
     doc.set("pano_cache", std::move(cache));
     doc.set("total_pano_ms_median", obs::Json(total_median_ms));
     doc.set("total_pano_ms_sah", obs::Json(total_sah_ms));
+    doc.set("total_pano_ms_seed", obs::Json(total_seed_ms));
+    doc.set("total_pano_ms_packet", obs::Json(total_sah_ms));
     doc.set("total_pano_speedup",
             obs::Json(total_median_ms / total_sah_ms));
+    doc.set("total_pano_speedup_vs_seed",
+            obs::Json(total_seed_ms / total_sah_ms));
     const double total_ray_speedup = total_seed_ray_s / total_new_ray_s;
     doc.set("total_pano_raycast_speedup_vs_seed",
             obs::Json(total_ray_speedup));
+    doc.set("packet_matches_seed", obs::Json(parity_ok));
     bench::writeBenchJson("render", doc);
 
-    std::printf("\n  total pano: %.2f ms (median) vs %.2f ms (sah) -> "
-                "%.2fx frame, %.2fx raycast vs seed traversal\n",
-                total_median_ms, total_sah_ms,
-                total_median_ms / total_sah_ms, total_ray_speedup);
+    std::printf("\n  total pano: %.2f ms (seed path) vs %.2f ms (packet) "
+                "-> %.2fx frame; %.2fx raycast vs seed traversal\n",
+                total_seed_ms, total_sah_ms, total_seed_ms / total_sah_ms,
+                total_ray_speedup);
 
     if (check) {
-        // The raycast A/B is deterministic and serial — a solid CI
-        // signal. Frame times run on the pool, so allow 10% noise.
+        // The parity and raycast checks are deterministic — solid CI
+        // signals. Frame times run on the pool, so allow 10% noise.
+        if (!parity_ok) {
+            std::printf("  CHECK FAILED: packet pipeline frames differ "
+                        "from the seed renderer\n");
+            return 1;
+        }
         if (total_ray_speedup < 1.0) {
             std::printf("  CHECK FAILED: overhauled traversal slower "
                         "than seed baseline\n");
@@ -315,6 +446,11 @@ main(int argc, char **argv)
         if (total_sah_ms > 1.10 * total_median_ms) {
             std::printf("  CHECK FAILED: SAH frame time regressed above "
                         "median split\n");
+            return 1;
+        }
+        if (total_sah_ms > 1.10 * total_seed_ms) {
+            std::printf("  CHECK FAILED: packet pipeline slower than "
+                        "the seed render path\n");
             return 1;
         }
     }

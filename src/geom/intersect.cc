@@ -185,6 +185,35 @@ makeSlabRay(const Ray &ray)
     return slab;
 }
 
+RayPacket
+makeRayPacket(Vec3 origin, const double *dirX, const double *dirY,
+              const double *dirZ, double tMin, double tMax)
+{
+    RayPacket pack;
+    pack.origin = origin;
+    pack.tMin = tMin;
+    pack.tMax = tMax;
+    // Same zero/denormal handling as makeSlabRay, per lane.
+    const auto safeInv = [](double d) {
+        if (d == 0.0)
+            return 1e300;
+        const double inv = 1.0 / d;
+        return std::isfinite(inv) ? inv : std::copysign(1e300, d);
+    };
+    for (int l = 0; l < RayPacket::kLanes; ++l) {
+        pack.dirX[l] = dirX[l];
+        pack.dirY[l] = dirY[l];
+        pack.dirZ[l] = dirZ[l];
+        pack.invX[l] = safeInv(dirX[l]);
+        pack.invY[l] = safeInv(dirY[l]);
+        pack.invZ[l] = safeInv(dirZ[l]);
+    }
+    pack.neg0[0] = dirX[0] < 0.0;
+    pack.neg0[1] = dirY[0] < 0.0;
+    pack.neg0[2] = dirZ[0] < 0.0;
+    return pack;
+}
+
 bool
 rayHitsAabb(const Ray &ray, const Aabb &box, double tMax)
 {

@@ -63,6 +63,42 @@ struct SlabRay
 SlabRay makeSlabRay(const Ray &ray);
 
 /**
+ * A bundle of `kLanes` rays sharing one origin and clip interval (one
+ * row-batch of camera rays), stored structure-of-arrays so the BVH
+ * packet traversal can run the slab test across all lanes with one
+ * vector op per plane. Inverse directions follow the same
+ * finite-huge-inverse rules as `makeSlabRay`, so per-lane slab results
+ * are bit-identical to the scalar test.
+ */
+struct RayPacket
+{
+    static constexpr int kLanes = 4;
+    Vec3 origin;
+    double dirX[kLanes], dirY[kLanes], dirZ[kLanes];
+    double invX[kLanes], invY[kLanes], invZ[kLanes];
+    bool neg0[3]; ///< lane-0 direction signs (orders child descent)
+    double tMin = 0.0;
+    double tMax = 0.0;
+
+    /** Lane @p l as a standalone ray (leaf tests, winner refinement). */
+    Ray
+    lane(int l) const
+    {
+        Ray ray;
+        ray.origin = origin;
+        ray.dir = {dirX[l], dirY[l], dirZ[l]};
+        ray.tMin = tMin;
+        ray.tMax = tMax;
+        return ray;
+    }
+};
+
+/** Build a packet from SoA unit directions (shared origin/interval). */
+RayPacket makeRayPacket(Vec3 origin, const double *dirX,
+                        const double *dirY, const double *dirZ,
+                        double tMin, double tMax);
+
+/**
  * Slab overlap test against a precomputed ray. @p tLimit caps the exit
  * distance (traversal passes min(ray.tMax, best hit t)); the test stays
  * *strict* — a box whose entry distance equals the limit is still

@@ -8,6 +8,7 @@
 #include "obs/trace.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
+#include "support/simd.hh"
 
 namespace coterie::image {
 
@@ -21,17 +22,20 @@ constexpr std::int64_t kBandsPerChunk = 8;
 /** Row-groups per pool chunk in the tiled kernel's build stage. */
 constexpr std::int64_t kGroupsPerChunk = 8;
 
-#if defined(__GNUC__) || defined(__clang__)
+// Vector lanes and runtime dispatch come from support/simd.hh: the
+// vector path follows the COTERIE_SIMD CMake option, and
+// COTERIE_SIMD_CLONES emits AVX-512/AVX2 clones of the hot kernels
+// (skipped under sanitizers — the ifunc resolver runs before their
+// runtimes initialise). Results are thread-count deterministic either
+// way; vector-vs-scalar builds agree to the kernels' documented 1e-12
+// envelope rather than bit-exactly (ssim_test pins both properties).
+#ifdef COTERIE_SIMD_VECTOR_EXT
 #define COTERIE_SSIM_V2D 1
 // The wide-vector helpers are internal and always inlined; the ABI of
 // their V4d return type is irrelevant.
 #pragma GCC diagnostic ignored "-Wpsabi"
-/** Two-lane double vector (SSE2/NEON width) for the tile build. */
-typedef double V2d __attribute__((vector_size(16)));
-/** Four-lane double vector; lowered to two 2-lane ops on pre-AVX
- *  targets with identical per-lane arithmetic, so results do not
- *  depend on the instruction set. */
-typedef double V4d __attribute__((vector_size(32)));
+using V2d = support::simd::V2dRaw;
+using V4d = support::simd::V4dRaw;
 
 inline V2d
 loadu2(const double *p)
@@ -48,33 +52,14 @@ loadu4(const double *p)
     __builtin_memcpy(&v, p, sizeof(v));
     return v;
 }
-#endif
 
-// The clone dispatch runs through an ifunc resolver that executes
-// before sanitizer runtimes initialise, so keep instrumented builds on
-// the plain symbol.
-#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
-#define COTERIE_SSIM_NO_CLONES 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
-#define COTERIE_SSIM_NO_CLONES 1
+inline void
+storeu4(double *p, V4d v)
+{
+    __builtin_memcpy(p, &v, sizeof(v));
+}
 #endif
-#endif
-
-#if defined(COTERIE_SSIM_V2D) && defined(__x86_64__) &&                  \
-    defined(__gnu_linux__) && defined(__has_attribute) &&                \
-    !defined(COTERIE_SSIM_NO_CLONES)
-#if __has_attribute(target_clones)
-/** Emit an AVX2 clone of the tile build next to the baseline one and
- *  pick at load time; the arithmetic (and thus the result) is the
- *  same either way, only the vector width of the instructions varies. */
-#define COTERIE_SSIM_CLONES                                              \
-    __attribute__((target_clones("avx2", "default")))
-#endif
-#endif
-#ifndef COTERIE_SSIM_CLONES
-#define COTERIE_SSIM_CLONES
-#endif
+#define COTERIE_SSIM_CLONES COTERIE_SIMD_CLONES
 
 /** Horizontal running window sums are recomputed from the column sums
  *  every this many window positions, bounding floating-point drift of
@@ -210,6 +195,42 @@ buildTileRow(const double *a, const double *b, int width, int g,
         t[4] = sab;
     }
 #endif
+}
+
+/**
+ * Column-sum update for the sliding kernel: admit (+) or retire (-)
+ * one pixel row's moments into the per-column running sums. Columns
+ * are independent, so the 4-wide form performs the same per-column
+ * arithmetic as the scalar tail; the result depends only on (row,
+ * sign, width), never on thread count.
+ */
+COTERIE_SSIM_CLONES void
+slideRow(const double *ra, const double *rb, int width, double sign,
+         double *colA, double *colB, double *colAA, double *colBB,
+         double *colAB)
+{
+    int x = 0;
+#ifdef COTERIE_SSIM_V2D
+    const V4d s = {sign, sign, sign, sign};
+    for (; x + 4 <= width; x += 4) {
+        const V4d pa = loadu4(ra + x);
+        const V4d pb = loadu4(rb + x);
+        storeu4(colA + x, loadu4(colA + x) + s * pa);
+        storeu4(colB + x, loadu4(colB + x) + s * pb);
+        storeu4(colAA + x, loadu4(colAA + x) + s * pa * pa);
+        storeu4(colBB + x, loadu4(colBB + x) + s * pb * pb);
+        storeu4(colAB + x, loadu4(colAB + x) + s * pa * pb);
+    }
+#endif
+    for (; x < width; ++x) {
+        const double pa = ra[x];
+        const double pb = rb[x];
+        colA[x] += sign * pa;
+        colB[x] += sign * pb;
+        colAA[x] += sign * pa * pa;
+        colBB[x] += sign * pb * pb;
+        colAB[x] += sign * pa * pb;
+    }
 }
 
 /**
@@ -431,19 +452,10 @@ ssimLuma(const std::vector<double> &a, const std::vector<double> &b,
             std::vector<double> colAB(width, 0.0);
 
             auto addRow = [&](int y, double sign) {
-                const double *ra =
-                    &a[static_cast<std::size_t>(y) * width];
-                const double *rb =
-                    &b[static_cast<std::size_t>(y) * width];
-                for (int x = 0; x < width; ++x) {
-                    const double pa = ra[x];
-                    const double pb = rb[x];
-                    colA[x] += sign * pa;
-                    colB[x] += sign * pb;
-                    colAA[x] += sign * pa * pa;
-                    colBB[x] += sign * pb * pb;
-                    colAB[x] += sign * pa * pb;
-                }
+                slideRow(&a[static_cast<std::size_t>(y) * width],
+                         &b[static_cast<std::size_t>(y) * width], width,
+                         sign, colA.data(), colB.data(), colAA.data(),
+                         colBB.data(), colAB.data());
             };
 
             for (std::int64_t band = bandBegin; band < bandEnd; ++band) {

@@ -28,6 +28,32 @@ Camera::rayDirection(double sx, double sy, double aspect) const
         .normalized();
 }
 
+CameraRowBasis
+Camera::rowBasis(double sy, double aspect) const
+{
+    CameraRowBasis basis;
+    basis.tanHalf = std::tan(fovY * 0.5);
+    basis.aspect = aspect;
+    // Mirror rayDirection's arithmetic exactly: local = (_, sy*tanHalf,
+    // 1), rotated by pitch about x, then the yaw basis vectors.
+    const double local_y = sy * basis.tanHalf;
+    const double cp = std::cos(pitch), sp = std::sin(pitch);
+    basis.pitchedY = local_y * cp + 1.0 * sp;
+    basis.pitchedZ = -local_y * sp + 1.0 * cp;
+    const double cy = std::cos(yaw), sy2 = std::sin(yaw);
+    basis.forward = {cy, 0.0, sy2};
+    basis.right = {sy2, 0.0, -cy};
+    basis.up = {0.0, 1.0, 0.0};
+    return basis;
+}
+
+PanoramaRowBasis
+panoramaRowBasis(double v)
+{
+    const double pitch = (0.5 - v) * M_PI; // v=0 top (+pi/2)
+    return {std::cos(pitch), std::sin(pitch)};
+}
+
 Vec3
 panoramaDirection(double u, double v)
 {

@@ -1,0 +1,261 @@
+#include "render/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/intersect.hh"
+#include "support/rng.hh"
+#include "world/bvh.hh"
+
+namespace coterie::render::detail {
+
+using geom::Hit;
+using geom::Ray;
+using geom::Vec3;
+using image::Rgb;
+
+const Vec3 kSunDir = Vec3{0.45, 0.8, 0.35}.normalized();
+
+Rgb
+applyLight(Rgb base, double intensity)
+{
+    intensity = std::clamp(intensity, 0.0, 2.0);
+    const auto scale = [&](std::uint8_t c) {
+        return static_cast<std::uint8_t>(
+            std::clamp(c * intensity, 0.0, 255.0));
+    };
+    return {scale(base.r), scale(base.g), scale(base.b)};
+}
+
+double
+textureFactor(Vec3 point, double hitDist, const RenderOptions &opts)
+{
+    const double footprint =
+        std::max(opts.textureScale, hitDist * opts.pixelAngleRad * 2.0);
+    // Snap cell size to power-of-two multiples of textureScale.
+    const double level = std::log2(footprint / opts.textureScale);
+    const double lo_cell =
+        opts.textureScale * std::exp2(std::floor(level));
+    const double hi_cell = lo_cell * 2.0;
+    const double blend = level - std::floor(level);
+
+    const auto sample = [&](double cell) {
+        const auto qx = static_cast<std::int64_t>(
+            std::floor(point.x / cell));
+        const auto qy = static_cast<std::int64_t>(
+            std::floor(point.y / cell));
+        const auto qz = static_cast<std::int64_t>(
+            std::floor(point.z / cell));
+        const std::uint64_t h = hashCombine(
+            hashCombine(hashMix(static_cast<std::uint64_t>(qx)),
+                        hashMix(static_cast<std::uint64_t>(qy))),
+            hashMix(static_cast<std::uint64_t>(qz)));
+        return (h >> 11) * 0x1.0p-53; // [0, 1)
+    };
+    const double noise =
+        sample(lo_cell) * (1.0 - blend) + sample(hi_cell) * blend;
+    return 1.0 - opts.textureStrength + 2.0 * opts.textureStrength * noise;
+}
+
+void
+RowBuffers::resize(int width)
+{
+    const auto n = static_cast<std::size_t>(width);
+    dirX.resize(n);
+    dirY.resize(n);
+    dirZ.resize(n);
+    objHit.resize(n);
+    terrainT.resize(n);
+    kind.resize(n);
+    base.resize(n);
+    light.resize(n);
+    point.resize(n);
+}
+
+void
+panoramaRowDirs(int y, int width, int height, RowBuffers &rows)
+{
+    const double v = (y + 0.5) / height;
+    const PanoramaRowBasis basis = panoramaRowBasis(v);
+    for (int x = 0; x < width; ++x) {
+        const double u = (x + 0.5) / width;
+        const Vec3 dir = basis.direction(u);
+        rows.dirX[static_cast<std::size_t>(x)] = dir.x;
+        rows.dirY[static_cast<std::size_t>(x)] = dir.y;
+        rows.dirZ[static_cast<std::size_t>(x)] = dir.z;
+    }
+}
+
+void
+perspectiveRowDirs(const Camera &camera, double aspect, int y, int width,
+                   int height, RowBuffers &rows)
+{
+    const double sy = 1.0 - 2.0 * (y + 0.5) / height;
+    const CameraRowBasis basis = camera.rowBasis(sy, aspect);
+    for (int x = 0; x < width; ++x) {
+        const double sx = 2.0 * (x + 0.5) / width - 1.0;
+        const Vec3 dir = basis.direction(sx);
+        rows.dirX[static_cast<std::size_t>(x)] = dir.x;
+        rows.dirY[static_cast<std::size_t>(x)] = dir.y;
+        rows.dirZ[static_cast<std::size_t>(x)] = dir.z;
+    }
+}
+
+void
+raycastRow(const world::VirtualWorld &world, Vec3 origin,
+           const RenderOptions &opts, int width, RowBuffers &rows)
+{
+    // The camera rays all carry the default validity interval; clip it
+    // once for the row (same std::max/min shadeRay applies per ray).
+    const Ray proto;
+    const double tMin = std::max(proto.tMin, opts.layer.nearClip);
+    const double tMax = std::min(proto.tMax, opts.layer.farClip);
+    if (!(tMin < tMax)) {
+        // shadeRay leaves obj_hit default-constructed in this case.
+        std::fill(rows.objHit.begin(), rows.objHit.begin() + width, Hit{});
+        return;
+    }
+    const world::Bvh &bvh = world.bvh();
+    constexpr int kLanes = geom::RayPacket::kLanes;
+    int x = 0;
+    for (; x + kLanes <= width; x += kLanes) {
+        const auto i = static_cast<std::size_t>(x);
+        bvh.closestHitPacket(geom::makeRayPacket(origin, &rows.dirX[i],
+                                                 &rows.dirY[i],
+                                                 &rows.dirZ[i], tMin, tMax),
+                             &rows.objHit[i]);
+    }
+    for (; x < width; ++x) {
+        const auto i = static_cast<std::size_t>(x);
+        Ray ray;
+        ray.origin = origin;
+        ray.dir = {rows.dirX[i], rows.dirY[i], rows.dirZ[i]};
+        ray.tMin = tMin;
+        ray.tMax = tMax;
+        rows.objHit[i] = bvh.closestHit(ray);
+    }
+}
+
+void
+terrainRow(const world::VirtualWorld &world, Vec3 origin,
+           const RenderOptions &opts, int width, RowBuffers &rows)
+{
+    const Ray proto;
+    const double tMin = std::max(proto.tMin, opts.layer.nearClip);
+    const double tMax = std::min(proto.tMax, opts.layer.farClip);
+    const double inf = std::numeric_limits<double>::infinity();
+    if (!(tMin < tMax)) {
+        std::fill(rows.terrainT.begin(), rows.terrainT.begin() + width,
+                  inf);
+        return;
+    }
+    const world::Terrain &terrain = world.terrain();
+    for (int x = 0; x < width; ++x) {
+        const auto i = static_cast<std::size_t>(x);
+        Ray clipped;
+        clipped.origin = origin;
+        clipped.dir = {rows.dirX[i], rows.dirY[i], rows.dirZ[i]};
+        clipped.tMin = tMin;
+        clipped.tMax = tMax;
+        // Marching past the pixel's object hit cannot change the
+        // frame: shadeRay discards any terrain t >= obj.t. The abort
+        // is result-identical (see Terrain::intersect).
+        const Hit &obj = rows.objHit[i];
+        const double abortBeyond = obj.valid() ? obj.t : inf;
+        double terrain_t = inf;
+        if (auto t = terrain.intersect(clipped, opts.terrainMaxDist,
+                                       abortBeyond)) {
+            if (*t >= clipped.tMin && *t <= clipped.tMax)
+                terrain_t = *t;
+        }
+        rows.terrainT[i] = terrain_t;
+    }
+}
+
+void
+shadeRow(const world::VirtualWorld &world, Vec3 origin,
+         const RenderOptions &opts, int width, RowBuffers &rows)
+{
+    // Pass A: resolve each pixel to object / terrain / clip-key / sky
+    // and record the base color and hit point. Same decision order as
+    // shadeRay.
+    const bool clip_key_layer = std::isfinite(opts.layer.farClip);
+    for (int x = 0; x < width; ++x) {
+        const auto i = static_cast<std::size_t>(x);
+        const Hit &obj = rows.objHit[i];
+        const double terrain_t = rows.terrainT[i];
+        rows.light[i] = 1.0;
+        if (obj.valid() && obj.t < terrain_t) {
+            rows.kind[i] = PixelKind::Object;
+            rows.base[i] = world.object(obj.objectId).color;
+        } else if (std::isfinite(terrain_t)) {
+            rows.kind[i] = PixelKind::Terrain;
+            const Vec3 dir{rows.dirX[i], rows.dirY[i], rows.dirZ[i]};
+            const Vec3 p = origin + dir * terrain_t; // Ray::at
+            rows.point[i] = p;
+            rows.base[i] = world.terrain().colorAt(p.ground());
+        } else {
+            rows.kind[i] =
+                clip_key_layer ? PixelKind::ClipKey : PixelKind::Sky;
+        }
+    }
+
+    // Pass B: diffuse sun lighting, branch hoisted out of the loop.
+    if (opts.shading) {
+        for (int x = 0; x < width; ++x) {
+            const auto i = static_cast<std::size_t>(x);
+            if (rows.kind[i] == PixelKind::Object) {
+                const double diffuse = std::max(
+                    0.0, rows.objHit[i].normal.dot(kSunDir));
+                rows.light[i] = 0.40 + 0.60 * diffuse;
+            } else if (rows.kind[i] == PixelKind::Terrain) {
+                const double diffuse = std::max(
+                    0.0, world.terrain()
+                             .normalAt(rows.point[i].ground())
+                             .dot(kSunDir));
+                rows.light[i] = 0.45 + 0.55 * diffuse;
+            }
+        }
+    }
+
+    // Pass C: procedural texture modulation, branch hoisted.
+    if (opts.texture) {
+        for (int x = 0; x < width; ++x) {
+            const auto i = static_cast<std::size_t>(x);
+            if (rows.kind[i] == PixelKind::Object) {
+                const Hit &obj = rows.objHit[i];
+                rows.light[i] *= textureFactor(obj.point, obj.t, opts);
+            } else if (rows.kind[i] == PixelKind::Terrain) {
+                rows.light[i] *=
+                    textureFactor(rows.point[i], rows.terrainT[i], opts);
+            }
+        }
+    }
+}
+
+void
+compositeRow(const world::VirtualWorld &world, const RenderOptions &opts,
+             int width, const RowBuffers &rows, Rgb *out)
+{
+    for (int x = 0; x < width; ++x) {
+        const auto i = static_cast<std::size_t>(x);
+        switch (rows.kind[i]) {
+        case PixelKind::Object:
+        case PixelKind::Terrain:
+            out[x] = applyLight(rows.base[i], rows.light[i]);
+            break;
+        case PixelKind::ClipKey:
+            out[x] = opts.clipKey;
+            break;
+        case PixelKind::Sky: {
+            const double pitch =
+                std::asin(std::clamp(rows.dirY[i], -1.0, 1.0));
+            out[x] = world.skyColor(std::max(0.0, pitch));
+            break;
+        }
+        }
+    }
+}
+
+} // namespace coterie::render::detail

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Row-batched SoA render pipeline.
+ *
+ * renderPanorama/renderPerspective's batched path splits the per-pixel
+ * `shadeRay` into four stages over row-sized buffers:
+ *
+ *   1. direction generation — per-row trig hoisted (camera row basis),
+ *      unit directions written SoA;
+ *   2. object raycast — 4-wide ray packets through the BVH
+ *      (`Bvh::closestHitPacket`);
+ *   3. terrain resolution — the SIMD march, aborted past the pixel's
+ *      object hit (provably result-identical, see Terrain::intersect);
+ *   4. shading — hit resolution, then the `opts.shading` /
+ *      `opts.texture` passes with those branches hoisted out of the
+ *      pixel loop, then compositing (clip key / sky).
+ *
+ * Every stage preserves the scalar expression sequence per pixel, so a
+ * batched frame is byte-identical to the per-pixel `RenderPath::Scalar`
+ * frame (and to the seed renderer) — asserted by tests/renderer_test.cc.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/ray.hh"
+#include "image/image.hh"
+#include "obs/metrics.hh"
+#include "render/camera.hh"
+#include "render/renderer.hh"
+#include "world/world.hh"
+
+namespace coterie::render::detail {
+
+/** What a pixel resolved to after the terrain stage. */
+enum class PixelKind : std::uint8_t
+{
+    Sky,
+    ClipKey,
+    Object,
+    Terrain,
+};
+
+/** Per-chunk scratch: one row of every inter-stage buffer, SoA. */
+struct RowBuffers
+{
+    // Stage 1: unit ray directions.
+    std::vector<double> dirX, dirY, dirZ;
+    // Stage 2: closest object hit per pixel.
+    std::vector<geom::Hit> objHit;
+    // Stage 3: terrain hit distance (+inf = none in the clip interval).
+    std::vector<double> terrainT;
+    // Stage 4 scratch.
+    std::vector<PixelKind> kind;
+    std::vector<image::Rgb> base;
+    std::vector<double> light;
+    std::vector<geom::Vec3> point; ///< terrain hit point (valid for Terrain)
+
+    void resize(int width);
+};
+
+/** Stage 1, panorama: directions for row y of a width x height frame. */
+void panoramaRowDirs(int y, int width, int height, RowBuffers &rows);
+
+/** Stage 1, perspective: directions for row y through @p camera. */
+void perspectiveRowDirs(const Camera &camera, double aspect, int y,
+                        int width, int height, RowBuffers &rows);
+
+/** Stage 2: packet raycast of the row against the world BVH. */
+void raycastRow(const world::VirtualWorld &world, geom::Vec3 origin,
+                const RenderOptions &opts, int width, RowBuffers &rows);
+
+/** Stage 3: terrain march per pixel, capped at the object hit. */
+void terrainRow(const world::VirtualWorld &world, geom::Vec3 origin,
+                const RenderOptions &opts, int width, RowBuffers &rows);
+
+/** Stage 4a: hit resolution + light/texture passes (branch-hoisted). */
+void shadeRow(const world::VirtualWorld &world, geom::Vec3 origin,
+              const RenderOptions &opts, int width, RowBuffers &rows);
+
+/** Stage 4b: compositing — object/terrain color, clip key, sky. */
+void compositeRow(const world::VirtualWorld &world,
+                  const RenderOptions &opts, int width,
+                  const RowBuffers &rows, image::Rgb *out);
+
+/** Sun direction shared by the scalar and batched shading paths. */
+extern const geom::Vec3 kSunDir;
+
+/** Clamped diffuse lighting scale (shared with the scalar path). */
+image::Rgb applyLight(image::Rgb base, double intensity);
+
+/**
+ * Mip-filtered procedural texture factor in [1-str, 1+str]. The sample
+ * cell grows with the pixel footprint at the hit distance; blending
+ * between the two nearest cell scales avoids popping.
+ */
+double textureFactor(geom::Vec3 point, double hitDist,
+                     const RenderOptions &opts);
+
+/**
+ * Optional per-stage wall-clock attribution (`render.stage.*_ms`
+ * metrics registry timers), enabled by RenderOptions::stageTimers;
+ * zero work and zero branches-in-loop when disabled.
+ */
+struct StageTimers
+{
+    bool enabled = false;
+
+    template <typename Fn>
+    void
+    run(const char *name, Fn &&fn) const
+    {
+        if (!enabled) {
+            fn();
+            return;
+        }
+        const std::uint64_t begin = obs::monotonicNowNs();
+        fn();
+        obs::MetricsRegistry::global().timer(name).observeNs(
+            begin, obs::monotonicNowNs());
+    }
+};
+
+} // namespace coterie::render::detail

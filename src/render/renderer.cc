@@ -5,9 +5,9 @@
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "render/pipeline.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
-#include "support/rng.hh"
 #include "world/bvh.hh"
 
 namespace coterie::render {
@@ -20,54 +20,6 @@ using image::Image;
 using image::Rgb;
 
 namespace {
-
-const Vec3 kSunDir = Vec3{0.45, 0.8, 0.35}.normalized();
-
-Rgb
-applyLight(Rgb base, double intensity)
-{
-    intensity = std::clamp(intensity, 0.0, 2.0);
-    const auto scale = [&](std::uint8_t c) {
-        return static_cast<std::uint8_t>(
-            std::clamp(c * intensity, 0.0, 255.0));
-    };
-    return {scale(base.r), scale(base.g), scale(base.b)};
-}
-
-/**
- * Mip-filtered procedural texture factor in [1-str, 1+str]. The sample
- * cell grows with the pixel footprint at the hit distance; blending
- * between the two nearest cell scales avoids popping.
- */
-double
-textureFactor(Vec3 point, double hitDist, const RenderOptions &opts)
-{
-    const double footprint =
-        std::max(opts.textureScale, hitDist * opts.pixelAngleRad * 2.0);
-    // Snap cell size to power-of-two multiples of textureScale.
-    const double level = std::log2(footprint / opts.textureScale);
-    const double lo_cell =
-        opts.textureScale * std::exp2(std::floor(level));
-    const double hi_cell = lo_cell * 2.0;
-    const double blend = level - std::floor(level);
-
-    const auto sample = [&](double cell) {
-        const auto qx = static_cast<std::int64_t>(
-            std::floor(point.x / cell));
-        const auto qy = static_cast<std::int64_t>(
-            std::floor(point.y / cell));
-        const auto qz = static_cast<std::int64_t>(
-            std::floor(point.z / cell));
-        const std::uint64_t h = hashCombine(
-            hashCombine(hashMix(static_cast<std::uint64_t>(qx)),
-                        hashMix(static_cast<std::uint64_t>(qy))),
-            hashMix(static_cast<std::uint64_t>(qz)));
-        return (h >> 11) * 0x1.0p-53; // [0, 1)
-    };
-    const double noise =
-        sample(lo_cell) * (1.0 - blend) + sample(hi_cell) * blend;
-    return 1.0 - opts.textureStrength + 2.0 * opts.textureStrength * noise;
-}
 
 /**
  * Run @p fn(row) over [0, rows) via the shared thread pool. Rows write
@@ -103,6 +55,53 @@ parallelRows(int rows, int threads, Fn &&fn)
  * the traversal-cost trajectory (trace_report folds them into its
  * render section). Cheap no-op unless a trace is recording.
  */
+/**
+ * Batched frame body shared by renderPanorama and renderPerspective:
+ * chunked rows through the staged pipeline with per-chunk scratch
+ * buffers, BVH stats drained exactly like `parallelRows`. @p dirFn
+ * runs stage 1 (projection-specific direction generation) for a row.
+ */
+template <typename DirFn>
+void
+batchedFrame(const world::VirtualWorld &world, Vec3 origin,
+             const RenderOptions &opts, int width, int height,
+             Image &frame, DirFn &&dirFn)
+{
+    support::parallelFor(
+        0, height, 4,
+        [&](std::int64_t b, std::int64_t e) {
+            COTERIE_SPAN("render.rows", "render");
+            COTERIE_COUNT_N("render.rows", e - b);
+            world::Bvh::takeThreadStats();
+            detail::RowBuffers rows;
+            rows.resize(width);
+            const detail::StageTimers timers{opts.stageTimers};
+            for (std::int64_t row = b; row < e; ++row) {
+                const int y = static_cast<int>(row);
+                timers.run("render.stage.dirs_ms",
+                           [&] { dirFn(y, rows); });
+                timers.run("render.stage.raycast_ms", [&] {
+                    detail::raycastRow(world, origin, opts, width, rows);
+                });
+                timers.run("render.stage.terrain_ms", [&] {
+                    detail::terrainRow(world, origin, opts, width, rows);
+                });
+                timers.run("render.stage.shade_ms", [&] {
+                    detail::shadeRow(world, origin, opts, width, rows);
+                });
+                timers.run("render.stage.sky_ms", [&] {
+                    detail::compositeRow(world, opts, width, rows,
+                                         &frame.at(0, y));
+                });
+            }
+            const world::Bvh::TraversalStats stats =
+                world::Bvh::takeThreadStats();
+            COTERIE_COUNT_N("bvh.nodes_visited", stats.nodesVisited);
+            COTERIE_COUNT_N("bvh.leaf_tests", stats.leafTests);
+        },
+        opts.threads);
+}
+
 void
 traceBvhCounters()
 {
@@ -132,14 +131,25 @@ Renderer::shadeRay(const Ray &ray, const RenderOptions &opts) const
     if (clipped.tMin < clipped.tMax)
         obj_hit = world_.bvh().closestHit(clipped);
 
-    // Terrain hit within the same interval.
+    // Terrain hit within the same interval. The default path caps the
+    // march at the object hit (result-identical, see
+    // Terrain::intersect); SeedScalar runs the seed's per-sample march.
     double terrain_t = std::numeric_limits<double>::infinity();
     if (clipped.tMin < clipped.tMax) {
-        if (auto t = world_.terrain().intersect(clipped,
-                                                opts.terrainMaxDist)) {
-            if (*t >= clipped.tMin && *t <= clipped.tMax)
-                terrain_t = *t;
+        std::optional<double> t;
+        if (opts.path == RenderPath::SeedScalar) {
+            t = world_.terrain().intersectReference(clipped,
+                                                    opts.terrainMaxDist);
+        } else {
+            const double abort_beyond =
+                obj_hit.valid()
+                    ? obj_hit.t
+                    : std::numeric_limits<double>::infinity();
+            t = world_.terrain().intersect(clipped, opts.terrainMaxDist,
+                                           abort_beyond);
         }
+        if (t && *t >= clipped.tMin && *t <= clipped.tMax)
+            terrain_t = *t;
     }
 
     const bool object_wins = obj_hit.valid() && obj_hit.t < terrain_t;
@@ -148,12 +158,13 @@ Renderer::shadeRay(const Ray &ray, const RenderOptions &opts) const
         double light = 1.0;
         if (opts.shading) {
             const double diffuse =
-                std::max(0.0, obj_hit.normal.dot(kSunDir));
+                std::max(0.0, obj_hit.normal.dot(detail::kSunDir));
             light = 0.40 + 0.60 * diffuse;
         }
         if (opts.texture)
-            light *= textureFactor(obj_hit.point, obj_hit.t, opts);
-        return applyLight(obj.color, light);
+            light *=
+                detail::textureFactor(obj_hit.point, obj_hit.t, opts);
+        return detail::applyLight(obj.color, light);
     }
     if (std::isfinite(terrain_t)) {
         const Vec3 p = ray.at(terrain_t);
@@ -161,12 +172,13 @@ Renderer::shadeRay(const Ray &ray, const RenderOptions &opts) const
         double light = 1.0;
         if (opts.shading) {
             const double diffuse = std::max(
-                0.0, world_.terrain().normalAt(p.ground()).dot(kSunDir));
+                0.0,
+                world_.terrain().normalAt(p.ground()).dot(detail::kSunDir));
             light = 0.45 + 0.55 * diffuse;
         }
         if (opts.texture)
-            light *= textureFactor(p, terrain_t, opts);
-        return applyLight(base, light);
+            light *= detail::textureFactor(p, terrain_t, opts);
+        return detail::applyLight(base, light);
     }
 
     // Nothing in this depth layer. Far layers fall through to sky; a
@@ -193,16 +205,24 @@ Renderer::renderPerspective(const Camera &camera, int width, int height,
         static_cast<double>(width) / static_cast<double>(height);
     RenderOptions local = opts;
     local.pixelAngleRad = camera.fovY / static_cast<double>(height);
-    parallelRows(height, opts.threads, [&](int y) {
-        const double sy = 1.0 - 2.0 * (y + 0.5) / height;
-        for (int x = 0; x < width; ++x) {
-            const double sx = 2.0 * (x + 0.5) / width - 1.0;
-            Ray ray;
-            ray.origin = camera.position;
-            ray.dir = camera.rayDirection(sx, sy, aspect);
-            frame.at(x, y) = shadeRay(ray, local);
-        }
-    });
+    if (opts.path == RenderPath::Batched) {
+        batchedFrame(world_, camera.position, local, width, height, frame,
+                     [&](int y, detail::RowBuffers &rows) {
+                         detail::perspectiveRowDirs(camera, aspect, y,
+                                                    width, height, rows);
+                     });
+    } else {
+        parallelRows(height, opts.threads, [&](int y) {
+            const double sy = 1.0 - 2.0 * (y + 0.5) / height;
+            for (int x = 0; x < width; ++x) {
+                const double sx = 2.0 * (x + 0.5) / width - 1.0;
+                Ray ray;
+                ray.origin = camera.position;
+                ray.dir = camera.rayDirection(sx, sy, aspect);
+                frame.at(x, y) = shadeRay(ray, local);
+            }
+        });
+    }
     traceBvhCounters();
     return frame;
 }
@@ -217,16 +237,23 @@ Renderer::renderPanorama(Vec3 eye, int width, int height,
     Image frame(width, height);
     RenderOptions local = opts;
     local.pixelAngleRad = M_PI / static_cast<double>(height);
-    parallelRows(height, opts.threads, [&](int y) {
-        const double v = (y + 0.5) / height;
-        for (int x = 0; x < width; ++x) {
-            const double u = (x + 0.5) / width;
-            Ray ray;
-            ray.origin = eye;
-            ray.dir = panoramaDirection(u, v);
-            frame.at(x, y) = shadeRay(ray, local);
-        }
-    });
+    if (opts.path == RenderPath::Batched) {
+        batchedFrame(world_, eye, local, width, height, frame,
+                     [&](int y, detail::RowBuffers &rows) {
+                         detail::panoramaRowDirs(y, width, height, rows);
+                     });
+    } else {
+        parallelRows(height, opts.threads, [&](int y) {
+            const double v = (y + 0.5) / height;
+            for (int x = 0; x < width; ++x) {
+                const double u = (x + 0.5) / width;
+                Ray ray;
+                ray.origin = eye;
+                ray.dir = panoramaDirection(u, v);
+                frame.at(x, y) = shadeRay(ray, local);
+            }
+        });
+    }
     traceBvhCounters();
     return frame;
 }
@@ -238,13 +265,15 @@ Renderer::merge(const Image &nearLayer, const Image &farLayer, Rgb clipKey)
                    nearLayer.height() == farLayer.height(),
                    "merge size mismatch");
     Image out = farLayer;
-    for (int y = 0; y < out.height(); ++y) {
+    // Rows write disjoint pixels and read immutable inputs, so pool
+    // chunking keeps the result byte-identical to the serial loop.
+    parallelRows(out.height(), 0, [&](int y) {
         for (int x = 0; x < out.width(); ++x) {
             const Rgb p = nearLayer.at(x, y);
             if (!(p == clipKey))
                 out.at(x, y) = p;
         }
-    }
+    });
     return out;
 }
 
@@ -286,7 +315,9 @@ cropPanoramaToView(const Image &panorama, const Camera &camera, int width,
                    mix(c00.g, c10.g, c01.g, c11.g),
                    mix(c00.b, c10.b, c01.b, c11.b)};
     };
-    for (int y = 0; y < height; ++y) {
+    // Per-pixel work is pure resampling; rows are independent, so the
+    // pool-chunked result is byte-identical to the serial loop.
+    parallelRows(height, 0, [&](int y) {
         const double sy = 1.0 - 2.0 * (y + 0.5) / height;
         for (int x = 0; x < width; ++x) {
             const double sx = 2.0 * (x + 0.5) / width - 1.0;
@@ -295,7 +326,7 @@ cropPanoramaToView(const Image &panorama, const Camera &camera, int width,
             directionToPanoramaUv(dir, u, v);
             out.at(x, y) = sample(u, v);
         }
-    }
+    });
     return out;
 }
 

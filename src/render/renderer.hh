@@ -44,6 +44,32 @@ struct DepthLayer
     }
 };
 
+/**
+ * Which implementation renders the frame. All three produce
+ * byte-identical images (asserted by tests/renderer_test.cc); they
+ * exist so bench_render can attribute the speedup and tests can pin
+ * the batched pipeline against the seed renderer.
+ */
+enum class RenderPath
+{
+    /**
+     * Row-batched SoA pipeline (default): per-row direction basis,
+     * 4-wide BVH ray packets, SIMD terrain march with object-hit
+     * abort, branch-hoisted shading stages.
+     */
+    Batched,
+    /**
+     * Per-pixel `shadeRay`, but with the SIMD terrain march and
+     * object-hit abort — isolates the batching win from the march win.
+     */
+    Scalar,
+    /**
+     * Per-pixel `shadeRay` with the seed's per-sample scalar terrain
+     * march and no abort — the honest pre-overhaul baseline.
+     */
+    SeedScalar,
+};
+
 /** Rendering options. */
 struct RenderOptions
 {
@@ -78,6 +104,13 @@ struct RenderOptions
      * calling thread. Frames are byte-identical either way.
      */
     int threads = 0;
+    /** Implementation selector; all paths render identical frames. */
+    RenderPath path = RenderPath::Batched;
+    /**
+     * Record per-stage wall-clock into the `render.stage.*_ms` metrics
+     * registry timers (batched path only; bench_render --stages).
+     */
+    bool stageTimers = false;
 };
 
 /** Renderer over a finalized world. */

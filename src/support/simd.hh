@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Portable SIMD lane types for the batched render kernels.
+ *
+ * Two interchangeable implementations behind one API:
+ *  - GCC/clang vector extensions (`vector_size`) when the compiler
+ *    supports them and CMake's COTERIE_SIMD option is ON. The compiler
+ *    lowers the 4-lane ops to whatever the target ISA provides
+ *    (2x128-bit on plain x86-64, 256-bit under the AVX2/AVX-512
+ *    `COTERIE_SIMD_CLONES` clones) with identical per-lane arithmetic.
+ *  - A scalar-lane struct fallback (COTERIE_SIMD=OFF or other
+ *    compilers): the same operations as plain per-lane loops.
+ *
+ * Determinism contract: every operation here is lane-wise and maps to
+ * exactly one IEEE double (or exact integer) operation per lane, so a
+ * kernel written against these types produces bit-identical results in
+ * both implementations and under every dispatch clone. Kernels that
+ * must match scalar reference code additionally avoid FP expressions
+ * that a fused-multiply-add contraction could alter (see
+ * world/terrain.cc: the cloned region is integer hashing plus
+ * power-of-two scales only).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#ifndef COTERIE_SIMD_ENABLED
+#define COTERIE_SIMD_ENABLED 1
+#endif
+
+#if COTERIE_SIMD_ENABLED && (defined(__GNUC__) || defined(__clang__))
+#define COTERIE_SIMD_VECTOR_EXT 1
+#endif
+
+// Runtime dispatch: emit AVX-512DQ (native 64-bit lane multiply:
+// vpmullq) and AVX2 clones next to the baseline symbol and resolve at
+// load time. The clone dispatch runs through an ifunc resolver that
+// executes before sanitizer runtimes initialise, so instrumented
+// builds stay on the plain symbol.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define COTERIE_SIMD_NO_CLONES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define COTERIE_SIMD_NO_CLONES 1
+#endif
+#endif
+
+#if defined(COTERIE_SIMD_VECTOR_EXT) && defined(__x86_64__) &&           \
+    defined(__gnu_linux__) && defined(__has_attribute) &&                \
+    !defined(COTERIE_SIMD_NO_CLONES)
+#if __has_attribute(target_clones)
+#define COTERIE_SIMD_CLONES                                              \
+    __attribute__((target_clones("arch=x86-64-v4", "avx2", "default")))
+#endif
+#endif
+#ifndef COTERIE_SIMD_CLONES
+#define COTERIE_SIMD_CLONES
+#endif
+
+namespace coterie::support::simd {
+
+inline constexpr int kLanes = 4;
+
+#ifdef COTERIE_SIMD_VECTOR_EXT
+
+// The wide helpers are internal and always inlined; the ABI of the
+// vector return types is irrelevant.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+/** Raw 2-lane double vector (SSE2/NEON width), for narrow kernels. */
+typedef double V2dRaw __attribute__((vector_size(16)));
+/** Raw 4-lane double vector. */
+typedef double V4dRaw __attribute__((vector_size(32)));
+/** Raw 4-lane unsigned 64-bit vector. */
+typedef std::uint64_t V4uRaw __attribute__((vector_size(32)));
+
+/** Four double lanes. */
+struct F64x4
+{
+    V4dRaw v;
+
+    static F64x4 splat(double x) { return {V4dRaw{x, x, x, x}}; }
+    static F64x4
+    load(const double *p)
+    {
+        F64x4 r;
+        __builtin_memcpy(&r.v, p, sizeof(r.v));
+        return r;
+    }
+    void store(double *p) const { __builtin_memcpy(p, &v, sizeof(v)); }
+    double operator[](int i) const { return v[i]; }
+
+    friend F64x4 operator+(F64x4 a, F64x4 b) { return {a.v + b.v}; }
+    friend F64x4 operator-(F64x4 a, F64x4 b) { return {a.v - b.v}; }
+    friend F64x4 operator*(F64x4 a, F64x4 b) { return {a.v * b.v}; }
+};
+
+/** Four unsigned 64-bit lanes (exact integer arithmetic). */
+struct U64x4
+{
+    V4uRaw v;
+
+    static U64x4
+    splat(std::uint64_t x)
+    {
+        return {V4uRaw{x, x, x, x}};
+    }
+    static U64x4
+    load(const std::uint64_t *p)
+    {
+        U64x4 r;
+        __builtin_memcpy(&r.v, p, sizeof(r.v));
+        return r;
+    }
+    std::uint64_t operator[](int i) const { return v[i]; }
+
+    friend U64x4 operator+(U64x4 a, U64x4 b) { return {a.v + b.v}; }
+    friend U64x4 operator*(U64x4 a, U64x4 b) { return {a.v * b.v}; }
+    friend U64x4 operator^(U64x4 a, U64x4 b) { return {a.v ^ b.v}; }
+    friend U64x4 operator>>(U64x4 a, int s) { return {a.v >> s}; }
+    friend U64x4 operator<<(U64x4 a, int s) { return {a.v << s}; }
+};
+
+/** Per-lane minimum with std::min semantics (b < a ? b : a). */
+inline F64x4
+vmin(F64x4 a, F64x4 b)
+{
+    return {b.v < a.v ? b.v : a.v};
+}
+
+/** Per-lane maximum with std::max semantics (a < b ? b : a). */
+inline F64x4
+vmax(F64x4 a, F64x4 b)
+{
+    return {a.v < b.v ? b.v : a.v};
+}
+
+/**
+ * Per-lane unsigned-to-double conversion. Exact (no rounding) for
+ * values below 2^53, which is all the hash kernels feed it.
+ */
+inline F64x4
+toDouble(U64x4 a)
+{
+    return {__builtin_convertvector(a.v, V4dRaw)};
+}
+
+/** Per-lane a <= b mask as lane bits (bit i set when lane i passes). */
+inline int
+lanesLessEqual(F64x4 a, F64x4 b)
+{
+    const auto m = a.v <= b.v; // lanes are all-ones / all-zero int64
+    int mask = 0;
+    for (int i = 0; i < kLanes; ++i)
+        mask |= (m[i] != 0) << i;
+    return mask;
+}
+
+#pragma GCC diagnostic pop
+
+#else // !COTERIE_SIMD_VECTOR_EXT — scalar-lane fallback
+
+struct F64x4
+{
+    double v[kLanes];
+
+    static F64x4
+    splat(double x)
+    {
+        return {{x, x, x, x}};
+    }
+    static F64x4
+    load(const double *p)
+    {
+        F64x4 r;
+        std::memcpy(r.v, p, sizeof(r.v));
+        return r;
+    }
+    void store(double *p) const { std::memcpy(p, v, sizeof(v)); }
+    double operator[](int i) const { return v[i]; }
+
+    friend F64x4
+    operator+(F64x4 a, F64x4 b)
+    {
+        F64x4 r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] + b.v[i];
+        return r;
+    }
+    friend F64x4
+    operator-(F64x4 a, F64x4 b)
+    {
+        F64x4 r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] - b.v[i];
+        return r;
+    }
+    friend F64x4
+    operator*(F64x4 a, F64x4 b)
+    {
+        F64x4 r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] * b.v[i];
+        return r;
+    }
+};
+
+struct U64x4
+{
+    std::uint64_t v[kLanes];
+
+    static U64x4
+    splat(std::uint64_t x)
+    {
+        return {{x, x, x, x}};
+    }
+    static U64x4
+    load(const std::uint64_t *p)
+    {
+        U64x4 r;
+        std::memcpy(r.v, p, sizeof(r.v));
+        return r;
+    }
+    std::uint64_t operator[](int i) const { return v[i]; }
+
+    friend U64x4
+    operator+(U64x4 a, U64x4 b)
+    {
+        U64x4 r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] + b.v[i];
+        return r;
+    }
+    friend U64x4
+    operator*(U64x4 a, U64x4 b)
+    {
+        U64x4 r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] * b.v[i];
+        return r;
+    }
+    friend U64x4
+    operator^(U64x4 a, U64x4 b)
+    {
+        U64x4 r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] ^ b.v[i];
+        return r;
+    }
+    friend U64x4
+    operator>>(U64x4 a, int s)
+    {
+        U64x4 r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] >> s;
+        return r;
+    }
+    friend U64x4
+    operator<<(U64x4 a, int s)
+    {
+        U64x4 r;
+        for (int i = 0; i < kLanes; ++i)
+            r.v[i] = a.v[i] << s;
+        return r;
+    }
+};
+
+inline F64x4
+vmin(F64x4 a, F64x4 b)
+{
+    F64x4 r;
+    for (int i = 0; i < kLanes; ++i)
+        r.v[i] = b.v[i] < a.v[i] ? b.v[i] : a.v[i];
+    return r;
+}
+
+inline F64x4
+vmax(F64x4 a, F64x4 b)
+{
+    F64x4 r;
+    for (int i = 0; i < kLanes; ++i)
+        r.v[i] = a.v[i] < b.v[i] ? b.v[i] : a.v[i];
+    return r;
+}
+
+inline F64x4
+toDouble(U64x4 a)
+{
+    F64x4 r;
+    for (int i = 0; i < kLanes; ++i)
+        r.v[i] = static_cast<double>(a.v[i]);
+    return r;
+}
+
+inline int
+lanesLessEqual(F64x4 a, F64x4 b)
+{
+    int mask = 0;
+    for (int i = 0; i < kLanes; ++i)
+        mask |= (a.v[i] <= b.v[i]) << i;
+    return mask;
+}
+
+#endif // COTERIE_SIMD_VECTOR_EXT
+
+/** splitmix64 across four lanes — lane-exact mirror of support/rng.cc. */
+inline U64x4
+hashMix4(U64x4 value)
+{
+    U64x4 z = value + U64x4::splat(0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * U64x4::splat(0xbf58476d1ce4e5b9ULL);
+    z = (z ^ (z >> 27)) * U64x4::splat(0x94d049bb133111ebULL);
+    return z ^ (z >> 31);
+}
+
+/** Boost-style 64-bit combine across four lanes (mirror of rng.cc). */
+inline U64x4
+hashCombine4(U64x4 a, U64x4 b)
+{
+    return a ^ (b + U64x4::splat(0x9e3779b97f4a7c15ULL) + (a << 12) +
+                (a >> 4));
+}
+
+} // namespace coterie::support::simd

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "support/logging.hh"
+#include "support/simd.hh"
 
 namespace coterie::world {
 
@@ -66,6 +67,26 @@ Bvh::Bvh(const std::vector<WorldObject> &objects, BvhBuildPolicy policy)
     nodes_.reserve(2 * items.size());
     items_.reserve(items.size());
     build(items, 0, items.size(), 0);
+    // Leaf-slot SoA mirror for the packet traversal (same order as
+    // items_, so a leaf's [rightOrFirst, rightOrFirst + count) range
+    // indexes both).
+    leaf_.shape.resize(items_.size());
+    leaf_.px.resize(items_.size());
+    leaf_.py.resize(items_.size());
+    leaf_.pz.resize(items_.size());
+    leaf_.dx.resize(items_.size());
+    leaf_.dy.resize(items_.size());
+    leaf_.dz.resize(items_.size());
+    for (std::size_t s = 0; s < items_.size(); ++s) {
+        const WorldObject &obj = objects_[items_[s]];
+        leaf_.shape[s] = static_cast<std::uint8_t>(obj.shape);
+        leaf_.px[s] = obj.position.x;
+        leaf_.py[s] = obj.position.y;
+        leaf_.pz[s] = obj.position.z;
+        leaf_.dx[s] = obj.dims.x;
+        leaf_.dy[s] = obj.dims.y;
+        leaf_.dz[s] = obj.dims.z;
+    }
 }
 
 std::int32_t
@@ -342,6 +363,178 @@ Bvh::closestHit(const Ray &ray) const
         best.normal = normal;
     }
     return best;
+}
+
+bool
+Bvh::intersectLeafSlotT(const Ray &ray, std::size_t slot, double &t) const
+{
+    // SoA twin of intersectObjectT: identical geom:: calls on the same
+    // position/dims doubles, so results match the AoS path bit for bit.
+    std::optional<double> hit;
+    const Vec3 pos{leaf_.px[slot], leaf_.py[slot], leaf_.pz[slot]};
+    switch (static_cast<Shape>(leaf_.shape[slot])) {
+      case Shape::Sphere:
+        hit = geom::intersectSphere(ray, pos, leaf_.dx[slot]);
+        break;
+      case Shape::Box: {
+        const Vec3 dims{leaf_.dx[slot], leaf_.dy[slot], leaf_.dz[slot]};
+        hit = geom::intersectBox(
+            ray, Aabb{pos - dims * 0.5, pos + dims * 0.5});
+        break;
+      }
+      case Shape::CylinderY:
+        hit = geom::intersectCylinderY(ray, pos, leaf_.dx[slot],
+                                       leaf_.dy[slot]);
+        break;
+    }
+    if (!hit)
+        return false;
+    t = *hit;
+    return true;
+}
+
+namespace {
+
+using support::simd::F64x4;
+
+/** Per-node packet slab state: shared origin splatted, lane inverses. */
+struct PacketSlab
+{
+    F64x4 ox, oy, oz;
+    F64x4 invX, invY, invZ;
+    F64x4 tMin;
+};
+
+/**
+ * The branchless slab test of geom::slabRayHitsAabb across all packet
+ * lanes at once; @p limit carries each lane's current best hit t.
+ * Returns the lane mask (bit l set when lane l's slab interval is
+ * non-empty — same strict `<=` as the scalar test).
+ */
+inline int
+packetSlabMask(const PacketSlab &s, const geom::Aabb &box, F64x4 limit)
+{
+    using support::simd::lanesLessEqual;
+    using support::simd::vmax;
+    using support::simd::vmin;
+    const F64x4 tx0 = (F64x4::splat(box.lo.x) - s.ox) * s.invX;
+    const F64x4 tx1 = (F64x4::splat(box.hi.x) - s.ox) * s.invX;
+    const F64x4 ty0 = (F64x4::splat(box.lo.y) - s.oy) * s.invY;
+    const F64x4 ty1 = (F64x4::splat(box.hi.y) - s.oy) * s.invY;
+    const F64x4 tz0 = (F64x4::splat(box.lo.z) - s.oz) * s.invZ;
+    const F64x4 tz1 = (F64x4::splat(box.hi.z) - s.oz) * s.invZ;
+    const F64x4 tEnter = vmax(vmax(vmin(tx0, tx1), vmin(ty0, ty1)),
+                              vmax(vmin(tz0, tz1), s.tMin));
+    const F64x4 tExit = vmin(vmin(vmax(tx0, tx1), vmax(ty0, ty1)),
+                             vmin(vmax(tz0, tz1), limit));
+    return lanesLessEqual(tEnter, tExit);
+}
+
+} // namespace
+
+void
+Bvh::closestHitPacket(const geom::RayPacket &pack,
+                      Hit out[geom::RayPacket::kLanes]) const
+{
+    constexpr int kL = geom::RayPacket::kLanes;
+    for (int l = 0; l < kL; ++l) {
+        out[l] = Hit{}; // same defaults as the scalar miss result
+        out[l].t = pack.tMax;
+    }
+    if (nodes_.empty())
+        return;
+
+    PacketSlab slab;
+    slab.ox = F64x4::splat(pack.origin.x);
+    slab.oy = F64x4::splat(pack.origin.y);
+    slab.oz = F64x4::splat(pack.origin.z);
+    slab.invX = F64x4::load(pack.invX);
+    slab.invY = F64x4::load(pack.invY);
+    slab.invZ = F64x4::load(pack.invZ);
+    slab.tMin = F64x4::splat(pack.tMin);
+
+    Ray laneRays[kL];
+    double bestT[kL];
+    std::uint32_t bestId[kL];
+    for (int l = 0; l < kL; ++l) {
+        laneRays[l] = pack.lane(l);
+        bestT[l] = pack.tMax;
+        bestId[l] = UINT32_MAX;
+    }
+
+    std::uint64_t visited = 0;
+    std::uint64_t leafTests = 0;
+    std::array<std::int32_t, 128> stack;
+    int sp = 0;
+    std::int32_t idx = 0;
+    for (;;) {
+        const Node &node = nodes_[static_cast<std::size_t>(idx)];
+        ++visited;
+        // Per-lane strict prune against each lane's own best: the node
+        // is entered when any lane still needs it, and the lane mask
+        // gates the leaf tests below.
+        const int mask = packetSlabMask(slab, node.box, F64x4::load(bestT));
+        if (mask != 0) {
+            if (node.count > 0) {
+                for (std::int32_t i = 0; i < node.count; ++i) {
+                    const auto slot =
+                        static_cast<std::size_t>(node.rightOrFirst + i);
+                    const std::uint32_t obj_id = items_[slot];
+                    for (int l = 0; l < kL; ++l) {
+                        if (!(mask & (1 << l)))
+                            continue;
+                        ++leafTests;
+                        double t;
+                        if (!intersectLeafSlotT(laneRays[l], slot, t))
+                            continue;
+                        // Scalar accept rule per lane: equal-t ties to
+                        // the lower object id; a hit exactly at
+                        // pack.tMax (the initial best) stays rejected.
+                        if (t < bestT[l] ||
+                            (t == bestT[l] && bestId[l] != UINT32_MAX &&
+                             obj_id < bestId[l])) {
+                            bestT[l] = t;
+                            bestId[l] = obj_id;
+                        }
+                    }
+                }
+            } else {
+                // Front-to-back by lane 0's direction sign; descent
+                // order only affects node visits, never results (the
+                // accept rule is traversal-order independent).
+                std::int32_t near = idx + 1;
+                std::int32_t far = node.rightOrFirst;
+                if (pack.neg0[node.axis])
+                    std::swap(near, far);
+                COTERIE_ASSERT(sp < static_cast<int>(stack.size()),
+                               "BVH traversal stack overflow");
+                stack[static_cast<std::size_t>(sp++)] = far;
+                idx = near;
+                continue;
+            }
+        }
+        if (sp == 0)
+            break;
+        idx = stack[static_cast<std::size_t>(--sp)];
+    }
+    tlsStats.nodesVisited += visited;
+    tlsStats.leafTests += leafTests;
+
+    for (int l = 0; l < kL; ++l) {
+        out[l].t = bestT[l];
+        out[l].objectId = bestId[l];
+        if (bestId[l] == UINT32_MAX)
+            continue;
+        // One full intersection per winning lane fills point + normal.
+        double t;
+        Vec3 normal;
+        const bool ok =
+            intersectObject(laneRays[l], objects_[bestId[l]], t, normal);
+        COTERIE_ASSERT(ok && t == bestT[l],
+                       "packet winner re-intersection diverged");
+        out[l].point = laneRays[l].at(t);
+        out[l].normal = normal;
+    }
 }
 
 Hit

@@ -60,6 +60,19 @@ class Bvh
      */
     geom::Hit closestHit(const geom::Ray &ray) const;
 
+    /**
+     * Closest hit for a 4-lane ray packet (shared origin + clip
+     * interval, SoA directions): one traversal walks the tree for all
+     * lanes, testing each node's slabs across lanes in one vector op
+     * and pruning per lane against that lane's best hit. Leaf
+     * primitives are tested per active lane from the SoA leaf arrays
+     * with the exact scalar accept rule (equal-t ties to the lower
+     * object id), so every lane's Hit is bit-identical to
+     * `closestHit` on that lane's ray (asserted by tests/bvh_test.cc).
+     */
+    void closestHitPacket(const geom::RayPacket &pack,
+                          geom::Hit out[geom::RayPacket::kLanes]) const;
+
     /** Any-hit predicate (shadow rays); near-to-far, first hit wins. */
     bool anyHit(const geom::Ray &ray) const;
 
@@ -129,11 +142,26 @@ class Bvh
                          double &t, geom::Vec3 &normal) const;
     bool intersectObjectT(const geom::Ray &ray, const WorldObject &obj,
                           double &t) const;
+    bool intersectLeafSlotT(const geom::Ray &ray, std::size_t slot,
+                            double &t) const;
 
     const std::vector<WorldObject> &objects_;
     BvhBuildPolicy policy_;
     std::vector<Node> nodes_;
     std::vector<std::uint32_t> items_;
+    /**
+     * Leaf-primitive SoA mirror of `items_`: shape tag, position, and
+     * dimensions per leaf slot in traversal order. The packet leaf loop
+     * reads these hot fields contiguously instead of gathering whole
+     * WorldObject records (color, mesh metadata, ...) by object id.
+     */
+    struct LeafSoa
+    {
+        std::vector<std::uint8_t> shape;
+        std::vector<double> px, py, pz;
+        std::vector<double> dx, dy, dz;
+    };
+    LeafSoa leaf_;
 };
 
 template <typename Fn>

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 
 #include "geom/ray.hh"
@@ -59,10 +60,31 @@ class Terrain
 
     /**
      * March a ray against the heightfield; returns hit distance, or
-     * nullopt if the ray escapes. Step-marched with refinement.
+     * nullopt if the ray escapes. Step-marched with refinement; the
+     * noise evaluations run four schedule points at a time through the
+     * SIMD hash kernel, bit-identical to `intersectReference` (the
+     * integer hash core is exact and the FP glue stays scalar —
+     * tests/terrain_test.cc asserts equality).
+     *
+     * @p abortBeyond lets the renderer stop marching once the sample
+     * distance exceeds a known closer object hit: the march aborts only
+     * at a sample with t > abortBeyond that found no surface crossing,
+     * and any crossing the full march could still find would bisect to
+     * a root beyond that sample — i.e. beyond @p abortBeyond — so the
+     * caller's object-vs-terrain resolution is unchanged. Infinity
+     * (the default) reproduces the uncapped march exactly.
      */
-    std::optional<double> intersect(const geom::Ray &ray,
-                                    double maxDist) const;
+    std::optional<double>
+    intersect(const geom::Ray &ray, double maxDist,
+              double abortBeyond =
+                  std::numeric_limits<double>::infinity()) const;
+
+    /**
+     * The seed per-sample scalar march, preserved verbatim as the
+     * equivalence baseline for tests and bench_render's seed pipeline.
+     */
+    std::optional<double> intersectReference(const geom::Ray &ray,
+                                             double maxDist) const;
 
     /** Ground albedo at a point (height/moisture-tinted). */
     image::Rgb colorAt(geom::Vec2 p) const;

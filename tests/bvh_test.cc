@@ -318,6 +318,71 @@ TEST(Bvh, AnyHitAgreesWithClosestHit)
     }
 }
 
+TEST_P(BvhProperty, PacketLanesMatchScalarClosestHit)
+{
+    // The packet traversal must be bit-identical per lane to the
+    // scalar traversal on that lane's ray — same t, id, point, and
+    // normal — including lanes that miss and packets whose lanes point
+    // into different octants (which defeats lane-0's ordered descent
+    // for the other lanes; the per-lane prune + tie-break rule keeps
+    // the result traversal-order independent).
+    const auto objects = randomObjects(60, GetParam());
+    const Bvh bvh(objects);
+    Rng rng(GetParam() ^ 0x9a7);
+    for (int i = 0; i < 200; ++i) {
+        const Vec3 origin{rng.uniform(-60, 60), rng.uniform(-5, 20),
+                          rng.uniform(-60, 60)};
+        double dx[geom::RayPacket::kLanes], dy[geom::RayPacket::kLanes],
+            dz[geom::RayPacket::kLanes];
+        const bool mixed = i % 3 == 0;
+        for (int l = 0; l < geom::RayPacket::kLanes; ++l) {
+            Vec3 dir{rng.normal(), rng.normal() * 0.3, rng.normal()};
+            // Every third packet scatters its lanes across octants
+            // instead of the coherent row-batch shape.
+            if (mixed && l % 2 == 1)
+                dir = dir * -1.0;
+            dir = dir.normalized();
+            dx[l] = dir.x;
+            dy[l] = dir.y;
+            dz[l] = dir.z;
+        }
+        // Alternate the whole-scene interval with a depth-layer-style
+        // narrow clip window.
+        const double t_min = i % 4 == 0 ? 5.0 : 1e-4;
+        const double t_max = i % 4 == 0 ? 40.0 : 1e30;
+        const geom::RayPacket pack =
+            geom::makeRayPacket(origin, dx, dy, dz, t_min, t_max);
+        Hit packet[geom::RayPacket::kLanes];
+        bvh.closestHitPacket(pack, packet);
+        for (int l = 0; l < geom::RayPacket::kLanes; ++l) {
+            const Hit scalar = bvh.closestHit(pack.lane(l));
+            EXPECT_EQ(packet[l].valid(), scalar.valid());
+            EXPECT_EQ(packet[l].objectId, scalar.objectId);
+            EXPECT_EQ(packet[l].t, scalar.t);
+            if (scalar.valid()) {
+                EXPECT_EQ(packet[l].point, scalar.point);
+                EXPECT_EQ(packet[l].normal, scalar.normal);
+            }
+        }
+    }
+}
+
+TEST(Bvh, PacketOnEmptyWorldMissesAllLanes)
+{
+    const Bvh bvh(std::vector<WorldObject>{});
+    double dx[geom::RayPacket::kLanes] = {1, 0, 0, -1};
+    double dy[geom::RayPacket::kLanes] = {0, 1, 0, 0};
+    double dz[geom::RayPacket::kLanes] = {0, 0, 1, 0};
+    const geom::RayPacket pack =
+        geom::makeRayPacket({0, 0, 0}, dx, dy, dz, 1e-4, 1e30);
+    Hit out[geom::RayPacket::kLanes];
+    bvh.closestHitPacket(pack, out);
+    for (int l = 0; l < geom::RayPacket::kLanes; ++l) {
+        EXPECT_FALSE(out[l].valid());
+        EXPECT_EQ(out[l].t, pack.tMax);
+    }
+}
+
 TEST(Bvh, RespectsRayInterval)
 {
     std::vector<WorldObject> objects;

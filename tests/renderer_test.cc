@@ -189,6 +189,82 @@ TEST(Renderer, DeterministicAcrossThreadCounts)
               renderer.renderPanorama(eye, 64, 32, parallel));
 }
 
+/**
+ * Render the same view through all three paths and require byte
+ * equality. The pano resolution deliberately includes the poles (first
+ * and last rows, where the row basis degenerates toward sp=±1) and the
+ * yaw seam (first and last columns).
+ */
+void
+expectPathsAgree(const Renderer &renderer, const Vec3 &eye,
+                 RenderOptions opts, const char *tag)
+{
+    opts.path = RenderPath::SeedScalar;
+    const Image seed = renderer.renderPanorama(eye, 64, 32, opts);
+    opts.path = RenderPath::Scalar;
+    const Image scalar = renderer.renderPanorama(eye, 64, 32, opts);
+    opts.path = RenderPath::Batched;
+    const Image batched = renderer.renderPanorama(eye, 64, 32, opts);
+    EXPECT_EQ(scalar, seed) << tag << ": scalar pano != seed pano";
+    EXPECT_EQ(batched, seed) << tag << ": batched pano != seed pano";
+
+    Camera cam;
+    cam.position = eye;
+    cam.yaw = 0.7;
+    cam.pitch = -0.2;
+    opts.path = RenderPath::SeedScalar;
+    const Image pseed = renderer.renderPerspective(cam, 40, 30, opts);
+    opts.path = RenderPath::Batched;
+    const Image pbatched = renderer.renderPerspective(cam, 40, 30, opts);
+    EXPECT_EQ(pbatched, pseed) << tag << ": batched persp != seed persp";
+}
+
+TEST(Renderer, RenderPathsAgreeAcrossWorlds)
+{
+    using world::gen::GameId;
+    for (GameId id : {GameId::Racing, GameId::CTS, GameId::Viking}) {
+        const world::VirtualWorld world = world::gen::makeWorld(id, 42);
+        const Renderer renderer(world);
+        const Vec3 eye = world.eyePosition(world.bounds().center());
+        RenderOptions whole;
+        expectPathsAgree(renderer, eye, whole, world.name().c_str());
+    }
+}
+
+TEST(Renderer, RenderPathsAgreeOnDepthLayers)
+{
+    // The near layer exercises the clip-key path (finite farClip) and
+    // the far layer the shifted tMin window; both must agree across
+    // paths, including which pixels collapse to the chroma key.
+    const world::VirtualWorld world =
+        world::gen::makeWorld(world::gen::GameId::Racing, 42);
+    const Renderer renderer(world);
+    const Vec3 eye = world.eyePosition(world.bounds().center());
+    RenderOptions near_opts;
+    near_opts.layer = DepthLayer::nearBe(25.0);
+    expectPathsAgree(renderer, eye, near_opts, "racing/near");
+    RenderOptions far_opts;
+    far_opts.layer = DepthLayer::farBe(25.0);
+    expectPathsAgree(renderer, eye, far_opts, "racing/far");
+}
+
+TEST(Renderer, BatchedPathDeterministicAcrossThreadCounts)
+{
+    // Chunked row batching must not leak scheduling into pixels: the
+    // batched path at 1 and 4 threads produces identical frames (the
+    // scalar analogue is covered by DeterministicAcrossThreadCounts).
+    const world::VirtualWorld world =
+        world::gen::makeWorld(world::gen::GameId::Pool, 11);
+    const Renderer renderer(world);
+    const Vec3 eye = world.eyePosition({5.0, 6.0});
+    RenderOptions serial;
+    serial.threads = 1;
+    RenderOptions parallel;
+    parallel.threads = 4;
+    EXPECT_EQ(renderer.renderPanorama(eye, 64, 32, serial),
+              renderer.renderPanorama(eye, 64, 32, parallel));
+}
+
 TEST(Renderer, TextureAddsHighFrequencyDetail)
 {
     const world::VirtualWorld world =

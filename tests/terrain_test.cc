@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "support/rng.hh"
 #include "world/terrain.hh"
 
 namespace coterie::world {
@@ -121,6 +123,84 @@ TEST(Terrain, FlatFloorRayIntersection)
     const auto hit = t.intersect(ray, 100.0);
     ASSERT_TRUE(hit.has_value());
     EXPECT_NEAR(ray.at(*hit).y, 0.0, 1e-9);
+}
+
+TEST(Terrain, MarchMatchesReferenceOverRaySweep)
+{
+    // The SIMD-batched march (scalar prologue + 4-wide sample batches)
+    // must be bit-identical to the preserved per-sample reference
+    // march: same hit/miss decision and the exact same distance.
+    TerrainParams p;
+    p.seed = 9;
+    p.amplitude = 4.0;
+    Terrain t(p);
+    int hits = 0, misses = 0;
+    for (double ox = -40; ox <= 40; ox += 16.0) {
+        for (double oy : {1.5, 6.0, 30.0}) {
+            for (double pitch : {-0.8, -0.2, -0.02, 0.0, 0.15}) {
+                for (double yaw = 0.0; yaw < 6.0; yaw += 0.9) {
+                    Ray ray;
+                    ray.origin = {ox, oy, -ox * 0.5};
+                    ray.dir = Vec3{std::cos(yaw) * std::cos(pitch),
+                                   std::sin(pitch),
+                                   std::sin(yaw) * std::cos(pitch)}
+                                  .normalized();
+                    const auto fast = t.intersect(ray, 300.0);
+                    const auto ref = t.intersectReference(ray, 300.0);
+                    ASSERT_EQ(fast.has_value(), ref.has_value());
+                    if (ref) {
+                        EXPECT_EQ(*fast, *ref);
+                        ++hits;
+                    } else {
+                        ++misses;
+                    }
+                }
+            }
+        }
+    }
+    // The sweep must exercise both outcomes to mean anything.
+    EXPECT_GT(hits, 100);
+    EXPECT_GT(misses, 100);
+}
+
+TEST(Terrain, AbortBeyondPreservesAcceptedHits)
+{
+    // Contract used by the renderer: capping the march at a known
+    // object hit may only change outcomes *beyond* the cap. If the
+    // capped march reports a hit, it is the uncapped hit; and any
+    // uncapped hit at or before the cap survives capping.
+    TerrainParams p;
+    p.seed = 5;
+    Terrain t(p);
+    Rng rng(31);
+    for (int i = 0; i < 400; ++i) {
+        Ray ray;
+        ray.origin = {rng.uniform(-50, 50), rng.uniform(0.5, 25),
+                      rng.uniform(-50, 50)};
+        ray.dir = Vec3{rng.normal(), rng.normal() * 0.4, rng.normal()}
+                      .normalized();
+        const auto full = t.intersect(ray, 200.0);
+        const double cap = rng.uniform(0.5, 150.0);
+        const auto capped = t.intersect(ray, 200.0, cap);
+        if (capped) {
+            ASSERT_TRUE(full.has_value());
+            EXPECT_EQ(*capped, *full);
+        }
+        if (full && *full <= cap) {
+            ASSERT_TRUE(capped.has_value());
+            EXPECT_EQ(*capped, *full);
+        }
+    }
+    // An infinite cap is exactly the uncapped march.
+    Ray ray;
+    ray.origin = {3.0, 8.0, -2.0};
+    ray.dir = Vec3{0.6, -0.25, 0.4}.normalized();
+    const auto inf_cap = t.intersect(
+        ray, 200.0, std::numeric_limits<double>::infinity());
+    const auto plain = t.intersect(ray, 200.0);
+    ASSERT_EQ(inf_cap.has_value(), plain.has_value());
+    if (plain)
+        EXPECT_EQ(*inf_cap, *plain);
 }
 
 TEST(Terrain, TrianglesWithinScalesWithArea)

@@ -20,7 +20,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 SANITIZERS=(thread address undefined)
 TEST_BINS=(parallel_test renderer_test ssim_test codec_test obs_test
-           bvh_test pano_cache_test)
+           bvh_test terrain_test pano_cache_test)
 PREFIX=""
 
 while [ $# -gt 0 ]; do
