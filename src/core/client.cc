@@ -1,5 +1,7 @@
 #include "core/client.hh"
 
+#include "sim/event_queue.hh"
+
 #include <algorithm>
 #include <cmath>
 #include <deque>

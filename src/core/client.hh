@@ -21,7 +21,6 @@
 
 #include "core/prefetcher.hh"
 #include "core/systems/common.hh"
-#include "sim/event_queue.hh"
 
 namespace coterie::core {
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "support/logging.hh"
 
 namespace coterie::core {
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "support/logging.hh"
 
 namespace coterie::core {
 

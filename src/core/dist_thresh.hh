@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/partitioner.hh"
+#include "support/rng.hh"
 #include "core/similarity.hh"
 
 namespace coterie::core {

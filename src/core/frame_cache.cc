@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/metrics.hh"
+#include "support/logging.hh"
 #include "support/rng.hh"
 
 namespace coterie::core {

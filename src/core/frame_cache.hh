@@ -23,7 +23,6 @@
 #include <vector>
 
 #include "geom/vec.hh"
-#include "support/logging.hh"
 #include "support/thread_annotations.hh"
 
 namespace coterie::core {
@@ -166,7 +165,7 @@ class FrameCache
     void evictOne() COTERIE_REQUIRES(mutex_);
 
     FrameCacheParams params_; ///< immutable after the constructor
-    mutable support::Mutex mutex_;
+    mutable support::Mutex mutex_{"FrameCache::mutex_"};
     /** Entries by gridKey. */
     std::unordered_map<std::uint64_t, CachedFrame>
         entries_ COTERIE_GUARDED_BY(mutex_);

@@ -133,7 +133,7 @@ class PanoramaRenderCache
     void evictLocked() COTERIE_REQUIRES(mutex_);
 
     const std::size_t budgetBytes_;
-    mutable support::Mutex mutex_;
+    mutable support::Mutex mutex_{"PanoramaRenderCache::mutex_"};
     support::CondVar readyCv_;
     std::unordered_map<PanoKey, Entry, PanoKeyHash>
         entries_ COTERIE_GUARDED_BY(mutex_);

@@ -8,6 +8,7 @@
 #include "obs/trace.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
+#include "support/rng.hh"
 
 namespace coterie::core {
 

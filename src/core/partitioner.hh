@@ -16,7 +16,6 @@
 
 #include "core/cutoff.hh"
 #include "geom/region.hh"
-#include "support/rng.hh"
 
 namespace coterie::core {
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "image/size_model.hh"
 #include "obs/clock.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"

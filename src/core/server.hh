@@ -21,7 +21,6 @@
 #include "core/pano_cache.hh"
 #include "core/partitioner.hh"
 #include "image/codec.hh"
-#include "image/size_model.hh"
 #include "render/renderer.hh"
 #include "support/thread_annotations.hh"
 #include "world/grid.hh"
@@ -121,7 +120,7 @@ class FrameStore
      * the cached value never depends on which thread computed it).
      * Guarded so size queries may run from pool tasks.
      */
-    mutable support::Mutex cplxMutex_;
+    mutable support::Mutex cplxMutex_{"FrameStore::cplxMutex_"};
     mutable std::unordered_map<std::uint32_t, double>
         farCplx_ COTERIE_GUARDED_BY(cplxMutex_);
     mutable std::unordered_map<std::uint32_t, double>

@@ -17,7 +17,6 @@
 #include "net/fi_sync.hh"
 #include "net/resilience.hh"
 #include "sim/faults.hh"
-#include "support/stats.hh"
 #include "trace/trace.hh"
 
 namespace coterie::core {

@@ -28,7 +28,7 @@ Timer::observe(double value)
     const double clamped = std::max(value, 1e-9);
     Shard &shard =
         shards_[static_cast<std::size_t>(threadSlot()) % kShards];
-    support::MutexLock lock(shard.mutex);
+    support::MutexLock lock(shard.shardMutex);
     shard.stats.add(value);
     shard.hist.add(std::log10(clamped));
 }
@@ -38,7 +38,7 @@ Timer::snapshot() const
 {
     Snapshot merged;
     for (const Shard &shard : shards_) {
-        support::MutexLock lock(shard.mutex);
+        support::MutexLock lock(shard.shardMutex);
         merged.stats.merge(shard.stats);
         merged.hist.merge(shard.hist);
     }
@@ -79,7 +79,7 @@ Counter &
 MetricsRegistry::counter(std::string_view name)
 {
     Stripe &stripe = stripeFor(name);
-    support::MutexLock lock(stripe.mutex);
+    support::MutexLock lock(stripe.stripeMutex);
     return findOrCreate(stripe.counters, name);
 }
 
@@ -87,7 +87,7 @@ Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
     Stripe &stripe = stripeFor(name);
-    support::MutexLock lock(stripe.mutex);
+    support::MutexLock lock(stripe.stripeMutex);
     return findOrCreate(stripe.gauges, name);
 }
 
@@ -95,7 +95,7 @@ Timer &
 MetricsRegistry::timer(std::string_view name)
 {
     Stripe &stripe = stripeFor(name);
-    support::MutexLock lock(stripe.mutex);
+    support::MutexLock lock(stripe.stripeMutex);
     return findOrCreate(stripe.timers, name);
 }
 
@@ -104,7 +104,7 @@ MetricsRegistry::size() const
 {
     std::size_t n = 0;
     for (const Stripe &stripe : stripes_) {
-        support::MutexLock lock(stripe.mutex);
+        support::MutexLock lock(stripe.stripeMutex);
         n += stripe.counters.size() + stripe.gauges.size() +
              stripe.timers.size();
     }
@@ -119,7 +119,7 @@ MetricsRegistry::snapshotJson() const
     std::vector<std::pair<std::string, double>> gauges;
     std::vector<std::pair<std::string, Timer::Snapshot>> timers;
     for (const Stripe &stripe : stripes_) {
-        support::MutexLock lock(stripe.mutex);
+        support::MutexLock lock(stripe.stripeMutex);
         for (const auto &[name, c] : stripe.counters)
             counters.emplace_back(name, c->value());
         for (const auto &[name, g] : stripe.gauges)

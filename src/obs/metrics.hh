@@ -123,9 +123,9 @@ class Timer
     static constexpr int kShards = 8;
     struct Shard
     {
-        mutable support::Mutex mutex;
-        RunningStats stats COTERIE_GUARDED_BY(mutex);
-        Histogram hist COTERIE_GUARDED_BY(mutex){kLogLo, kLogHi,
+        mutable support::Mutex shardMutex{"Timer::Shard::shardMutex"};
+        RunningStats stats COTERIE_GUARDED_BY(shardMutex);
+        Histogram hist COTERIE_GUARDED_BY(shardMutex){kLogLo, kLogHi,
                                                  kLogBins};
     };
     Shard shards_[kShards];
@@ -188,13 +188,14 @@ class MetricsRegistry
     /** One lock stripe of the name lookup. */
     struct Stripe
     {
-        mutable support::Mutex mutex;
+        mutable support::Mutex stripeMutex{
+            "MetricsRegistry::Stripe::stripeMutex"};
         std::vector<std::pair<std::string, std::unique_ptr<Counter>>>
-            counters COTERIE_GUARDED_BY(mutex);
+            counters COTERIE_GUARDED_BY(stripeMutex);
         std::vector<std::pair<std::string, std::unique_ptr<Gauge>>>
-            gauges COTERIE_GUARDED_BY(mutex);
+            gauges COTERIE_GUARDED_BY(stripeMutex);
         std::vector<std::pair<std::string, std::unique_ptr<Timer>>>
-            timers COTERIE_GUARDED_BY(mutex);
+            timers COTERIE_GUARDED_BY(stripeMutex);
     };
     static constexpr std::size_t kStripes = 16;
 

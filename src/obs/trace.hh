@@ -109,7 +109,7 @@ class TraceRecorder
     void push(Event event);
 
     std::atomic<bool> enabled_{false};
-    mutable support::Mutex mutex_;
+    mutable support::Mutex mutex_{"TraceRecorder::mutex_"};
     std::vector<Event> events_ COTERIE_GUARDED_BY(mutex_);
     std::uint64_t epochNs_ COTERIE_GUARDED_BY(mutex_) = 0;
 };

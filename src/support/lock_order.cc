@@ -1,0 +1,182 @@
+#include "support/lock_order.hh"
+
+#include "support/logging.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace coterie::support::lockorder {
+
+std::string
+LockOrderRegistry::pathBetween(const std::string &from,
+                               const std::string &to) const
+{
+    // Iterative DFS, reconstructing the witness through parent links.
+    std::map<std::string, std::string> parent;
+    std::vector<const std::string *> work;
+    parent.emplace(from, "");
+    work.push_back(&from);
+    while (!work.empty()) {
+        const std::string &u = *work.back();
+        work.pop_back();
+        const auto it = succ_.find(u);
+        if (it == succ_.end())
+            continue;
+        for (const std::string &v : it->second) {
+            if (!parent.emplace(v, u).second)
+                continue;
+            if (v == to) {
+                std::string path = to;
+                for (std::string p = u; !p.empty();
+                     p = parent.at(p))
+                    path = p + " -> " + path;
+                return path;
+            }
+            work.push_back(&*it->second.find(v));
+        }
+    }
+    return "";
+}
+
+std::string
+LockOrderRegistry::record(const std::string &held,
+                          const std::string &acquired)
+{
+    if (held == acquired)
+        return ""; // same rank (distinct instances sharing a name)
+    const auto it = succ_.find(held);
+    if (it != succ_.end() && it->second.count(acquired))
+        return ""; // known edge, nothing to re-check
+    const std::string inverse = pathBetween(acquired, held);
+    if (!inverse.empty())
+        return inverse;
+    succ_[held].insert(acquired);
+    return "";
+}
+
+std::size_t
+LockOrderRegistry::edgeCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[_, outs] : succ_)
+        n += outs.size();
+    return n;
+}
+
+#if COTERIE_LOCK_ORDER_ENABLED
+
+namespace {
+
+struct Held
+{
+    const void *mtx;
+    const char *name;
+};
+
+// The per-thread held stack must stay usable during thread teardown:
+// thread_local destructors (metrics shard folds, pool cleanup) may
+// acquire mutexes after later-constructed thread_locals are already
+// destroyed. A trivially-destructible POD array has no destructor, so
+// there is no destruction-order window — unlike a std::vector, whose
+// freed buffer the hooks would scribble over.
+constexpr int kMaxHeld = 64;
+thread_local Held tlsHeld[kMaxHeld];
+thread_local int tlsHeldCount = 0;
+
+// Same reasoning for the global registry: worker threads can run
+// hooks while main's static destructors execute, so these singletons
+// are intentionally leaked (never destroyed). The registry's own lock
+// cannot be an instrumented support::Mutex — the hooks would recurse
+// into themselves — so it uses the raw standard primitive.
+std::mutex &
+registryMutex()
+{
+    // lint:allow(mutex-guarded-by) — guards registry(), can't recurse
+    static std::mutex *mu = new std::mutex;
+    return *mu;
+}
+
+LockOrderRegistry &
+registry()
+{
+    static LockOrderRegistry *r = new LockOrderRegistry;
+    return *r;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    static const bool on = [] {
+        const char *env = std::getenv("COTERIE_LOCK_ORDER");
+        return !(env && std::strcmp(env, "0") == 0);
+    }();
+    return on;
+}
+
+void
+pushHeld(const void *mtx, const char *name)
+{
+    if (tlsHeldCount >= kMaxHeld)
+        COTERIE_PANIC("lock-order: a thread holds more than ",
+                      kMaxHeld, " mutexes at once (acquiring \"", name,
+                      "\") — almost certainly a leak of held locks");
+    tlsHeld[tlsHeldCount++] = {mtx, name};
+}
+
+void
+onAcquire(const void *mtx, const char *name)
+{
+    if (!enabled())
+        return;
+    for (int i = 0; i < tlsHeldCount; ++i)
+        if (tlsHeld[i].mtx == mtx)
+            COTERIE_PANIC("lock-order: recursive acquisition of "
+                          "mutex \"",
+                          name, "\" on one thread");
+    {
+        std::lock_guard<std::mutex> guard(registryMutex());
+        for (int i = 0; i < tlsHeldCount; ++i) {
+            const std::string inverse =
+                registry().record(tlsHeld[i].name, name);
+            if (!inverse.empty())
+                COTERIE_PANIC(
+                    "lock-order inversion: acquiring mutex \"", name,
+                    "\" while holding \"", tlsHeld[i].name,
+                    "\" inverts the established order ", inverse,
+                    " (static counterpart: coterie-lint "
+                    "lock-order-cycle; set COTERIE_LOCK_ORDER=0 to "
+                    "bypass while debugging)");
+        }
+    }
+    pushHeld(mtx, name);
+}
+
+void
+onTryAcquire(const void *mtx, const char *name)
+{
+    if (!enabled())
+        return;
+    pushHeld(mtx, name);
+}
+
+void
+onRelease(const void *mtx)
+{
+    if (!enabled())
+        return;
+    for (int i = tlsHeldCount - 1; i >= 0; --i)
+        if (tlsHeld[i].mtx == mtx) {
+            for (int j = i; j + 1 < tlsHeldCount; ++j)
+                tlsHeld[j] = tlsHeld[j + 1];
+            --tlsHeldCount;
+            return;
+        }
+}
+
+#endif // COTERIE_LOCK_ORDER_ENABLED
+
+} // namespace coterie::support::lockorder

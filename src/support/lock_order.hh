@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Runtime lock-order validator (lockdep-lite).
+ *
+ * The static lock-order analysis in tools/lint proves the annotated
+ * acquisition graph acyclic; this validator asserts the same DAG on
+ * every test run, catching orderings the static pass cannot see
+ * (virtual calls, callbacks, locks taken through opaque interfaces).
+ * It is compiled in only when CMake's COTERIE_LOCK_ORDER resolves to
+ * ON (default: sanitizer and Debug builds); otherwise every hook is
+ * an empty inline and `Mutex`/`MutexLock` carry zero overhead.
+ *
+ * Design notes:
+ *  - The global order graph is keyed by mutex *name*, not address:
+ *    short-lived mutexes (per-job `errorMutex` in support/parallel)
+ *    reuse addresses, and a name-keyed graph needs no unregistration
+ *    in ~Mutex. Two *instances* sharing a name never form an edge
+ *    with each other (per-shard mutexes are rank-equal by design).
+ *  - The per-thread held list is keyed by address, so recursive
+ *    acquisition of one instance panics immediately.
+ *  - `tryLock` pushes the held entry but adds no order edge: a
+ *    non-blocking acquire cannot deadlock, and tryLock is exactly the
+ *    idiom for taking locks against the established order.
+ *  - A detected inversion calls COTERIE_PANIC naming both mutexes
+ *    and the established path, then aborts (core-dumpable).
+ *  - Kill switch: COTERIE_LOCK_ORDER=0 in the environment disables
+ *    the checks at runtime (support/ owns the env access point).
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#ifndef COTERIE_LOCK_ORDER_ENABLED
+#define COTERIE_LOCK_ORDER_ENABLED 0
+#endif
+
+namespace coterie::support::lockorder {
+
+/**
+ * The name-keyed order graph. Always compiled (the unit tests drive
+ * it in every build config); the runtime hooks below feed it only
+ * when the validator is enabled.
+ */
+class LockOrderRegistry
+{
+  public:
+    /**
+     * Record "@p acquired taken while @p held is held". Returns ""
+     * when the edge is consistent with the graph (and inserts it);
+     * otherwise returns the established opposite path, e.g.
+     * "b -> a", without inserting the inverting edge.
+     */
+    std::string record(const std::string &held,
+                       const std::string &acquired);
+
+    /** Number of distinct order edges recorded (for tests). */
+    std::size_t edgeCount() const;
+
+  private:
+    /** Path from @p from to @p to, "" if unreachable. */
+    std::string pathBetween(const std::string &from,
+                            const std::string &to) const;
+
+    std::map<std::string, std::set<std::string>> succ_;
+};
+
+#if COTERIE_LOCK_ORDER_ENABLED
+
+/** False when COTERIE_LOCK_ORDER=0 is set in the environment. */
+bool enabled();
+
+/**
+ * About to block on @p mtx (named @p name). Called *before* the
+ * native lock so a recursive acquisition or an order inversion
+ * panics with a diagnostic instead of deadlocking silently.
+ */
+void onAcquire(const void *mtx, const char *name);
+/** Non-blocking acquisition succeeded (held, but no order edge). */
+void onTryAcquire(const void *mtx, const char *name);
+/** @p mtx released. */
+void onRelease(const void *mtx);
+
+#else
+
+inline bool
+enabled()
+{
+    return false;
+}
+inline void
+onAcquire(const void *, const char *)
+{
+}
+inline void
+onTryAcquire(const void *, const char *)
+{
+}
+inline void
+onRelease(const void *)
+{
+}
+
+#endif // COTERIE_LOCK_ORDER_ENABLED
+
+} // namespace coterie::support::lockorder

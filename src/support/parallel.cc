@@ -52,7 +52,7 @@ struct ThreadPool::Job
     std::atomic<std::int64_t> nextChunk{0};
     std::atomic<std::int64_t> doneChunks{0};
     std::atomic<bool> cancelled{false};
-    Mutex errorMutex;
+    Mutex errorMutex{"ThreadPool::Job::errorMutex"};
     std::exception_ptr error COTERIE_GUARDED_BY(errorMutex);
 };
 

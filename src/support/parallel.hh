@@ -105,10 +105,10 @@ class ThreadPool
     void workerLoop();
     static void runChunks(Job &job);
 
-    Mutex mutex_;
+    Mutex mutex_{"ThreadPool::mutex_"};
     CondVar workCv_;
     CondVar doneCv_;
-    Mutex submitMutex_; ///< serializes concurrent top-level jobs
+    Mutex submitMutex_{"ThreadPool::submitMutex_"}; ///< serializes concurrent top-level jobs
     Job *job_ COTERIE_GUARDED_BY(mutex_) = nullptr;
     std::uint64_t generation_ COTERIE_GUARDED_BY(mutex_) = 0;
     int activeWorkers_ COTERIE_GUARDED_BY(mutex_) = 0;

@@ -46,6 +46,14 @@
 #define COTERIE_SIMD_NO_CLONES 1
 #endif
 #endif
+// target_clones miscompiles under gcc at -O0 (wild pointers inside
+// the cloned kernels crash the render path and skew the codec's
+// quality floor; observed with gcc 12, Debug builds only — every
+// optimized build is clean). Unoptimized builds don't need runtime
+// dispatch anyway, so pin them to the baseline symbol.
+#if !defined(__OPTIMIZE__)
+#define COTERIE_SIMD_NO_CLONES 1
+#endif
 
 #if defined(COTERIE_SIMD_VECTOR_EXT) && defined(__x86_64__) &&           \
     defined(__gnu_linux__) && defined(__has_attribute) &&                \

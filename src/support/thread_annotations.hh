@@ -20,6 +20,8 @@
 
 #pragma once
 
+#include "support/lock_order.hh"
+
 #include <condition_variable>
 #include <mutex>
 
@@ -49,23 +51,53 @@
 
 namespace coterie::support {
 
-/** Annotated std::mutex wrapper the analysis can track. */
+/**
+ * Annotated std::mutex wrapper the analysis can track. The name feeds
+ * the runtime lock-order validator (support/lock_order.hh) and the
+ * static lock-order analysis in coterie-lint; every mutex declaration
+ * in src/ passes one (distinct instances may share a name — same-name
+ * locks are rank-equal and never ordered against each other).
+ */
 class COTERIE_CAPABILITY("mutex") Mutex
 {
   public:
-    Mutex() = default;
+    explicit Mutex(const char *name = "<unnamed>") : name_(name) {}
     Mutex(const Mutex &) = delete;
     Mutex &operator=(const Mutex &) = delete;
 
-    void lock() COTERIE_ACQUIRE() { m_.lock(); }
-    void unlock() COTERIE_RELEASE() { m_.unlock(); }
-    bool tryLock() COTERIE_TRY_ACQUIRE(true) { return m_.try_lock(); }
+    void
+    lock() COTERIE_ACQUIRE()
+    {
+        // Hook BEFORE blocking: a recursive acquisition or an order
+        // inversion must panic with a diagnostic, not sit forever in
+        // m_.lock() waiting for the deadlock it just created.
+        lockorder::onAcquire(this, name_);
+        m_.lock();
+    }
+    void
+    unlock() COTERIE_RELEASE()
+    {
+        lockorder::onRelease(this);
+        m_.unlock();
+    }
+    bool
+    tryLock() COTERIE_TRY_ACQUIRE(true)
+    {
+        const bool ok = m_.try_lock();
+        if (ok)
+            lockorder::onTryAcquire(this, name_);
+        return ok;
+    }
+
+    /** The validator/diagnostic name this mutex was declared with. */
+    const char *name() const { return name_; }
 
     /** The wrapped mutex, for interop (CondVar). */
     std::mutex &native() { return m_; }
 
   private:
     std::mutex m_;
+    const char *name_;
 };
 
 /**
@@ -77,8 +109,22 @@ class COTERIE_CAPABILITY("mutex") Mutex
 class COTERIE_SCOPED_CAPABILITY MutexLock
 {
   public:
-    explicit MutexLock(Mutex &m) COTERIE_ACQUIRE(m) : lock_(m.native()) {}
-    ~MutexLock() COTERIE_RELEASE() = default;
+    // Acquire through Mutex::lock (not unique_lock's constructor) so
+    // the lock-order validator checks every scoped acquisition before
+    // it can block; the unique_lock adopts the already-held native
+    // mutex.
+    explicit MutexLock(Mutex &m) COTERIE_ACQUIRE(m)
+        : mutex_(m),
+          lock_((m.lock(), std::unique_lock<std::mutex>(
+                               m.native(), std::adopt_lock)))
+    {
+    }
+    ~MutexLock() COTERIE_RELEASE()
+    {
+        // Pop the held entry first; the unique_lock member then
+        // performs the native unlock (same order as Mutex::unlock).
+        lockorder::onRelease(&mutex_);
+    }
 
     MutexLock(const MutexLock &) = delete;
     MutexLock &operator=(const MutexLock &) = delete;
@@ -87,6 +133,7 @@ class COTERIE_SCOPED_CAPABILITY MutexLock
     std::unique_lock<std::mutex> &native() { return lock_; }
 
   private:
+    Mutex &mutex_;
     std::unique_lock<std::mutex> lock_;
 };
 

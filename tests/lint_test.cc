@@ -344,10 +344,101 @@ struct EventQueue
     EXPECT_FALSE(fired(findings, "epoch-guarded-schedule"));
 }
 
+TEST(LintRules, PtrKeyedContainerFlagsPointerKeys)
+{
+    const auto findings = run("src/core/owners.cc", R"fx(
+#include <unordered_map>
+struct Object;
+std::unordered_map<const Object *, int> byPtr;
+)fx");
+    EXPECT_TRUE(fired(findings, "ptr-keyed-container"));
+
+    // Pointer *values* are fine — only the key drives iteration order.
+    const auto ok = run("src/core/owners.cc", R"fx(
+#include <unordered_map>
+struct Object;
+std::unordered_map<unsigned long, Object *> byId;
+)fx");
+    EXPECT_FALSE(fired(ok, "ptr-keyed-container"));
+}
+
+TEST(LintRules, PtrKeyedContainerHandlesNestedTemplates)
+{
+    // The key type ends at the first top-level comma, so a pointer
+    // inside the *mapped* type must not fire.
+    const auto ok = run("src/core/owners.cc", R"fx(
+#include <unordered_map>
+#include <vector>
+struct Object;
+std::unordered_map<unsigned, std::vector<Object *>> lists;
+)fx");
+    EXPECT_FALSE(fired(ok, "ptr-keyed-container"));
+}
+
+TEST(LintRules, AddressOrderingFlagsUintptrCasts)
+{
+    const auto findings = run("src/world/ids.cc", R"fx(
+#include <cstdint>
+unsigned long long id(const void *p)
+{
+    return reinterpret_cast<std::uintptr_t>(p);
+}
+)fx");
+    EXPECT_TRUE(fired(findings, "address-ordering"));
+
+    const auto hash = run("src/world/ids.cc", R"fx(
+#include <functional>
+struct Object;
+std::hash<Object *> hasher;
+)fx");
+    EXPECT_TRUE(fired(hash, "address-ordering"));
+}
+
+TEST(LintRules, AmbientRngFlagsStdEnginesOutsideSupport)
+{
+    const auto findings = run("src/sim/jitter.cc", R"fx(
+#include <random>
+std::mt19937 gen;
+)fx");
+    EXPECT_TRUE(fired(findings, "ambient-rng"));
+
+    // support/ owns the seeded generators.
+    const auto ok = run("src/support/rng.cc", R"fx(
+#include <random>
+std::mt19937 gen;
+)fx");
+    EXPECT_FALSE(fired(ok, "ambient-rng"));
+}
+
+TEST(LintRules, SimdAmbientMathFlagsLibmInCloneKernels)
+{
+    const auto findings = run("src/render/kern.cc", R"fx(
+#include "support/simd.hh"
+COTERIE_SIMD_CLONES void kern(double *out, const double *in)
+{
+    out[0] = std::sin(in[0]);
+}
+)fx");
+    EXPECT_TRUE(fired(findings, "simd-ambient-math"));
+
+    // sqrt is exactly rounded; outside-kernel transcendentals are
+    // also fine.
+    const auto ok = run("src/render/kern.cc", R"fx(
+#include "support/simd.hh"
+#include <cmath>
+COTERIE_SIMD_CLONES void kern(double *out, const double *in)
+{
+    out[0] = std::sqrt(in[0]);
+}
+double plain(double x) { return std::sin(x); }
+)fx");
+    EXPECT_FALSE(fired(ok, "simd-ambient-math"));
+}
+
 TEST(LintEngine, RulesAreRegisteredAndNamed)
 {
     const auto &rules = coterie::lint::rules();
-    ASSERT_EQ(rules.size(), 8u);
+    ASSERT_EQ(rules.size(), 12u);
     for (const auto &rule : rules) {
         EXPECT_FALSE(rule.name.empty());
         EXPECT_FALSE(rule.description.empty());

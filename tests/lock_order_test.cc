@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the runtime lock-order validator (support/lock_order.hh).
+ *
+ * The LockOrderRegistry unit tests run in every build configuration.
+ * The death tests drive the live hooks through support::Mutex /
+ * MutexLock and therefore only run when CMake compiled the validator
+ * in (COTERIE_LOCK_ORDER_ENABLED=1, i.e. sanitizer or Debug builds);
+ * elsewhere they GTEST_SKIP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/lock_order.hh"
+#include "support/thread_annotations.hh"
+
+namespace {
+
+using coterie::support::Mutex;
+using coterie::support::MutexLock;
+using coterie::support::lockorder::LockOrderRegistry;
+
+TEST(LockOrderRegistry, ConsistentOrderAccumulatesEdges)
+{
+    LockOrderRegistry reg;
+    EXPECT_EQ(reg.record("a", "b"), "");
+    EXPECT_EQ(reg.record("b", "c"), "");
+    EXPECT_EQ(reg.record("a", "c"), ""); // consistent with a->b->c
+    EXPECT_EQ(reg.edgeCount(), 3u);
+    // Re-recording a known edge is a no-op.
+    EXPECT_EQ(reg.record("a", "b"), "");
+    EXPECT_EQ(reg.edgeCount(), 3u);
+}
+
+TEST(LockOrderRegistry, DirectInversionReturnsWitnessPath)
+{
+    LockOrderRegistry reg;
+    ASSERT_EQ(reg.record("a", "b"), "");
+    const std::string path = reg.record("b", "a");
+    EXPECT_EQ(path, "a -> b");
+    // The inverting edge must NOT have been inserted.
+    EXPECT_EQ(reg.edgeCount(), 1u);
+}
+
+TEST(LockOrderRegistry, TransitiveInversionNamesFullPath)
+{
+    LockOrderRegistry reg;
+    ASSERT_EQ(reg.record("a", "b"), "");
+    ASSERT_EQ(reg.record("b", "c"), "");
+    EXPECT_EQ(reg.record("c", "a"), "a -> b -> c");
+}
+
+TEST(LockOrderRegistry, SameNameIsRankEqual)
+{
+    // Two instances sharing a name (per-shard mutexes) are never
+    // ordered against each other: record() treats the pair as a
+    // no-op, neither edge nor inversion.
+    LockOrderRegistry reg;
+    EXPECT_EQ(reg.record("shard", "shard"), "");
+    EXPECT_EQ(reg.edgeCount(), 0u);
+}
+
+#if COTERIE_LOCK_ORDER_ENABLED
+
+bool
+validatorLive()
+{
+    return coterie::support::lockorder::enabled();
+}
+
+TEST(LockOrderValidatorDeathTest, InversionAbortNamesBothMutexes)
+{
+    if (!validatorLive())
+        GTEST_SKIP() << "COTERIE_LOCK_ORDER=0 in environment";
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    static Mutex a{"deathA"};
+    static Mutex b{"deathB"};
+    { // Establish deathA -> deathB.
+        MutexLock la(a);
+        MutexLock lb(b);
+    }
+    // Invert it: the abort message must name both mutexes.
+    EXPECT_DEATH(
+        {
+            MutexLock lb(b);
+            MutexLock la(a);
+        },
+        "deathA.*deathB|deathB.*deathA");
+}
+
+TEST(LockOrderValidatorDeathTest, RecursiveAcquisitionAborts)
+{
+    if (!validatorLive())
+        GTEST_SKIP() << "COTERIE_LOCK_ORDER=0 in environment";
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    static Mutex m{"deathRecursive"};
+    EXPECT_DEATH(
+        {
+            MutexLock l1(m);
+            MutexLock l2(m);
+        },
+        "deathRecursive");
+}
+
+TEST(LockOrderValidator, ConsistentOrderAndTryLockPass)
+{
+    if (!validatorLive())
+        GTEST_SKIP() << "COTERIE_LOCK_ORDER=0 in environment";
+    static Mutex x{"liveX"};
+    static Mutex y{"liveY"};
+    { // x -> y, twice: stable order is fine.
+        MutexLock lx(x);
+        MutexLock ly(y);
+    }
+    {
+        MutexLock lx(x);
+        MutexLock ly(y);
+    }
+    { // tryLock against the order must NOT abort (no edge recorded).
+        MutexLock ly(y);
+        ASSERT_TRUE(x.tryLock());
+        x.unlock();
+    }
+    SUCCEED();
+}
+
+#else // !COTERIE_LOCK_ORDER_ENABLED
+
+TEST(LockOrderValidatorDeathTest, InversionAbortNamesBothMutexes)
+{
+    GTEST_SKIP() << "validator compiled away "
+                    "(COTERIE_LOCK_ORDER resolved OFF)";
+}
+
+#endif // COTERIE_LOCK_ORDER_ENABLED
+
+} // namespace

@@ -19,8 +19,11 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 SANITIZERS=(thread address undefined)
+# lock_order_test rides every sanitizer leg: COTERIE_LOCK_ORDER=AUTO
+# resolves ON whenever COTERIE_SANITIZE is set, so the runtime
+# lock-order validator's death tests actually fire here.
 TEST_BINS=(parallel_test renderer_test ssim_test codec_test obs_test
-           bvh_test terrain_test pano_cache_test)
+           bvh_test terrain_test pano_cache_test lock_order_test)
 PREFIX=""
 
 while [ $# -gt 0 ]; do

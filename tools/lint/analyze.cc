@@ -1,0 +1,747 @@
+#include "analyze.hh"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace coterie::lint {
+
+namespace {
+
+std::string
+dirnameOf(const std::string &path)
+{
+    const auto slash = path.rfind('/');
+    return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+/** Normalize "a/b/../c" and "./" segments. */
+std::string
+normalizePath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string seg;
+    std::istringstream in(path);
+    while (std::getline(in, seg, '/')) {
+        if (seg.empty() || seg == ".")
+            continue;
+        if (seg == ".." && !parts.empty() && parts.back() != "..")
+            parts.pop_back();
+        else
+            parts.push_back(seg);
+    }
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i)
+        out += (i ? "/" : "") + parts[i];
+    return out;
+}
+
+std::string
+stemOf(const std::string &path)
+{
+    const auto dot = path.rfind('.');
+    const auto slash = path.rfind('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path;
+    return path.substr(0, dot);
+}
+
+const char *
+layerLabel(int layer)
+{
+    switch (layer) {
+      case 0: return "support";
+      case 1: return "obs";
+      case 2: return "geom/image";
+      case 3: return "world/render/trace";
+      case 4: return "device/net/sim";
+      case 5: return "core";
+      case 6: return "bench/tools/tests";
+      default: return "unlayered";
+    }
+}
+
+void
+sortFindings(std::vector<Finding> &v)
+{
+    std::stable_sort(v.begin(), v.end(),
+                     [](const Finding &a, const Finding &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         return a.line < b.line;
+                     });
+}
+
+} // namespace
+
+RepoModel
+buildRepoModel(
+    const std::vector<std::pair<std::string, std::string>> &files)
+{
+    RepoModel repo;
+    repo.files.reserve(files.size());
+    for (const auto &[path, content] : files) {
+        repo.byPath[path] = repo.files.size();
+        repo.files.push_back(buildFileModel(path, tokenize(content)));
+        repo.contents[path] = content;
+    }
+    return repo;
+}
+
+int
+LayerConfig::layerOf(const std::string &path) const
+{
+    int best = -1;
+    std::size_t bestLen = 0;
+    for (const auto &[prefix, layer] : prefixes) {
+        if (path.compare(0, prefix.size(), prefix) == 0 &&
+            prefix.size() >= bestLen) {
+            best = layer;
+            bestLen = prefix.size();
+        }
+    }
+    return best;
+}
+
+LayerConfig
+defaultLayerConfig()
+{
+    LayerConfig cfg;
+    cfg.prefixes = {
+        {"src/support/", 0}, {"src/obs/", 1},    {"src/geom/", 2},
+        {"src/image/", 2},   {"src/world/", 3},  {"src/render/", 3},
+        {"src/trace/", 3},   {"src/device/", 4}, {"src/net/", 4},
+        {"src/sim/", 4},     {"src/core/", 5},   {"bench/", 6},
+        {"tools/", 6},       {"tests/", 6},      {"examples/", 6},
+    };
+    return cfg;
+}
+
+void
+parseAllowlist(const std::string &text, LayerConfig &cfg)
+{
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        std::string from, to;
+        if (fields >> from >> to)
+            cfg.allow.insert({from, to});
+    }
+}
+
+std::string
+resolveInclude(const RepoModel &repo, const std::string &includer,
+               const std::string &spelled)
+{
+    const std::string dir = dirnameOf(includer);
+    const std::string candidates[] = {
+        spelled,
+        "src/" + spelled,
+        "tools/lint/" + spelled,
+        dir.empty() ? spelled : normalizePath(dir + "/" + spelled),
+    };
+    for (const std::string &c : candidates)
+        if (repo.byPath.count(c))
+            return c;
+    return "";
+}
+
+std::vector<Finding>
+analyzeLayering(const RepoModel &repo, const LayerConfig &cfg)
+{
+    std::vector<Finding> out;
+
+    // Resolved project-include adjacency (index -> indices), with the
+    // include line for witnesses.
+    struct Edge
+    {
+        std::size_t to;
+        int line;
+        std::string spelled;
+    };
+    std::vector<std::vector<Edge>> adj(repo.files.size());
+    for (std::size_t i = 0; i < repo.files.size(); ++i) {
+        const FileModel &f = repo.files[i];
+        for (const IncludeRef &inc : f.includes) {
+            const std::string target =
+                resolveInclude(repo, f.path, inc.spelled);
+            if (target.empty())
+                continue;
+            const std::size_t t = repo.byPath.at(target);
+            adj[i].push_back({t, inc.line, inc.spelled});
+            if (cfg.allow.count({f.path, target}))
+                continue;
+            const int fromLayer = cfg.layerOf(f.path);
+            const int toLayer = cfg.layerOf(target);
+            if (fromLayer >= 0 && toLayer >= 0 && toLayer > fromLayer) {
+                out.push_back(
+                    {f.path, inc.line, "layering",
+                     "include of '" + target + "' (layer " +
+                         std::to_string(toLayer) + ", " +
+                         layerLabel(toLayer) + ") from layer " +
+                         std::to_string(fromLayer) + " (" +
+                         layerLabel(fromLayer) +
+                         ") inverts the layer order support -> obs -> "
+                         "geom/image -> world/render/trace -> "
+                         "device/net/sim -> core -> bench/tools/tests; "
+                         "move the shared code down a layer or add the "
+                         "pair to tools/lint/layering_allowlist.txt"});
+            }
+        }
+    }
+
+    // Include cycles: iterative-free recursive DFS with tricolor
+    // marking; each distinct cycle reported once.
+    enum { White, Grey, Black };
+    std::vector<int> color(repo.files.size(), White);
+    std::vector<std::size_t> stack;
+    std::set<std::string> seenCycles;
+
+    std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+        color[u] = Grey;
+        stack.push_back(u);
+        for (const Edge &e : adj[u]) {
+            if (color[e.to] == White) {
+                dfs(e.to);
+            } else if (color[e.to] == Grey) {
+                // Reconstruct u -> ... -> e.to -> u from the stack.
+                auto it =
+                    std::find(stack.begin(), stack.end(), e.to);
+                std::vector<std::size_t> cycle(it, stack.end());
+                std::vector<std::size_t> key = cycle;
+                std::sort(key.begin(), key.end());
+                std::string keyStr;
+                for (std::size_t k : key)
+                    keyStr += repo.files[k].path + "|";
+                if (!seenCycles.insert(keyStr).second)
+                    continue;
+                std::string path;
+                for (std::size_t k : cycle)
+                    path += repo.files[k].path + " -> ";
+                path += repo.files[e.to].path;
+                out.push_back({repo.files[u].path, e.line,
+                               "include-cycle",
+                               "include cycle: " + path +
+                                   "; break it with a forward "
+                                   "declaration or by splitting the "
+                                   "shared types into a lower header"});
+            }
+        }
+        stack.pop_back();
+        color[u] = Black;
+    };
+    for (std::size_t i = 0; i < repo.files.size(); ++i)
+        if (color[i] == White)
+            dfs(i);
+
+    sortFindings(out);
+    return out;
+}
+
+std::vector<Finding>
+analyzeUnusedIncludes(const RepoModel &repo)
+{
+    std::vector<Finding> out;
+
+    // Transitive export closure per file, cycle-safe via memo +
+    // in-progress marking (a cycle participant contributes what has
+    // been accumulated so far — conservative in the right direction).
+    std::vector<std::set<std::string>> closure(repo.files.size());
+    std::vector<int> state(repo.files.size(), 0); // 0 new, 1 busy, 2 done
+    std::function<const std::set<std::string> &(std::size_t)> exportsOf =
+        [&](std::size_t i) -> const std::set<std::string> & {
+        if (state[i] != 0)
+            return closure[i];
+        state[i] = 1;
+        const FileModel &f = repo.files[i];
+        closure[i] = f.exports;
+        for (const IncludeRef &inc : f.includes) {
+            const std::string target =
+                resolveInclude(repo, f.path, inc.spelled);
+            if (target.empty())
+                continue;
+            const auto &sub = exportsOf(repo.byPath.at(target));
+            closure[i].insert(sub.begin(), sub.end());
+        }
+        state[i] = 2;
+        return closure[i];
+    };
+
+    for (std::size_t i = 0; i < repo.files.size(); ++i) {
+        const FileModel &f = repo.files[i];
+        if (f.path.compare(0, 4, "src/") != 0)
+            continue;
+        for (const IncludeRef &inc : f.includes) {
+            const std::string target =
+                resolveInclude(repo, f.path, inc.spelled);
+            if (target.empty())
+                continue;
+            // A .cc always keeps its own interface header.
+            if (!f.isHeader && stemOf(target) == stemOf(f.path))
+                continue;
+            const auto &provided = exportsOf(repo.byPath.at(target));
+            bool used = false;
+            for (const std::string &id : provided)
+                if (f.uses.count(id)) {
+                    used = true;
+                    break;
+                }
+            if (!used)
+                out.push_back(
+                    {f.path, inc.line, "unused-include",
+                     "nothing declared by '" + inc.spelled +
+                         "' (or anything it includes) is referenced "
+                         "here; drop the include, or lint:allow("
+                         "unused-include) if it is kept for side "
+                         "effects"});
+        }
+    }
+    sortFindings(out);
+    return out;
+}
+
+namespace {
+
+/** One declared mutex, globally indexed by bare name. */
+struct MutexEntry
+{
+    std::string canonical;
+    std::string scope;
+    bool local = false;
+    std::string file;
+    int line = 0;
+};
+
+struct LockGraph
+{
+    struct Edge
+    {
+        std::string to;
+        std::string file;
+        int line = 0;
+        std::string note; ///< "" for direct nesting, else provenance
+    };
+    std::map<std::string, std::vector<Edge>> adj;
+    std::map<std::string, std::pair<std::string, int>> declSite;
+
+    void
+    addEdge(const std::string &from, const std::string &to,
+            const std::string &file, int line, std::string note)
+    {
+        if (from == to)
+            return; // scoped re-lock of one mutex is not an ordering
+        auto &edges = adj[from];
+        for (const Edge &e : edges)
+            if (e.to == to)
+                return; // keep the first witness
+        adj[to];        // ensure the node exists
+        edges.push_back({to, file, line, std::move(note)});
+    }
+};
+
+struct LockAnalysis
+{
+    LockGraph graph;
+    std::vector<Finding> findings;
+};
+
+LockAnalysis
+buildLockGraph(const RepoModel &repo)
+{
+    LockAnalysis la;
+
+    // --- global mutex index by bare name
+    std::map<std::string, std::vector<MutexEntry>> byName;
+    for (const FileModel &f : repo.files) {
+        for (const MutexDecl &d : f.mutexDecls) {
+            MutexEntry e;
+            e.scope = d.scope;
+            e.local = d.local;
+            e.file = f.path;
+            e.line = d.line;
+            if (!d.scope.empty())
+                e.canonical = d.scope + "::" + d.name;
+            else if (d.local)
+                e.canonical = f.path + "::" + d.name;
+            else
+                e.canonical = d.name;
+            byName[d.name].push_back(std::move(e));
+        }
+    }
+
+    // --- expression -> canonical mutex resolution
+    std::set<std::string> ambiguityReported;
+    auto resolve = [&](const std::string &name,
+                       const std::string &klass,
+                       const std::string &file, int useLine,
+                       bool reportAmbiguity) -> std::string {
+        const auto it = byName.find(name);
+        if (it == byName.end())
+            return ""; // not a modeled mutex (e.g. std containers)
+        const auto &cands = it->second;
+        if (!klass.empty()) {
+            const MutexEntry *member = nullptr;
+            bool memberAmbiguous = false;
+            for (const MutexEntry &e : cands) {
+                const bool match =
+                    e.scope == klass ||
+                    e.scope.compare(0, klass.size() + 2,
+                                    klass + "::") == 0;
+                if (match) {
+                    if (member)
+                        memberAmbiguous = true;
+                    member = &e;
+                }
+            }
+            if (member && !memberAmbiguous)
+                return member->canonical;
+        }
+        // Function locals: same file wins.
+        for (const MutexEntry &e : cands)
+            if (e.local && e.file == file)
+                return e.canonical;
+        std::set<std::string> distinct;
+        for (const MutexEntry &e : cands)
+            distinct.insert(e.canonical);
+        if (distinct.size() == 1)
+            return *distinct.begin();
+        if (reportAmbiguity &&
+            ambiguityReported.insert(name).second) {
+            std::string sites;
+            for (const MutexEntry &e : cands)
+                sites += (sites.empty() ? "" : ", ") + e.file + ":" +
+                         std::to_string(e.line);
+            la.findings.push_back(
+                {file, useLine, "lock-order-ambiguity",
+                 "lock expression '" + name + "' resolves to " +
+                     std::to_string(distinct.size()) +
+                     " declarations (" + sites +
+                     "); rename the mutexes so the lock-order graph "
+                     "is unambiguous"});
+        }
+        return "";
+    };
+
+    // --- record decl sites for DOT / messages
+    for (const auto &[name, entries] : byName)
+        for (const MutexEntry &e : entries)
+            la.graph.declSite.emplace(e.canonical,
+                                      std::make_pair(e.file, e.line));
+
+    // --- merge REQUIRES contracts seen on declarations
+    std::map<std::string, std::vector<std::string>> declReq;
+    for (const FileModel &f : repo.files)
+        for (const DeclRequires &d : f.declRequires) {
+            auto &v = declReq[d.klass + "::" + d.name];
+            v.insert(v.end(), d.mutexes.begin(), d.mutexes.end());
+        }
+
+    // --- function index for one-level call propagation
+    struct FuncRef
+    {
+        const FileModel *file;
+        const FuncRecord *func;
+    };
+    std::map<std::string, std::vector<FuncRef>> funcsByName;
+    for (const FileModel &f : repo.files)
+        for (const FuncRecord &fn : f.funcs)
+            funcsByName[fn.name].push_back({&f, &fn});
+
+    auto effectiveRequires = [&](const FuncRecord &fn) {
+        std::vector<std::string> reqs = fn.requiresExprs;
+        const auto it = declReq.find(fn.klass + "::" + fn.name);
+        if (it != declReq.end())
+            reqs.insert(reqs.end(), it->second.begin(),
+                        it->second.end());
+        return reqs;
+    };
+
+    for (const FileModel &f : repo.files) {
+        for (const FuncRecord &fn : f.funcs) {
+            const auto reqs = effectiveRequires(fn);
+            // Direct nesting edges recorded by the model.
+            for (const FuncRecord::BodyEdge &e : fn.edges) {
+                const std::string from = resolve(
+                    e.fromExpr, fn.klass, f.path, e.line, true);
+                const std::string to = resolve(e.toExpr, fn.klass,
+                                               f.path, e.line, true);
+                if (!from.empty() && !to.empty())
+                    la.graph.addEdge(from, to, f.path, e.line,
+                                     e.fromRequires ? "REQUIRES" : "");
+            }
+            // Contract edges from header-side REQUIRES (the model
+            // only saw the definition, which carries no annotation).
+            for (const std::string &req : reqs)
+                for (const FuncRecord::Acquire &a : fn.acquires) {
+                    const std::string from = resolve(
+                        req, fn.klass, f.path, a.line, true);
+                    const std::string to = resolve(
+                        a.expr, fn.klass, f.path, a.line, true);
+                    if (!from.empty() && !to.empty())
+                        la.graph.addEdge(from, to, f.path, a.line,
+                                         "REQUIRES");
+                }
+            // One level of call propagation, restricted to targets
+            // whose class is known (same class or explicit Class::) —
+            // enough for helper methods, without hallucinating edges
+            // from STL calls that share a name.
+            for (const FuncRecord::Call &call : fn.calls) {
+                std::vector<std::string> held = call.heldExprs;
+                held.insert(held.end(), reqs.begin(), reqs.end());
+                if (held.empty())
+                    continue;
+                const std::string wantKlass =
+                    call.klass.empty() ? fn.klass : call.klass;
+                if (wantKlass.empty())
+                    continue;
+                const auto it = funcsByName.find(call.name);
+                if (it == funcsByName.end())
+                    continue;
+                for (const FuncRef &ref : it->second) {
+                    if (ref.func->klass != wantKlass)
+                        continue;
+                    for (const FuncRecord::Acquire &a :
+                         ref.func->acquires) {
+                        const std::string to = resolve(
+                            a.expr, ref.func->klass, ref.file->path,
+                            a.line, false);
+                        if (to.empty())
+                            continue;
+                        for (const std::string &h : held) {
+                            const std::string from = resolve(
+                                h, fn.klass, f.path, call.line,
+                                false);
+                            if (!from.empty())
+                                la.graph.addEdge(
+                                    from, to, ref.file->path, a.line,
+                                    "via " + wantKlass +
+                                        "::" + call.name + " called "
+                                        "from " + f.path + ":" +
+                                        std::to_string(call.line));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return la;
+}
+
+} // namespace
+
+std::vector<Finding>
+analyzeLockOrder(const RepoModel &repo)
+{
+    LockAnalysis la = buildLockGraph(repo);
+    std::vector<Finding> out = std::move(la.findings);
+    const LockGraph &g = la.graph;
+
+    // Cycle detection over the lock graph; each distinct cycle once.
+    enum { White, Grey, Black };
+    std::map<std::string, int> color;
+    for (const auto &[node, _] : g.adj)
+        color[node] = White;
+    std::vector<std::string> stack;
+    std::set<std::string> seenCycles;
+
+    std::function<void(const std::string &)> dfs =
+        [&](const std::string &u) {
+            color[u] = Grey;
+            stack.push_back(u);
+            const auto it = g.adj.find(u);
+            if (it != g.adj.end()) {
+                for (const LockGraph::Edge &e : it->second) {
+                    if (color[e.to] == White) {
+                        dfs(e.to);
+                    } else if (color[e.to] == Grey) {
+                        auto sit = std::find(stack.begin(),
+                                             stack.end(), e.to);
+                        std::vector<std::string> cycle(sit,
+                                                       stack.end());
+                        std::vector<std::string> key = cycle;
+                        std::sort(key.begin(), key.end());
+                        std::string keyStr;
+                        for (const std::string &k : key)
+                            keyStr += k + "|";
+                        if (!seenCycles.insert(keyStr).second)
+                            continue;
+                        // Build "a -> b (file:line) -> a (file:line)"
+                        // citing the witness for every edge, so both
+                        // inversion paths of a 2-cycle are in the
+                        // message.
+                        std::string msg =
+                            "potential deadlock: " + cycle.front();
+                        std::string firstFile = cycle.front();
+                        int firstLine = 0;
+                        for (std::size_t k = 0; k < cycle.size();
+                             ++k) {
+                            const std::string &from = cycle[k];
+                            const std::string &to =
+                                k + 1 < cycle.size() ? cycle[k + 1]
+                                                     : cycle.front();
+                            const auto ait = g.adj.find(from);
+                            for (const LockGraph::Edge &fe :
+                                 ait->second) {
+                                if (fe.to != to)
+                                    continue;
+                                msg += " -> " + to + " (" + fe.file +
+                                       ":" +
+                                       std::to_string(fe.line);
+                                if (!fe.note.empty())
+                                    msg += ", " + fe.note;
+                                msg += ")";
+                                if (firstLine == 0) {
+                                    firstFile = fe.file;
+                                    firstLine = fe.line;
+                                }
+                                break;
+                            }
+                        }
+                        out.push_back({firstFile, firstLine,
+                                       "lock-order-cycle", msg});
+                    }
+                }
+            }
+            stack.pop_back();
+            color[u] = Black;
+        };
+    for (const auto &[node, _] : g.adj)
+        if (color[node] == White)
+            dfs(node);
+
+    sortFindings(out);
+    return out;
+}
+
+std::vector<Finding>
+applySuppressions(const RepoModel &repo, std::vector<Finding> findings,
+                  std::size_t *suppressed)
+{
+    // Per-file raw lines, split on demand.
+    std::map<std::string, std::vector<std::string>> linesByFile;
+    auto linesOf =
+        [&](const std::string &path) -> const std::vector<std::string> & {
+        auto it = linesByFile.find(path);
+        if (it != linesByFile.end())
+            return it->second;
+        std::vector<std::string> lines;
+        const auto cit = repo.contents.find(path);
+        if (cit != repo.contents.end()) {
+            std::istringstream in(cit->second);
+            std::string line;
+            while (std::getline(in, line))
+                lines.push_back(line);
+        }
+        return linesByFile.emplace(path, std::move(lines))
+            .first->second;
+    };
+
+    std::vector<Finding> kept;
+    std::size_t dropped = 0;
+    for (Finding &f : findings) {
+        const auto &lines = linesOf(f.file);
+        const std::size_t li = static_cast<std::size_t>(f.line) - 1;
+        const bool allowed =
+            (li < lines.size() && lineAllowsRule(lines[li], f.rule)) ||
+            (li >= 1 && li - 1 < lines.size() &&
+             lineAllowsRule(lines[li - 1], f.rule));
+        if (allowed)
+            ++dropped;
+        else
+            kept.push_back(std::move(f));
+    }
+    if (suppressed)
+        *suppressed = dropped;
+    return kept;
+}
+
+std::vector<Finding>
+analyzeRepo(const RepoModel &repo, const LayerConfig &cfg,
+            std::size_t *suppressed)
+{
+    std::vector<Finding> all = analyzeLayering(repo, cfg);
+    for (auto &f : analyzeUnusedIncludes(repo))
+        all.push_back(std::move(f));
+    for (auto &f : analyzeLockOrder(repo))
+        all.push_back(std::move(f));
+    all = applySuppressions(repo, std::move(all), suppressed);
+    sortFindings(all);
+    return all;
+}
+
+std::string
+includeGraphDot(const RepoModel &repo, const LayerConfig &cfg)
+{
+    std::ostringstream out;
+    out << "digraph coterie_includes {\n"
+        << "  rankdir=BT;\n"
+        << "  node [shape=box, fontsize=10];\n";
+    // Cluster files by layer so the order reads bottom-up.
+    std::map<int, std::vector<const FileModel *>> byLayer;
+    for (const FileModel &f : repo.files)
+        byLayer[cfg.layerOf(f.path)].push_back(&f);
+    for (const auto &[layer, files] : byLayer) {
+        if (layer >= 0) {
+            out << "  subgraph cluster_layer" << layer << " {\n"
+                << "    label=\"layer " << layer << ": "
+                << layerLabel(layer) << "\";\n";
+        }
+        for (const FileModel *f : files)
+            out << (layer >= 0 ? "    " : "  ") << "\"" << f->path
+                << "\";\n";
+        if (layer >= 0)
+            out << "  }\n";
+    }
+    for (const FileModel &f : repo.files)
+        for (const IncludeRef &inc : f.includes) {
+            const std::string target =
+                resolveInclude(repo, f.path, inc.spelled);
+            if (!target.empty())
+                out << "  \"" << f.path << "\" -> \"" << target
+                    << "\";\n";
+        }
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+lockOrderDot(const RepoModel &repo)
+{
+    LockAnalysis la = buildLockGraph(repo);
+    std::ostringstream out;
+    out << "digraph coterie_lock_order {\n"
+        << "  rankdir=LR;\n"
+        << "  node [shape=ellipse, fontsize=10];\n";
+    // Every declared mutex is a node, edges or not: rank-isolated
+    // locks are exactly what future refactors want to see.
+    std::set<std::string> nodes;
+    for (const auto &[node, site] : la.graph.declSite)
+        nodes.insert(node);
+    for (const auto &[node, edges] : la.graph.adj)
+        nodes.insert(node);
+    for (const std::string &node : nodes) {
+        const auto dit = la.graph.declSite.find(node);
+        out << "  \"" << node << "\"";
+        if (dit != la.graph.declSite.end())
+            out << " [tooltip=\"" << dit->second.first << ":"
+                << dit->second.second << "\"]";
+        out << ";\n";
+    }
+    for (const auto &[node, edges] : la.graph.adj)
+        for (const LockGraph::Edge &e : edges) {
+            out << "  \"" << node << "\" -> \"" << e.to
+                << "\" [label=\"" << e.file << ":" << e.line;
+            if (!e.note.empty())
+                out << "\\n" << e.note;
+            out << "\"];\n";
+        }
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace coterie::lint

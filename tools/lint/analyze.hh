@@ -1,0 +1,121 @@
+/**
+ * @file
+ * coterie-analyze — cross-translation-unit analyses.
+ *
+ * Three repo-wide passes over the per-file models (model.hh):
+ *
+ *  1. Include-graph layering (`analyzeLayering`): resolves every
+ *     project include, enforces the declared layer order
+ *     (support → obs → geom/image → world/render/trace →
+ *     device/net/sim → core → bench/tools/tests) and reports include
+ *     cycles. Legitimate exceptions live in a checked-in allowlist
+ *     (tools/lint/layering_allowlist.txt).
+ *
+ *  2. Static lock-order (`analyzeLockOrder`): resolves lock
+ *     expressions against the repo's mutex declarations, merges
+ *     COTERIE_REQUIRES contracts from declarations and definitions,
+ *     adds one level of same-class call propagation, and reports any
+ *     cycle in the resulting lock-order graph as a potential deadlock
+ *     with a witness file:line per edge. Bare mutex names that
+ *     resolve to more than one declaration are reported as
+ *     `lock-order-ambiguity` — ambiguous names make the order graph
+ *     (and human reasoning about it) unsound.
+ *
+ *  3. Unused includes (`analyzeUnusedIncludes`): a direct project
+ *     include is flagged when no identifier exported by the included
+ *     header *or anything it transitively includes* is used by the
+ *     including file. The transitive closure makes the pass
+ *     conservative: an include that only re-exports a header the
+ *     includer does use is never flagged.
+ *
+ * Suppression works like the per-file rules: `// lint:allow(rule)` on
+ * the finding line or the line above. Callers apply it via
+ * `applySuppressions` with the raw file contents.
+ *
+ * `includeGraphDot` / `lockOrderDot` render both graphs as Graphviz
+ * for `coterie-lint --graph=dot` (DESIGN.md §7).
+ */
+
+#pragma once
+
+#include "lint.hh"
+#include "model.hh"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coterie::lint {
+
+/** The whole repo (or a fixture set) as per-file models. */
+struct RepoModel
+{
+    std::vector<FileModel> files;
+    std::map<std::string, std::size_t> byPath;
+    /** Raw contents, kept for suppression-comment lookup. */
+    std::map<std::string, std::string> contents;
+};
+
+/** Build a repo model from (repo-relative path, content) pairs. */
+RepoModel buildRepoModel(
+    const std::vector<std::pair<std::string, std::string>> &files);
+
+/** Layer order + allowlisted exceptions for the layering pass. */
+struct LayerConfig
+{
+    /** '/'-terminated path prefix -> layer number (lower = lower). */
+    std::vector<std::pair<std::string, int>> prefixes;
+    /** Allowed (includer path, resolved include path) exceptions. */
+    std::set<std::pair<std::string, std::string>> allow;
+
+    /** Layer of @p path, or -1 when no prefix matches (unlayered
+     *  files are exempt from the order check but still cycle-checked). */
+    int layerOf(const std::string &path) const;
+};
+
+/** The coterie layer map (src/support lowest … bench/tools/tests top). */
+LayerConfig defaultLayerConfig();
+
+/** Parse an allowlist file: `includer include` pairs, '#' comments. */
+void parseAllowlist(const std::string &text, LayerConfig &cfg);
+
+/**
+ * Resolve include @p spelled from @p includer against the model's
+ * file set (tries the spelling verbatim, under src/, under
+ * tools/lint/, and relative to the includer's directory). Returns the
+ * repo-relative path or "" for external/system includes.
+ */
+std::string resolveInclude(const RepoModel &repo,
+                           const std::string &includer,
+                           const std::string &spelled);
+
+/** Rules: `layering` (order violation), `include-cycle`. */
+std::vector<Finding> analyzeLayering(const RepoModel &repo,
+                                     const LayerConfig &cfg);
+
+/** Rule: `unused-include` (only applied to files under src/). */
+std::vector<Finding> analyzeUnusedIncludes(const RepoModel &repo);
+
+/** Rules: `lock-order-cycle`, `lock-order-ambiguity`. */
+std::vector<Finding> analyzeLockOrder(const RepoModel &repo);
+
+/** All three passes, suppressions applied. */
+std::vector<Finding> analyzeRepo(const RepoModel &repo,
+                                 const LayerConfig &cfg,
+                                 std::size_t *suppressed = nullptr);
+
+/** Drop findings whose line (or the line above) carries
+ *  `lint:allow(rule)` in the file's raw content. */
+std::vector<Finding> applySuppressions(const RepoModel &repo,
+                                       std::vector<Finding> findings,
+                                       std::size_t *suppressed = nullptr);
+
+/** The project include DAG as Graphviz (clustered by layer). */
+std::string includeGraphDot(const RepoModel &repo, const LayerConfig &cfg);
+
+/** The lock-order DAG as Graphviz (edge labels cite witnesses). */
+std::string lockOrderDot(const RepoModel &repo);
+
+} // namespace coterie::lint

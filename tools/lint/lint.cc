@@ -1,8 +1,10 @@
 #include "lint.hh"
+#include "token.hh"
 
 #include <algorithm>
 #include <cctype>
 #include <regex>
+#include <set>
 
 namespace coterie::lint {
 
@@ -402,7 +404,7 @@ checkMutexGuardedBy(const SourceFile &f, std::vector<Finding> &out)
     if (!f.under("src/"))
         return;
     static const std::regex kDecl(
-        R"(\b(?:std\s*::\s*(?:recursive_|shared_|timed_|recursive_timed_)?mutex|(?:support\s*::\s*)?Mutex)\s+(\w+)\s*;)");
+        R"(\b(?:std\s*::\s*(?:recursive_|shared_|timed_|recursive_timed_)?mutex|(?:support\s*::\s*)?Mutex)\s+(\w+)\s*[;{])");
     const bool hasAnnotations =
         f.stripped.find("GUARDED_BY") != std::string::npos;
     if (hasAnnotations)
@@ -417,6 +419,187 @@ checkMutexGuardedBy(const SourceFile &f, std::vector<Finding> &out)
                      "' with no GUARDED_BY annotation in this file; "
                      "annotate the data it protects "
                      "(support/thread_annotations.hh)"});
+        }
+    }
+}
+
+/**
+ * Determinism taint: iterating an unordered container keyed on a
+ * pointer visits elements in address order, which differs run to run
+ * (ASLR, allocation order). Token-based so multi-line declarations
+ * and nested template arguments resolve correctly.
+ */
+void
+checkPtrKeyedContainer(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.under("src/"))
+        return;
+    if (f.stripped.find("unordered_") == std::string::npos)
+        return;
+    const TokenStream ts = tokenize(f.raw);
+    const auto &T = ts.tokens;
+    for (std::size_t i = 0; i + 1 < T.size(); ++i) {
+        if (T[i].kind != Tok::Ident)
+            continue;
+        const std::string &name = T[i].text;
+        if (name != "unordered_map" && name != "unordered_set" &&
+            name != "unordered_multimap" &&
+            name != "unordered_multiset")
+            continue;
+        if (T[i + 1].text != "<")
+            continue;
+        // Scan the *key* type: up to the first top-level ',' (maps)
+        // or the closing '>' (sets).
+        int depth = 0;
+        bool ptrKey = false;
+        for (std::size_t j = i + 1; j < T.size(); ++j) {
+            const std::string &x = T[j].text;
+            if (T[j].kind != Tok::Punct)
+                continue;
+            if (x == "<" || x == "(")
+                ++depth;
+            else if (x == ">" || x == ")") {
+                if (--depth == 0)
+                    break;
+            } else if (x == "," && depth == 1) {
+                break;
+            } else if (x == "*" && depth == 1) {
+                ptrKey = true;
+            }
+        }
+        if (ptrKey)
+            out.push_back(
+                {f.path, T[i].line, "ptr-keyed-container",
+                 "'" + name +
+                     "' keyed on a pointer iterates in address order, "
+                     "which varies run to run; key on a stable id, or "
+                     "lint:allow if iteration order provably never "
+                     "reaches an output"});
+    }
+}
+
+/**
+ * Determinism taint: deriving an integer from an object address
+ * (reinterpret_cast to uintptr_t) or hashing a pointer feeds ASLR
+ * entropy into whatever consumes the value.
+ */
+void
+checkAddressOrdering(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.under("src/"))
+        return;
+    static const std::regex kBad(
+        R"(reinterpret_cast\s*<\s*(?:std\s*::\s*)?u?intptr_t\s*>)"
+        R"(|\bhash\s*<\s*[\w:\s]*\*\s*>)");
+    forEachMatch(f, kBad, [&](int line, const std::string &m) {
+        out.push_back({f.path, line, "address-ordering",
+                       "'" + m +
+                           "' derives a value from an object address; "
+                           "addresses change across runs (ASLR, "
+                           "allocator), so any ordering or hash built "
+                           "on them is nondeterministic"});
+    });
+}
+
+/**
+ * Determinism taint: std <random> engines and shuffles outside
+ * support/ bypass the seeded support/rng streams the determinism
+ * tests rely on.
+ */
+void
+checkAmbientRng(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.under("src/") || f.under("src/support/"))
+        return;
+    static const std::regex kBad(
+        R"(\bmt19937(?:_64)?\b|\bdefault_random_engine\b)"
+        R"(|\bminstd_rand0?\b|\branlux\w+\b|\bknuth_b\b)"
+        R"(|\brandom_shuffle\s*\(|\bshuffle\s*\()");
+    forEachMatch(f, kBad, [&](int line, const std::string &m) {
+        out.push_back({f.path, line, "ambient-rng",
+                       "'" + m +
+                           "' is randomness outside support/rng; all "
+                           "stochastic behaviour in src/ must flow "
+                           "through the seeded, stream-split "
+                           "support/rng so runs replay bit-identically"});
+    });
+}
+
+/**
+ * FP-contraction discipline (DESIGN.md §10): a COTERIE_SIMD_CLONES
+ * kernel is compiled per-ISA, so any libm transcendental inside the
+ * cloned body may round differently between clones and break the
+ * bit-identical contract. Exactly-rounded IEEE ops (sqrt, fabs,
+ * floor, fmin/fmax, ...) are fine; the flagged set is the
+ * implementation-defined tail.
+ */
+void
+checkSimdAmbientMath(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.under("src/") ||
+        f.isAnyOf({"src/support/simd.hh"}))
+        return;
+    if (f.stripped.find("CLONES") == std::string::npos)
+        return;
+    static const std::set<std::string> kAmbient = [] {
+        std::set<std::string> s;
+        for (const char *base :
+             {"sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+              "sinh", "cosh", "tanh", "exp", "exp2", "expm1", "log",
+              "log2", "log10", "log1p", "pow", "cbrt", "hypot",
+              "fmod", "remainder", "erf", "erfc", "tgamma",
+              "lgamma"}) {
+            s.insert(base);
+            s.insert(std::string(base) + "f");
+            s.insert(std::string(base) + "l");
+        }
+        return s;
+    }();
+
+    const TokenStream ts = tokenize(f.raw);
+    const auto &T = ts.tokens;
+    std::set<int> defineLines;
+    for (const Directive &d : ts.directives)
+        if (d.name == "define")
+            defineLines.insert(d.line);
+
+    auto isCloneMarker = [](const std::string &t) {
+        return t.size() > 6 &&
+               t.compare(0, 8, "COTERIE_") == 0 &&
+               t.compare(t.size() - 6, 6, "CLONES") == 0;
+    };
+
+    for (std::size_t i = 0; i < T.size(); ++i) {
+        if (T[i].kind != Tok::Ident || !isCloneMarker(T[i].text))
+            continue;
+        // Markers inside #define lines are aliases, not kernels.
+        if (defineLines.count(T[i].line))
+            continue;
+        // Find the kernel body: the next top-level '{' ... matching '}'.
+        std::size_t j = i + 1;
+        while (j < T.size() && T[j].text != "{" && T[j].text != ";")
+            ++j;
+        if (j >= T.size() || T[j].text == ";")
+            continue;
+        int depth = 0;
+        for (; j < T.size(); ++j) {
+            if (T[j].kind == Tok::Punct) {
+                if (T[j].text == "{")
+                    ++depth;
+                else if (T[j].text == "}" && --depth == 0)
+                    break;
+                continue;
+            }
+            if (T[j].kind == Tok::Ident && kAmbient.count(T[j].text) &&
+                j + 1 < T.size() && T[j + 1].text == "(")
+                out.push_back(
+                    {f.path, T[j].line, "simd-ambient-math",
+                     "'" + T[j].text +
+                         "(' inside a COTERIE_SIMD_CLONES kernel: "
+                         "libm transcendentals are not exactly "
+                         "rounded, so per-ISA clones may diverge "
+                         "bitwise; hoist the call out of the cloned "
+                         "region or use an exact formulation"});
         }
     }
 }
@@ -459,6 +642,22 @@ rules()
          "revalidate on wake (epoch/generation compare or membership "
          "lookup) so stale events are no-ops",
          checkEpochGuardedSchedule},
+        {"ptr-keyed-container",
+         "no pointer-keyed unordered_map/unordered_set in src/ — "
+         "iteration order is address order and varies run to run",
+         checkPtrKeyedContainer},
+        {"address-ordering",
+         "no reinterpret_cast<uintptr_t> / std::hash<T*> in src/ — "
+         "address-derived values feed ASLR entropy into results",
+         checkAddressOrdering},
+        {"ambient-rng",
+         "no std <random> engines or shuffles outside support/ — "
+         "stochastic behaviour must use the seeded support/rng",
+         checkAmbientRng},
+        {"simd-ambient-math",
+         "no libm transcendentals inside COTERIE_SIMD_CLONES kernels "
+         "— per-ISA clones may round them differently",
+         checkSimdAmbientMath},
     };
     return kRules;
 }

@@ -1,8 +1,10 @@
 /**
  * @file
- * coterie-lint CLI: walk source trees, run the rule engine, report.
+ * coterie-lint CLI: walk source trees, run the per-file rule engine
+ * plus the cross-translation-unit analyses (coterie-analyze), report.
  *
- *   coterie-lint [--root DIR] [--report FILE] [--list-rules] PATH...
+ *   coterie-lint [--root DIR] [--report FILE] [--allowlist FILE]
+ *                [--graph=dot] [--list-rules] PATH...
  *
  * PATHs are files or directories, resolved against --root (default:
  * the current directory). Reported paths are root-relative, so the
@@ -10,10 +12,23 @@
  * tests bench tools` produces stable diagnostics. Exit status is 1
  * iff any unsuppressed finding was produced. --report writes a
  * machine-readable JSON summary.
+ *
+ * Cross-file passes (analyze.hh): include-graph layering + cycle
+ * detection run over every scanned file; the unused-include pass is
+ * scoped to src/ inside the analysis itself; the static lock-order
+ * pass runs over src/ only — test bodies deliberately construct lock
+ * inversions (runtime-validator fixtures) that must not fail the
+ * repo-wide gate. Layering exceptions come from --allowlist (default:
+ * tools/lint/layering_allowlist.txt under the root, when present).
+ *
+ * --graph=dot prints the include DAG and the lock-order DAG as two
+ * Graphviz digraphs on stdout and exits (see DESIGN.md §7).
  */
 
+#include "analyze.hh"
 #include "lint.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -114,6 +129,8 @@ main(int argc, char **argv)
 {
     fs::path root = fs::current_path();
     std::string reportPath;
+    std::string allowlistPath;
+    bool graphDot = false;
     std::vector<std::string> targets;
 
     for (int i = 1; i < argc; ++i) {
@@ -122,6 +139,10 @@ main(int argc, char **argv)
             root = argv[++i];
         } else if (arg == "--report" && i + 1 < argc) {
             reportPath = argv[++i];
+        } else if (arg == "--allowlist" && i + 1 < argc) {
+            allowlistPath = argv[++i];
+        } else if (arg == "--graph=dot") {
+            graphDot = true;
         } else if (arg == "--list-rules") {
             for (const auto &rule : coterie::lint::rules())
                 std::cout << rule.name << "\n    " << rule.description
@@ -129,7 +150,8 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: coterie-lint [--root DIR] "
-                         "[--report FILE] [--list-rules] PATH...\n";
+                         "[--report FILE] [--allowlist FILE] "
+                         "[--graph=dot] [--list-rules] PATH...\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "coterie-lint: unknown option '" << arg << "'\n";
@@ -158,20 +180,73 @@ main(int argc, char **argv)
 
     std::vector<Finding> findings;
     std::size_t suppressed = 0;
+    std::vector<std::pair<std::string, std::string>> contents;
     for (const fs::path &file : files) {
         std::ifstream in(file, std::ios::binary);
         std::ostringstream content;
         content << in.rdbuf();
         const std::string rel =
             fs::relative(file, root).generic_string();
+        contents.emplace_back(rel, content.str());
         std::size_t fileSuppressed = 0;
         auto fileFindings =
-            coterie::lint::checkSource(rel, content.str(),
+            coterie::lint::checkSource(rel, contents.back().second,
                                        &fileSuppressed);
         suppressed += fileSuppressed;
         findings.insert(findings.end(), fileFindings.begin(),
                         fileFindings.end());
     }
+
+    // --- cross-file analyses (coterie-analyze)
+    coterie::lint::LayerConfig cfg =
+        coterie::lint::defaultLayerConfig();
+    {
+        fs::path al = allowlistPath.empty()
+                          ? root / "tools/lint/layering_allowlist.txt"
+                          : fs::path(allowlistPath);
+        if (!al.is_absolute())
+            al = root / al;
+        if (fs::exists(al)) {
+            std::ifstream in(al);
+            std::ostringstream text;
+            text << in.rdbuf();
+            coterie::lint::parseAllowlist(text.str(), cfg);
+        }
+    }
+    const coterie::lint::RepoModel repo =
+        coterie::lint::buildRepoModel(contents);
+    // Lock-order analysis runs over src/ only: tests deliberately
+    // build lock inversions to exercise the runtime validator.
+    std::vector<std::pair<std::string, std::string>> srcOnly;
+    for (const auto &fc : contents)
+        if (fc.first.compare(0, 4, "src/") == 0)
+            srcOnly.push_back(fc);
+    const coterie::lint::RepoModel srcRepo =
+        coterie::lint::buildRepoModel(srcOnly);
+
+    if (graphDot) {
+        std::cout << coterie::lint::includeGraphDot(repo, cfg)
+                  << coterie::lint::lockOrderDot(srcRepo);
+        return 0;
+    }
+
+    std::vector<Finding> analysis =
+        coterie::lint::analyzeLayering(repo, cfg);
+    for (auto &f : coterie::lint::analyzeUnusedIncludes(repo))
+        analysis.push_back(std::move(f));
+    for (auto &f : coterie::lint::analyzeLockOrder(srcRepo))
+        analysis.push_back(std::move(f));
+    std::size_t analysisSuppressed = 0;
+    analysis = coterie::lint::applySuppressions(
+        repo, std::move(analysis), &analysisSuppressed);
+    suppressed += analysisSuppressed;
+    findings.insert(findings.end(), analysis.begin(), analysis.end());
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding &a, const Finding &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         return a.line < b.line;
+                     });
 
     for (const Finding &f : findings)
         std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "

@@ -1,0 +1,586 @@
+#include "model.hh"
+
+#include <algorithm>
+
+namespace coterie::lint {
+
+namespace {
+
+bool
+isClassKey(const std::string &t)
+{
+    return t == "class" || t == "struct" || t == "union";
+}
+
+bool
+isControlKeyword(const std::string &t)
+{
+    return t == "if" || t == "for" || t == "while" || t == "switch" ||
+           t == "return" || t == "sizeof" || t == "catch" ||
+           t == "alignof" || t == "decltype" || t == "throw" ||
+           t == "new" || t == "delete" || t == "co_return" ||
+           t == "co_await" || t == "static_assert";
+}
+
+bool
+isLockClass(const std::string &t)
+{
+    return t == "MutexLock" || t == "lock_guard" || t == "unique_lock" ||
+           t == "scoped_lock" || t == "shared_lock";
+}
+
+bool
+isLockTag(const std::string &t)
+{
+    return t == "defer_lock" || t == "try_to_lock" || t == "adopt_lock";
+}
+
+using TokVec = std::vector<const Token *>;
+
+/** Skip a balanced (), [], {}, or <> group starting at @p i (which
+ *  must point at the opener); returns the index past the closer. */
+std::size_t
+skipBalanced(const TokVec &t, std::size_t i, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    for (; i < t.size(); ++i) {
+        if (t[i]->kind == Tok::Punct && t[i]->text == open)
+            ++depth;
+        else if (t[i]->kind == Tok::Punct && t[i]->text == close &&
+                 --depth == 0)
+            return i + 1;
+    }
+    return t.size();
+}
+
+/** Remove template headers (`template < ... >`) from a declaration. */
+TokVec
+stripTemplateHeaders(const TokVec &in)
+{
+    TokVec out;
+    for (std::size_t i = 0; i < in.size();) {
+        if (in[i]->kind == Tok::Ident && in[i]->text == "template" &&
+            i + 1 < in.size() && in[i + 1]->text == "<") {
+            i = skipBalanced(in, i + 1, "<", ">");
+            continue;
+        }
+        out.push_back(in[i++]);
+    }
+    return out;
+}
+
+/**
+ * Parse the (possibly qualified) name after a class-key / `namespace`
+ * at @p i, skipping attribute macros (`COTERIE_CAPABILITY("x")`) and
+ * `[[...]]` attributes. Returns the joined name ("Outer::Nested").
+ */
+std::string
+parseScopeName(const TokVec &t, std::size_t i)
+{
+    std::string name;
+    while (i < t.size()) {
+        const Token &tok = *t[i];
+        if (tok.kind == Tok::Ident) {
+            if (i + 1 < t.size() && t[i + 1]->text == "(") {
+                // attribute macro: skip its argument list
+                i = skipBalanced(t, i + 1, "(", ")");
+                continue;
+            }
+            if (tok.text == "final" || tok.text == "alignas")
+                break;
+            name += tok.text;
+            if (i + 1 < t.size() && t[i + 1]->text == "::") {
+                name += "::";
+                i += 2;
+                continue;
+            }
+            break;
+        }
+        if (tok.text == "[") { // [[attr]]
+            i = skipBalanced(t, i, "[", "]");
+            continue;
+        }
+        if (tok.text == ":" || tok.text == "{" || tok.text == ";")
+            break;
+        ++i;
+    }
+    return name;
+}
+
+/** Last Ident in a token range, or "". */
+std::string
+lastIdent(const TokVec &t, std::size_t begin, std::size_t end)
+{
+    for (std::size_t i = end; i > begin; --i)
+        if (t[i - 1]->kind == Tok::Ident)
+            return t[i - 1]->text;
+    return "";
+}
+
+/** Split a top-level comma-separated argument range into per-argument
+ *  final identifiers (lock tags filtered out). */
+std::vector<std::string>
+splitLockArgs(const TokVec &t, std::size_t begin, std::size_t end)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    std::size_t argBegin = begin;
+    auto flush = [&](std::size_t argEnd) {
+        const std::string id = lastIdent(t, argBegin, argEnd);
+        if (!id.empty() && !isLockTag(id))
+            out.push_back(id);
+    };
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::string &x = t[i]->text;
+        if (t[i]->kind == Tok::Punct) {
+            if (x == "(" || x == "[" || x == "{" || x == "<")
+                ++depth;
+            else if (x == ")" || x == "]" || x == "}" || x == ">")
+                --depth;
+            else if (x == "," && depth == 0) {
+                flush(i);
+                argBegin = i + 1;
+            }
+        }
+    }
+    flush(end);
+    return out;
+}
+
+/** COTERIE_REQUIRES(args...) anywhere in a declaration, reduced. */
+std::vector<std::string>
+parseRequires(const TokVec &t)
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i]->kind == Tok::Ident &&
+            t[i]->text == "COTERIE_REQUIRES" && t[i + 1]->text == "(") {
+            const std::size_t close = skipBalanced(t, i + 1, "(", ")");
+            const auto args = splitLockArgs(t, i + 2, close - 1);
+            out.insert(out.end(), args.begin(), args.end());
+            i = close;
+        }
+    }
+    return out;
+}
+
+/** Kind of scope a `{` opens. */
+struct ScopeInfo
+{
+    enum Kind { Namespace, Class, Enum, Function, Block } kind = Block;
+    std::string name;  ///< namespace/class/enum name or function name
+    std::string klass; ///< function: explicit Class:: qualifier
+    std::vector<std::string> requiresExprs; ///< function contracts
+};
+
+/**
+ * Classify the statement tokens preceding a `{`. Heuristic order:
+ * namespace, enum, class/struct/union, `=`-initializer, function
+ * (top-level paren group with a name before it), else plain block.
+ */
+ScopeInfo
+classify(const TokVec &declIn)
+{
+    ScopeInfo info;
+    const TokVec decl = stripTemplateHeaders(declIn);
+    int depth = 0;
+    std::size_t firstParen = decl.size();
+    for (std::size_t i = 0; i < decl.size(); ++i) {
+        const Token &tok = *decl[i];
+        if (tok.kind == Tok::Punct) {
+            if (tok.text == "(") {
+                if (depth == 0 && firstParen == decl.size())
+                    firstParen = i;
+                ++depth;
+            } else if (tok.text == ")") {
+                --depth;
+            } else if (tok.text == "=" && depth == 0) {
+                return info; // brace initializer
+            }
+            continue;
+        }
+        if (tok.kind != Tok::Ident || depth != 0)
+            continue;
+        if (tok.text == "namespace") {
+            info.kind = ScopeInfo::Namespace;
+            info.name = parseScopeName(decl, i + 1);
+            return info;
+        }
+        if (tok.text == "enum") {
+            info.kind = ScopeInfo::Enum;
+            std::size_t j = i + 1;
+            if (j < decl.size() && (decl[j]->text == "class" ||
+                                    decl[j]->text == "struct"))
+                ++j;
+            info.name = parseScopeName(decl, j);
+            return info;
+        }
+        if (isClassKey(tok.text)) {
+            info.kind = ScopeInfo::Class;
+            info.name = parseScopeName(decl, i + 1);
+            return info;
+        }
+    }
+    if (firstParen != decl.size() && firstParen > 0 &&
+        decl[firstParen - 1]->kind == Tok::Ident &&
+        !isControlKeyword(decl[firstParen - 1]->text)) {
+        info.kind = ScopeInfo::Function;
+        info.name = decl[firstParen - 1]->text;
+        // Walk back a Class::chain qualifier.
+        std::size_t i = firstParen - 1;
+        std::vector<std::string> quals;
+        while (i >= 2 && decl[i - 1]->text == "::" &&
+               decl[i - 2]->kind == Tok::Ident) {
+            quals.push_back(decl[i - 2]->text);
+            i -= 2;
+        }
+        std::reverse(quals.begin(), quals.end());
+        for (std::size_t q = 0; q < quals.size(); ++q)
+            info.klass += (q ? "::" : "") + quals[q];
+        info.requiresExprs = parseRequires(decl);
+        return info;
+    }
+    return info;
+}
+
+} // namespace
+
+FileModel
+buildFileModel(const std::string &path, const TokenStream &ts)
+{
+    FileModel m;
+    m.path = path;
+    const auto dot = path.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+    m.isHeader = ext == ".hh" || ext == ".hpp" || ext == ".h";
+
+    for (const Directive &d : ts.directives) {
+        if (d.name == "include" || d.name == "include_next") {
+            if (!d.arg.empty())
+                m.includes.push_back({d.arg, d.systemInclude, d.line});
+        } else if (d.name == "define" && !d.arg.empty()) {
+            m.exports.insert(d.arg);
+        }
+    }
+    for (const Token &t : ts.tokens)
+        if (t.kind == Tok::Ident)
+            m.uses.insert(t.text);
+
+    struct Scope
+    {
+        ScopeInfo::Kind kind;
+        std::string name;
+        int depth = 0; ///< brace depth *inside* this scope
+        bool exportEnumerators = false;
+        // Function-only state:
+        FuncRecord func;
+        struct ActiveLock
+        {
+            std::string expr;
+            int depth;
+        };
+        std::vector<ActiveLock> locks;
+        bool isFunc = false;
+    };
+    std::vector<Scope> stack;
+    int depth = 0;
+
+    auto classChain = [&]() {
+        std::string chain;
+        for (const Scope &s : stack)
+            if (s.kind == ScopeInfo::Class && !s.name.empty())
+                chain += (chain.empty() ? "" : "::") + s.name;
+        return chain;
+    };
+    auto atNamespaceScope = [&]() {
+        for (const Scope &s : stack)
+            if (s.kind != ScopeInfo::Namespace)
+                return false;
+        return true;
+    };
+    auto enclosingFunc = [&]() -> Scope * {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it)
+            if (it->isFunc)
+                return &*it;
+        return nullptr;
+    };
+    auto inFunction = [&]() { return enclosingFunc() != nullptr; };
+
+    const std::vector<Token> &T = ts.tokens;
+    TokVec decl;
+    // Previous significant token inside an enum body ("{" or ",")
+    // marks the next Ident as an enumerator name.
+    std::string enumPrev = "{";
+
+    auto exportFromDecl = [&](const TokVec &declIn) {
+        if (!atNamespaceScope() || declIn.empty())
+            return;
+        const TokVec d = stripTemplateHeaders(declIn);
+        if (d.empty())
+            return;
+        const std::string &first = d[0]->text;
+        if (first == "static_assert" || first == "namespace" ||
+            first == "friend" || first == "public" ||
+            first == "private" || first == "protected")
+            return;
+        if (first == "using") {
+            if (d.size() >= 2 && d[1]->text == "namespace")
+                return;
+            for (std::size_t i = 1; i < d.size(); ++i)
+                if (d[i]->text == "=") {
+                    if (d[1]->kind == Tok::Ident)
+                        m.exports.insert(d[1]->text);
+                    return;
+                }
+            const std::string id = lastIdent(d, 0, d.size());
+            if (!id.empty())
+                m.exports.insert(id);
+            return;
+        }
+        if (first == "typedef") {
+            const std::string id = lastIdent(d, 0, d.size());
+            if (!id.empty())
+                m.exports.insert(id);
+            return;
+        }
+        // Forward declarations / enum decls.
+        for (std::size_t i = 0; i < d.size(); ++i) {
+            if (d[i]->kind == Tok::Ident &&
+                (isClassKey(d[i]->text) || d[i]->text == "enum")) {
+                std::size_t j = i + 1;
+                if (j < d.size() && (d[j]->text == "class" ||
+                                     d[j]->text == "struct"))
+                    ++j;
+                const std::string name = parseScopeName(d, j);
+                if (!name.empty()) {
+                    const auto pos = name.rfind("::");
+                    m.exports.insert(
+                        pos == std::string::npos
+                            ? name
+                            : name.substr(pos + 2));
+                }
+                return;
+            }
+        }
+        // Function declaration: name before the first top-level paren.
+        int pd = 0;
+        for (std::size_t i = 0; i < d.size(); ++i) {
+            if (d[i]->kind != Tok::Punct)
+                continue;
+            if (d[i]->text == "(") {
+                if (pd == 0 && i > 0 && d[i - 1]->kind == Tok::Ident &&
+                    !isControlKeyword(d[i - 1]->text)) {
+                    m.exports.insert(d[i - 1]->text);
+                    return;
+                }
+                ++pd;
+            } else if (d[i]->text == ")") {
+                --pd;
+            } else if (d[i]->text == "=" && pd == 0) {
+                if (i > 0 && d[i - 1]->kind == Tok::Ident)
+                    m.exports.insert(d[i - 1]->text);
+                return;
+            }
+        }
+        const std::string id = lastIdent(d, 0, d.size());
+        if (!id.empty())
+            m.exports.insert(id);
+    };
+
+    auto recordDeclRequires = [&](const TokVec &declIn) {
+        const TokVec d = stripTemplateHeaders(declIn);
+        const auto reqs = parseRequires(d);
+        if (reqs.empty())
+            return;
+        int pd = 0;
+        for (std::size_t i = 0; i < d.size(); ++i) {
+            if (d[i]->kind != Tok::Punct)
+                continue;
+            if (d[i]->text == "(") {
+                if (pd == 0 && i > 0 && d[i - 1]->kind == Tok::Ident) {
+                    m.declRequires.push_back(
+                        {classChain(), d[i - 1]->text, reqs});
+                    return;
+                }
+                ++pd;
+            } else if (d[i]->text == ")") {
+                --pd;
+            }
+        }
+    };
+
+    for (std::size_t i = 0; i < T.size(); ++i) {
+        const Token &tok = T[i];
+
+        // --- mutex declarations: [support::|std::] Mutex|mutex NAME ;|{
+        if (tok.kind == Tok::Ident &&
+            (tok.text == "Mutex" || tok.text == "mutex") &&
+            i + 2 < T.size() && T[i + 1].kind == Tok::Ident &&
+            (T[i + 2].text == ";" || T[i + 2].text == "{") &&
+            !(i > 0 && T[i - 1].kind == Tok::Ident &&
+              (isClassKey(T[i - 1].text) || T[i - 1].text == "enum"))) {
+            bool plausible = tok.text == "Mutex";
+            if (!plausible && i >= 2 && T[i - 1].text == "::" &&
+                T[i - 2].text == "std")
+                plausible = true; // std::mutex
+            if (plausible) {
+                MutexDecl md;
+                md.scope = classChain();
+                md.name = T[i + 1].text;
+                md.local = inFunction();
+                md.line = T[i + 1].line;
+                m.mutexDecls.push_back(std::move(md));
+            }
+        }
+
+        // --- RAII lock acquisitions inside functions
+        if (tok.kind == Tok::Ident && isLockClass(tok.text) &&
+            inFunction()) {
+            TokVec rest;
+            for (std::size_t j = i; j < T.size() && rest.size() < 256;
+                 ++j)
+                rest.push_back(&T[j]);
+            std::size_t j = 1; // after the lock class name
+            if (j < rest.size() && rest[j]->text == "<")
+                j = skipBalanced(rest, j, "<", ">");
+            if (j + 1 < rest.size() && rest[j]->kind == Tok::Ident &&
+                rest[j + 1]->text == "(") {
+                const std::size_t close =
+                    skipBalanced(rest, j + 1, "(", ")");
+                Scope *fn = enclosingFunc();
+                for (const std::string &mx :
+                     splitLockArgs(rest, j + 2, close - 1)) {
+                    fn->func.acquires.push_back({mx, tok.line});
+                    for (const auto &held : fn->locks)
+                        fn->func.edges.push_back(
+                            {held.expr, mx, tok.line, false});
+                    for (const auto &req : fn->func.requiresExprs)
+                        fn->func.edges.push_back(
+                            {req, mx, tok.line, true});
+                    fn->locks.push_back({mx, depth});
+                }
+            }
+        }
+
+        // --- calls made under a lock (for same-class propagation)
+        if (tok.kind == Tok::Ident && i + 1 < T.size() &&
+            T[i + 1].text == "(" && !isControlKeyword(tok.text) &&
+            !isLockClass(tok.text) && inFunction()) {
+            Scope *fn = enclosingFunc();
+            const bool underLock = !fn->locks.empty() ||
+                                   !fn->func.requiresExprs.empty();
+            if (underLock) {
+                std::string klass;
+                bool plain = true;
+                if (i > 0 && T[i - 1].kind == Tok::Punct) {
+                    const std::string &p = T[i - 1].text;
+                    if (p == "::") {
+                        if (i >= 2 && T[i - 2].kind == Tok::Ident)
+                            klass = T[i - 2].text;
+                        else
+                            plain = false;
+                    } else if (p == "." || p == "->") {
+                        plain = i >= 2 && T[i - 2].text == "this";
+                        if (plain)
+                            klass.clear();
+                    }
+                }
+                if (plain) {
+                    FuncRecord::Call call;
+                    call.klass = klass;
+                    call.name = tok.text;
+                    call.line = tok.line;
+                    for (const auto &held : fn->locks)
+                        call.heldExprs.push_back(held.expr);
+                    fn->func.calls.push_back(std::move(call));
+                }
+            }
+        }
+
+        // --- enum body enumerator exports
+        if (!stack.empty() && stack.back().kind == ScopeInfo::Enum &&
+            stack.back().exportEnumerators) {
+            if (tok.kind == Tok::Ident) {
+                if (enumPrev == "{" || enumPrev == ",")
+                    m.exports.insert(tok.text);
+                enumPrev = "";
+            } else if (tok.kind == Tok::Punct &&
+                       (tok.text == "," || tok.text == "{")) {
+                enumPrev = tok.text;
+            } else if (tok.kind == Tok::Punct) {
+                enumPrev = "";
+            }
+        }
+
+        // --- statement / scope bookkeeping
+        if (tok.kind != Tok::Punct) {
+            decl.push_back(&tok);
+            continue;
+        }
+        if (tok.text == "{") {
+            ScopeInfo info = classify(decl);
+            Scope s;
+            s.kind = info.kind;
+            s.name = info.name;
+            s.depth = ++depth;
+            if (info.kind == ScopeInfo::Enum) {
+                s.exportEnumerators = atNamespaceScope();
+                if (s.exportEnumerators && !info.name.empty())
+                    m.exports.insert(info.name);
+                enumPrev = "{";
+            } else if (info.kind == ScopeInfo::Class) {
+                if (atNamespaceScope() && !info.name.empty()) {
+                    const auto pos = info.name.rfind("::");
+                    m.exports.insert(pos == std::string::npos
+                                         ? info.name
+                                         : info.name.substr(pos + 2));
+                }
+            } else if (info.kind == ScopeInfo::Function) {
+                if (atNamespaceScope() && info.klass.empty() &&
+                    !info.name.empty())
+                    m.exports.insert(info.name);
+                s.isFunc = true;
+                s.func.name = info.name;
+                s.func.klass = info.klass.empty() ? classChain()
+                                                  : info.klass;
+                s.func.requiresExprs = info.requiresExprs;
+            }
+            stack.push_back(std::move(s));
+            decl.clear();
+            continue;
+        }
+        if (tok.text == "}") {
+            if (!stack.empty() && stack.back().depth == depth) {
+                Scope done = std::move(stack.back());
+                stack.pop_back();
+                if (done.isFunc &&
+                    (!done.func.acquires.empty() ||
+                     !done.func.calls.empty() ||
+                     !done.func.requiresExprs.empty()))
+                    m.funcs.push_back(std::move(done.func));
+            }
+            if (Scope *fn = enclosingFunc()) {
+                // Close RAII locks opened at or inside this depth.
+                while (!fn->locks.empty() &&
+                       fn->locks.back().depth >= depth)
+                    fn->locks.pop_back();
+            }
+            --depth;
+            decl.clear();
+            continue;
+        }
+        if (tok.text == ";") {
+            exportFromDecl(decl);
+            if (!stack.empty() &&
+                stack.back().kind == ScopeInfo::Class)
+                recordDeclRequires(decl);
+            decl.clear();
+            continue;
+        }
+        decl.push_back(&tok);
+    }
+    return m;
+}
+
+} // namespace coterie::lint

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-file token-level model for coterie-analyze.
+ *
+ * `buildFileModel` reduces one tokenized source file to the facts the
+ * cross-translation-unit analyses (analyze.hh) consume:
+ *
+ *  - project/system includes (with line numbers, for layering and the
+ *    unused-include pass);
+ *  - the identifiers a header *exports* at namespace scope (type,
+ *    function, variable, alias, enumerator, and macro names) and the
+ *    identifiers the file *uses* anywhere — the unused-include pass
+ *    intersects these across the include graph;
+ *  - mutex declarations (`support::Mutex` / `std::mutex` members and
+ *    locals) qualified by their enclosing class scope;
+ *  - per-function lock behaviour: `COTERIE_REQUIRES` contracts (from
+ *    declarations and definitions), RAII acquisition sites
+ *    (`MutexLock` / `lock_guard` / `unique_lock` / `scoped_lock`)
+ *    with the set of locks held at that point, and unqualified /
+ *    `this->` / `Class::` calls made while holding locks (for
+ *    one-level same-class propagation in the lock-order analysis).
+ *
+ * This is a heuristic single-pass scope tracker, not a parser: it
+ * understands namespaces, class/struct/union and enum bodies
+ * (including `struct Outer::Nested` definitions and attribute macros
+ * between the class-key and the name), function definitions at
+ * namespace and class scope, template headers, and brace
+ * initializers. It deliberately over-collects exports (extra names
+ * only make the unused-include pass more conservative) and
+ * under-collects calls (only forms whose target can be named without
+ * type information).
+ */
+
+#pragma once
+
+#include "token.hh"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace coterie::lint {
+
+/** One #include in a file. */
+struct IncludeRef
+{
+    std::string spelled; ///< as written between the delimiters
+    bool system = false; ///< <...> form
+    int line = 0;
+};
+
+/** One mutex object declaration. */
+struct MutexDecl
+{
+    std::string scope; ///< enclosing class chain ("ThreadPool::Job"),
+                       ///< empty at namespace scope
+    std::string name;  ///< member/variable name
+    bool local = false; ///< declared inside a function body
+    int line = 0;
+};
+
+/** A COTERIE_REQUIRES contract seen on a *declaration* (no body). */
+struct DeclRequires
+{
+    std::string klass; ///< enclosing class chain
+    std::string name;  ///< function name
+    std::vector<std::string> mutexes; ///< reduced to final identifier
+};
+
+/** One function definition's lock-relevant behaviour. */
+struct FuncRecord
+{
+    std::string klass; ///< declared class ("FrameCache"), "" if free
+    std::string name;
+
+    /** COTERIE_REQUIRES(...) on the definition itself. */
+    std::vector<std::string> requiresExprs;
+
+    struct Acquire
+    {
+        std::string expr; ///< lock expression reduced to its final
+                          ///< identifier ("mutex_", "errorMutex")
+        int line = 0;
+    };
+    /** Every RAII acquisition in the body, in order. */
+    std::vector<Acquire> acquires;
+
+    /** Held -> acquired pairs observed inside the body. */
+    struct BodyEdge
+    {
+        std::string fromExpr;
+        std::string toExpr;
+        int line = 0;          ///< line of the inner acquisition
+        bool fromRequires = false;
+    };
+    std::vector<BodyEdge> edges;
+
+    /** A call made with at least one lock held (or under REQUIRES). */
+    struct Call
+    {
+        std::string klass; ///< explicit "Class::" qualifier, else ""
+        std::string name;
+        std::vector<std::string> heldExprs; ///< RAII locks active
+        int line = 0;
+    };
+    std::vector<Call> calls;
+};
+
+/** Everything the cross-file analyses need from one file. */
+struct FileModel
+{
+    std::string path;
+    bool isHeader = false;
+
+    std::vector<IncludeRef> includes;
+    std::set<std::string> exports; ///< namespace-scope decls + macros
+    std::set<std::string> uses;    ///< every identifier in the file
+
+    std::vector<MutexDecl> mutexDecls;
+    std::vector<DeclRequires> declRequires;
+    std::vector<FuncRecord> funcs;
+};
+
+/** Build the model for @p path from its token stream. */
+FileModel buildFileModel(const std::string &path, const TokenStream &ts);
+
+} // namespace coterie::lint

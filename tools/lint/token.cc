@@ -1,0 +1,248 @@
+#include "token.hh"
+
+#include <cctype>
+
+namespace coterie::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/** Encoding prefixes that may precede a string/char literal. */
+bool
+isLiteralPrefix(const std::string &ident)
+{
+    return ident == "R" || ident == "u8R" || ident == "uR" ||
+           ident == "UR" || ident == "LR" || ident == "L" ||
+           ident == "u" || ident == "U" || ident == "u8";
+}
+
+} // namespace
+
+TokenStream
+tokenize(const std::string &src)
+{
+    // Phase 1: splice backslash-newline continuations into one logical
+    // text, keeping a physical-line index per spliced character.
+    std::string s;
+    std::vector<int> lineAt;
+    s.reserve(src.size());
+    lineAt.reserve(src.size());
+    {
+        int line = 1;
+        for (std::size_t i = 0; i < src.size(); ++i) {
+            const char c = src[i];
+            if (c == '\\' && i + 1 < src.size() &&
+                (src[i + 1] == '\n' ||
+                 (src[i + 1] == '\r' && i + 2 < src.size() &&
+                  src[i + 2] == '\n'))) {
+                i += src[i + 1] == '\r' ? 2 : 1;
+                ++line;
+                continue;
+            }
+            s += c;
+            lineAt.push_back(line);
+            if (c == '\n')
+                ++line;
+        }
+    }
+
+    TokenStream out;
+    const std::size_t n = s.size();
+    std::size_t i = 0;
+    bool atLineStart = true;
+
+    auto lineOf = [&](std::size_t at) {
+        return at < lineAt.size() ? lineAt[at] : (lineAt.empty()
+                                                      ? 1
+                                                      : lineAt.back());
+    };
+    auto push = [&](Tok kind, std::string text, std::size_t at) {
+        out.tokens.push_back({kind, std::move(text), lineOf(at)});
+        atLineStart = false;
+    };
+
+    // Scan a cooked string/char literal starting at the opening quote;
+    // returns the content (delimiters excluded), advances i past the
+    // closing quote (or the newline of an unterminated literal).
+    auto scanCooked = [&](char quote) {
+        std::string content;
+        ++i; // opening quote
+        while (i < n && s[i] != quote && s[i] != '\n') {
+            if (s[i] == '\\' && i + 1 < n) {
+                content += s[i];
+                content += s[i + 1];
+                i += 2;
+            } else {
+                content += s[i++];
+            }
+        }
+        if (i < n && s[i] == quote)
+            ++i;
+        return content;
+    };
+
+    while (i < n) {
+        const char c = s[i];
+        if (c == '\n') {
+            atLineStart = true;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+            while (i < n && s[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+            // Block comments do not nest: an inner "/*" is comment
+            // text, the first "*/" closes.
+            i += 2;
+            while (i + 1 < n && !(s[i] == '*' && s[i + 1] == '/'))
+                ++i;
+            i = i + 1 < n ? i + 2 : n;
+            continue;
+        }
+        if (c == '#' && atLineStart) {
+            const std::size_t hashAt = i;
+            ++i;
+            while (i < n && (s[i] == ' ' || s[i] == '\t'))
+                ++i;
+            std::string name;
+            while (i < n && isIdentChar(s[i]))
+                name += s[i++];
+            Directive d;
+            d.name = name;
+            d.line = lineOf(hashAt);
+            if (name == "include" || name == "include_next") {
+                while (i < n && (s[i] == ' ' || s[i] == '\t'))
+                    ++i;
+                if (i < n && (s[i] == '"' || s[i] == '<')) {
+                    const char close = s[i] == '"' ? '"' : '>';
+                    d.systemInclude = close == '>';
+                    ++i;
+                    while (i < n && s[i] != close && s[i] != '\n')
+                        d.arg += s[i++];
+                }
+                // The include line carries no code tokens.
+                while (i < n && s[i] != '\n')
+                    ++i;
+            } else {
+                // Record the first identifier argument (macro name,
+                // condition head); the directive body is then lexed
+                // normally so macro bodies contribute defs *and* uses.
+                std::size_t j = i;
+                while (j < n && (s[j] == ' ' || s[j] == '\t'))
+                    ++j;
+                while (j < n && isIdentChar(s[j]))
+                    d.arg += s[j++];
+            }
+            out.directives.push_back(std::move(d));
+            atLineStart = false;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            const std::size_t start = i;
+            std::string ident;
+            while (i < n && isIdentChar(s[i]))
+                ident += s[i++];
+            if (i < n && (s[i] == '"' || s[i] == '\'') &&
+                isLiteralPrefix(ident)) {
+                // Encoding/raw prefix, not an identifier.
+                const bool raw = ident.back() == 'R';
+                if (s[i] == '"' && raw) {
+                    std::string delim = ")";
+                    ++i; // opening quote
+                    while (i < n && s[i] != '(')
+                        delim += s[i++];
+                    delim += '"';
+                    ++i; // the '('
+                    std::string content;
+                    while (i < n &&
+                           s.compare(i, delim.size(), delim) != 0)
+                        content += s[i++];
+                    i = i < n ? i + delim.size() : n;
+                    push(Tok::String, std::move(content), start);
+                } else if (s[i] == '"') {
+                    push(Tok::String, scanCooked('"'), start);
+                } else {
+                    push(Tok::Char, scanCooked('\''), start);
+                }
+                continue;
+            }
+            push(Tok::Ident, std::move(ident), start);
+            continue;
+        }
+        if (isDigit(c) || (c == '.' && i + 1 < n && isDigit(s[i + 1]))) {
+            // pp-number: digits, idents chars, '.', digit separators,
+            // and signs directly after an exponent marker.
+            const std::size_t start = i;
+            std::string num;
+            num += s[i++];
+            while (i < n) {
+                const char d = s[i];
+                if (isIdentChar(d) || d == '.') {
+                    num += s[i++];
+                } else if (d == '\'' && i + 1 < n &&
+                           isIdentChar(s[i + 1])) {
+                    num += s[i++];
+                } else if ((d == '+' || d == '-') && !num.empty() &&
+                           (num.back() == 'e' || num.back() == 'E' ||
+                            num.back() == 'p' || num.back() == 'P')) {
+                    num += s[i++];
+                } else {
+                    break;
+                }
+            }
+            push(Tok::Number, std::move(num), start);
+            continue;
+        }
+        if (c == '"') {
+            const std::size_t start = i;
+            push(Tok::String, scanCooked('"'), start);
+            continue;
+        }
+        if (c == '\'') {
+            const std::size_t start = i;
+            push(Tok::Char, scanCooked('\''), start);
+            continue;
+        }
+        // Punctuation: "::" and "->" as units, all else single char.
+        if (c == ':' && i + 1 < n && s[i + 1] == ':') {
+            push(Tok::Punct, "::", i);
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && s[i + 1] == '>') {
+            push(Tok::Punct, "->", i);
+            i += 2;
+            continue;
+        }
+        push(Tok::Punct, std::string(1, c), i);
+        ++i;
+    }
+    return out;
+}
+
+} // namespace coterie::lint

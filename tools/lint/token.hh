@@ -1,0 +1,75 @@
+/**
+ * @file
+ * C++ tokenizer for coterie-analyze.
+ *
+ * The PR 2 lint engine matched regexes against a comment-stripped view
+ * of each line; the cross-translation-unit analyses (include-graph
+ * layering, lock-order, determinism taint) need real structure, so
+ * this lexer turns a source file into a token stream plus a directive
+ * list. It is a *lexer*, not a parser: no preprocessing, no template
+ * instantiation — just enough fidelity for the per-file model
+ * (model.hh) to track scopes, declarations, and call/lock sites.
+ *
+ * Fidelity notes:
+ *  - Backslash-newline line continuations are spliced (one logical
+ *    token may span physical lines); every token carries the physical
+ *    line it *starts* on, so diagnostics stay accurate.
+ *  - Comments are skipped (C++ block comments do not nest; a stray
+ *    inner "/ *" is part of the outer comment, per the standard).
+ *  - String/char literals become single tokens (raw strings with
+ *    arbitrary delimiters included), so fixture code embedded in test
+ *    string literals never reaches the analyses.
+ *  - `#include` lines become Directive records, not code tokens;
+ *    other directives (`#define`, `#if`, ...) are recorded *and*
+ *    their bodies are tokenized, because macro bodies both define and
+ *    use identifiers the model must see.
+ *  - Punctuation is single-character except `::` and `->`, which the
+ *    scope/name resolution in model.cc needs as units.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace coterie::lint {
+
+/** Lexical class of a token. */
+enum class Tok {
+    Ident,  ///< identifier or keyword
+    Number, ///< pp-number (integer/float, any base, digit separators)
+    String, ///< string literal (raw or cooked); text is the *content*
+    Char,   ///< character literal; text is the content
+    Punct,  ///< punctuation; single char except "::" and "->"
+};
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::Punct;
+    std::string text;
+    int line = 0; ///< 1-based physical line the token starts on
+};
+
+/** One preprocessor directive (line spliced before parsing). */
+struct Directive
+{
+    std::string name; ///< "include", "define", "if", ...
+    std::string arg;  ///< first argument: include target (quotes/<>
+                      ///< stripped), macro name, ...
+    bool systemInclude = false; ///< include used <...> form
+    int line = 0;
+};
+
+/** A tokenized translation unit. */
+struct TokenStream
+{
+    std::vector<Token> tokens;
+    std::vector<Directive> directives;
+};
+
+/** Lex @p src. Never fails: unrecognized bytes become Punct tokens. */
+TokenStream tokenize(const std::string &src);
+
+} // namespace coterie::lint

@@ -6,9 +6,10 @@
 #
 # Usage: tools/run_tidy.sh [build-dir] [dir ...]
 #
-# The build dir must have a compile_commands.json; one is configured
-# automatically if missing. Extra dirs widen the sweep (expect noise
-# outside the clean set).
+# Every configured build dir has a compile_commands.json (the top
+# CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS unconditionally); one
+# is configured here only if the dir has never been configured. Extra
+# dirs widen the sweep (expect noise outside the clean set).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
