@@ -104,10 +104,18 @@ main()
 {
     const auto world = world::gen::makeWorld(world::gen::GameId::Viking, 42);
 
+    const unsigned hardware = std::thread::hardware_concurrency();
     std::printf("BENCH_parallel: serial vs pooled wall-clock "
-                "(pool lanes: %d, hardware: %u)\n",
+                "(pool lanes: %d, hardware_concurrency: %u)\n",
                 support::ThreadPool::instance().concurrency(),
-                std::thread::hardware_concurrency());
+                hardware);
+    if (hardware <= 1) {
+        std::printf("  *** WARNING: hardware_concurrency=%u — pooled "
+                    "numbers degenerate to serial on this machine; "
+                    "speedups recorded here are NOT comparable "
+                    "against multi-core baselines ***\n",
+                    hardware);
+    }
 
     const double partSerial = partitionSeconds(world, 1);
     const double partPooled = partitionSeconds(world, 0);

@@ -18,6 +18,13 @@
  * scripted fault plan (loss burst, bandwidth collapse, outage) with
  * the resilience layer on — combine with COTERIE_TRACE and feed the
  * trace to trace_report for the fault-timeline section.
+ *
+ * With COTERIE_INJECT_ASSERT=1 the run trips a deliberate assertion
+ * right after the system comparison: the always-on flight recorder's
+ * panic hook then writes its ring buffers to `$COTERIE_FLIGHT_DUMP`
+ * (default `coterie.flight.json`) before aborting — the CI crash-
+ * forensics smoke drives exactly this path and feeds the dump to
+ * `trace_report --frames`.
  */
 
 #include <cstdio>
@@ -26,9 +33,11 @@
 
 #include "core/session.hh"
 #include "net/resilience.hh"
+#include "obs/flight.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/faults.hh"
+#include "support/logging.hh"
 
 using namespace coterie;
 using namespace coterie::core;
@@ -43,6 +52,10 @@ main(int argc, char **argv)
     const std::string traceBase = traceEnv ? traceEnv : "";
     if (!traceBase.empty())
         obs::TraceRecorder::global().start();
+
+    // Arm the flight recorder's crash dump up front (it would also
+    // arm lazily on the first recorded event).
+    obs::flight::installPanicDump();
 
     std::printf("Coterie quickstart: Viking Village, %d player(s), "
                 "%.0f s of play\n\n",
@@ -92,6 +105,19 @@ main(int argc, char **argv)
     std::printf("\nCoterie reduces the per-player network load %.1fx "
                 "while holding 60 FPS.\n",
                 reduction);
+
+    // Crash-forensics smoke: trip an assertion while the flight rings
+    // hold a full run's worth of frame events, proving the panic hook
+    // leaves a loadable dump behind (CI parses it with trace_report).
+    if (std::getenv("COTERIE_INJECT_ASSERT") != nullptr) {
+        std::printf("\nCOTERIE_INJECT_ASSERT set: tripping a "
+                    "deliberate assert; expect a flight dump at %s\n",
+                    obs::flight::kCompiledIn
+                        ? obs::flight::defaultDumpPath().c_str()
+                        : "(flight recorder compiled out)");
+        std::fflush(stdout);
+        COTERIE_ASSERT(false, "injected by COTERIE_INJECT_ASSERT");
+    }
 
     // 3. Optional chaos pass: the same session under a scripted fault
     //    plan with the resilience layer on (see DESIGN.md §9).

@@ -11,6 +11,7 @@
 
 #include "net/endpoints.hh"
 #include "net/resilience.hh"
+#include "obs/frame_trace.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "render/cost_model.hh"
@@ -23,6 +24,14 @@ using sim::TimeMs;
 using world::GridPoint;
 
 namespace {
+
+/** Causal identity of one outstanding fetch plus when it was queued
+ *  on the client pipe (for the PipeWait hop). */
+struct FetchTrace
+{
+    obs::FrameTraceContext ctx;
+    TimeMs enqueuedAt = 0.0;
+};
 
 /** Runtime state of one split-rendering client. */
 struct ClientState
@@ -48,6 +57,12 @@ struct ClientState
     TimeMs stallStart = 0.0;
     std::uint64_t deliveries = 0;      // total frames delivered
     std::uint64_t stallBaseline = 0;   // deliveries when stall began
+
+    // Causal tracing: live fetch contexts by grid key, and the context
+    // of the most recent completed delivery (what a stalled frame
+    // links to when any fresh arrival unblocks it).
+    std::unordered_map<std::uint64_t, FetchTrace> fetchTraces;
+    obs::FrameTraceContext lastFetchDone;
 
     // Resilience / chaos state (inert on a clean run: fetcher null,
     // connected always true, every counter stays zero).
@@ -133,6 +148,19 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
     net::FiSync fi_sync(config.fiSync, 11);
     Prefetcher prefetcher(world, grid, regions, variant.prefetch);
 
+    // Causal frame tracer: one per run, always on (observe-only; every
+    // exported value is sim-derived so determinism is unaffected). The
+    // label keys the SLO summary published at finish().
+    // Chaos runs get their own label so a clean run and a fault run of
+    // the same session never merge their frame records (frame numbers
+    // repeat across runs) in the SLO registry or trace_report.
+    obs::FrameTracer tracer(
+        (config.sessionTag.empty() ? std::string("session")
+                                   : config.sessionTag) +
+        "/" + std::to_string(players) + "p/" + systemName +
+        (config.faults != nullptr ? "+chaos" : ""));
+    using TraceKind = obs::FrameTracer::Kind;
+
     const double decode_ms =
         device::decodeMs(config.profile, frames.params().panoWidth,
                          frames.params().panoHeight);
@@ -184,9 +212,20 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
         c.pipe.pop_front();
         c.wireBusy = true;
         const TimeMs issued = queue.now();
+        // Time spent queued behind earlier requests on this client's
+        // single TCP stream is a causal hop of its own.
+        obs::FrameTraceContext fctx;
+        if (auto ft = c.fetchTraces.find(key.gridKey);
+            ft != c.fetchTraces.end()) {
+            fctx = ft->second.ctx;
+            if (issued > ft->second.enqueuedAt)
+                fctx.hop(obs::Hop::PipeWait, ft->second.enqueuedAt,
+                         issued);
+        }
         auto on_delivered = [&c, key, issued, &frames, &grid, &variant,
-                             &pump, &clients](std::uint64_t delivered_key,
-                                              TimeMs at) {
+                             &pump, &clients,
+                             &tracer](std::uint64_t delivered_key,
+                                      TimeMs at) {
             c.requested.erase(delivered_key);
             c.wireBusy = false;
             const GridPoint g{
@@ -204,6 +243,12 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
             c.bytesFetched += bytes;
             ++c.framesFetched;
             ++c.deliveries;
+            if (auto ft = c.fetchTraces.find(delivered_key);
+                ft != c.fetchTraces.end()) {
+                tracer.complete(ft->second.ctx, at);
+                c.lastFetchDone = ft->second.ctx;
+                c.fetchTraces.erase(ft);
+            }
             if (c.cache) {
                 c.cache->insert(key, static_cast<std::uint32_t>(bytes));
             } else {
@@ -222,18 +267,27 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
         };
         if (c.fetcher) {
             c.fetcher->fetch(
-                key.gridKey, std::move(on_delivered),
-                [&c, &pump](std::uint64_t failed_key, TimeMs) {
+                key.gridKey, fctx, std::move(on_delivered),
+                [&c, &pump, &tracer](std::uint64_t failed_key,
+                                     TimeMs at) {
                     // Give-up after maxAttempts: free the request pipe
                     // and move on — the stall path degrades to the
                     // newest stale panorama and re-requests later.
                     c.requested.erase(failed_key);
                     c.wireBusy = false;
+                    if (auto ft = c.fetchTraces.find(failed_key);
+                        ft != c.fetchTraces.end()) {
+                        tracer.abort(ft->second.ctx, at);
+                        c.fetchTraces.erase(ft);
+                    }
                     COTERIE_COUNT("client.fetch_giveups");
                     pump(c);
                 });
         } else {
-            server.request(key.gridKey, std::move(on_delivered));
+            net::RequestOptions ropts;
+            ropts.trace = fctx;
+            server.request(key.gridKey, std::move(on_delivered),
+                           std::move(ropts));
         }
     };
 
@@ -244,13 +298,29 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
         if (c.requested.count(key.gridKey))
             return;
         c.requested.insert(key.gridKey);
+        const TimeMs now = queue.now();
+        // Mint the fetch's causal record at the moment of request; the
+        // origin hop says why it exists (urgent on-demand request vs
+        // speculative cover-set prefetch).
+        obs::FrameTraceContext ctx = tracer.mint(
+            TraceKind::Fetch, static_cast<std::uint16_t>(c.playerId),
+            key.gridKey, now);
+        ctx.hop(urgent ? obs::Hop::Request : obs::Hop::Prefetch, now,
+                now);
+        c.fetchTraces[key.gridKey] = FetchTrace{ctx, now};
         if (urgent)
             c.pipe.push_front(key);
         else
             c.pipe.push_back(key);
         // Bound speculative backlog: drop the most speculative tail.
         while (c.pipe.size() > 6) {
-            c.requested.erase(c.pipe.back().gridKey);
+            const std::uint64_t dropped = c.pipe.back().gridKey;
+            c.requested.erase(dropped);
+            if (auto ft = c.fetchTraces.find(dropped);
+                ft != c.fetchTraces.end()) {
+                tracer.abort(ft->second.ctx, now);
+                c.fetchTraces.erase(ft);
+            }
             c.pipe.pop_back();
         }
         pump(c);
@@ -264,10 +334,19 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
     // frame was served without stall or degradation), then loop.
     std::uint64_t degraded_total = 0;
     auto display = [&](int pid, double frame_time, double latency,
-                       double render, bool hit) {
-        queue.scheduleIn(frame_time, [&, pid, latency, render, hit] {
+                       double render, bool hit,
+                       obs::FrameTraceContext fctx, double readyAt) {
+        queue.scheduleIn(frame_time, [&, pid, latency, render, hit,
+                                      fctx, readyAt]() mutable {
             ClientState &cc = clients[pid];
             const TimeMs done = queue.now();
+            // Stamp any vsync padding as the Display hop, then
+            // complete the causal record at content-ready time (the
+            // Equation-2 latency point) so the deadline scoreboard
+            // judges the same latency the QoE model reports below.
+            if (done > readyAt)
+                tracer.hop(fctx, obs::Hop::Display, readyAt, done);
+            tracer.complete(fctx, readyAt);
             cc.interFrame.add(done - cc.lastDisplay);
             cc.responsiveness.add(config.sensorMs + latency);
             cc.renderMs.add(render);
@@ -307,6 +386,11 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
                 COTERIE_COUNT("client.disconnects");
                 if (c.fetcher)
                     c.fetcher->cancelAll();
+                // Cancelled fetches never call back: close out their
+                // causal records as aborted at the drop instant.
+                for (auto &[fk, ft] : c.fetchTraces)
+                    tracer.abort(ft.ctx, now);
+                c.fetchTraces.clear();
                 c.pipe.clear();
                 c.requested.clear();
                 c.wireBusy = false;
@@ -408,7 +492,8 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
             // remains (decode streams during the transfer). Fresh
             // frames pay the full Equation-2 pipeline, padded to the
             // display refresh interval.
-            double frame_time, latency;
+            double frame_time, latency, ready_at;
+            obs::FrameTraceContext fctx;
             if (c.stalled) {
                 // Pad to the display refresh: a short stall still
                 // cannot beat vsync.
@@ -418,12 +503,35 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
                     std::max(config.mergeMs, config.tickMs - waited);
                 latency = waited + config.mergeMs;
                 c.stalled = false;
+                // The frame's causal story began when the stall did;
+                // link it to the delivery that unblocked it so the
+                // critical path can descend into the fetch.
+                fctx = tracer.mint(TraceKind::Frame,
+                                   static_cast<std::uint16_t>(pid),
+                                   c.framesDisplayed, c.stallStart);
+                fctx.hop(obs::Hop::StallWait, c.stallStart, now);
+                if (c.lastFetchDone.active())
+                    tracer.link(fctx, c.lastFetchDone);
+                fctx.hop(obs::Hop::Merge, now, now + config.mergeMs);
+                ready_at = now + config.mergeMs;
             } else {
                 const double pipeline = core + config.mergeMs;
                 frame_time = std::max(config.tickMs, pipeline);
                 latency = pipeline;
+                // Fresh frame: the Equation-2 parallel tasks (FI/far
+                // render, BE decode, FI sync) then the serial merge.
+                fctx = tracer.mint(TraceKind::Frame,
+                                   static_cast<std::uint16_t>(pid),
+                                   c.framesDisplayed, now);
+                fctx.hop(obs::Hop::Render, now, now + render);
+                fctx.hop(obs::Hop::Decode, now, now + decode_ms);
+                if (sync > 0.0)
+                    fctx.hop(obs::Hop::Sync, now, now + sync);
+                fctx.hop(obs::Hop::Merge, now + core, now + pipeline);
+                ready_at = now + pipeline;
             }
-            display(pid, frame_time, latency, render, !was_stalled);
+            display(pid, frame_time, latency, render, !was_stalled,
+                    fctx, ready_at);
         } else {
             // Stall: the needed frame is missing. Ensure it is on the
             // wire, then poll for its arrival (cheap 1 ms poll).
@@ -464,9 +572,17 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
                 const double frame_time =
                     std::max(config.mergeMs, config.tickMs - waited);
                 const double latency = waited + config.mergeMs;
+                // Degraded frame: waited, then merged a stale panorama
+                // (no unblocking delivery to link — the urgent repair
+                // fetch is still in flight).
+                obs::FrameTraceContext fctx = tracer.mint(
+                    TraceKind::Frame, static_cast<std::uint16_t>(pid),
+                    c.framesDisplayed, c.stallStart);
+                fctx.hop(obs::Hop::StallWait, c.stallStart, now);
+                fctx.hop(obs::Hop::Merge, now, now + config.mergeMs);
                 request_frame(c, key, /*urgent=*/true);
                 display(pid, frame_time, latency, render,
-                        /*hit=*/false);
+                        /*hit=*/false, fctx, now + config.mergeMs);
                 return;
             }
             request_frame(c, key, /*urgent=*/true);
@@ -479,6 +595,10 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
         queue.scheduleIn(p * 2.1, [&, p] { schedule_frame(p); });
     }
     queue.runUntil(duration + 1000.0);
+
+    // Export the causal frame records (sim-timeline trace events when
+    // recording) and publish the per-session SLO summary.
+    tracer.finish();
 
     SystemResult result;
     result.systemName = systemName;
@@ -544,21 +664,25 @@ runSplitSystem(const SystemConfig &config, const SplitVariant &variant,
     }
     runSpan.simTimeMs(duration);
 
-    // Session-level QoE gauges: last-run means across players, read
-    // against the paper's targets (60 FPS / 16.7 ms budget, Table 6's
-    // >= 95% hit ratio). Gauges are observe-only; exporting them never
-    // alters the result computed above.
+    // Session-level QoE: per-player observations feed the mergeable
+    // timer histograms (distributions with p50/p99 across runs), and
+    // the last-run means stay exported as gauges for dashboards that
+    // predate the histograms. Both are observe-only; exporting them
+    // never alters the result computed above.
     if (!result.players.empty()) {
         double fps = 0.0, latency = 0.0, hit = 0.0;
         for (const PlayerMetrics &m : result.players) {
             fps += m.fps;
             latency += m.responsivenessMs;
             hit += m.cacheHitRatio;
+            COTERIE_OBSERVE("qoe.fps", m.fps);
+            COTERIE_OBSERVE("qoe.frame_latency_ms", m.responsivenessMs);
+            COTERIE_OBSERVE("qoe.cache_hit_ratio", m.cacheHitRatio);
         }
         const double n = static_cast<double>(result.players.size());
         COTERIE_GAUGE_SET("qoe.fps", fps / n);
         COTERIE_GAUGE_SET("qoe.frame_latency_ms", latency / n);
-        COTERIE_GAUGE_SET("qoe.frame_budget_ms", 16.7);
+        COTERIE_GAUGE_SET("qoe.frame_budget_ms", obs::kFrameBudgetMs);
         COTERIE_GAUGE_SET("qoe.cache_hit_ratio", hit / n);
     }
     return result;

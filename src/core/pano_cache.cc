@@ -29,8 +29,11 @@ tracePanoCounters(std::uint64_t hits, std::uint64_t misses)
 } // namespace
 
 std::shared_ptr<const image::Image>
-PanoramaRenderCache::getOrRender(const PanoKey &key, const RenderFn &render)
+PanoramaRenderCache::getOrRender(const PanoKey &key, const RenderFn &render,
+                                 obs::FrameTraceContext *trace)
 {
+    const bool traced = trace != nullptr && trace->active();
+    const std::uint64_t enteredNs = traced ? obs::monotonicNowNs() : 0;
     bool joined = false;
     {
         support::MutexLock lock(mutex_);
@@ -49,6 +52,11 @@ PanoramaRenderCache::getOrRender(const PanoKey &key, const RenderFn &render)
                     COTERIE_COUNT("server.pano_cache.hit");
                 }
                 tracePanoCounters(stats_.hits, stats_.misses);
+                if (traced) {
+                    trace->hopWall(joined ? obs::Hop::CacheJoin
+                                          : obs::Hop::CacheLookup,
+                                   enteredNs, obs::monotonicNowNs());
+                }
                 return it->second.image;
             }
             // Someone else is rendering this key: join their flight.
@@ -68,6 +76,8 @@ PanoramaRenderCache::getOrRender(const PanoKey &key, const RenderFn &render)
     }
 
     std::shared_ptr<const image::Image> image;
+    const std::uint64_t renderBeginNs =
+        traced ? obs::monotonicNowNs() : 0;
     try {
         COTERIE_SPAN("server.pano_cache.render", "core");
         image = std::make_shared<const image::Image>(render());
@@ -81,6 +91,10 @@ PanoramaRenderCache::getOrRender(const PanoKey &key, const RenderFn &render)
         throw;
     }
 
+    if (traced) {
+        trace->hopWall(obs::Hop::Render, renderBeginNs,
+                       obs::monotonicNowNs());
+    }
     const std::size_t image_bytes =
         image->pixelCount() * sizeof(image::Rgb);
     {

@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "image/image.hh"
+#include "obs/frame_trace.hh"
 #include "support/rng.hh"
 #include "support/thread_annotations.hh"
 
@@ -109,9 +110,14 @@ class PanoramaRenderCache
      * (single-flight). If @p render throws, the in-flight claim is
      * withdrawn, one waiter takes over the render, and the exception
      * propagates to the original caller.
+     *
+     * When @p trace carries an active causal context, the outcome is
+     * stamped as a wall-interval hop: CacheLookup on a hit, CacheJoin
+     * for a single-flight wait, Render around an actual render.
      */
     std::shared_ptr<const image::Image>
-    getOrRender(const PanoKey &key, const RenderFn &render);
+    getOrRender(const PanoKey &key, const RenderFn &render,
+                obs::FrameTraceContext *trace = nullptr);
 
     PanoCacheStats stats() const;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hh"
+
 namespace coterie::core {
 
 using geom::Vec2;
@@ -97,6 +99,7 @@ Prefetcher::misses(GridPoint at, Vec2 exactPos, double dirRadians,
                    FrameCache *cache,
                    const std::vector<double> &thresholds) const
 {
+    COTERIE_SPAN("client.prefetch_misses", "core");
     std::vector<PrefetchTarget> out;
     for (const GridPoint g : coverSet(at, exactPos, dirRadians)) {
         const FrameCache::Key key = keyFor(g);

@@ -186,7 +186,8 @@ FrameStore::prerenderFarBe(std::int64_t cellStride, int width, int height,
 
 std::shared_ptr<const image::Image>
 FrameStore::farBePanorama(Vec2 pos, double distThresh, int width,
-                          int height, int threads) const
+                          int height, int threads,
+                          obs::FrameTraceContext *trace) const
 {
     // Quantize the FI location: positions within `pitch` of each other
     // are "similar enough" to share a far-BE frame (the background
@@ -212,14 +213,17 @@ FrameStore::farBePanorama(Vec2 pos, double distThresh, int width,
     key.pitchBits = std::bit_cast<std::uint64_t>(pitch);
     key.width = width;
     key.height = height;
-    return panoCache_.getOrRender(key, [&] {
-        const render::Renderer renderer(world_);
-        render::RenderOptions opts;
-        opts.layer = render::DepthLayer::farBe(cutoff);
-        opts.threads = threads;
-        return renderer.renderPanorama(world_.eyePosition(rep), width,
-                                       height, opts);
-    });
+    return panoCache_.getOrRender(
+        key,
+        [&] {
+            const render::Renderer renderer(world_);
+            render::RenderOptions opts;
+            opts.layer = render::DepthLayer::farBe(cutoff);
+            opts.threads = threads;
+            return renderer.renderPanorama(world_.eyePosition(rep),
+                                           width, height, opts);
+        },
+        trace);
 }
 
 double

@@ -76,10 +76,13 @@ class FrameStore
      * the paper's FI-location similarity radius) share one cached
      * render keyed by the cell's representative point. Concurrent
      * first requests single-flight; @p threads as in prerenderFarBe.
+     * @p trace (optional) stamps the cache outcome — CacheLookup /
+     * CacheJoin / Render — into the caller's causal frame record.
      */
     std::shared_ptr<const image::Image>
     farBePanorama(geom::Vec2 pos, double distThresh, int width, int height,
-                  int threads = 0) const;
+                  int threads = 0,
+                  obs::FrameTraceContext *trace = nullptr) const;
 
     /** Render-cache effectiveness counters (hits, misses, joins, ...). */
     PanoCacheStats panoCacheStats() const { return panoCache_.stats(); }

@@ -113,6 +113,7 @@ Session::systemConfig() const
     config.traces = &traces_;
     config.profile = params_.profile;
     config.channel = params_.channel;
+    config.sessionTag = info_.name;
     return config;
 }
 

@@ -33,6 +33,13 @@ struct SystemConfig
     net::ChannelParams channel{};
     net::FiSyncParams fiSync{};
 
+    /**
+     * Human-readable session identity (the game name) prefixed onto
+     * the frame-trace / SLO label: `<tag>/<N>p/<system>`. Empty tags
+     * fall back to "session".
+     */
+    std::string sessionTag;
+
     /** Per-frame FI render time on the device (paper: < 4 ms,
      *  measured ~2.5 ms typical). */
     double rtFiMs = 2.5;

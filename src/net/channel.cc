@@ -78,6 +78,8 @@ SharedChannel::progressAndReschedule()
             // pre-transfer latency floor and any contention slowdown).
             COTERIE_OBSERVE("net.transfer_sim_ms",
                             now - it->second.requestedAt);
+            it->second.trace.hop(obs::Hop::Transfer,
+                                 it->second.requestedAt, now);
             if (it->second.done)
                 finished.push_back(std::move(it->second.done));
             it = transfers_.erase(it);
@@ -163,6 +165,7 @@ SharedChannel::startTransfer(std::uint64_t bytes, TransferDone done,
         tr.deadlineAt = requestedAt + options.deadlineMs;
         tr.onExpired = std::move(options.onExpired);
     }
+    tr.trace = options.trace;
     tr.done = std::move(done);
     pending_.emplace(id, std::move(tr));
 
@@ -199,16 +202,22 @@ SharedChannel::cancelIfExpired(TransferId id)
 {
     const sim::TimeMs now = queue_.now();
     TransferDone onExpired;
+    obs::FrameTraceContext trace;
+    sim::TimeMs requestedAt = now;
     if (const auto pit = pending_.find(id); pit != pending_.end()) {
         if (now < pit->second.deadlineAt)
             return;
         onExpired = std::move(pit->second.onExpired);
+        trace = pit->second.trace;
+        requestedAt = pit->second.requestedAt;
         pending_.erase(pit);
     } else if (const auto tit = transfers_.find(id);
                tit != transfers_.end()) {
         if (now < tit->second.deadlineAt)
             return;
         onExpired = std::move(tit->second.onExpired);
+        trace = tit->second.trace;
+        requestedAt = tit->second.requestedAt;
         // Bring everyone up to now before the membership change, then
         // recompute: the dropped transfer's share is released at once.
         progressAndReschedule();
@@ -224,6 +233,9 @@ SharedChannel::cancelIfExpired(TransferId id)
     }
     ++expired_;
     COTERIE_COUNT("net.expired");
+    // The wire time was spent even though nothing arrived: stamp it so
+    // retries show one Transfer hop per attempt.
+    trace.hop(obs::Hop::Transfer, requestedAt, now);
     if (onExpired)
         onExpired(now);
 }

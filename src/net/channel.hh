@@ -28,6 +28,7 @@
 #include <limits>
 #include <map>
 
+#include "obs/frame_trace.hh"
 #include "sim/event_queue.hh"
 #include "sim/faults.hh"
 #include "support/rng.hh"
@@ -53,6 +54,9 @@ struct TransferOptions
     double deadlineMs = 0.0;
     /** Fired (at the deadline) when the transfer expires. */
     TransferDone onExpired;
+    /** Causal trace identity travelling with the payload; a Transfer
+     *  hop is stamped at delivery (or at expiry). Inert by default. */
+    obs::FrameTraceContext trace;
 };
 
 /** Channel configuration. */
@@ -137,6 +141,7 @@ class SharedChannel
             std::numeric_limits<double>::infinity();
         TransferDone done;
         TransferDone onExpired;
+        obs::FrameTraceContext trace;
     };
 
     /** Fault-scaled per-transfer service rate (bits/ms) at time @p t

@@ -38,6 +38,7 @@ FrameServer::request(std::uint64_t frameKey, FrameDelivered onDelivery,
     w.deadlineMs = options.deadlineMs;
     w.onDelivery = std::move(onDelivery);
     w.onExpired = std::move(options.onExpired);
+    w.trace = options.trace;
 
     const bool capacity =
         params_.maxInFlight <= 0 ||
@@ -69,7 +70,13 @@ FrameServer::startRequest(RequestId id, Waiting w)
     const std::uint64_t frameKey = w.frameKey;
     const sim::TimeMs issued = w.issuedAt;
 
+    // Time between issue and wire start was spent in the fan-out
+    // backlog (or a scripted server stall).
+    if (now > issued)
+        w.trace.hop(obs::Hop::Backlog, issued, now);
+
     TransferOptions topts;
+    topts.trace = w.trace;
     if (w.deadlineMs > 0.0) {
         // The deadline was issued at request time; a backlogged wait
         // consumes part of it.

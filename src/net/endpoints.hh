@@ -56,6 +56,10 @@ struct RequestOptions
      *  fires when it lapses. <= 0 disables. */
     double deadlineMs = 0.0;
     FrameDelivered onExpired;
+    /** Causal trace identity travelling with the request; a Backlog
+     *  hop is stamped for any fan-out queueing and the context is
+     *  forwarded onto the wire transfer. Inert by default. */
+    obs::FrameTraceContext trace;
 };
 
 /**
@@ -108,6 +112,7 @@ class FrameServer
         double deadlineMs = 0.0; ///< original request deadline (0 = none)
         FrameDelivered onDelivery;
         FrameDelivered onExpired;
+        obs::FrameTraceContext trace;
     };
 
     /** True while a scripted ServerStall episode is in force. */

@@ -20,11 +20,21 @@ void
 ResilientFetcher::fetch(std::uint64_t key, Delivered onDelivered,
                         Failed onFailed)
 {
+    fetch(key, obs::FrameTraceContext{}, std::move(onDelivered),
+          std::move(onFailed));
+}
+
+void
+ResilientFetcher::fetch(std::uint64_t key, obs::FrameTraceContext trace,
+                        Delivered onDelivered, Failed onFailed)
+{
     if (const auto it = pending_.find(key); it != pending_.end()) {
         // Duplicate suppression: ride the outstanding attempt instead
         // of issuing a second request for the same megaframe.
         ++stats_.duplicates;
         COTERIE_COUNT("net.duplicate_fetches");
+        if (!it->second.trace.active())
+            it->second.trace = trace;
         it->second.onDelivered.push_back(std::move(onDelivered));
         if (onFailed)
             it->second.onFailed.push_back(std::move(onFailed));
@@ -32,6 +42,7 @@ ResilientFetcher::fetch(std::uint64_t key, Delivered onDelivered,
     }
     PendingFetch pf;
     pf.firstIssuedAt = queue_.now();
+    pf.trace = trace;
     pf.onDelivered.push_back(std::move(onDelivered));
     if (onFailed)
         pf.onFailed.push_back(std::move(onFailed));
@@ -44,6 +55,7 @@ ResilientFetcher::issueAttempt(std::uint64_t key)
 {
     auto &pf = pending_.at(key);
     RequestOptions opts;
+    opts.trace = pf.trace;
     if (params_.timeoutMs > 0.0) {
         opts.deadlineMs = params_.timeoutMs;
         opts.onExpired = [this](std::uint64_t k, sim::TimeMs at) {

@@ -115,6 +115,15 @@ class ResilientFetcher
     void fetch(std::uint64_t key, Delivered onDelivered,
                Failed onFailed = {});
 
+    /**
+     * As above, with a causal trace context that rides every attempt
+     * (each retry stamps its own Transfer hop; backlog waits stamp
+     * Backlog hops). When the fetch attaches to an outstanding
+     * attempt whose context is inert, the attempt adopts @p trace.
+     */
+    void fetch(std::uint64_t key, obs::FrameTraceContext trace,
+               Delivered onDelivered, Failed onFailed = {});
+
     /** Whether @p key has an outstanding fetch (attempt or backoff). */
     bool inFlight(std::uint64_t key) const
     {
@@ -138,6 +147,7 @@ class ResilientFetcher
         sim::TimeMs firstIssuedAt = 0.0;
         RequestId requestId = kInvalidRequest; ///< 0 while backing off
         std::uint64_t generation = 0; ///< guards backoff wake-ups
+        obs::FrameTraceContext trace;
         std::vector<Delivered> onDelivered;
         std::vector<Failed> onFailed;
     };

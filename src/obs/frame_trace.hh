@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Frame-lifecycle causal tracing: every frame a client displays (and
+ * every fetch that feeds one) yields one causal record tracing the
+ * request end to end through the pipeline.
+ *
+ * A `FrameTraceContext` is minted at the client's frame request and
+ * travels by value with the work: `Prefetcher` cover-set misses,
+ * `net::Channel` transfers, `FrameServer` fan-out and backlog,
+ * `PanoramaRenderCache` lookups (including single-flight joins), the
+ * codec, delivery, and merge/display. Each stage stamps a `Hop` — a
+ * sim-time interval plus a wall-clock timestamp — into the record via
+ * `FrameTracer::hop()`. When the frame completes, the tracer computes
+ * the critical path (the hop family with the largest total sim-time;
+ * a frame dominated by `StallWait` descends into its linked fetch
+ * record, yielding paths like `"stall_wait/transfer"`), scores the
+ * frame against the deadline budget (`DeadlineTracker`), and emits
+ * the flight-recorder events live.
+ *
+ * `finish()` (end of a session run) exports the records as sim-
+ * timeline events into `TraceRecorder` (pid 2, one track per client —
+ * `trace_report --frames` consumes these from a live trace or a
+ * flight dump interchangeably) and publishes the SLO summary to
+ * `SloRegistry::global()` under the session label.
+ *
+ * Determinism: the tracer is observe-only and all exported values are
+ * sim-time derived. Records are created and mutated exclusively from
+ * the serial event loop; the mutex exists so concurrent readers
+ * (snapshots) are safe, not to order writers.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/slo.hh"
+#include "support/thread_annotations.hh"
+
+namespace coterie::obs {
+
+/** One causal stage of a frame's lifecycle. */
+enum class Hop : std::uint8_t {
+    Request,     ///< client issues an on-demand frame request
+    Prefetch,    ///< prefetcher issues a cover-set miss fetch
+    PipeWait,    ///< queued behind earlier requests on the client pipe
+    Backlog,     ///< queued in the server fan-out backlog
+    Transfer,    ///< on the wire (one hop per retry attempt)
+    CacheLookup, ///< panorama cache hit
+    CacheJoin,   ///< joined an in-flight render (single-flight)
+    Render,      ///< server-side panorama render
+    Codec,       ///< encode on the server
+    Decode,      ///< decode on the client
+    Sync,        ///< frame-interval sync wait
+    StallWait,   ///< client stalled waiting for a delivery
+    Merge,       ///< merge near/far layers for display
+    Display,     ///< display scan-out
+};
+
+/** Number of Hop enumerators (array sizing). */
+inline constexpr std::size_t kHopCount =
+    static_cast<std::size_t>(Hop::Display) + 1;
+
+/** Lower-case hop name: "request", "stall_wait", ... */
+const char *hopName(Hop hop);
+
+/** Trace-event name: "frame.request", "frame.stall_wait", ... (static
+ *  literals, safe to store in flight-recorder events). */
+const char *hopEventName(Hop hop);
+
+class FrameTracer;
+
+/**
+ * The causal identity that travels with a frame's work: which tracer
+ * owns the record, which session/client/frame it is, and how many
+ * hops have been stamped so far. Cheap to copy; a default-constructed
+ * (or tracer-less) context is inert and every operation on it is a
+ * no-op, so un-traced call paths need no branches.
+ */
+struct FrameTraceContext
+{
+    FrameTracer *tracer = nullptr;
+    std::uint32_t session = 0;
+    std::uint16_t client = 0;
+    std::uint64_t frame = 0;   ///< frame number (or fetch sequence)
+    std::uint32_t recordId = 0;
+    std::uint8_t hops = 0;     ///< hop counter (stamped so far)
+
+    bool active() const { return tracer != nullptr; }
+
+    /** Stamp a hop spanning [beginMs, endMs] sim-time. */
+    void hop(Hop h, double beginMs, double endMs);
+
+    /**
+     * Stamp a hop that is wall-clock work inside one sim instant
+     * (server-side cache lookups, single-flight joins, actual
+     * renders): no sim-time attribution, so it never enters the
+     * sim-side critical path, but the wall interval is kept for
+     * forensics.
+     */
+    void hopWall(Hop h, std::uint64_t wallBeginNs,
+                 std::uint64_t wallEndNs);
+};
+
+/**
+ * Per-session-run collector of causal frame records. One instance per
+ * `runSplitSystem` invocation; `label` keys the published SLO summary
+ * (`<game>/<N>p/<system>`).
+ */
+class FrameTracer
+{
+  public:
+    /** What a record traces. */
+    enum class Kind : std::uint8_t {
+        Fetch, ///< one frame fetch: request -> delivery
+        Frame, ///< one displayed frame: schedule -> display
+    };
+
+    struct HopRecord
+    {
+        Hop hop;
+        double simBeginMs; ///< < 0 -> wall-only hop (hopWall)
+        double simDurMs;
+        std::uint64_t wallNs;    ///< wall clock at the stamp (or begin)
+        std::uint64_t wallDurNs; ///< wall duration (hopWall only)
+    };
+
+    struct FrameRecord
+    {
+        Kind kind;
+        std::uint16_t client;
+        std::uint64_t frame;
+        double mintedMs;
+        double doneMs = -1.0;
+        double latencyMs = 0.0;
+        bool completed = false;
+        bool aborted = false;
+        std::uint32_t link = 0; ///< 1 + linked fetch recordId; 0 none
+        std::string criticalPath;
+        std::vector<HopRecord> hops;
+    };
+
+    FrameTracer(std::string label, double budgetMs = kFrameBudgetMs);
+
+    FrameTracer(const FrameTracer &) = delete;
+    FrameTracer &operator=(const FrameTracer &) = delete;
+
+    const std::string &label() const { return label_; }
+
+    /** Mint a new causal record; the returned context travels with
+     *  the work. @p nowMs is the sim time of the originating event. */
+    FrameTraceContext mint(Kind kind, std::uint16_t client,
+                           std::uint64_t frame, double nowMs);
+
+    /** Stamp a hop into @p ctx's record (sim interval + wall stamp);
+     *  increments the context's hop counter. No-op when inert. */
+    void hop(FrameTraceContext &ctx, Hop h, double beginMs,
+             double endMs);
+
+    /** Stamp a wall-only hop (see FrameTraceContext::hopWall). */
+    void hopWall(FrameTraceContext &ctx, Hop h,
+                 std::uint64_t wallBeginNs, std::uint64_t wallEndNs);
+
+    /** Link a displayed frame to the fetch whose delivery unblocked
+     *  it, so critical paths can descend through the stall. */
+    void link(const FrameTraceContext &frameCtx,
+              const FrameTraceContext &fetchCtx);
+
+    /**
+     * Complete the record at sim time @p doneMs: latency becomes
+     * `doneMs - mintedMs`, the critical path is computed, Frame
+     * records are scored against the deadline, and flight-recorder
+     * events are emitted.
+     */
+    void complete(FrameTraceContext &ctx, double doneMs);
+
+    /** Mark the record abandoned (expired fetch, disconnect). */
+    void abort(FrameTraceContext &ctx, double nowMs);
+
+    /**
+     * End of run: export all records as sim-timeline frame events
+     * into `TraceRecorder::global()` (when recording) and publish the
+     * SLO summary to `SloRegistry::global()` under the label.
+     */
+    void finish();
+
+    /** The deadline scoreboard (valid for the tracer's lifetime). */
+    const DeadlineTracker &deadlines() const { return deadlines_; }
+
+    /** Completed-record lookup for tests; nullptr when absent. */
+    const FrameRecord *find(Kind kind, std::uint16_t client,
+                            std::uint64_t frame) const;
+
+    std::size_t recordCount() const;
+
+  private:
+    const FrameRecord *findLocked(Kind kind, std::uint16_t client,
+                                  std::uint64_t frame) const
+        COTERIE_REQUIRES(mutex_);
+    std::string criticalPathLocked(const FrameRecord &rec) const
+        COTERIE_REQUIRES(mutex_);
+
+    std::string label_;
+    const char *flightLabel_; ///< intern()-ed copy for ring events
+    std::uint32_t sessionId_;
+
+    mutable support::Mutex mutex_{"FrameTracer::mutex_"};
+    // deque: records must not move — contexts hold indices and
+    // completion touches linked records.
+    std::deque<FrameRecord> records_ COTERIE_GUARDED_BY(mutex_);
+    DeadlineTracker deadlines_ COTERIE_GUARDED_BY(mutex_);
+};
+
+} // namespace coterie::obs

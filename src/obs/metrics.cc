@@ -1,5 +1,7 @@
 #include "obs/metrics.hh"
 
+#include "obs/slo.hh"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -150,6 +152,16 @@ MetricsRegistry::snapshotJson() const
         t.set("max", Json(snap.stats.max()));
         t.set("stddev", Json(snap.stats.stddev()));
         t.set("sum", Json(snap.stats.sum()));
+        // The histogram stores log10(value); undo the transform so
+        // percentiles come out in the timer's own unit.
+        const auto pct = [&snap](double q) {
+            return snap.stats.count() > 0
+                       ? std::pow(10.0, snap.hist.quantile(q))
+                       : 0.0;
+        };
+        t.set("p50", Json(pct(0.50)));
+        t.set("p99", Json(pct(0.99)));
+        t.set("p999", Json(pct(0.999)));
         timersJson.set(name, std::move(t));
     }
 
@@ -157,6 +169,7 @@ MetricsRegistry::snapshotJson() const
     out.set("counters", std::move(countersJson));
     out.set("gauges", std::move(gaugesJson));
     out.set("timers", std::move(timersJson));
+    out.set("slo", SloRegistry::global().snapshotJson());
     return out;
 }
 

@@ -95,10 +95,16 @@ class Gauge
 class Timer
 {
   public:
-    /** Histogram spec: log10(value) over [1e-4, 1e4) in 64 bins. */
+    /**
+     * Histogram spec: log10(value) over [1e-4, 1e4) in 256 bins, i.e.
+     * 32 bins per decade. Quantile estimates interpolate within a bin,
+     * so the worst-case relative error is one bin width:
+     * 10^(8/256) - 1 ~= 7.5%. Bins merge by addition, which makes the
+     * estimate shard-order-insensitive (see Histogram::quantile).
+     */
     static constexpr double kLogLo = -4.0;
     static constexpr double kLogHi = 4.0;
-    static constexpr std::size_t kLogBins = 64;
+    static constexpr std::size_t kLogBins = 256;
 
     Timer();
 
@@ -170,8 +176,12 @@ class MetricsRegistry
 
     /**
      * Snapshot as JSON: `{"counters": {...}, "gauges": {...},
-     * "timers": {name: {count, mean, min, max, stddev, sum}}}`, keys
-     * sorted for stable diffs.
+     * "timers": {name: {count, mean, min, max, stddev, sum, p50, p99,
+     * p999}}, "slo": {label: {...}}}`, keys sorted for stable diffs.
+     * Timer percentiles are mergeable histogram estimates (see
+     * `Timer::kLogBins`); the `slo` section re-exports
+     * `SloRegistry::global()` — per-session deadline scoreboards with
+     * *exact* percentiles over the frame latency samples.
      */
     Json snapshotJson() const;
 

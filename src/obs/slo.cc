@@ -1,0 +1,102 @@
+#include "obs/slo.hh"
+
+namespace coterie::obs {
+
+void
+DeadlineTracker::record(std::uint16_t client, double latencyMs,
+                        const std::string &criticalPath)
+{
+    ++frames_;
+    latencies_.add(latencyMs);
+    byClient_[client].add(latencyMs);
+    if (latencyMs > budgetMs_) {
+        ++misses_;
+        ++missesByClient_[client];
+        ++missesByHop_[criticalPath];
+    }
+}
+
+Json
+DeadlineTracker::toJson() const
+{
+    Json out = Json::object();
+    out.set("budget_ms", Json(budgetMs_));
+    out.set("frames", Json(frames_));
+    out.set("misses", Json(misses_));
+    out.set("miss_rate",
+            Json(frames_ > 0 ? static_cast<double>(misses_) /
+                                   static_cast<double>(frames_)
+                             : 0.0));
+    if (frames_ > 0) {
+        Json lat = Json::object();
+        lat.set("mean_ms", Json(latencies_.mean()));
+        lat.set("p50_ms", Json(latencies_.percentile(50.0)));
+        lat.set("p99_ms", Json(latencies_.percentile(99.0)));
+        lat.set("p999_ms", Json(latencies_.percentile(99.9)));
+        lat.set("max_ms", Json(latencies_.max()));
+        out.set("latency", std::move(lat));
+    }
+
+    Json clients = Json::object();
+    for (const auto &[client, samples] : byClient_) {
+        Json c = Json::object();
+        c.set("frames", Json(static_cast<std::uint64_t>(
+                            samples.count())));
+        const auto missIt = missesByClient_.find(client);
+        c.set("misses", Json(missIt != missesByClient_.end()
+                                 ? missIt->second
+                                 : std::uint64_t{0}));
+        c.set("p50_ms", Json(samples.percentile(50.0)));
+        c.set("p99_ms", Json(samples.percentile(99.0)));
+        clients.set(std::to_string(client), std::move(c));
+    }
+    out.set("clients", std::move(clients));
+
+    Json byHop = Json::object();
+    for (const auto &[hop, count] : missesByHop_)
+        byHop.set(hop, Json(count));
+    out.set("misses_by_hop", std::move(byHop));
+    return out;
+}
+
+SloRegistry &
+SloRegistry::global()
+{
+    // Leaked so late publishers (static-destruction-order races in
+    // tests) never touch a destroyed registry.
+    static SloRegistry *registry = new SloRegistry();
+    return *registry;
+}
+
+void
+SloRegistry::publish(const std::string &label, Json summary)
+{
+    support::MutexLock lock(mutex_);
+    sessions_[label] = std::move(summary);
+}
+
+Json
+SloRegistry::snapshotJson() const
+{
+    support::MutexLock lock(mutex_);
+    Json out = Json::object();
+    for (const auto &[label, summary] : sessions_)
+        out.set(label, summary);
+    return out;
+}
+
+void
+SloRegistry::clear()
+{
+    support::MutexLock lock(mutex_);
+    sessions_.clear();
+}
+
+std::size_t
+SloRegistry::size() const
+{
+    support::MutexLock lock(mutex_);
+    return sessions_.size();
+}
+
+} // namespace coterie::obs

@@ -101,6 +101,44 @@ TraceRecorder::instant(const char *name, const char *category,
     push(std::move(e));
 }
 
+void
+TraceRecorder::frameSpan(const char *name, int clientTid,
+                         double simBeginMs, double simDurMs, Json args)
+{
+    if (!enabled())
+        return;
+    Event e;
+    e.phase = Phase::FrameSpan;
+    e.tid = clientTid;
+    e.name = name;
+    e.category = "frame";
+    e.beginNs = 0;
+    e.durNs = 0;
+    e.value = simDurMs;
+    e.simMs = simBeginMs;
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
+void
+TraceRecorder::frameInstant(const char *name, int clientTid,
+                            double simMs, Json args)
+{
+    if (!enabled())
+        return;
+    Event e;
+    e.phase = Phase::FrameInstant;
+    e.tid = clientTid;
+    e.name = name;
+    e.category = "frame";
+    e.beginNs = 0;
+    e.durNs = 0;
+    e.value = 0.0;
+    e.simMs = simMs;
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
 std::size_t
 TraceRecorder::eventCount() const
 {
@@ -122,9 +160,28 @@ TraceRecorder::toJson() const
     Json traceEvents = Json::array();
 
     // Thread-name metadata so Perfetto labels tracks by obs slot.
+    // Frame events (pid 2) carry client ids as tids and get their own
+    // process label instead.
     int maxTid = -1;
-    for (const Event &e : events)
+    bool haveFrameEvents = false;
+    for (const Event &e : events) {
+        if (e.phase == Phase::FrameSpan ||
+            e.phase == Phase::FrameInstant) {
+            haveFrameEvents = true;
+            continue;
+        }
         maxTid = std::max(maxTid, e.tid);
+    }
+    if (haveFrameEvents) {
+        Json args = Json::object();
+        args.set("name", Json("frames (sim)"));
+        Json m = Json::object();
+        m.set("ph", Json("M"));
+        m.set("name", Json("process_name"));
+        m.set("pid", Json(2));
+        m.set("args", std::move(args));
+        traceEvents.push(std::move(m));
+    }
     for (int tid = 0; tid <= maxTid; ++tid) {
         Json args = Json::object();
         args.set("name", Json(tid == 0 ? std::string("main/slot0")
@@ -186,6 +243,30 @@ TraceRecorder::toJson() const
                 args.set("sim_ms", Json(e.simMs));
                 j.set("args", std::move(args));
             }
+            break;
+        }
+        case Phase::FrameSpan: {
+            j.set("ph", Json("X"));
+            j.set("name", Json(e.name));
+            j.set("cat", Json("frame"));
+            j.set("pid", Json(2));
+            j.set("tid", Json(e.tid));
+            // Sim milliseconds -> trace microseconds: the frame
+            // timeline has its own (simulated) clock domain.
+            j.set("ts", Json(e.simMs * 1000.0));
+            j.set("dur", Json(e.value * 1000.0));
+            j.set("args", e.args);
+            break;
+        }
+        case Phase::FrameInstant: {
+            j.set("ph", Json("i"));
+            j.set("name", Json(e.name));
+            j.set("cat", Json("frame"));
+            j.set("pid", Json(2));
+            j.set("tid", Json(e.tid));
+            j.set("ts", Json(e.simMs * 1000.0));
+            j.set("s", Json("t"));
+            j.set("args", e.args);
             break;
         }
         }

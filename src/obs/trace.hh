@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "obs/clock.hh"
+#include "obs/flight.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "support/thread_annotations.hh"
@@ -79,6 +80,20 @@ class TraceRecorder
     void instant(const char *name, const char *category,
                  double simMs = -1.0);
 
+    /**
+     * Record a sim-timeline frame span (category "frame", pid 2, one
+     * track per client): ts/dur are the *simulated* interval, so the
+     * frame causal records render as a timeline of their own next to
+     * the wall-clock spans. Fed by `FrameTracer::finish()`; consumed
+     * by `trace_report --frames`.
+     */
+    void frameSpan(const char *name, int clientTid, double simBeginMs,
+                   double simDurMs, Json args);
+
+    /** Record a sim-timeline frame instant ("frame.done"). */
+    void frameInstant(const char *name, int clientTid, double simMs,
+                      Json args);
+
     std::size_t eventCount() const;
 
     /**
@@ -92,7 +107,13 @@ class TraceRecorder
     bool exportToFile(const std::string &path) const;
 
   private:
-    enum class Phase : std::uint8_t { Complete, Counter, Instant };
+    enum class Phase : std::uint8_t {
+        Complete,
+        Counter,
+        Instant,
+        FrameSpan,    ///< sim-timeline span, pid 2 (frame tracer)
+        FrameInstant, ///< sim-timeline instant, pid 2
+    };
 
     struct Event
     {
@@ -102,8 +123,9 @@ class TraceRecorder
         std::string category;
         std::uint64_t beginNs;
         std::uint64_t durNs;
-        double value;  ///< counter sample
-        double simMs;  ///< < 0 -> absent
+        double value;  ///< counter sample; FrameSpan: sim dur ms
+        double simMs;  ///< < 0 -> absent; Frame*: sim begin ms
+        Json args;     ///< Frame* payload (label/client/frame/...)
     };
 
     void push(Event event);
@@ -123,24 +145,37 @@ void installPoolTelemetry();
 
 #if COTERIE_TELEMETRY_ENABLED
 
-/** RAII span; records on destruction iff recording was on at entry. */
+/**
+ * RAII span. Two independent sinks share the clock readings:
+ *  - `TraceRecorder` gets a complete event iff recording was on at
+ *    entry (spans straddling the recording window are dropped, as
+ *    before);
+ *  - the flight recorder (obs/flight.hh) gets every span,
+ *    unconditionally, into the calling thread's ring.
+ * With the flight recorder compiled out this collapses back to the
+ * recorder-only behaviour, including skipping the clock reads when
+ * recording is off.
+ */
 class ScopedSpan
 {
   public:
     ScopedSpan(const char *name, const char *category)
+        : name_(name), category_(category),
+          recorderArmed_(TraceRecorder::global().enabled())
     {
-        if (TraceRecorder::global().enabled()) {
-            name_ = name;
-            category_ = category;
+        if (recorderArmed_ || flight::kCompiledIn)
             beginNs_ = monotonicNowNs();
-        }
     }
 
     ~ScopedSpan()
     {
-        if (name_ != nullptr) {
-            TraceRecorder::global().complete(
-                name_, category_, beginNs_, monotonicNowNs(), simMs_);
+        if (!recorderArmed_ && !flight::kCompiledIn)
+            return;
+        const std::uint64_t endNs = monotonicNowNs();
+        flight::recordSpan(name_, category_, beginNs_, endNs, simMs_);
+        if (recorderArmed_) {
+            TraceRecorder::global().complete(name_, category_, beginNs_,
+                                             endNs, simMs_);
         }
     }
 
@@ -151,8 +186,9 @@ class ScopedSpan
     void simTimeMs(double ms) { simMs_ = ms; }
 
   private:
-    const char *name_ = nullptr;
-    const char *category_ = nullptr;
+    const char *name_;
+    const char *category_;
+    const bool recorderArmed_;
     std::uint64_t beginNs_ = 0;
     double simMs_ = -1.0;
 };

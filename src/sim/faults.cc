@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
@@ -248,6 +249,11 @@ FaultDriver::emitBoundary(const FaultEpisode &episode, bool begin)
     obs::TraceRecorder::global().counter(
         "fault.active_episodes",
         static_cast<double>(plan_.activeEpisodes(now)));
+    // Episode boundaries are natural flight-recorder checkpoints: mark
+    // the boundary in the ring, and snapshot the ring to disk when the
+    // operator opted in via COTERIE_FLIGHT_DUMP.
+    obs::flight::recordInstant(obs::flight::intern(name), "fault", now);
+    obs::flight::dumpOnEpisodeBoundary();
     if (begin)
         COTERIE_COUNT("fault.episodes");
 }

@@ -8,6 +8,7 @@ namespace coterie {
 namespace {
 
 std::atomic<bool> g_verbose{false};
+std::atomic<PanicHook> g_panicHook{nullptr};
 
 const char *
 levelName(LogLevel level)
@@ -35,6 +36,12 @@ verbose()
     return g_verbose.load(std::memory_order_relaxed);
 }
 
+void
+setPanicHook(PanicHook hook)
+{
+    g_panicHook.store(hook, std::memory_order_release);
+}
+
 namespace detail {
 
 void
@@ -51,8 +58,14 @@ logAndDie(LogLevel level, const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level), msg.c_str(),
                  file, line);
-    if (level == LogLevel::Panic)
+    if (level == LogLevel::Panic) {
+        // Fire the crash hook (flight-recorder dump) exactly once; a
+        // panic raised *inside* the hook must still abort.
+        if (PanicHook hook =
+                g_panicHook.exchange(nullptr, std::memory_order_acq_rel))
+            hook();
         std::abort();
+    }
     std::exit(1);
 }
 

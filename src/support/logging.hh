@@ -41,6 +41,17 @@ concat(Args &&...args)
 void setVerbose(bool verbose);
 bool verbose();
 
+/**
+ * Hook invoked exactly once, right before a COTERIE_PANIC /
+ * COTERIE_ASSERT failure aborts the process. The flight recorder
+ * installs its crash-dump here (obs/flight.hh); the hook must be
+ * async-signal-unsafe-tolerant in the sense that the process is
+ * already doomed — it may allocate and do file I/O, but it must not
+ * panic recursively (re-entry is suppressed).
+ */
+using PanicHook = void (*)();
+void setPanicHook(PanicHook hook);
+
 } // namespace coterie
 
 /** Internal invariant violated: print and abort (core-dumpable). */

@@ -208,6 +208,33 @@ Histogram::merge(const Histogram &other)
     total_ += other.total_;
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    // Target rank in (0, total]: the smallest bin whose cumulative
+    // count reaches it holds the quantile.
+    const double target =
+        std::max(1.0, q * static_cast<double>(total_));
+    std::size_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const double before = static_cast<double>(cumulative);
+        cumulative += counts_[i];
+        if (static_cast<double>(cumulative) >= target) {
+            // Linear interpolation inside the bin: counts are assumed
+            // uniformly spread across the bin's value range.
+            const double within =
+                (target - before) / static_cast<double>(counts_[i]);
+            return binLow(i) + within * (binHigh(i) - binLow(i));
+        }
+    }
+    return hi_;
+}
+
 std::string
 Histogram::render(std::size_t width) const
 {

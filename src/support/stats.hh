@@ -113,6 +113,17 @@ class Histogram
      */
     void merge(const Histogram &other);
 
+    /**
+     * Mergeable quantile estimate, @p q in [0, 1]: walk the cumulative
+     * counts to the bin holding the q-th fraction of the mass, then
+     * interpolate linearly inside it. Because merge() just adds
+     * counts, quantiles of merged per-thread shards are *identical* to
+     * the single-shard reference — the estimate is order-insensitive.
+     * Accuracy is bounded by the bin width: the result is within one
+     * bin of the exact sample quantile. Returns lo() when empty.
+     */
+    double quantile(double q) const;
+
     double lo() const { return lo_; }
     double hi() const { return hi_; }
 

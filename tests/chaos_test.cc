@@ -24,6 +24,7 @@
 
 #include "core/session.hh"
 #include "net/channel.hh"
+#include "obs/slo.hh"
 #include "net/endpoints.hh"
 #include "net/fi_sync.hh"
 #include "net/resilience.hh"
@@ -534,8 +535,14 @@ TEST(ChaosSession, SchedulesAreBitIdenticalOnRepeatRuns)
             std::fprintf(dump, "== %s ==\n%s", name.c_str(),
                          snapshot(a).c_str());
     }
-    if (dump != nullptr)
+    if (dump != nullptr) {
+        // The deadline SLO summaries are sim-time derived only, so
+        // they must also diff bit-identical across COTERIE_THREADS.
+        std::fprintf(
+            dump, "== slo ==\n%s\n",
+            obs::SloRegistry::global().snapshotJson().dump(2).c_str());
         std::fclose(dump);
+    }
 }
 
 TEST(ChaosSession, EmptyPlanWithResilienceOffIsTheCleanRun)

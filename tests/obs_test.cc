@@ -21,6 +21,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "support/parallel.hh"
+#include "support/stats.hh"
 
 namespace coterie::obs {
 namespace {
@@ -434,6 +435,135 @@ TEST_F(TraceTest, StartClearsPreviousEvents)
 }
 
 #endif // COTERIE_TELEMETRY_ENABLED
+
+// --- Histogram quantiles (timer shards) -------------------------------
+
+/** Deterministic latency-ish population spanning several decades. */
+std::vector<double>
+latencyPopulation(std::size_t n)
+{
+    std::vector<double> values;
+    values.reserve(n);
+    std::uint64_t state = 0x9E3779B97F4A7C15ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const double frac =
+            static_cast<double>(state >> 11) / 9007199254740992.0;
+        // 0.05 ms .. 50 ms, log-uniform: the timer's working range.
+        values.push_back(std::pow(10.0, -1.3 + 3.0 * frac));
+    }
+    return values;
+}
+
+TEST(Histogram, QuantileWithinOneBinOfExact)
+{
+    // The Timer spec: log10(value) over [-4, 4) in 256 bins, so the
+    // worst-case relative error of a quantile estimate (after undoing
+    // the log) is one bin width: 10^(8/256) - 1 ~= 7.5%.
+    const double kBinFactor = std::pow(10.0, 8.0 / 256.0);
+    Histogram hist(Timer::kLogLo, Timer::kLogHi, Timer::kLogBins);
+    SampleSet exact;
+    for (const double v : latencyPopulation(10000)) {
+        hist.add(std::log10(v));
+        exact.add(v);
+    }
+    for (const double q : {0.50, 0.90, 0.99, 0.999}) {
+        const double est = std::pow(10.0, hist.quantile(q));
+        const double ref = exact.percentile(100.0 * q);
+        EXPECT_LE(est, ref * kBinFactor) << "q=" << q;
+        EXPECT_GE(est, ref / kBinFactor) << "q=" << q;
+    }
+}
+
+TEST(Histogram, MergedShardsMatchSingleShardBitForBit)
+{
+    // Per-thread timer shards fold by count addition, so quantiles of
+    // the merged histogram must equal the single-shard reference
+    // exactly — not approximately — regardless of how observations
+    // were scattered across shards or the order shards merge in.
+    const auto values = latencyPopulation(4096);
+    Histogram reference(Timer::kLogLo, Timer::kLogHi, Timer::kLogBins);
+    std::vector<Histogram> shards(
+        8, Histogram(Timer::kLogLo, Timer::kLogHi, Timer::kLogBins));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const double lg = std::log10(values[i]);
+        reference.add(lg);
+        shards[i % shards.size()].add(lg);
+    }
+
+    Histogram forward(Timer::kLogLo, Timer::kLogHi, Timer::kLogBins);
+    for (const Histogram &s : shards)
+        forward.merge(s);
+    Histogram backward(Timer::kLogLo, Timer::kLogHi, Timer::kLogBins);
+    for (auto it = shards.rbegin(); it != shards.rend(); ++it)
+        backward.merge(*it);
+
+    ASSERT_EQ(forward.total(), reference.total());
+    ASSERT_EQ(backward.total(), reference.total());
+    for (const double q : {0.01, 0.25, 0.50, 0.90, 0.99, 0.999}) {
+        const double ref = reference.quantile(q);
+        // Bit-identical: == on doubles, deliberately.
+        EXPECT_EQ(forward.quantile(q), ref) << "q=" << q;
+        EXPECT_EQ(backward.quantile(q), ref) << "q=" << q;
+    }
+}
+
+TEST(Timer, SnapshotQuantilesTrackExactPercentiles)
+{
+    Timer timer;
+    SampleSet exact;
+    for (const double v : latencyPopulation(2000)) {
+        timer.observe(v);
+        exact.add(v);
+    }
+    const Timer::Snapshot snap = timer.snapshot();
+    ASSERT_EQ(snap.hist.total(), 2000u);
+    const double kBinFactor = std::pow(10.0, 8.0 / 256.0);
+    for (const double q : {0.50, 0.99}) {
+        const double est = std::pow(10.0, snap.hist.quantile(q));
+        const double ref = exact.percentile(100.0 * q);
+        EXPECT_LE(est, ref * kBinFactor) << "q=" << q;
+        EXPECT_GE(est, ref / kBinFactor) << "q=" << q;
+    }
+}
+
+TEST(MetricsRegistry, TimerSnapshotExportsQuantileKeys)
+{
+    MetricsRegistry reg;
+    for (const double v : latencyPopulation(512))
+        reg.timer("frame.latency_ms").observe(v);
+    const Json snap = reg.snapshotJson();
+    const Json &t = snap.at("timers").at("frame.latency_ms");
+    ASSERT_TRUE(t.contains("p50"));
+    ASSERT_TRUE(t.contains("p99"));
+    ASSERT_TRUE(t.contains("p999"));
+    const double p50 = t.at("p50").asNumber();
+    const double p99 = t.at("p99").asNumber();
+    const double p999 = t.at("p999").asNumber();
+    EXPECT_LE(p50, p99);
+    EXPECT_LE(p99, p999);
+    EXPECT_GE(p50, t.at("min").asNumber() * 0.9);
+    EXPECT_LE(p999, t.at("max").asNumber() * 1.1);
+    // The snapshot embeds the SLO registry as a top-level section.
+    EXPECT_TRUE(snap.contains("slo"));
+}
+
+TEST(MetricsRegistry, SnapshotJsonIsStableAcrossIdenticalRuns)
+{
+    // Same observations -> byte-identical dump: the property the CI
+    // chaos job relies on when diffing snapshots across
+    // COTERIE_THREADS settings.
+    const auto values = latencyPopulation(256);
+    const auto run = [&values] {
+        MetricsRegistry reg;
+        for (const double v : values)
+            reg.timer("stable.t_ms").observe(v);
+        reg.counter("stable.count").add(values.size());
+        reg.gauge("stable.gauge").set(42.5);
+        return reg.snapshotJson().dump(2);
+    };
+    EXPECT_EQ(run(), run());
+}
 
 } // namespace
 } // namespace coterie::obs

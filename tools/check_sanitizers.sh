@@ -23,7 +23,8 @@ SANITIZERS=(thread address undefined)
 # resolves ON whenever COTERIE_SANITIZE is set, so the runtime
 # lock-order validator's death tests actually fire here.
 TEST_BINS=(parallel_test renderer_test ssim_test codec_test obs_test
-           bvh_test terrain_test pano_cache_test lock_order_test)
+           frame_trace_test bvh_test terrain_test pano_cache_test
+           lock_order_test)
 PREFIX=""
 
 while [ $# -gt 0 ]; do

@@ -1,12 +1,13 @@
 // trace_report: fold a coterie-scope Chrome trace_event JSON into a
 // per-stage latency/throughput table.
 //
-// Usage: trace_report <trace.json>
+// Usage: trace_report [--frames] <trace.json>
 //
-// Reads the "X" (complete) events, groups them by span name (merging
-// the per-thread streams with SampleSet::merge), and prints one row
-// per stage sorted by total wall time. The top three stages by total
-// time are flagged HOT — those are where optimisation effort pays.
+// Default mode reads the "X" (complete) events, groups them by span
+// name (merging the per-thread streams with SampleSet::merge), and
+// prints one row per stage sorted by total wall time. The top three
+// stages by total time are flagged HOT — those are where optimisation
+// effort pays.
 //
 // When the trace carries chaos-harness instants ("fault.<kind>.begin"
 // / ".end", emitted by sim::FaultDriver with sim-time args) an extra
@@ -14,12 +15,21 @@
 // "net.retries" and "qoe.degraded_frames" counter tracks into
 // per-episode deltas — how much resilience work each scripted fault
 // caused. Exits nonzero on unreadable or malformed input.
+//
+// --frames switches to the causal frame-lifecycle report over the
+// "frame" category events (emitted by obs::FrameTracer into a live
+// trace, or by the flight recorder into a crash/boundary dump — the
+// schema is identical): per-session deadline SLO summaries, a table
+// of every deadline-missed frame with its critical path and full hop
+// breakdown, and per-hop / per-client p99s.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "obs/json.hh"
@@ -95,21 +105,217 @@ counterValueAt(const std::vector<std::pair<double, double>> &series,
     return value;
 }
 
+// ---- --frames mode --------------------------------------------------
+
+/** One stamped hop of a frame record ("frame.<hop>" X event). */
+struct HopRow
+{
+    std::string hop;     // "transfer", "stall_wait", ...
+    double beginMs = 0.0;
+    double durMs = 0.0;
+    bool wallOnly = false; // pid 1: wall-clock hop (flight dumps)
+};
+
+/** One causal frame record reassembled from its trace events. */
+struct FrameRow
+{
+    std::string label; // session label (<game>/<N>p/<system>)
+    int client = 0;
+    std::uint64_t frame = 0;
+    bool done = false;
+    double doneMs = 0.0;
+    double latencyMs = 0.0;
+    double budgetMs = 0.0;
+    bool miss = false;
+    std::string criticalPath;
+    std::vector<HopRow> hops;
+};
+
+int
+runFramesReport(const Json &events, const char *path)
+{
+    using FrameKey = std::tuple<std::string, int, std::uint64_t>;
+    std::map<FrameKey, FrameRow> records;
+
+    for (const Json &e : events.items()) {
+        if (!e.isObject() || !e.contains("cat") ||
+            e.at("cat").asString() != "frame")
+            continue;
+        const std::string ph = e.at("ph").asString();
+        const std::string name = e.at("name").asString();
+        if (name.rfind("frame.", 0) != 0)
+            continue;
+        const Json &args = e.at("args");
+        const FrameKey key{args.at("label").asString(),
+                           static_cast<int>(
+                               args.at("client").asNumber()),
+                           static_cast<std::uint64_t>(
+                               args.at("frame").asNumber())};
+        FrameRow &row = records[key];
+        row.label = std::get<0>(key);
+        row.client = std::get<1>(key);
+        row.frame = std::get<2>(key);
+        if (ph == "i" && name == "frame.done") {
+            row.done = true;
+            row.doneMs = e.at("ts").asNumber() / 1000.0;
+            row.latencyMs = args.at("latency_ms").asNumber();
+            row.budgetMs = args.at("budget_ms").asNumber();
+            row.miss = args.at("miss").asBool();
+            row.criticalPath = args.at("critical_path").asString();
+        } else if (ph == "X") {
+            HopRow hop;
+            hop.hop = name.substr(6);
+            hop.beginMs = e.at("ts").asNumber() / 1000.0;
+            hop.durMs = e.at("dur").asNumber() / 1000.0;
+            hop.wallOnly =
+                static_cast<int>(e.at("pid").asNumber(2)) == 1;
+            row.hops.push_back(std::move(hop));
+        }
+    }
+
+    if (records.empty()) {
+        std::printf("trace_report: no frame events in %s\n", path);
+        std::printf("(record a live trace with frame tracing, or use "
+                    "a flight-recorder dump)\n");
+        return 0;
+    }
+
+    // ---- per-session deadline SLO summary -------------------------
+    struct SessionAgg
+    {
+        SampleSet latencies;
+        std::uint64_t frames = 0;
+        std::uint64_t misses = 0;
+        double budgetMs = 0.0;
+        std::map<std::string, std::uint64_t> missesByPath;
+    };
+    std::map<std::string, SessionAgg> sessions;
+    std::map<std::pair<std::string, int>, SampleSet> byClient;
+    std::map<std::string, SampleSet> byHop; // sim hops, merged
+    std::vector<const FrameRow *> missed;
+    for (const auto &[key, row] : records) {
+        for (const HopRow &h : row.hops) {
+            byHop[h.wallOnly ? h.hop + "[wall]" : h.hop].add(h.durMs);
+        }
+        if (!row.done)
+            continue;
+        SessionAgg &agg = sessions[row.label];
+        ++agg.frames;
+        agg.latencies.add(row.latencyMs);
+        agg.budgetMs = row.budgetMs;
+        byClient[{row.label, row.client}].add(row.latencyMs);
+        if (row.miss) {
+            ++agg.misses;
+            ++agg.missesByPath[row.criticalPath];
+            missed.push_back(&row);
+        }
+    }
+
+    std::printf("Frame deadline report (%zu frame records)\n\n",
+                records.size());
+    std::printf("%-36s %8s %8s %9s %9s %9s %9s %9s\n", "session",
+                "frames", "misses", "miss_pct", "budget", "p50_ms",
+                "p99_ms", "p999_ms");
+    for (auto &[label, agg] : sessions) {
+        std::printf(
+            "%-36s %8llu %8llu %8.2f%% %9.2f %9.3f %9.3f %9.3f\n",
+            label.c_str(),
+            static_cast<unsigned long long>(agg.frames),
+            static_cast<unsigned long long>(agg.misses),
+            agg.frames ? 100.0 * static_cast<double>(agg.misses) /
+                             static_cast<double>(agg.frames)
+                       : 0.0,
+            agg.budgetMs, agg.latencies.percentile(50.0),
+            agg.latencies.percentile(99.0),
+            agg.latencies.percentile(99.9));
+    }
+
+    // ---- every deadline miss with its critical-path breakdown -----
+    std::sort(missed.begin(), missed.end(),
+              [](const FrameRow *a, const FrameRow *b) {
+                  return a->latencyMs > b->latencyMs;
+              });
+    if (!missed.empty()) {
+        std::printf("\nDeadline misses (%zu, worst first)\n",
+                    missed.size());
+        for (const FrameRow *row : missed) {
+            std::printf("\n  %s client %d frame %llu: %.3f ms "
+                        "(budget %.2f, over by %.3f) critical path: "
+                        "%s\n",
+                        row->label.c_str(), row->client,
+                        static_cast<unsigned long long>(row->frame),
+                        row->latencyMs, row->budgetMs,
+                        row->latencyMs - row->budgetMs,
+                        row->criticalPath.empty()
+                            ? "?"
+                            : row->criticalPath.c_str());
+            std::vector<HopRow> hops = row->hops;
+            std::sort(hops.begin(), hops.end(),
+                      [](const HopRow &a, const HopRow &b) {
+                          return a.beginMs < b.beginMs;
+                      });
+            for (const HopRow &h : hops) {
+                std::printf("    %-14s %12.3f ms  +%.3f ms%s\n",
+                            h.hop.c_str(), h.durMs, h.beginMs,
+                            h.wallOnly ? "  [wall]" : "");
+            }
+        }
+    } else {
+        std::printf("\nNo deadline misses.\n");
+    }
+
+    // ---- per-hop and per-client p99s ------------------------------
+    std::printf("\nPer-hop latency\n");
+    std::printf("%-20s %8s %10s %10s %10s %10s\n", "hop", "count",
+                "total_ms", "mean_ms", "p50_ms", "p99_ms");
+    for (auto &[hop, samples] : byHop) {
+        std::printf("%-20s %8zu %10.3f %10.4f %10.4f %10.4f\n",
+                    hop.c_str(), samples.count(),
+                    samples.mean() *
+                        static_cast<double>(samples.count()),
+                    samples.mean(), samples.percentile(50.0),
+                    samples.percentile(99.0));
+    }
+
+    std::printf("\nPer-client frame latency\n");
+    std::printf("%-36s %8s %8s %10s %10s\n", "session", "client",
+                "frames", "p50_ms", "p99_ms");
+    for (auto &[key, samples] : byClient) {
+        std::printf("%-36s %8d %8zu %10.3f %10.3f\n",
+                    key.first.c_str(), key.second, samples.count(),
+                    samples.percentile(50.0),
+                    samples.percentile(99.0));
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: trace_report <trace.json>\n");
+    bool framesMode = false;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--frames") == 0) {
+            framesMode = true;
+        } else if (path == nullptr) {
+            path = argv[i];
+        } else {
+            path = nullptr;
+            break;
+        }
+    }
+    if (path == nullptr) {
+        std::fprintf(stderr,
+                     "usage: trace_report [--frames] <trace.json>\n");
         return 2;
     }
 
     bool readOk = true;
-    const std::string text = readFile(argv[1], readOk);
+    const std::string text = readFile(path, readOk);
     if (!readOk) {
-        std::fprintf(stderr, "trace_report: cannot read '%s'\n",
-                     argv[1]);
+        std::fprintf(stderr, "trace_report: cannot read '%s'\n", path);
         return 1;
     }
 
@@ -117,16 +323,19 @@ main(int argc, char **argv)
     const Json doc = Json::parse(text, &error);
     if (!error.empty()) {
         std::fprintf(stderr, "trace_report: parse error in '%s': %s\n",
-                     argv[1], error.c_str());
+                     path, error.c_str());
         return 1;
     }
     const Json &events = doc.at("traceEvents");
     if (!events.isArray()) {
         std::fprintf(stderr,
                      "trace_report: '%s' has no traceEvents array\n",
-                     argv[1]);
+                     path);
         return 1;
     }
+
+    if (framesMode)
+        return runFramesReport(events, path);
 
     // Fold "X" events into per-(name, tid) sample sets first, then
     // merge the per-thread streams per stage — the same shard-fold the
@@ -171,6 +380,11 @@ main(int argc, char **argv)
         }
         if (ph != "X")
             continue;
+        // Frame-lifecycle events live on the *sim* timeline (pid 2);
+        // folding them into this wall-clock stage table would mix
+        // units. They get their own view: `trace_report --frames`.
+        if (e.contains("cat") && e.at("cat").asString() == "frame")
+            continue;
         const int tid = static_cast<int>(e.at("tid").asNumber());
         const double durUs = e.at("dur").asNumber();
         const double durMs = durUs / 1000.0;
@@ -189,7 +403,7 @@ main(int argc, char **argv)
 
     if (stages.empty()) {
         std::printf("trace_report: no complete (\"X\") spans in %s\n",
-                    argv[1]);
+                    path);
     } else {
         std::vector<const Stage *> rows;
         rows.reserve(stages.size());
