@@ -30,11 +30,13 @@ tracePanoCounters(std::uint64_t hits, std::uint64_t misses)
 
 std::shared_ptr<const image::Image>
 PanoramaRenderCache::getOrRender(const PanoKey &key, const RenderFn &render,
-                                 obs::FrameTraceContext *trace)
+                                 obs::FrameTraceContext *trace,
+                                 std::uint32_t owner)
 {
     const bool traced = trace != nullptr && trace->active();
     const std::uint64_t enteredNs = traced ? obs::monotonicNowNs() : 0;
     bool joined = false;
+    std::uint64_t myClaim = 0;
     {
         support::MutexLock lock(mutex_);
         while (true) {
@@ -70,7 +72,11 @@ PanoramaRenderCache::getOrRender(const PanoKey &key, const RenderFn &render,
             // failed (entry erased — we take over), or completed and
             // already been evicted.
         }
-        entries_.emplace(key, Entry{});
+        Entry claim;
+        claim.owner = owner;
+        claim.claim = ++claimClock_;
+        myClaim = claim.claim;
+        entries_.emplace(key, claim);
         ++stats_.misses;
         COTERIE_COUNT("server.pano_cache.miss");
     }
@@ -82,10 +88,14 @@ PanoramaRenderCache::getOrRender(const PanoKey &key, const RenderFn &render,
         COTERIE_SPAN("server.pano_cache.render", "core");
         image = std::make_shared<const image::Image>(render());
     } catch (...) {
-        // Withdraw the claim so a waiter can take over the render.
+        // Withdraw the claim so a waiter can take over the render —
+        // unless releaseClaims already withdrew it (or a successor
+        // re-claimed the key) while we were rendering.
         {
             support::MutexLock lock(mutex_);
-            entries_.erase(key);
+            const auto it = entries_.find(key);
+            if (it != entries_.end() && it->second.claim == myClaim)
+                entries_.erase(it);
         }
         readyCv_.notifyAll();
         throw;
@@ -99,12 +109,22 @@ PanoramaRenderCache::getOrRender(const PanoKey &key, const RenderFn &render,
         image->pixelCount() * sizeof(image::Rgb);
     {
         support::MutexLock lock(mutex_);
-        Entry &entry = entries_[key];
+        const auto it = entries_.find(key);
+        if (it == entries_.end() || it->second.claim != myClaim) {
+            // Our claim was released (session teardown) or the key was
+            // re-claimed by a successor: hand the image back uncached,
+            // charging nobody, and leave the map to its new state.
+            ++stats_.orphanRenders;
+            COTERIE_COUNT("server.pano_cache.orphan_render");
+            return image;
+        }
+        Entry &entry = it->second;
         COTERIE_ASSERT(!entry.image, "pano cache double render");
         entry.image = image;
         entry.lastUse = ++useClock_;
         entry.bytes = image_bytes;
         bytes_ += image_bytes;
+        ownerBytes_[entry.owner] += image_bytes;
         evictLocked();
         stats_.bytes = bytes_;
         stats_.entries = entries_.size();
@@ -119,10 +139,30 @@ void
 PanoramaRenderCache::evictLocked()
 {
     while (bytes_ > budgetBytes_) {
+        // Per-session fairness: pick the victim *owner* first — the
+        // one with the largest resident charge (ties break toward the
+        // lower owner id for determinism) — then evict that owner's
+        // LRU completed entry. With a single owner this degenerates to
+        // the original global LRU policy exactly.
+        std::uint32_t victimOwner = 0;
+        std::uint64_t victimCharge = 0;
+        bool haveOwner = false;
+        for (const auto &[ownerId, charge] : ownerBytes_) {
+            if (charge == 0)
+                continue;
+            if (!haveOwner || charge > victimCharge ||
+                (charge == victimCharge && ownerId < victimOwner)) {
+                haveOwner = true;
+                victimOwner = ownerId;
+                victimCharge = charge;
+            }
+        }
         auto victim = entries_.end();
         for (auto it = entries_.begin(); it != entries_.end(); ++it) {
             if (!it->second.image)
                 continue; // never evict an in-flight render
+            if (haveOwner && it->second.owner != victimOwner)
+                continue;
             if (victim == entries_.end() ||
                 it->second.lastUse < victim->second.lastUse)
                 victim = it;
@@ -130,12 +170,52 @@ PanoramaRenderCache::evictLocked()
         if (victim == entries_.end())
             return; // only in-flight entries remain
         bytes_ -= victim->second.bytes;
+        auto charged = ownerBytes_.find(victim->second.owner);
+        if (charged != ownerBytes_.end()) {
+            charged->second -= victim->second.bytes;
+            if (charged->second == 0)
+                ownerBytes_.erase(charged);
+        }
         ++stats_.evictions;
         stats_.evictedBytes += victim->second.bytes;
         COTERIE_COUNT_N("server.pano_cache.evicted_bytes",
                         victim->second.bytes);
         entries_.erase(victim);
     }
+}
+
+std::size_t
+PanoramaRenderCache::releaseClaims(std::uint32_t owner)
+{
+    std::size_t released = 0;
+    {
+        support::MutexLock lock(mutex_);
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (!it->second.image && it->second.owner == owner) {
+                it = entries_.erase(it);
+                ++released;
+            } else {
+                ++it;
+            }
+        }
+        stats_.claimsReleased += released;
+        stats_.entries = entries_.size();
+    }
+    if (released > 0) {
+        // Wake single-flight waiters parked on the withdrawn claims;
+        // they re-check, find the key absent, and take over cleanly.
+        readyCv_.notifyAll();
+        COTERIE_COUNT_N("server.pano_cache.claims_released", released);
+    }
+    return released;
+}
+
+std::uint64_t
+PanoramaRenderCache::ownerBytes(std::uint32_t owner) const
+{
+    support::MutexLock lock(mutex_);
+    const auto it = ownerBytes_.find(owner);
+    return it != ownerBytes_.end() ? it->second : 0;
 }
 
 PanoCacheStats
@@ -155,6 +235,12 @@ PanoramaRenderCache::clear()
     for (auto it = entries_.begin(); it != entries_.end();) {
         if (it->second.image) {
             bytes_ -= it->second.bytes;
+            auto charged = ownerBytes_.find(it->second.owner);
+            if (charged != ownerBytes_.end()) {
+                charged->second -= it->second.bytes;
+                if (charged->second == 0)
+                    ownerBytes_.erase(charged);
+            }
             it = entries_.erase(it);
         } else {
             ++it;

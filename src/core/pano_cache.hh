@@ -83,6 +83,11 @@ struct PanoCacheStats
     std::uint64_t evictedBytes = 0;
     std::uint64_t bytes = 0;   ///< resident pixel bytes right now
     std::uint64_t entries = 0; ///< resident panoramas right now
+    /** In-flight claims dropped by releaseClaims (session teardown). */
+    std::uint64_t claimsReleased = 0;
+    /** Renders whose claim was released mid-flight: the image was
+     *  returned to the caller but never published or charged. */
+    std::uint64_t orphanRenders = 0;
 };
 
 /**
@@ -114,10 +119,37 @@ class PanoramaRenderCache
      * When @p trace carries an active causal context, the outcome is
      * stamped as a wall-interval hop: CacheLookup on a hit, CacheJoin
      * for a single-flight wait, Render around an actual render.
+     *
+     * @p owner charges the entry to a fleet session for eviction
+     * accounting (0 = the solo/unattributed owner, the pre-fleet
+     * behaviour). The charge is attributed at render time and stays
+     * with the entry: sibling sessions *hit* each other's entries for
+     * free, but the session that caused a render pays for its
+     * residency, so one hot session cannot starve the others' budget
+     * (evictLocked takes victims from the heaviest-charged owner
+     * first). If the owner's claims are released while the render is
+     * in flight (session teardown), the finished image is handed back
+     * uncached — never published, never charged.
      */
     std::shared_ptr<const image::Image>
     getOrRender(const PanoKey &key, const RenderFn &render,
-                obs::FrameTraceContext *trace = nullptr);
+                obs::FrameTraceContext *trace = nullptr,
+                std::uint32_t owner = 0);
+
+    /**
+     * Session teardown: withdraw every in-flight claim charged to
+     * @p owner and wake the waiters (one of them re-claims and
+     * renders). Completed entries stay resident — they are shareable
+     * world-keyed data, not session state. Returns how many claims
+     * were dropped. This is the fix for the claim leak when a session
+     * is destroyed mid-render: without it, waiters on the orphaned
+     * claim would block forever and the entry could never complete
+     * nor be evicted.
+     */
+    std::size_t releaseClaims(std::uint32_t owner);
+
+    /** Resident completed bytes currently charged to @p owner. */
+    std::uint64_t ownerBytes(std::uint32_t owner) const;
 
     PanoCacheStats stats() const;
 
@@ -133,9 +165,15 @@ class PanoramaRenderCache
         std::shared_ptr<const image::Image> image;
         std::uint64_t lastUse = 0;
         std::size_t bytes = 0;
+        /** Session charged for this entry's residency. */
+        std::uint32_t owner = 0;
+        /** Claim generation: a publish is valid only if the claim it
+         *  took is still the one in the map (guards releaseClaims). */
+        std::uint64_t claim = 0;
     };
 
-    /** Evict LRU completed entries until within budget. */
+    /** Evict completed entries until within budget: LRU within the
+     *  heaviest-charged owner (single owner == plain global LRU). */
     void evictLocked() COTERIE_REQUIRES(mutex_);
 
     const std::size_t budgetBytes_;
@@ -143,7 +181,11 @@ class PanoramaRenderCache
     support::CondVar readyCv_;
     std::unordered_map<PanoKey, Entry, PanoKeyHash>
         entries_ COTERIE_GUARDED_BY(mutex_);
+    /** Resident completed bytes charged per owner (absent == 0). */
+    std::unordered_map<std::uint32_t, std::uint64_t>
+        ownerBytes_ COTERIE_GUARDED_BY(mutex_);
     std::uint64_t useClock_ COTERIE_GUARDED_BY(mutex_) = 0;
+    std::uint64_t claimClock_ COTERIE_GUARDED_BY(mutex_) = 0;
     std::uint64_t bytes_ COTERIE_GUARDED_BY(mutex_) = 0;
     PanoCacheStats stats_ COTERIE_GUARDED_BY(mutex_);
 };

@@ -38,6 +38,23 @@ struct PrefetcherParams
      * signatures would churn without correctness benefit.
      */
     double signatureCellM = 1.5;
+
+    /**
+     * The minimal-speculation shape of these params: cover only the
+     * single predicted next grid point (lookahead 1, no lateral
+     * spread). This is both the cache-less fetch policy (the Figure 11
+     * "w/o cache" variant, Multi-Furion's shape) and what the fleet
+     * load governor switches a session to when shedding load — fewer
+     * speculative far-BE fetches, at the cost of less head-turn cover.
+     */
+    PrefetcherParams
+    conservative() const
+    {
+        PrefetcherParams p = *this;
+        p.lookaheadSteps = 1;
+        p.lateralSpread = 0;
+        return p;
+    }
 };
 
 /** A frame the prefetcher wants fetched. */

@@ -36,7 +36,11 @@ FrameStore::FrameStore(const world::VirtualWorld &world,
                        const world::GridMap &grid,
                        const RegionIndex &regions, FrameStoreParams params)
     : world_(world), grid_(grid), regions_(regions), params_(params),
-      worldTag_(worldTagOf(world)), panoCache_(params_.panoCacheBytes)
+      worldTag_(worldTagOf(world)),
+      panoCache_(params_.sharedPanoCache
+                     ? params_.sharedPanoCache
+                     : std::make_shared<PanoramaRenderCache>(
+                           params_.panoCacheBytes))
 {
 }
 
@@ -159,7 +163,7 @@ FrameStore::prerenderFarBe(std::int64_t cellStride, int width, int height,
             key.pitchBits = 0;
             key.width = width;
             key.height = height;
-            const auto pano = panoCache_.getOrRender(key, [&] {
+            const auto pano = panoCache_->getOrRender(key, [&] {
                 render::RenderOptions opts;
                 opts.layer = render::DepthLayer::farBe(cutoff);
                 // Nested render parallelism collapses inline on the
@@ -187,7 +191,8 @@ FrameStore::prerenderFarBe(std::int64_t cellStride, int width, int height,
 std::shared_ptr<const image::Image>
 FrameStore::farBePanorama(Vec2 pos, double distThresh, int width,
                           int height, int threads,
-                          obs::FrameTraceContext *trace) const
+                          obs::FrameTraceContext *trace,
+                          std::uint32_t cacheOwner) const
 {
     // Quantize the FI location: positions within `pitch` of each other
     // are "similar enough" to share a far-BE frame (the background
@@ -213,7 +218,7 @@ FrameStore::farBePanorama(Vec2 pos, double distThresh, int width,
     key.pitchBits = std::bit_cast<std::uint64_t>(pitch);
     key.width = width;
     key.height = height;
-    return panoCache_.getOrRender(
+    return panoCache_->getOrRender(
         key,
         [&] {
             const render::Renderer renderer(world_);
@@ -223,7 +228,7 @@ FrameStore::farBePanorama(Vec2 pos, double distThresh, int width,
             return renderer.renderPanorama(world_.eyePosition(rep),
                                            width, height, opts);
         },
-        trace);
+        trace, cacheOwner);
 }
 
 double

@@ -34,8 +34,17 @@ struct FrameStoreParams
     int panoHeight = 2160;
     /** Density (tri/m^2) that saturates content complexity at 1.0. */
     double complexitySaturationDensity = 2500.0;
-    /** Byte budget for the de-duplicating panorama render cache. */
+    /** Byte budget for the de-duplicating panorama render cache
+     *  (ignored when sharedPanoCache is set). */
     std::size_t panoCacheBytes = 256ull << 20;
+    /**
+     * Optional externally owned render cache. A fleet passes one
+     * cache to every session's FrameStore so same-world sessions
+     * share renders (keys carry the world tag, so distinct worlds
+     * can never collide); null = a private cache of panoCacheBytes,
+     * the pre-fleet behaviour.
+     */
+    std::shared_ptr<PanoramaRenderCache> sharedPanoCache;
 };
 
 /** Aggregate result of an offline pre-render + encode pass. */
@@ -78,14 +87,23 @@ class FrameStore
      * first requests single-flight; @p threads as in prerenderFarBe.
      * @p trace (optional) stamps the cache outcome — CacheLookup /
      * CacheJoin / Render — into the caller's causal frame record.
+     * @p cacheOwner charges the render to a fleet session for
+     * eviction accounting (see PanoramaRenderCache::getOrRender).
      */
     std::shared_ptr<const image::Image>
     farBePanorama(geom::Vec2 pos, double distThresh, int width, int height,
                   int threads = 0,
-                  obs::FrameTraceContext *trace = nullptr) const;
+                  obs::FrameTraceContext *trace = nullptr,
+                  std::uint32_t cacheOwner = 0) const;
 
     /** Render-cache effectiveness counters (hits, misses, joins, ...). */
-    PanoCacheStats panoCacheStats() const { return panoCache_.stats(); }
+    PanoCacheStats panoCacheStats() const { return panoCache_->stats(); }
+
+    /** The render cache itself (shared across a fleet when injected). */
+    PanoramaRenderCache &panoCache() const { return *panoCache_; }
+
+    /** World identity folded into every render-cache key. */
+    std::uint64_t worldTag() const { return worldTag_; }
 
     /** Encoded far-BE frame size at a grid point (bytes). */
     std::uint64_t farBeBytes(world::GridPoint g) const;
@@ -116,8 +134,9 @@ class FrameStore
     FrameStoreParams params_;
     /** World identity folded into every cache key. */
     std::uint64_t worldTag_;
-    /** De-dups far-BE panorama renders (internally synchronized). */
-    mutable PanoramaRenderCache panoCache_;
+    /** De-dups far-BE panorama renders (internally synchronized).
+     *  Either injected (fleet-shared) or privately owned. */
+    std::shared_ptr<PanoramaRenderCache> panoCache_;
     /**
      * Complexity cached per leaf region (cheap, stable, deterministic —
      * the cached value never depends on which thread computed it).

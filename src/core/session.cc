@@ -29,7 +29,8 @@ Session::Session(world::gen::GameId game, const SessionParams &params,
                                                  partition_.leaves);
         distThresholds_ = artifacts->distThresholds;
         similarityParams_ = params.similarity;
-        frames_ = std::make_unique<FrameStore>(world_, grid_, *regions_);
+        frames_ = std::make_unique<FrameStore>(world_, grid_, *regions_,
+                                               params.frameStore);
 
         trace::TrajectoryParams tp;
         tp.players = params.players;
@@ -77,7 +78,8 @@ Session::Session(world::gen::GameId game, const SessionParams &params,
     }
 
     // Offline step 3: the pre-rendered frame catalogue.
-    frames_ = std::make_unique<FrameStore>(world_, grid_, *regions_);
+    frames_ = std::make_unique<FrameStore>(world_, grid_, *regions_,
+                                           params.frameStore);
 
     // Online input: multi-player movement traces.
     trace::TrajectoryParams tp;

@@ -32,6 +32,10 @@ struct SessionParams
     /** Fit the analytic similarity model against rendered SSIM for
      *  this world (a few dozen low-resolution panorama renders). */
     bool calibrateSimilarity = true;
+    /** Frame-catalogue knobs; a fleet injects its shared render cache
+     *  here (FrameStoreParams::sharedPanoCache). Defaults preserve the
+     *  pre-fleet private-cache behaviour. */
+    FrameStoreParams frameStore{};
 };
 
 /**

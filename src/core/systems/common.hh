@@ -59,6 +59,43 @@ struct SystemConfig
     net::ResilienceParams resilience{};
     /** Server fan-out guard; default (unbounded) = pre-chaos server. */
     net::FrameServerParams serverNet{};
+
+    /**
+     * Record a per-player `FrameLogEntry` for every committed frame
+     * into `SystemResult::frameLogs`. Observe-only: the log is
+     * assembled from values the run computes anyway, so recording
+     * never perturbs the simulation — it exists so fleet isolation
+     * tests can assert a session's frame output is byte-identical
+     * with and without siblings.
+     */
+    bool recordFrameLog = false;
+
+    /**
+     * Testing hook for the fleet error boundary: when >= 0, the first
+     * frame-loop tick at or after this sim time throws. Under a
+     * `SessionManager` the exception is confined to the owning
+     * session (quarantined, phase = Faulted); in a solo run it
+     * propagates to the caller. -1 (default) disables the hook.
+     */
+    double injectFaultAtMs = -1.0;
+};
+
+/**
+ * One committed frame in the optional per-frame output log: exactly
+ * the values the display path derives from simulation state, so two
+ * runs whose entries compare equal produced bit-identical frame
+ * streams (times and latencies are compared at full double
+ * precision, not rounded).
+ */
+struct FrameLogEntry
+{
+    double displayMs = 0.0;  ///< sim time the frame was committed
+    double latencyMs = 0.0;  ///< Equation-2 latency of the frame
+    double renderMs = 0.0;   ///< FI (+ far-BE) render term
+    /** Cumulative bytes fetched by the player at commit time. */
+    std::uint64_t bytesFetched = 0;
+    bool degraded = false;   ///< served via stall or stale panorama
+    bool operator==(const FrameLogEntry &) const = default;
 };
 
 /** Per-player outcome of a run. */
@@ -105,6 +142,9 @@ struct SystemResult
     std::vector<PlayerMetrics> players;
     double durationMs = 0.0;
     double channelUtilMbps = 0.0;
+    /** Per-player frame logs, one vector per player, populated only
+     *  when `SystemConfig::recordFrameLog` was set. */
+    std::vector<std::vector<FrameLogEntry>> frameLogs;
 
     /** Averages across players. */
     double avgFps() const;

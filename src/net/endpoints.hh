@@ -132,7 +132,11 @@ class FrameServer
     FrameServerParams params_;
     const sim::FaultPlan *faults_ = nullptr;
     RequestId nextId_ = 0;
-    std::deque<RequestId> fifo_;          ///< backlog order
+    /** Backlog order, drained FIFO by pumpPending. Bounded by the
+     *  clients' outstanding-request windows (each client pipelines at
+     *  most a handful of fetches and never re-requests a key it is
+     *  already waiting on), not by the server itself. */
+    std::deque<RequestId> fifo_;
     std::map<RequestId, Waiting> waiting_; ///< backlog bodies
     std::map<RequestId, TransferId> inflight_;
     sim::TimeMs stallPumpAt_ = -1.0; ///< pending stall-end wake-up

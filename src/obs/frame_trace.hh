@@ -208,8 +208,11 @@ class FrameTracer
 
     mutable support::Mutex mutex_{"FrameTracer::mutex_"};
     // deque: records must not move — contexts hold indices and
-    // completion touches linked records.
-    std::deque<FrameRecord> records_ COTERIE_GUARDED_BY(mutex_);
+    // completion touches linked records. Grows one record per causal
+    // hop for the whole session (exported+cleared at finish), which is
+    // the tracer's job, not a leak.
+    std::deque<FrameRecord> records_ // lint:allow(unbounded-queue)
+        COTERIE_GUARDED_BY(mutex_);
     DeadlineTracker deadlines_ COTERIE_GUARDED_BY(mutex_);
 };
 

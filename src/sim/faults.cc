@@ -233,8 +233,9 @@ FaultPlan::scaled(double severity) const
     return plan;
 }
 
-FaultDriver::FaultDriver(EventQueue &queue, const FaultPlan &plan)
-    : queue_(queue), plan_(plan)
+FaultDriver::FaultDriver(EventQueue &queue, const FaultPlan &plan,
+                         std::string label)
+    : queue_(queue), plan_(plan), label_(std::move(label))
 {
 }
 
@@ -242,8 +243,9 @@ void
 FaultDriver::emitBoundary(const FaultEpisode &episode, bool begin)
 {
     const TimeMs now = queue_.now();
-    const std::string name = std::string("fault.") +
-                             faultKindName(episode.kind) +
+    const std::string name = (label_.empty() ? std::string()
+                                             : label_ + "/") +
+                             "fault." + faultKindName(episode.kind) +
                              (begin ? ".begin" : ".end");
     obs::TraceRecorder::global().instant(name.c_str(), "fault", now);
     obs::TraceRecorder::global().counter(

@@ -156,7 +156,14 @@ class FaultPlan
 class FaultDriver
 {
   public:
-    FaultDriver(EventQueue &queue, const FaultPlan &plan);
+    /**
+     * @p label (optional) prefixes every emitted event name
+     * (`<label>/fault.<kind>.begin`), attributing episodes to one
+     * session when a fleet interleaves several fault plans on a
+     * shared queue. Empty = the bare `fault.<kind>` names.
+     */
+    FaultDriver(EventQueue &queue, const FaultPlan &plan,
+                std::string label = {});
 
     /** Schedule the boundary events (idempotent per driver). */
     void arm();
@@ -166,6 +173,7 @@ class FaultDriver
 
     EventQueue &queue_;
     const FaultPlan &plan_;
+    std::string label_;
     bool armed_ = false;
 };
 

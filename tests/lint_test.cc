@@ -344,6 +344,92 @@ struct EventQueue
     EXPECT_FALSE(fired(findings, "epoch-guarded-schedule"));
 }
 
+TEST(LintUnboundedQueue, UndocumentedDequeMemberFires)
+{
+    // A queue-shaped member with no growth story: one slow consumer
+    // away from a silent leak.
+    const auto findings = run("src/net/mailbox.hh", R"fx(
+#pragma once
+#include <deque>
+struct Mailbox
+{
+    std::deque<Message> inbox_;
+};
+)fx");
+    ASSERT_TRUE(fired(findings, "unbounded-queue"));
+    EXPECT_EQ(findings[0].line, 6);
+}
+
+TEST(LintUnboundedQueue, QueueNamedVectorFires)
+{
+    const auto findings = run("src/core/work.hh", R"fx(
+#pragma once
+#include <vector>
+struct Scheduler
+{
+    std::vector<Job> pendingJobs_;
+};
+)fx");
+    EXPECT_TRUE(fired(findings, "unbounded-queue"));
+}
+
+TEST(LintUnboundedQueue, DocumentedCapPasses)
+{
+    // The client pipe pattern: the cap is stated where the member
+    // lives, either in the block above or on the line itself.
+    const auto findings = run("src/core/pipe.hh", R"fx(
+#pragma once
+#include <deque>
+struct ClientState
+{
+    /** Capped at 6 entries — request_frame drops the most
+     *  speculative tail beyond that. */
+    std::deque<Key> pipe;
+    std::deque<Id> fifo_; ///< bounded by the admission queue limit
+};
+)fx");
+    EXPECT_FALSE(fired(findings, "unbounded-queue"));
+}
+
+TEST(LintUnboundedQueue, PlainVectorsAreOutOfScope)
+{
+    // Vectors without a queue-shaped name are value storage, not
+    // producer/consumer hand-off; they stay out of scope.
+    const auto findings = run("src/core/data.hh", R"fx(
+#pragma once
+#include <vector>
+struct Table
+{
+    std::vector<double> samples_;
+};
+)fx");
+    EXPECT_FALSE(fired(findings, "unbounded-queue"));
+}
+
+TEST(LintUnboundedQueue, AllowCommentSuppresses)
+{
+    // The tracer's session-lifetime record store: growth is the
+    // feature, justified with the escape hatch.
+    const auto findings = run("src/obs/records.hh", R"fx(
+#pragma once
+#include <deque>
+struct Tracer
+{
+    std::deque<Record> records_; // lint:allow(unbounded-queue)
+};
+)fx");
+    EXPECT_FALSE(fired(findings, "unbounded-queue"));
+}
+
+TEST(LintUnboundedQueue, OutsideSrcIsOutOfScope)
+{
+    const auto findings = run("tools/thing.cc", R"fx(
+#include <deque>
+std::deque<int> scratch_;
+)fx");
+    EXPECT_FALSE(fired(findings, "unbounded-queue"));
+}
+
 TEST(LintRules, PtrKeyedContainerFlagsPointerKeys)
 {
     const auto findings = run("src/core/owners.cc", R"fx(
@@ -438,7 +524,7 @@ double plain(double x) { return std::sin(x); }
 TEST(LintEngine, RulesAreRegisteredAndNamed)
 {
     const auto &rules = coterie::lint::rules();
-    ASSERT_EQ(rules.size(), 12u);
+    ASSERT_EQ(rules.size(), 13u);
     for (const auto &rule : rules) {
         EXPECT_FALSE(rule.name.empty());
         EXPECT_FALSE(rule.description.empty());

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "core/pano_cache.hh"
@@ -179,6 +180,102 @@ TEST(PanoCache, ClearDropsCompletedEntries)
     EXPECT_EQ(renders.load(), 2);
 }
 
+TEST(PanoCache, WorldTagsNeverCollide)
+{
+    // Identical quantized coordinates and dimensions under different
+    // world tags are different panoramas — a fleet sharing one cache
+    // across worlds must never serve one world's sky to another.
+    PanoramaRenderCache cache(1 << 20);
+    std::atomic<int> renders{0};
+    const auto render = [&] {
+        ++renders;
+        return solidImage(4, 4, 6);
+    };
+    PanoKey viking = testKey(3, 3);
+    PanoKey fps = testKey(3, 3);
+    fps.worldTag = 0x0f95;
+    cache.getOrRender(viking, render);
+    cache.getOrRender(fps, render);
+    EXPECT_EQ(renders.load(), 2);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(PanoCache, ReleaseClaimsOrphansInFlightRender)
+{
+    // Regression for the fleet claim leak: a session destroyed while
+    // its render is in flight must not leave a forever-pending claim.
+    // releaseClaims fires *during* the render (exactly what session
+    // teardown does); the finished image is handed back uncached.
+    PanoramaRenderCache cache(1 << 20);
+    std::size_t released = 0;
+    const auto img = cache.getOrRender(
+        testKey(2, 2),
+        [&] {
+            released = cache.releaseClaims(/*owner=*/7);
+            return solidImage(4, 4, 4);
+        },
+        nullptr, /*owner=*/7);
+    ASSERT_TRUE(img); // the caller still gets its frame
+    EXPECT_EQ(img->pixels()[0].r, 4);
+    EXPECT_EQ(released, 1u);
+
+    PanoCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.claimsReleased, 1u);
+    EXPECT_EQ(stats.orphanRenders, 1u);
+    EXPECT_EQ(stats.entries, 0u); // never published, never charged
+    EXPECT_EQ(cache.ownerBytes(7), 0u);
+
+    // The key is renderable again by anyone — no deadlocked claim.
+    std::atomic<int> renders{0};
+    cache.getOrRender(testKey(2, 2), [&] {
+        ++renders;
+        return solidImage(4, 4, 4);
+    });
+    EXPECT_EQ(renders.load(), 1);
+}
+
+TEST(PanoCache, CrossOwnerHitsLeaveChargeWithRenderer)
+{
+    // Sibling sessions hit each other's entries for free: the session
+    // that caused the render keeps the residency charge.
+    PanoramaRenderCache cache(1 << 20);
+    const auto render = [] { return solidImage(4, 4, 1); };
+    cache.getOrRender(testKey(0, 0), render, nullptr, /*owner=*/1);
+    cache.getOrRender(testKey(0, 0), render, nullptr, /*owner=*/2);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.ownerBytes(1), 48u);
+    EXPECT_EQ(cache.ownerBytes(2), 0u);
+}
+
+TEST(PanoCache, EvictionChargesHeaviestOwnerFirst)
+{
+    // Budget fits two 4x4 frames. Session 1 renders two panoramas;
+    // session 2's first render then forces an eviction — the victim
+    // comes from the heaviest-charged owner (session 1, LRU within),
+    // not from the newcomer, so one hot session cannot starve a
+    // sibling's working set.
+    PanoramaRenderCache cache(96);
+    std::atomic<int> renders{0};
+    const auto render = [&] {
+        ++renders;
+        return solidImage(4, 4, 2);
+    };
+    cache.getOrRender(testKey(0, 0), render, nullptr, 1); // A
+    cache.getOrRender(testKey(1, 0), render, nullptr, 1); // B
+    cache.getOrRender(testKey(2, 0), render, nullptr, 2); // C evicts A
+    EXPECT_EQ(renders.load(), 3);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.ownerBytes(1), 48u);
+    EXPECT_EQ(cache.ownerBytes(2), 48u);
+
+    cache.getOrRender(testKey(1, 0), render, nullptr, 1); // B resident
+    cache.getOrRender(testKey(2, 0), render, nullptr, 2); // C resident
+    EXPECT_EQ(renders.load(), 3);
+    cache.getOrRender(testKey(0, 0), render, nullptr, 1); // A was evicted
+    EXPECT_EQ(renders.load(), 4);
+}
+
 /** FrameStore integration over a real world + partition. */
 struct PanoCacheFixture : testing::Test
 {
@@ -298,6 +395,61 @@ TEST_F(PanoCacheFixture, SerialAndPooledRendersAreBitIdentical)
     const auto pooled = frames.farBePanorama(pos, 8.0, 64, 32, 0);
     const auto single = serial.farBePanorama(pos, 8.0, 64, 32, 1);
     EXPECT_TRUE(pooled->pixels() == single->pixels());
+}
+
+TEST_F(PanoCacheFixture, SameWorldStoresShareOneCacheAcrossSessions)
+{
+    // The fleet deployment shape: two sessions (FrameStores) over the
+    // same world wired to one externally owned cache. Session 2's
+    // first render of any cell session 1 already produced is a hit —
+    // and the residency charge stays with session 1.
+    const auto shared = std::make_shared<PanoramaRenderCache>(64ull << 20);
+    FrameStoreParams params;
+    params.sharedPanoCache = shared;
+    FrameStore store1(world, grid, regions, params);
+    FrameStore store2(world, grid, regions, params);
+    ASSERT_EQ(store1.worldTag(), store2.worldTag());
+    ASSERT_EQ(&store1.panoCache(), shared.get());
+
+    const Vec2 pos = world.bounds().center();
+    const auto first = store1.farBePanorama(pos, 8.0, 48, 24, 1, nullptr,
+                                            /*cacheOwner=*/1);
+    const auto second = store2.farBePanorama(pos, 8.0, 48, 24, 1, nullptr,
+                                             /*cacheOwner=*/2);
+    EXPECT_EQ(first.get(), second.get()); // literally the same frame
+    const PanoCacheStats stats = shared->stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(shared->ownerBytes(1), stats.bytes);
+    EXPECT_EQ(shared->ownerBytes(2), 0u);
+}
+
+TEST_F(PanoCacheFixture, DifferentWorldsNeverShareRenders)
+{
+    // Two sessions over *different* worlds on one shared cache: the
+    // world tag in every key keeps their panoramas apart even at
+    // identical positions and resolutions.
+    const auto shared = std::make_shared<PanoramaRenderCache>(64ull << 20);
+    FrameStoreParams params;
+    params.sharedPanoCache = shared;
+    FrameStore viking(world, grid, regions, params);
+
+    world::VirtualWorld other = world::gen::makeWorld(GameId::FPS, 42);
+    world::GridMap otherGrid =
+        world::gen::makeGrid(world::gen::gameInfo(GameId::FPS));
+    PartitionResult otherPartition =
+        partitionWorld(other, device::pixel2(), {});
+    RegionIndex otherRegions(other.bounds(), otherPartition.leaves);
+    FrameStore fps(other, otherGrid, otherRegions, params);
+    ASSERT_NE(viking.worldTag(), fps.worldTag());
+
+    const Vec2 pos = world.bounds().center();
+    viking.farBePanorama(pos, 8.0, 48, 24, 1, nullptr, 1);
+    fps.farBePanorama(pos, 8.0, 48, 24, 1, nullptr, 2);
+    const PanoCacheStats stats = shared->stats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.entries, 2u);
 }
 
 } // namespace

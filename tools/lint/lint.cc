@@ -399,6 +399,56 @@ checkEpochGuardedSchedule(const SourceFile &f, std::vector<Finding> &out)
 }
 
 void
+checkUnboundedQueue(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.under("src/"))
+        return;
+    // Queue-shaped members: every std::deque, plus std::vectors whose
+    // name says queue. A producer/consumer imbalance turns these into
+    // silent memory leaks, so each one must carry a nearby comment
+    // documenting what bounds it (or a lint:allow with justification).
+    static const std::regex kDeque(
+        R"(\bstd\s*::\s*deque\s*<[^;]*>\s*\w+)");
+    static const std::regex kVecQueue(
+        R"(\bstd\s*::\s*vector\s*<[^;=(]*>\s*\w*)"
+        R"((?:[Qq]ueue|[Ff]ifo|[Pp]ending|[Bb]acklog|[Ii]nbox)\w*\s*)"
+        R"((?:;|COTERIE_GUARDED_BY))");
+    static const std::regex kCapDoc(
+        R"([Cc]ap(?:ped|s)?\b|[Bb]ound(?:ed)?\b|[Ll]imit|[Bb]udget)"
+        R"(|[Rr]ing\b|[Ff]ixed[- ]size|[Dd]rops? the\b)");
+    for (std::size_t li = 0; li < f.strippedLines.size(); ++li) {
+        const std::string &line = f.strippedLines[li];
+        if (!std::regex_search(line, kDeque) &&
+            !std::regex_search(line, kVecQueue))
+            continue;
+        // The cap must be documented where the member lives: on the
+        // declaration line itself or in the contiguous comment block
+        // directly above it.
+        std::string doc = li < f.rawLines.size() ? f.rawLines[li] : line;
+        for (std::size_t k = li; k-- > 0;) {
+            const std::string &raw = f.rawLines[k];
+            const std::size_t text = raw.find_first_not_of(" \t");
+            if (text == std::string::npos)
+                break;
+            if (raw.compare(text, 2, "//") != 0 &&
+                raw.compare(text, 2, "/*") != 0 &&
+                raw.compare(text, 1, "*") != 0)
+                break;
+            doc += '\n';
+            doc += raw;
+        }
+        if (std::regex_search(doc, kCapDoc))
+            continue;
+        out.push_back(
+            {f.path, static_cast<int>(li) + 1, "unbounded-queue",
+             "queue-shaped member with no documented growth cap; state "
+             "what bounds it in the adjacent comment (count limit, "
+             "byte budget, drained-per-event invariant, ...) or "
+             "justify with a lint:allow(unbounded-queue)"});
+    }
+}
+
+void
 checkMutexGuardedBy(const SourceFile &f, std::vector<Finding> &out)
 {
     if (!f.under("src/"))
@@ -642,6 +692,11 @@ rules()
          "revalidate on wake (epoch/generation compare or membership "
          "lookup) so stale events are no-ops",
          checkEpochGuardedSchedule},
+        {"unbounded-queue",
+         "every queue-shaped member (std::deque, queue-named vectors) "
+         "in src/ documents what bounds its growth next to the "
+         "declaration",
+         checkUnboundedQueue},
         {"ptr-keyed-container",
          "no pointer-keyed unordered_map/unordered_set in src/ — "
          "iteration order is address order and varies run to run",
