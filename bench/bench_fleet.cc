@@ -25,6 +25,7 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -51,18 +52,24 @@ struct SweepPoint
     double avgFps = 0.0;
     double wallS = 0.0;
     std::uint64_t faults = 0;
-    std::uint64_t evictions = 0;
+    std::uint64_t evictions = 0;      // governor session evictions
+    std::uint64_t cacheEvictions = 0; // shared-cache LRU evictions
+    // Sim-engine throughput (DESIGN.md §12): executed DES events, the
+    // rate they retire at, and wall seconds per simulated second.
+    std::uint64_t events = 0;
+    double eventsPerSec = 0.0;
+    double wallPerSimS = 0.0;
 };
 
 /** One fleet run: N sessions with distinct trajectories, one world. */
 SweepPoint
 runSweepPoint(int sessions, int players, double durationS, int renderW,
-              int renderH)
+              int renderH, bool serialEngine = false)
 {
     FleetCapacity cap;
     cap.maxSessions = sessions;
     cap.maxClients = sessions * players;
-    SessionManager mgr(cap);
+    SessionManager mgr(cap, {}, 256ull << 20, serialEngine);
 
     // One preprocessed base per point, wired to the manager's shared
     // cache — the multi-tenant deployment shape. Similarity
@@ -102,6 +109,15 @@ runSweepPoint(int sessions, int players, double durationS, int renderW,
     point.wallS = std::chrono::duration<double>(t1 - t0).count();
     point.faults = fleet.faults;
     point.evictions = fleet.evictions;
+    point.cacheEvictions = fleet.panoCache.evictions;
+    point.events = mgr.queue().executedEvents();
+    point.eventsPerSec = point.wallS > 0.0
+                             ? static_cast<double>(point.events) /
+                                   point.wallS
+                             : 0.0;
+    point.wallPerSimS = fleet.horizonMs > 0.0
+                            ? point.wallS / (fleet.horizonMs / 1000.0)
+                            : 0.0;
 
     SampleSet latencies;
     double fps = 0.0;
@@ -138,6 +154,7 @@ toJson(const SweepPoint &p)
     row.set("players", obs::Json(static_cast<std::uint64_t>(p.players)));
     row.set("deliveries", obs::Json(p.deliveries));
     row.set("renders", obs::Json(p.renders));
+    row.set("cache_evictions", obs::Json(p.cacheEvictions));
     row.set("hit_ratio", obs::Json(p.hitRatio));
     row.set("renders_per_frame", obs::Json(p.rendersPerFrame));
     row.set("p99_frame_latency_ms", obs::Json(p.p99LatencyMs));
@@ -145,6 +162,9 @@ toJson(const SweepPoint &p)
     row.set("wall_s", obs::Json(p.wallS));
     row.set("faults", obs::Json(p.faults));
     row.set("evictions", obs::Json(p.evictions));
+    row.set("events", obs::Json(p.events));
+    row.set("events_per_s", obs::Json(p.eventsPerSec));
+    row.set("wall_per_sim_s", obs::Json(p.wallPerSimS));
     return row;
 }
 
@@ -262,7 +282,62 @@ main(int argc, char **argv)
 
             char key[32];
             std::snprintf(key, sizeof key, "s%d_p%d", sessions, players);
-            points.set(key, toJson(p));
+            obs::Json row = toJson(p);
+
+            // A/B the engines on the largest leg: the same fleet once
+            // more through the pre-lane serial event loop. Frame
+            // deliveries are bit-identical (the determinism contract).
+            // Shared-cache miss counts are too — unless the cache
+            // evicted: the engines order cache accesses differently
+            // (inline per delivery vs barrier-batched), so once LRU
+            // pressure kicks in their eviction histories legitimately
+            // drift, and the miss tally gets a 0.5% band instead.
+            if (sessions == sessionCounts.back() &&
+                players == playerCounts.back()) {
+                const SweepPoint serial =
+                    runSweepPoint(sessions, players, durationS, renderW,
+                                  renderH, /*serialEngine=*/true);
+                const double speedup =
+                    p.wallS > 0.0 ? serial.wallS / p.wallS : 0.0;
+                std::printf("  %8s %7s | serial-engine wall %.2fs, "
+                            "lane-engine wall %.2fs, sim speedup "
+                            "%.2fx\n",
+                            "", "", serial.wallS, p.wallS, speedup);
+                row.set("serial_engine_wall_s",
+                        obs::Json(serial.wallS));
+                row.set("engine_speedup", obs::Json(speedup));
+                const bool evicted =
+                    p.cacheEvictions != 0 || serial.cacheEvictions != 0;
+                const double renderDrift =
+                    serial.renders > 0
+                        ? std::abs(static_cast<double>(p.renders) -
+                                   static_cast<double>(serial.renders)) /
+                              static_cast<double>(serial.renders)
+                        : 0.0;
+                if (serial.deliveries != p.deliveries ||
+                    (evicted ? renderDrift > 0.005
+                             : serial.renders != p.renders)) {
+                    std::printf("  CHECK FAILED: serial and lane "
+                                "engines disagree on %s (deliveries "
+                                "%llu vs %llu, renders %llu vs %llu, "
+                                "cache evictions %llu vs %llu)\n",
+                                key,
+                                static_cast<unsigned long long>(
+                                    serial.deliveries),
+                                static_cast<unsigned long long>(
+                                    p.deliveries),
+                                static_cast<unsigned long long>(
+                                    serial.renders),
+                                static_cast<unsigned long long>(
+                                    p.renders),
+                                static_cast<unsigned long long>(
+                                    serial.cacheEvictions),
+                                static_cast<unsigned long long>(
+                                    p.cacheEvictions));
+                    ok = false;
+                }
+            }
+            points.set(key, std::move(row));
 
             // Ungoverned fleets never evict or fault, deliveries flow,
             // and sibling trajectories over one world must share: past

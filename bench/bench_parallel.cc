@@ -1,21 +1,36 @@
 /**
  * @file
- * Serial-vs-pooled wall-clock baseline for the parallel frame pipeline.
+ * Serial-vs-pooled wall-clock baseline for the parallel frame pipeline
+ * and the parallel discrete-event engine.
  *
  * Runs the two workloads the perf trajectory is tracked on — a Viking
  * adaptive-cutoff partition and a 64-frame panorama trace sweep
  * (render + encode-path SSIM between consecutive frames) — once with
  * every stage forced serial and once through the shared thread pool,
- * plus the SSIM kernel old-vs-new microcomparison, and drops the
- * numbers into results/BENCH_parallel.json.
+ * plus the SSIM kernel old-vs-new microcomparison, plus a sim-engine
+ * thread sweep: the bench_fleet 32x4 leg through the lane engine at
+ * COTERIE_THREADS=1/2/4/8 against the pre-lane serial event loop
+ * (DESIGN.md §12), reporting events/sec and wall seconds per simulated
+ * second. The pool is sized once at process start, so each sweep point
+ * re-executes this binary with COTERIE_THREADS pinned (--sim-child).
+ * Everything lands in results/BENCH_parallel.json.
+ *
+ * `--check` turns the degenerate-pool condition into a hard failure:
+ * on a hardware_concurrency == 1 machine every "pooled" and "lane"
+ * number is serial by construction, and recording such a run as a
+ * multi-core trajectory would poison the history.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hh"
+#include "core/fleet.hh"
 #include "core/partitioner.hh"
 #include "image/ssim.hh"
 #include "render/renderer.hh"
@@ -97,24 +112,198 @@ noiseImage(int w, int h, std::uint64_t seed)
     return img;
 }
 
+// --- Sim-engine thread sweep ----------------------------------------
+
+/** One sweep-point measurement, parsed back from a --sim-child run. */
+struct SimRun
+{
+    bool ok = false;
+    std::uint64_t events = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t renders = 0;
+    double wallS = 0.0;
+    double horizonMs = 0.0;
+
+    double eventsPerSec() const
+    {
+        return wallS > 0.0 ? static_cast<double>(events) / wallS : 0.0;
+    }
+    double wallPerSimS() const
+    {
+        return horizonMs > 0.0 ? wallS / (horizonMs / 1000.0) : 0.0;
+    }
+};
+
+/**
+ * The measured workload: the bench_fleet sweep leg (sessions x players
+ * over one shared world + pano cache, renderOnFetch so barriers carry
+ * real render batches), through either DES engine.
+ */
+SimRun
+runSimLeg(int sessions, int players, double durationS, int renderW,
+          int renderH, bool serialEngine)
+{
+    using namespace coterie::core;
+    FleetCapacity cap;
+    cap.maxSessions = sessions;
+    cap.maxClients = sessions * players;
+    SessionManager mgr(cap, {}, 256ull << 20, serialEngine);
+
+    SessionParams sp;
+    sp.players = players;
+    sp.durationS = durationS;
+    sp.seed = 42;
+    sp.calibrateSimilarity = false;
+    sp.frameStore.sharedPanoCache = mgr.panoCache();
+    const auto base = Session::create(world::gen::GameId::Viking, sp);
+
+    const int routes = (sessions + 1) / 2;
+    for (int i = 0; i < sessions; ++i) {
+        FleetSessionSpec spec;
+        spec.base = base.get();
+        spec.traceSeed = 1000 + static_cast<std::uint64_t>(i % routes);
+        spec.renderOnFetch = true;
+        spec.renderWidth = renderW;
+        spec.renderHeight = renderH;
+        mgr.submit(spec);
+    }
+
+    SimRun run;
+    const auto t0 = std::chrono::steady_clock::now();
+    const FleetResult fleet = mgr.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    run.ok = true;
+    run.wallS = std::chrono::duration<double>(t1 - t0).count();
+    run.events = mgr.queue().executedEvents();
+    run.horizonMs = fleet.horizonMs;
+    for (const auto &s : fleet.sessions) {
+        run.renders += s.fleetRenders;
+        for (const auto &p : s.result.players)
+            run.deliveries += p.framesFetched;
+    }
+    if (std::getenv("COTERIE_SIM_DUMP") != nullptr) {
+        for (const auto &s : fleet.sessions) {
+            std::uint64_t fetched = 0, displayed = 0, retries = 0,
+                          timeouts = 0;
+            for (const auto &p : s.result.players) {
+                fetched += p.framesFetched;
+                displayed += p.framesDisplayed;
+                retries += p.netRetries;
+                timeouts += p.netTimeouts;
+            }
+            std::fprintf(stderr,
+                         "SIMDUMP id=%u phase=%d renders=%llu "
+                         "fetched=%llu displayed=%llu retries=%llu "
+                         "timeouts=%llu finished=%.6f\n",
+                         s.id, static_cast<int>(s.phase),
+                         static_cast<unsigned long long>(s.fleetRenders),
+                         static_cast<unsigned long long>(fetched),
+                         static_cast<unsigned long long>(displayed),
+                         static_cast<unsigned long long>(retries),
+                         static_cast<unsigned long long>(timeouts),
+                         s.finishedAtMs);
+        }
+    }
+    return run;
+}
+
+/** Child mode: run one leg and print a machine-readable result line. */
+int
+simChildMain(int argc, char **argv)
+{
+    if (argc != 8) {
+        std::fprintf(stderr,
+                     "usage: --sim-child S P DUR W H serial|lane\n");
+        return 2;
+    }
+    const int sessions = std::atoi(argv[2]);
+    const int players = std::atoi(argv[3]);
+    const double durationS = std::atof(argv[4]);
+    const int renderW = std::atoi(argv[5]);
+    const int renderH = std::atoi(argv[6]);
+    const bool serial = std::strcmp(argv[7], "serial") == 0;
+    const SimRun run = runSimLeg(sessions, players, durationS, renderW,
+                                 renderH, serial);
+    std::printf("SIMCHILD events=%llu deliveries=%llu renders=%llu "
+                "wall_s=%.9f horizon_ms=%.6f\n",
+                static_cast<unsigned long long>(run.events),
+                static_cast<unsigned long long>(run.deliveries),
+                static_cast<unsigned long long>(run.renders), run.wallS,
+                run.horizonMs);
+    return 0;
+}
+
+/** Re-exec this binary with COTERIE_THREADS pinned and parse back. */
+SimRun
+runSimChild(const char *self, int threads, int sessions, int players,
+            double durationS, int renderW, int renderH, bool serial)
+{
+    char cmd[512];
+    std::snprintf(cmd, sizeof cmd,
+                  "COTERIE_THREADS=%d '%s' --sim-child %d %d %.3f %d "
+                  "%d %s",
+                  threads, self, sessions, players, durationS, renderW,
+                  renderH, serial ? "serial" : "lane");
+    SimRun run;
+    std::FILE *pipe = popen(cmd, "r");
+    if (!pipe) {
+        std::fprintf(stderr, "  sim sweep: cannot spawn '%s'\n", cmd);
+        return run;
+    }
+    char line[256];
+    while (std::fgets(line, sizeof line, pipe)) {
+        unsigned long long events = 0, deliveries = 0, renders = 0;
+        double wallS = 0.0, horizonMs = 0.0;
+        if (std::sscanf(line,
+                        "SIMCHILD events=%llu deliveries=%llu "
+                        "renders=%llu wall_s=%lf horizon_ms=%lf",
+                        &events, &deliveries, &renders, &wallS,
+                        &horizonMs) == 5) {
+            run.ok = true;
+            run.events = events;
+            run.deliveries = deliveries;
+            run.renders = renders;
+            run.wallS = wallS;
+            run.horizonMs = horizonMs;
+        }
+    }
+    if (pclose(pipe) != 0)
+        run.ok = false;
+    return run;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--sim-child") == 0)
+        return simChildMain(argc, argv);
+
+    bool smoke = false;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+    }
+
     const auto world = world::gen::makeWorld(world::gen::GameId::Viking, 42);
 
+    bool ok = true;
     const unsigned hardware = std::thread::hardware_concurrency();
     std::printf("BENCH_parallel: serial vs pooled wall-clock "
                 "(pool lanes: %d, hardware_concurrency: %u)\n",
                 support::ThreadPool::instance().concurrency(),
                 hardware);
     if (hardware <= 1) {
-        std::printf("  *** WARNING: hardware_concurrency=%u — pooled "
+        std::printf("  *** %s: hardware_concurrency=%u — pooled "
                     "numbers degenerate to serial on this machine; "
                     "speedups recorded here are NOT comparable "
                     "against multi-core baselines ***\n",
-                    hardware);
+                    check ? "CHECK FAILED" : "WARNING", hardware);
+        ok = false;
     }
 
     const double partSerial = partitionSeconds(world, 1);
@@ -148,6 +337,88 @@ main()
                 kSsimReps, ssimNaive, ssimFast,
                 ssimNaive / ssimFast);
 
+    // Sim-engine thread sweep: the bench_fleet leg through the serial
+    // event loop once, then through the lane engine with the pool
+    // pinned at 1/2/4/8 threads. Results are bit-identical by the
+    // determinism contract; only the wall clock moves.
+    const int simSessions = smoke ? 8 : 32;
+    const int simPlayers = smoke ? 2 : 4;
+    const double simDurationS = smoke ? 5.0 : 8.0;
+    const int simW = smoke ? 48 : 64;
+    const int simH = smoke ? 24 : 32;
+    std::printf("  sim engine (fleet %dx%d, %.0fs sim):\n", simSessions,
+                simPlayers, simDurationS);
+    const SimRun serialRun =
+        runSimChild(argv[0], 1, simSessions, simPlayers, simDurationS,
+                    simW, simH, /*serial=*/true);
+    if (serialRun.ok)
+        std::printf("    serial engine      %7.3fs  %9.0f events/s  "
+                    "%.3f wall-s per sim-s\n",
+                    serialRun.wallS, serialRun.eventsPerSec(),
+                    serialRun.wallPerSimS());
+    else
+        ok = false;
+    obs::Json simEngine = obs::Json::object();
+    char simLeg[32];
+    std::snprintf(simLeg, sizeof simLeg, "s%d_p%d", simSessions,
+                  simPlayers);
+    simEngine.set("leg", obs::Json(std::string(simLeg)));
+    if (serialRun.ok) {
+        obs::Json row = obs::Json::object();
+        row.set("wall_s", obs::Json(serialRun.wallS));
+        row.set("events", obs::Json(serialRun.events));
+        row.set("deliveries", obs::Json(serialRun.deliveries));
+        row.set("events_per_s", obs::Json(serialRun.eventsPerSec()));
+        row.set("wall_per_sim_s", obs::Json(serialRun.wallPerSimS()));
+        simEngine.set("serial_engine", std::move(row));
+    }
+    for (const int threads : {1, 2, 4, 8}) {
+        const SimRun laneRun =
+            runSimChild(argv[0], threads, simSessions, simPlayers,
+                        simDurationS, simW, simH, /*serial=*/false);
+        if (!laneRun.ok) {
+            ok = false;
+            continue;
+        }
+        const double speedup = serialRun.ok && laneRun.wallS > 0.0
+                                   ? serialRun.wallS / laneRun.wallS
+                                   : 0.0;
+        std::printf("    lane engine t=%d    %7.3fs  %9.0f events/s  "
+                    "%.3f wall-s per sim-s  speedup %.2fx\n",
+                    threads, laneRun.wallS, laneRun.eventsPerSec(),
+                    laneRun.wallPerSimS(), speedup);
+        if (serialRun.ok &&
+            (laneRun.events != serialRun.events ||
+             laneRun.deliveries != serialRun.deliveries ||
+             laneRun.renders != serialRun.renders)) {
+            std::printf("  CHECK FAILED: lane engine at t=%d diverged "
+                        "from the serial engine (events %llu vs %llu, "
+                        "deliveries %llu vs %llu, renders %llu vs "
+                        "%llu)\n",
+                        threads,
+                        static_cast<unsigned long long>(laneRun.events),
+                        static_cast<unsigned long long>(
+                            serialRun.events),
+                        static_cast<unsigned long long>(
+                            laneRun.deliveries),
+                        static_cast<unsigned long long>(
+                            serialRun.deliveries),
+                        static_cast<unsigned long long>(laneRun.renders),
+                        static_cast<unsigned long long>(
+                            serialRun.renders));
+            ok = false;
+        }
+        obs::Json row = obs::Json::object();
+        row.set("wall_s", obs::Json(laneRun.wallS));
+        row.set("events", obs::Json(laneRun.events));
+        row.set("deliveries", obs::Json(laneRun.deliveries));
+        row.set("events_per_s", obs::Json(laneRun.eventsPerSec()));
+        row.set("wall_per_sim_s", obs::Json(laneRun.wallPerSimS()));
+        row.set("speedup_vs_serial_engine", obs::Json(speedup));
+        simEngine.set("lane_engine_t" + std::to_string(threads),
+                      std::move(row));
+    }
+
     const auto workload = [](double baselineS, const char *baselineKey,
                              double fastS, const char *fastKey) {
         obs::Json w = obs::Json::object();
@@ -170,7 +441,13 @@ main()
     doc.set("hardware_concurrency",
             obs::Json(static_cast<std::uint64_t>(
                 std::thread::hardware_concurrency())));
+    doc.set("smoke", obs::Json(smoke));
     doc.set("workloads", std::move(workloads));
+    doc.set("sim_engine", std::move(simEngine));
     bench::writeBenchJson("parallel", doc);
+
+    if (check && !ok)
+        return 1;
+    std::printf("\n  parallel checks: %s\n", ok ? "ok" : "FAILED");
     return 0;
 }

@@ -10,6 +10,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
+#include "support/parallel.hh"
 #include "support/rng.hh"
 #include "trace/trajectory.hh"
 
@@ -60,14 +61,23 @@ struct SessionManager::SessionState
     double startedAtMs = -1.0;
     double finishedAtMs = -1.0;
     bool finalized = false;
+    /** DES lane this session's events run in (0 = serial engine). */
+    std::uint32_t lane = 0;
+    /** renderOnFetch grid keys deferred to the round barrier. Written
+     *  only by this session's lane, drained (and cleared) at every
+     *  barrier, so growth is bounded by one round's deliveries. */
+    std::vector<std::uint64_t> pendingRenders;
 };
 
 SessionManager::SessionManager(FleetCapacity capacity,
                                GovernorParams governor,
-                               std::size_t panoCacheBytes)
+                               std::size_t panoCacheBytes,
+                               bool serialEngine)
     : capacity_(capacity), governor_(governor),
-      panoCache_(std::make_shared<PanoramaRenderCache>(panoCacheBytes))
+      panoCache_(std::make_shared<PanoramaRenderCache>(panoCacheBytes)),
+      queue_(/*laneMode=*/!serialEngine)
 {
+    queue_.setBarrierHook([this] { drainRenderBatch(); });
     COTERIE_ASSERT(governor_.recoverMissRate <= governor_.shedMissRate &&
                        governor_.shedMissRate <=
                            governor_.degradeMissRate &&
@@ -222,10 +232,19 @@ SessionManager::startSession(SessionState &s)
 {
     s.phase = SessionPhase::Running;
     s.startedAtMs = queue_.now();
-    s.run = std::make_unique<SplitSystemRun>(
-        queue_, s.config, SplitVariant::coterie(s.spec.withCache),
-        s.spec.base->distThresholds(), "Coterie", this, s.id);
-    s.run->start();
+    // The session's whole object graph is constructed *into* its own
+    // event lane: ctor-time scheduling (fault-driver arming, client
+    // frame staggering) and every nested scheduleAt/scheduleIn the
+    // session ever makes land in the lane, so the per-session stack
+    // needs no lane awareness. The lane clock starts at the control
+    // clock, exactly like admission on the old shared serial queue.
+    s.lane = queue_.createLane();
+    queue_.runInLane(s.lane, [&] {
+        s.run = std::make_unique<SplitSystemRun>(
+            queue_, s.config, SplitVariant::coterie(s.spec.withCache),
+            s.spec.base->distThresholds(), "Coterie", this, s.id);
+        s.run->start();
+    });
     COTERIE_COUNT("fleet.session_started");
     obs::flight::recordInstant("fleet.session_started", "fleet",
                                queue_.now());
@@ -242,13 +261,15 @@ SessionManager::startSession(SessionState &s)
         [this, id] {
             SessionState &state = *sessions_[id - 1];
             if (!state.finalized)
-                finalizeSession(state, SessionPhase::Completed);
+                finalizeSession(state, SessionPhase::Completed,
+                                queue_.now());
         });
     armGovernor();
 }
 
 void
-SessionManager::finalizeSession(SessionState &s, SessionPhase phase)
+SessionManager::finalizeSession(SessionState &s, SessionPhase phase,
+                                double finishedAt)
 {
     if (s.finalized)
         return;
@@ -257,7 +278,10 @@ SessionManager::finalizeSession(SessionState &s, SessionPhase phase)
     s.run->shutdown(); // no-op when already quarantined
     s.slo = s.run->sampleSlo();
     s.result = s.run->finish();
-    s.finishedAtMs = queue_.now();
+    // For a confined fault this is the faulting lane's sim time, not
+    // the barrier the confinement was deferred to — the report's
+    // timeline reads the same as the serial engine's.
+    s.finishedAtMs = finishedAt;
     // Fault isolation invariant: a departing session leaves nothing
     // pinned in the shared cache — in-flight claims are withdrawn so
     // sibling waiters take over, completed entries stay (they are
@@ -377,7 +401,7 @@ SessionManager::governorTick()
         COTERIE_COUNT("fleet.session_evicted");
         obs::flight::recordInstant("fleet.session_evicted", "fleet",
                                    queue_.now());
-        finalizeSession(*worst, SessionPhase::Evicted);
+        finalizeSession(*worst, SessionPhase::Evicted, queue_.now());
     }
 
     bool any_running = false;
@@ -402,10 +426,21 @@ SessionManager::onFrameFetched(std::uint32_t session,
     SessionState &s = *sessions_[session - 1];
     if (!s.spec.renderOnFetch)
         return;
-    // Bench mode: realize the delivered megaframe as an actual far-BE
-    // render through the shared world-keyed cache, charged to this
-    // session. Pure compute outside the DES — the result never feeds
-    // back into simulation state, so frame output is unchanged.
+    ++s.fleetRenders;
+    if (queue_.currentLane() != 0) {
+        // Lane context (parallel engine): the shared cache's hit/miss
+        // accounting must not depend on how lanes interleave on the
+        // pool, so the render is deferred to the round barrier, where
+        // drainRenderBatch makes every cache decision serially in
+        // (lane, delivery) order. SessionState is lane-owned between
+        // barriers, so this buffer needs no lock.
+        s.pendingRenders.push_back(gridKey);
+        return;
+    }
+    // Serial engine: realize the delivered megaframe as an actual
+    // far-BE render through the shared world-keyed cache, charged to
+    // this session. Pure compute outside the DES — the result never
+    // feeds back into simulation state, so frame output is unchanged.
     const world::GridMap &grid = s.spec.base->grid();
     const auto cols = static_cast<std::uint64_t>(grid.cols());
     const world::GridPoint g{
@@ -414,7 +449,61 @@ SessionManager::onFrameFetched(std::uint32_t session,
     s.spec.base->frames().farBePanorama(
         grid.position(g), /*distThresh=*/0.0, s.spec.renderWidth,
         s.spec.renderHeight, /*threads=*/1, nullptr, session);
-    ++s.fleetRenders;
+}
+
+void
+SessionManager::drainRenderBatch()
+{
+    // Phase A — serial cache decisions in (lane id, delivery order):
+    // the deterministic merge order. First request for an absent key
+    // claims the render (the miss, charged to that session); every
+    // later request of the same key in the batch is a hit, exactly as
+    // if the renders had completed synchronously in that order on the
+    // serial engine.
+    struct Claimed
+    {
+        const Session *base;
+        FrameStore::FarBeLookup lookup;
+        std::uint64_t token;
+    };
+    std::vector<Claimed> claimed;
+    for (const auto &sp : sessions_) {
+        SessionState &s = *sp;
+        if (s.pendingRenders.empty())
+            continue;
+        const world::GridMap &grid = s.spec.base->grid();
+        const auto cols = static_cast<std::uint64_t>(grid.cols());
+        for (const std::uint64_t gridKey : s.pendingRenders) {
+            const world::GridPoint g{
+                static_cast<std::int64_t>(gridKey % cols),
+                static_cast<std::int64_t>(gridKey / cols)};
+            FrameStore::FarBeLookup lookup =
+                s.spec.base->frames().farBeLookup(
+                    grid.position(g), /*distThresh=*/0.0,
+                    s.spec.renderWidth, s.spec.renderHeight);
+            if (const auto token = panoCache_->batchLookupOrClaim(
+                    lookup.key, s.id)) {
+                claimed.push_back(Claimed{s.spec.base, lookup, *token});
+            }
+        }
+        s.pendingRenders.clear();
+    }
+    if (claimed.empty())
+        return;
+    // Phase B — only the actual renders fan out over the pool. This is
+    // where the fleet's dominant compute runs N-wide.
+    auto images = support::parallelMap<image::Image>(
+        static_cast<std::int64_t>(claimed.size()), 1,
+        [&](std::int64_t i) {
+            const Claimed &c = claimed[static_cast<std::size_t>(i)];
+            return c.base->frames().renderFarBe(c.lookup, /*threads=*/1);
+        });
+    // Phase C — serial publication in the same order: charging, LRU
+    // bookkeeping, and eviction are pure functions of the batch.
+    for (std::size_t i = 0; i < claimed.size(); ++i)
+        panoCache_->publishClaimed(claimed[i].lookup.key,
+                                   claimed[i].token,
+                                   std::move(images[i]));
 }
 
 void
@@ -422,13 +511,34 @@ SessionManager::onSessionFault(std::uint32_t session, const char *what)
 {
     SessionState &s = *sessions_[session - 1];
     s.faultReason = what != nullptr ? what : "unknown";
+    if (queue_.currentLane() != 0) {
+        // Lane context: the confinement's manager half (fault
+        // counters, capacity release, admission-queue drain) mutates
+        // control-plane state, so it is deferred to the round barrier.
+        // The faulting lane's sim time rides along so the report reads
+        // identically to the serial engine's.
+        const double faultAt = queue_.now();
+        queue_.postControl([this, session, faultAt] {
+            confirmSessionFault(session, faultAt);
+        });
+        return;
+    }
+    confirmSessionFault(session, queue_.now());
+}
+
+void
+SessionManager::confirmSessionFault(std::uint32_t session, double faultAt)
+{
+    SessionState &s = *sessions_[session - 1];
+    if (s.finalized)
+        return;
     ++faults_;
     COTERIE_COUNT("fleet.session_fault_confined");
     obs::flight::recordInstant("fleet.session_fault_confined", "fleet",
-                               queue_.now());
+                               faultAt);
     // The run already quarantined itself (fetches cancelled, SLO label
     // frozen); the manager's half is cache claims + capacity release.
-    finalizeSession(s, SessionPhase::Faulted);
+    finalizeSession(s, SessionPhase::Faulted, faultAt);
 }
 
 FleetResult

@@ -45,6 +45,7 @@
 
 #include "core/client.hh"
 #include "core/session.hh"
+#include "sim/lane_queue.hh"
 
 namespace coterie::core {
 
@@ -207,15 +208,22 @@ struct FleetResult
  *   mgr.submit({.base = base.get()});
  *   FleetResult fleet = mgr.run();
  *
- * Not thread-safe: submit/run from one thread (the DES is serial; the
- * parallelism lives inside renders on the shared pool).
+ * Not thread-safe: submit/run from one thread. Internally run() drives
+ * the parallel discrete-event engine (`sim::ParallelEventQueue`,
+ * DESIGN.md §12): each session's events live in their own lane and
+ * lanes advance concurrently on the shared pool between control-plane
+ * barriers (admission wakes, governor ticks, finalize horizons), so a
+ * fleet simulates on every core while staying bit-identical at any
+ * `COTERIE_THREADS`. Pass @p serialEngine true for the one-core
+ * baseline (the pre-lane behaviour; what benches A/B against).
  */
 class SessionManager : public FleetHooks
 {
   public:
     explicit SessionManager(FleetCapacity capacity = {},
                             GovernorParams governor = {},
-                            std::size_t panoCacheBytes = 256ull << 20);
+                            std::size_t panoCacheBytes = 256ull << 20,
+                            bool serialEngine = false);
     ~SessionManager() override;
 
     SessionManager(const SessionManager &) = delete;
@@ -255,7 +263,14 @@ class SessionManager : public FleetHooks
     double estimatedLoadMsPerS(const FleetSessionSpec &spec) const;
     std::uint32_t adopt(FleetSessionSpec spec, bool viaQueue);
     void startSession(SessionState &s);
-    void finalizeSession(SessionState &s, SessionPhase phase);
+    void finalizeSession(SessionState &s, SessionPhase phase,
+                         double finishedAt);
+    /** Control-plane half of a fault confinement (may run deferred at
+     *  a round barrier; @p faultAt is the faulting lane's sim time). */
+    void confirmSessionFault(std::uint32_t session, double faultAt);
+    /** Round-barrier hook: the deferred renderOnFetch batch (serial
+     *  deterministic cache decisions, parallel renders). */
+    void drainRenderBatch();
     void drainAdmissionQueue();
     void armGovernor();
     void governorTick();
@@ -263,7 +278,7 @@ class SessionManager : public FleetHooks
     FleetCapacity capacity_;
     GovernorParams governor_;
     std::shared_ptr<PanoramaRenderCache> panoCache_;
-    sim::EventQueue queue_;
+    sim::ParallelEventQueue queue_;
 
     /** All adopted sessions, id order (id = index + 1; 0 is the
      *  solo/unattributed pano-cache owner). */

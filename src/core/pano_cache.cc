@@ -135,6 +135,68 @@ PanoramaRenderCache::getOrRender(const PanoKey &key, const RenderFn &render,
     return image;
 }
 
+std::optional<std::uint64_t>
+PanoramaRenderCache::batchLookupOrClaim(const PanoKey &key,
+                                        std::uint32_t owner)
+{
+    support::MutexLock lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        // Resident, or claimed earlier in this batch (image still
+        // null): a hit either way — under the serial engine the
+        // earlier request's render would already have completed.
+        if (it->second.image)
+            it->second.lastUse = ++useClock_;
+        ++stats_.hits;
+        COTERIE_COUNT("server.pano_cache.hit");
+        tracePanoCounters(stats_.hits, stats_.misses);
+        return std::nullopt;
+    }
+    Entry claim;
+    claim.owner = owner;
+    claim.claim = ++claimClock_;
+    entries_.emplace(key, claim);
+    ++stats_.misses;
+    COTERIE_COUNT("server.pano_cache.miss");
+    return claim.claim;
+}
+
+void
+PanoramaRenderCache::publishClaimed(const PanoKey &key,
+                                    std::uint64_t claimToken,
+                                    image::Image image)
+{
+    const auto shared =
+        std::make_shared<const image::Image>(std::move(image));
+    const std::size_t image_bytes =
+        shared->pixelCount() * sizeof(image::Rgb);
+    {
+        support::MutexLock lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it == entries_.end() || it->second.claim != claimToken) {
+            // The claim was withdrawn (session teardown) between the
+            // decision pass and this publish: drop the image uncached,
+            // matching getOrRender's orphan path.
+            ++stats_.orphanRenders;
+            COTERIE_COUNT("server.pano_cache.orphan_render");
+            return;
+        }
+        Entry &entry = it->second;
+        COTERIE_ASSERT(!entry.image, "pano cache double publish");
+        entry.image = shared;
+        entry.lastUse = ++useClock_;
+        entry.bytes = image_bytes;
+        bytes_ += image_bytes;
+        ownerBytes_[entry.owner] += image_bytes;
+        evictLocked();
+        stats_.bytes = bytes_;
+        stats_.entries = entries_.size();
+        COTERIE_GAUGE_SET("server.pano_cache.bytes", bytes_);
+        tracePanoCounters(stats_.hits, stats_.misses);
+    }
+    readyCv_.notifyAll();
+}
+
 void
 PanoramaRenderCache::evictLocked()
 {

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "image/image.hh"
@@ -135,6 +136,33 @@ class PanoramaRenderCache
     getOrRender(const PanoKey &key, const RenderFn &render,
                 obs::FrameTraceContext *trace = nullptr,
                 std::uint32_t owner = 0);
+
+    /**
+     * Deterministic two-phase batch interface, for callers that defer
+     * lookups to a synchronization barrier (the parallel fleet engine)
+     * and must keep hit/miss counters independent of thread count:
+     *
+     *  - Phase A (serial, in a deterministic request order):
+     *    `batchLookupOrClaim` classifies each request. It returns no
+     *    token when the key is already resident *or* was claimed
+     *    earlier in the same batch — both count as hits, matching the
+     *    serial engine where each render completes synchronously
+     *    before the next request arrives — and otherwise records the
+     *    miss, claims the render for @p owner, and returns the claim
+     *    token.
+     *  - Phase B (parallel, outside the cache): render the claimed
+     *    keys.
+     *  - Phase C (serial, same order): `publishClaimed` installs each
+     *    image under its token. Charging, LRU bookkeeping, and
+     *    eviction all happen here, serially, so they are pure
+     *    functions of the batch order. A token invalidated in between
+     *    (releaseClaims on session teardown) counts as an orphan
+     *    render, exactly like getOrRender's publish path.
+     */
+    std::optional<std::uint64_t>
+    batchLookupOrClaim(const PanoKey &key, std::uint32_t owner);
+    void publishClaimed(const PanoKey &key, std::uint64_t claimToken,
+                        image::Image image);
 
     /**
      * Session teardown: withdraw every in-flight claim charged to

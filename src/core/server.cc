@@ -58,7 +58,12 @@ FrameStore::wholeComplexity(Vec2 p) const
     // the frame (perspective projection).
     // Object density plus terrain ruggedness (mountainous worlds carry
     // high-frequency texture everywhere, and encode large).
-    const double density = world_.triangleDensity(p, 40.0);
+    // Sampled at the leaf's canonical point, never the query point:
+    // the cache is keyed per leaf and first-writer-wins, so a value
+    // derived from the query would make every later lookup depend on
+    // which session (and on the parallel engine, which lane
+    // interleaving) asked first.
+    const double density = world_.triangleDensity(leaf.rect.center(), 40.0);
     const double rugged = world_.terrain().params().amplitude;
     const double cplx = std::clamp(
         0.14 + 0.6 * density / params_.complexitySaturationDensity +
@@ -81,9 +86,11 @@ FrameStore::farComplexity(Vec2 p) const
     }
     // Far-BE complexity: only content beyond the cutoff contributes,
     // and it projects smaller — flatter, more compressible frames.
+    // Canonical-point sampling for the same reason as wholeComplexity:
+    // the per-leaf cache must hold a pure function of the leaf.
     const double cutoff = leaf.cutoffRadius;
-    const double far_density =
-        world_.triangleDensity(p, std::max(cutoff * 4.0, 120.0));
+    const double far_density = world_.triangleDensity(
+        leaf.rect.center(), std::max(cutoff * 4.0, 120.0));
     const double cplx = std::clamp(
         0.25 + 0.9 * far_density / params_.complexitySaturationDensity,
         0.05, 1.0);
@@ -188,11 +195,9 @@ FrameStore::prerenderFarBe(std::int64_t cellStride, int width, int height,
     return result;
 }
 
-std::shared_ptr<const image::Image>
-FrameStore::farBePanorama(Vec2 pos, double distThresh, int width,
-                          int height, int threads,
-                          obs::FrameTraceContext *trace,
-                          std::uint32_t cacheOwner) const
+FrameStore::FarBeLookup
+FrameStore::farBeLookup(Vec2 pos, double distThresh, int width,
+                        int height) const
 {
     // Quantize the FI location: positions within `pitch` of each other
     // are "similar enough" to share a far-BE frame (the background
@@ -210,25 +215,42 @@ FrameStore::farBePanorama(Vec2 pos, double distThresh, int width,
                    std::clamp(b.lo.y + (qy + 0.5) * pitch, b.lo.y, b.hi.y)};
     const double cutoff = regions_.cutoffAt(rep);
 
-    PanoKey key;
-    key.worldTag = worldTag_;
-    key.qx = qx;
-    key.qy = qy;
-    key.cutoffBits = std::bit_cast<std::uint64_t>(cutoff);
-    key.pitchBits = std::bit_cast<std::uint64_t>(pitch);
-    key.width = width;
-    key.height = height;
+    FarBeLookup lookup;
+    lookup.rep = rep;
+    lookup.cutoff = cutoff;
+    lookup.key.worldTag = worldTag_;
+    lookup.key.qx = qx;
+    lookup.key.qy = qy;
+    lookup.key.cutoffBits = std::bit_cast<std::uint64_t>(cutoff);
+    lookup.key.pitchBits = std::bit_cast<std::uint64_t>(pitch);
+    lookup.key.width = width;
+    lookup.key.height = height;
+    return lookup;
+}
+
+image::Image
+FrameStore::renderFarBe(const FarBeLookup &lookup, int threads) const
+{
+    const render::Renderer renderer(world_);
+    render::RenderOptions opts;
+    opts.layer = render::DepthLayer::farBe(lookup.cutoff);
+    opts.threads = threads;
+    return renderer.renderPanorama(world_.eyePosition(lookup.rep),
+                                   lookup.key.width, lookup.key.height,
+                                   opts);
+}
+
+std::shared_ptr<const image::Image>
+FrameStore::farBePanorama(Vec2 pos, double distThresh, int width,
+                          int height, int threads,
+                          obs::FrameTraceContext *trace,
+                          std::uint32_t cacheOwner) const
+{
+    const FarBeLookup lookup =
+        farBeLookup(pos, distThresh, width, height);
     return panoCache_->getOrRender(
-        key,
-        [&] {
-            const render::Renderer renderer(world_);
-            render::RenderOptions opts;
-            opts.layer = render::DepthLayer::farBe(cutoff);
-            opts.threads = threads;
-            return renderer.renderPanorama(world_.eyePosition(rep),
-                                           width, height, opts);
-        },
-        trace, cacheOwner);
+        lookup.key, [&] { return renderFarBe(lookup, threads); }, trace,
+        cacheOwner);
 }
 
 double

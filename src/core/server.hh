@@ -96,6 +96,29 @@ class FrameStore
                   obs::FrameTraceContext *trace = nullptr,
                   std::uint32_t cacheOwner = 0) const;
 
+    /**
+     * A fully-resolved online far-BE lookup: the cache key plus the
+     * render inputs it maps to. Splitting resolution from rendering
+     * lets batched callers (the parallel fleet's barrier render pass)
+     * make all cache decisions serially in a deterministic order and
+     * run only the actual renders in parallel.
+     */
+    struct FarBeLookup
+    {
+        PanoKey key;
+        geom::Vec2 rep;     ///< cell representative eye position
+        double cutoff = 0.0; ///< far-BE cutoff radius at rep
+    };
+
+    /** Resolve the lookup farBePanorama(pos, ...) would perform. */
+    FarBeLookup farBeLookup(geom::Vec2 pos, double distThresh, int width,
+                            int height) const;
+
+    /** Render the panorama a resolved lookup describes (cache-free;
+     *  the caller owns publication). @p threads as in prerenderFarBe. */
+    image::Image renderFarBe(const FarBeLookup &lookup,
+                             int threads = 0) const;
+
     /** Render-cache effectiveness counters (hits, misses, joins, ...). */
     PanoCacheStats panoCacheStats() const { return panoCache_->stats(); }
 

@@ -18,7 +18,10 @@ void
 EventQueue::scheduleIn(TimeMs delay, EventFn fn)
 {
     COTERIE_ASSERT(delay >= 0.0, "negative delay: ", delay);
-    scheduleAt(now_ + delay, std::move(fn));
+    // Virtual dispatch on both now() and scheduleAt: under the lane
+    // engine a relative delay is lane-relative, and the event lands in
+    // the scheduling lane's heap.
+    scheduleAt(now() + delay, std::move(fn));
 }
 
 bool
@@ -29,6 +32,7 @@ EventQueue::step()
     Event ev = heap_.top();
     heap_.pop();
     now_ = ev.when;
+    ++executed_;
     ev.fn();
     return true;
 }
@@ -55,6 +59,7 @@ EventQueue::reset()
 {
     now_ = 0.0;
     nextSeq_ = 0;
+    executed_ = 0;
     heap_ = {};
 }
 

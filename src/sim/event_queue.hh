@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -25,35 +26,69 @@ using EventFn = std::function<void()>;
 /**
  * A priority-ordered event queue with stable FIFO ordering among events
  * scheduled for the same instant.
+ *
+ * The interface is virtual so a drop-in parallel engine
+ * (`sim::ParallelEventQueue`, lane_queue.hh) can shard events into
+ * per-session lanes behind the same `scheduleAt`/`scheduleIn`/`now`
+ * surface; every consumer holds an `EventQueue&` and never needs to
+ * know which engine drives it.
  */
 class EventQueue
 {
   public:
+    EventQueue() = default;
+    virtual ~EventQueue() = default;
+
     /** Current simulation time. */
-    TimeMs now() const { return now_; }
+    virtual TimeMs now() const { return now_; }
 
     /** Schedule @p fn to run at absolute time @p when (>= now). */
-    void scheduleAt(TimeMs when, EventFn fn);
+    virtual void scheduleAt(TimeMs when, EventFn fn);
 
-    /** Schedule @p fn to run @p delay ms from now. */
+    /** Schedule @p fn to run @p delay ms from now. (Non-virtual: it
+     *  delegates to the virtual now()/scheduleAt pair.) */
     void scheduleIn(TimeMs delay, EventFn fn);
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    virtual std::size_t pending() const { return heap_.size(); }
+
+    /** Time of the earliest pending event (+inf when empty). For the
+     *  serial queue this is the head of the single heap; the parallel
+     *  engine overrides it with the minimum across control and lane
+     *  heaps. */
+    virtual TimeMs nextEventAt() const
+    {
+        return heap_.empty()
+                   ? std::numeric_limits<TimeMs>::infinity()
+                   : heap_.top().when;
+    }
 
     /** Run a single event; returns false when the queue is empty. */
-    bool step();
+    virtual bool step();
 
     /** Run until the queue drains or time would exceed @p horizon. */
-    void runUntil(TimeMs horizon);
+    virtual void runUntil(TimeMs horizon);
 
     /** Run until the queue drains completely. */
-    void runToCompletion();
+    virtual void runToCompletion();
 
     /** Drop all pending events and reset the clock to zero. */
-    void reset();
+    virtual void reset();
 
-  private:
+    /** Events executed since construction (throughput reporting). */
+    virtual std::uint64_t executedEvents() const { return executed_; }
+
+    /**
+     * A channel (or any cross-lane coupling) declares its minimum
+     * cross-entity interaction delay — the conservative-PDES lookahead
+     * floor. The serial engine has no lanes to synchronize, so this is
+     * a no-op; `ParallelEventQueue` records the minimum declared floor
+     * and uses it to bound how far lanes may run ahead of each other
+     * when cross-lane traffic is enabled.
+     */
+    virtual void noteLookaheadFloor(TimeMs floorMs) { (void)floorMs; }
+
+  protected:
     struct Event
     {
         TimeMs when;
@@ -73,6 +108,7 @@ class EventQueue
 
     TimeMs now_ = 0.0;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
     std::priority_queue<Event, std::vector<Event>, Later> heap_;
 };
 

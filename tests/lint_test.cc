@@ -521,10 +521,66 @@ double plain(double x) { return std::sin(x); }
     EXPECT_FALSE(fired(ok, "simd-ambient-math"));
 }
 
+TEST(LintRules, CrossLaneFlagsForeignQueueScheduling)
+{
+    const auto findings = run("src/core/widget.cc", R"fx(
+void Widget::poke(SessionManager &mgr)
+{
+    mgr.queue().scheduleAt(5.0, [] {});
+    const double t = mgr.queue().now();
+    other_->queue().scheduleIn(1.0, [] {});
+}
+)fx");
+    EXPECT_TRUE(fired(findings, "cross-lane"));
+    int hits = 0;
+    for (const Finding &f : findings)
+        if (f.rule == "cross-lane")
+            ++hits;
+    EXPECT_EQ(hits, 3);
+}
+
+TEST(LintRules, CrossLaneOwnQueueAndMergeApiPass)
+{
+    // A member queue reference, the merge API, and observe-only
+    // accessors are all legal lane interaction.
+    const auto ok = run("src/core/widget.cc", R"fx(
+void Widget::tick()
+{
+    queue_.scheduleIn(1.0, [] {});
+    queue_.scheduleAt(queue_.now() + 5.0, [] {});
+    queue_.postControl([] {});
+    queue_.scheduleCross(2, queue_.now() + lookahead_, [] {});
+    const auto backlog = mgr_.queue().pending();
+    const auto done = mgr_.queue().executedEvents();
+}
+)fx");
+    EXPECT_FALSE(fired(ok, "cross-lane"));
+}
+
+TEST(LintRules, CrossLaneScopeAndSuppression)
+{
+    // The engine itself (src/sim/) and code outside src/ are out of
+    // scope; lint:allow(cross-lane) silences a deliberate crossing.
+    EXPECT_FALSE(fired(run("src/sim/lane_queue.cc",
+                           "void f(Q &q) { q.queue().now(); }"),
+                       "cross-lane"));
+    EXPECT_FALSE(fired(run("tests/fleet_test.cc",
+                           "void f(M &m) { m.queue().now(); }"),
+                       "cross-lane"));
+    const auto ok = run("src/core/widget.cc", R"fx(
+void Widget::poke(SessionManager &mgr)
+{
+    // lint:allow(cross-lane)
+    mgr.queue().scheduleAt(5.0, [] {});
+}
+)fx");
+    EXPECT_FALSE(fired(ok, "cross-lane"));
+}
+
 TEST(LintEngine, RulesAreRegisteredAndNamed)
 {
     const auto &rules = coterie::lint::rules();
-    ASSERT_EQ(rules.size(), 13u);
+    ASSERT_EQ(rules.size(), 14u);
     for (const auto &rule : rules) {
         EXPECT_FALSE(rule.name.empty());
         EXPECT_FALSE(rule.description.empty());

@@ -43,6 +43,37 @@ TEST_F(ServerFixture, SizesAreDeterministic)
     EXPECT_EQ(frames.fovFrameBytes(g), frames.fovFrameBytes(g));
 }
 
+TEST_F(ServerFixture, SizesAreQueryOrderIndependent)
+{
+    // The complexity cache is keyed per leaf region and first-writer
+    // wins, so the cached value must be a pure function of the leaf —
+    // never of whichever query point happened to arrive first. On the
+    // parallel engine concurrent sessions race to seed it; a
+    // query-derived value would make frame sizes (and therefore whole
+    // simulations) depend on lane interleaving.
+    GridPoint a{100, 100};
+    GridPoint b = a;
+    const LeafRegion &leafA = regions.leafAt(grid.position(a));
+    for (std::int64_t dx = 1; dx < 50; ++dx) {
+        const GridPoint cand{a.ix + dx, a.iy};
+        if (&regions.leafAt(grid.position(cand)) == &leafA) {
+            b = cand;
+            break;
+        }
+    }
+    ASSERT_NE(a.ix, b.ix) << "no second grid point in the same leaf";
+
+    FrameStore ab(world, grid, regions);
+    FrameStore ba(world, grid, regions);
+    const auto abFar = ab.farBeBytes(a);    // a seeds the leaf
+    const auto baFarB = ba.farBeBytes(b);   // b seeds the leaf
+    EXPECT_EQ(abFar, ab.farBeBytes(b));     // same leaf, same bytes
+    EXPECT_EQ(baFarB, ba.farBeBytes(a));
+    EXPECT_EQ(abFar, baFarB);               // order never mattered
+    EXPECT_EQ(ab.wholeBeBytes(a), ba.wholeBeBytes(b));
+    EXPECT_EQ(ab.wholeBeBytes(b), ba.wholeBeBytes(a));
+}
+
 TEST_F(ServerFixture, FarBeSmallerThanWholeBe)
 {
     // §4.3: near BE and far BE frames are each about half the original

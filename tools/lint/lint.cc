@@ -654,6 +654,40 @@ checkSimdAmbientMath(const SourceFile &f, std::vector<Finding> &out)
     }
 }
 
+/**
+ * Cross-lane hazard taint (DESIGN.md §12): under the parallel DES,
+ * every component owns exactly one event lane — the `sim::EventQueue&`
+ * it was constructed over. Scheduling into (or reading the clock of) a
+ * queue reached through *another object's* accessor
+ * (`other.queue().scheduleAt(...)`, `mgr.queue().now()`) crosses lane
+ * ownership outside the deterministic merge path: mid-round the target
+ * heap is owned by a different thread, and even in serial mode the
+ * event bypasses the (lane id, timestamp, sequence) merge order. The
+ * legal routes are `postControl` (barrier-deferred control action),
+ * `scheduleCross` (lookahead-checked lane-to-lane send), or taking the
+ * queue by reference at construction so the object joins that lane.
+ * Observe-only accessors (pending, executedEvents, laneNow) are fine.
+ */
+void
+checkCrossLane(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.under("src/") || f.under("src/sim/"))
+        return; // the engine itself implements the merge API
+    static const std::regex kBad(
+        R"((?:\.|->)\s*queue\s*\(\s*\)\s*\.\s*)"
+        R"((?:scheduleAt|scheduleIn|now)\s*\()");
+    forEachMatch(f, kBad, [&](int line, const std::string &m) {
+        out.push_back(
+            {f.path, line, "cross-lane",
+             "'" + m +
+                 "' schedules into (or reads the clock of) a queue "
+                 "owned by another component — a cross-lane hazard "
+                 "under the parallel DES; route through postControl/"
+                 "scheduleCross or take the queue by reference at "
+                 "construction"});
+    });
+}
+
 } // namespace
 
 const std::vector<Rule> &
@@ -713,6 +747,11 @@ rules()
          "no libm transcendentals inside COTERIE_SIMD_CLONES kernels "
          "— per-ISA clones may round them differently",
          checkSimdAmbientMath},
+        {"cross-lane",
+         "no scheduleAt/scheduleIn/now through another component's "
+         "queue() accessor — cross-lane interaction must use the "
+         "deterministic merge API (postControl/scheduleCross)",
+         checkCrossLane},
     };
     return kRules;
 }
